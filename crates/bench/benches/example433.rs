@@ -1,0 +1,17 @@
+//! Criterion bench: the §4.3.3 worked example (latency assignment on the
+//! Figure 3 DDG).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vliw_experiments::example433::example433;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("example433", |b| b.iter(|| black_box(example433())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

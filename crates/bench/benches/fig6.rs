@@ -1,0 +1,18 @@
+//! Criterion bench: regenerate the paper's fig6 on a reduced context.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vliw_bench::bench_context;
+use vliw_experiments::fig6::fig6;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    c.bench_function("fig6", |b| b.iter(|| black_box(fig6(black_box(&ctx)))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

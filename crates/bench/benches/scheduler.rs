@@ -1,0 +1,49 @@
+//! Microbenches of the scheduler itself: latency assignment, ordering and
+//! full modulo scheduling of an OUF-unrolled kernel, per policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vliw_bench::micro_context;
+use vliw_ir::unroll;
+use vliw_machine::MachineConfig;
+use vliw_sched::{schedule_kernel, ClusterPolicy, ScheduleOptions};
+use vliw_workloads::{profile_kernel, spec_by_name, synthesize, ArrayLayout};
+
+fn prepared_kernel() -> (vliw_ir::LoopKernel, MachineConfig) {
+    let ctx = micro_context("gsmdec");
+    let spec = spec_by_name("gsmdec").unwrap();
+    let model = synthesize(&spec, &ctx.workloads, &ctx.machine);
+    let mut k = unroll(&model.loops[0].kernel, 8);
+    let layout = ArrayLayout::new(&k, &ctx.machine, true, ctx.workloads.profile_input);
+    profile_kernel(&mut k, &ctx.machine, &layout, &ctx.profile);
+    (k, ctx.machine)
+}
+
+fn bench(c: &mut Criterion) {
+    let (kernel, machine) = prepared_kernel();
+    for (name, policy) in [
+        ("schedule/base", ClusterPolicy::Free),
+        ("schedule/ibc", ClusterPolicy::BuildChains),
+        ("schedule/ipbc", ClusterPolicy::PreBuildChains),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    schedule_kernel(
+                        black_box(&kernel),
+                        black_box(&machine),
+                        ScheduleOptions::new(policy),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench: regenerate Tables 1 and 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vliw_bench::bench_context;
+use vliw_experiments::tables::{table1, table2};
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    c.bench_function("table1", |b| b.iter(|| black_box(table1(black_box(&ctx)))));
+    c.bench_function("table2", |b| b.iter(|| black_box(table2(black_box(&ctx)))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

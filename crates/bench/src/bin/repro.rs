@@ -1,0 +1,100 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage: `repro [quick|full] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|all]`
+//!
+//! Results print to stdout and are also written as CSV under `results/`.
+
+use std::fs;
+use std::path::Path;
+
+use vliw_experiments::{
+    chains_exp, example433, fig4, fig5, fig6, fig7, fig8, hints_exp, interleave_study, tables,
+    ExperimentContext,
+};
+
+fn save(name: &str, csv: String) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = fs::write(&path, csv) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[saved results/{name}.csv]");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = "full";
+    let mut targets: Vec<&str> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "quick" | "full" => scale = a,
+            other => targets.push(other),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all");
+    }
+    let ctx = if scale == "quick" { ExperimentContext::quick() } else { ExperimentContext::full() };
+    println!("# scale: {scale} ({} benchmarks)\n", ctx.benchmarks.len());
+
+    let want = |t: &str| targets.contains(&"all") || targets.contains(&t);
+
+    if want("table1") {
+        let t = tables::table1(&ctx);
+        println!("{t}");
+        save("table1", t.table().to_csv());
+    }
+    if want("table2") {
+        let t = tables::table2(&ctx);
+        println!("{t}");
+        save("table2", t.table().to_csv());
+    }
+    if want("example433") {
+        let e = example433::example433();
+        println!("{e}");
+        save("example433", e.table().to_csv());
+    }
+    if want("fig4") {
+        let f = fig4::fig4(&ctx);
+        println!("{f}");
+        save("fig4", f.table().to_csv());
+    }
+    if want("fig5") {
+        let f = fig5::fig5(&ctx);
+        println!("{f}");
+        save("fig5", f.table().to_csv());
+    }
+    if want("fig6") {
+        let f = fig6::fig6(&ctx);
+        println!("{f}");
+        save("fig6", f.table().to_csv());
+    }
+    if want("fig7") {
+        let f = fig7::fig7(&ctx);
+        println!("{f}");
+        save("fig7", f.table().to_csv());
+    }
+    if want("fig8") {
+        let f = fig8::fig8(&ctx);
+        println!("{f}");
+        save("fig8", f.table().to_csv());
+    }
+    if want("hints") {
+        let h = hints_exp::hints_experiment(&ctx);
+        println!("{h}");
+        save("hints", h.table().to_csv());
+    }
+    if want("interleave") {
+        let s = interleave_study::interleave_study(&ctx);
+        println!("{s}");
+        save("interleave", s.table().to_csv());
+    }
+    if want("chains") {
+        let c = chains_exp::chain_breaking(&ctx, "epicdec");
+        println!("{c}");
+        save("chains", c.table().to_csv());
+    }
+}

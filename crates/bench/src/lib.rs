@@ -1,0 +1,27 @@
+//! Shared plumbing for the Criterion benches and the `repro` binary.
+//!
+//! Each bench target regenerates one table or figure of the paper on a
+//! reduced context (Criterion repeats the measurement, so the full
+//! 14-benchmark sweep lives in the `repro` binary instead — run
+//! `cargo run --release -p vliw-bench --bin repro full all`).
+
+use vliw_experiments::ExperimentContext;
+
+/// A deliberately small context for Criterion: two benchmarks, short
+/// simulations — large enough to exercise every pipeline stage, small
+/// enough to repeat.
+pub fn bench_context() -> ExperimentContext {
+    let mut ctx = ExperimentContext::quick();
+    ctx.benchmarks = vec!["gsmdec".into(), "jpegenc".into()];
+    ctx.sim.iteration_cap = 64;
+    ctx.sim.warmup_iterations = 64;
+    ctx.profile.iteration_cap = 64;
+    ctx
+}
+
+/// A single-benchmark context for the microbenches.
+pub fn micro_context(bench: &str) -> ExperimentContext {
+    let mut ctx = bench_context();
+    ctx.benchmarks = vec![bench.into()];
+    ctx
+}

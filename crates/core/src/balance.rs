@@ -1,0 +1,39 @@
+//! Whole-benchmark workload balance (§5.2, Figure 7).
+
+/// Weighted arithmetic mean of per-loop workload balances, weighted by the
+/// loops' dynamic execution weight — the paper's whole-benchmark metric.
+/// Returns `f64::NAN` when the total weight is zero.
+pub fn weighted_workload_balance(loops: impl IntoIterator<Item = (f64, f64)>) -> f64 {
+    let (mut num, mut den) = (0.0, 0.0);
+    for (weight, wb) in loops {
+        num += weight * wb;
+        den += weight;
+    }
+    if den == 0.0 {
+        f64::NAN
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_mean() {
+        // one heavy perfectly-balanced loop and one light unbalanced loop
+        let wb = weighted_workload_balance([(900.0, 0.25), (100.0, 1.0)]);
+        assert!((wb - 0.325).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        assert!(weighted_workload_balance([]).is_nan());
+    }
+
+    #[test]
+    fn single_loop_passthrough() {
+        assert_eq!(weighted_workload_balance([(42.0, 0.5)]), 0.5);
+    }
+}

@@ -1,0 +1,505 @@
+//! The scheduling engine: cluster assignment and slot placement in a single
+//! step (§4.2 and §4.3.1 step 4), with no backtracking — any failure bumps
+//! the II and restarts, exactly as the paper describes.
+
+use std::collections::HashMap;
+
+use vliw_ir::{Ddg, DepKind, LoopKernel, OpId};
+use vliw_machine::MachineConfig;
+
+use crate::chains::MemChains;
+use crate::circuits::{elementary_circuits, EnumLimits};
+use crate::latency::LatencyAssignment;
+use crate::mii;
+use crate::mrt::Mrt;
+use crate::order::sms_order;
+use crate::schedule::{Schedule, ScheduleError, ScheduledCopy, ScheduledOp};
+
+/// How memory instructions are assigned to clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterPolicy {
+    /// BASE (§4.2): memory ops are placed like any other op — best
+    /// communication/balance trade-off, no chain constraint. Used for the
+    /// unified-cache and multiVLIW machines.
+    Free,
+    /// IBC — Interleaved Build Chains: memory ops use the communication/
+    /// balance heuristic, but all members of a memory dependent chain
+    /// follow the cluster chosen for the chain's first-scheduled member.
+    BuildChains,
+    /// IPBC — Interleaved Pre-Build Chains: chains are computed before
+    /// scheduling and pinned to their average preferred cluster.
+    PreBuildChains,
+    /// Analysis-only ablation (Figures 4 and 7, fourth/third bars): every
+    /// memory op goes to its own preferred cluster, ignoring chains.
+    /// **Not correct for execution** — used to quantify the cost of chains.
+    NoChains,
+}
+
+/// Options for [`schedule_kernel`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleOptions {
+    /// Cluster-assignment policy.
+    pub policy: ClusterPolicy,
+    /// Hard II limit; `None` = `2 × MII + 96`.
+    pub max_ii: Option<u32>,
+    /// Circuit-enumeration safety caps.
+    pub enum_limits: EnumLimits,
+}
+
+impl ScheduleOptions {
+    /// Options for the given policy with default limits.
+    pub fn new(policy: ClusterPolicy) -> Self {
+        ScheduleOptions { policy, max_ii: None, enum_limits: EnumLimits::default() }
+    }
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions::new(ClusterPolicy::Free)
+    }
+}
+
+/// Modulo-schedules `kernel` for `machine`.
+///
+/// Runs the full pipeline of §4.3.1 (except unrolling, which is a kernel
+/// transformation — see `unroll_select`): latency assignment, node
+/// ordering, then cluster assignment + scheduling at increasing II.
+///
+/// # Errors
+///
+/// [`ScheduleError::EmptyKernel`] for empty kernels and
+/// [`ScheduleError::NoSchedule`] if no legal schedule exists up to the II
+/// limit (pathological resource pressure).
+pub fn schedule_kernel(
+    kernel: &LoopKernel,
+    machine: &MachineConfig,
+    options: ScheduleOptions,
+) -> Result<Schedule, ScheduleError> {
+    if kernel.ops.is_empty() {
+        return Err(ScheduleError::EmptyKernel);
+    }
+    let ddg = Ddg::build(kernel);
+    let circuits = elementary_circuits(&ddg, options.enum_limits);
+    let chains = MemChains::build(kernel);
+
+    // pre-computed pins (IPBC / NoChains) — known before scheduling, so
+    // the latency assignment can estimate stall against the real cluster
+    let n = machine.clusters.n_clusters;
+    let mut pins: Vec<Option<usize>> = vec![None; kernel.ops.len()];
+    match options.policy {
+        ClusterPolicy::PreBuildChains => {
+            for (cid, members) in chains.iter() {
+                if let Some(c) = chains.preferred_cluster(cid, kernel, n) {
+                    for &m in members {
+                        pins[m.index()] = Some(c);
+                    }
+                }
+            }
+        }
+        ClusterPolicy::NoChains => {
+            for op in kernel.mem_ops() {
+                if let Some(c) = op.mem.as_ref().and_then(|m| m.preferred_cluster()) {
+                    pins[op.id.index()] = Some(c.min(n - 1));
+                }
+            }
+        }
+        ClusterPolicy::Free | ClusterPolicy::BuildChains => {}
+    }
+
+    let latencies =
+        crate::latency::assign_latencies_with_pins(kernel, &ddg, machine, &circuits, &pins);
+
+    let res = mii::res_mii(kernel, machine);
+    let rec = mii::rec_mii(&ddg, |op| latencies.latency_of(op));
+    let mii0 = res.max(rec).max(1);
+    let max_ii = options.max_ii.unwrap_or(2 * mii0 + 96);
+
+    let order = sms_order(&ddg, &circuits, |op| latencies.latency_of(op));
+
+    for ii in mii0..=max_ii {
+        // Up to three placement attempts per II: when an op cannot be
+        // placed (its window was squeezed shut by loosely-connected
+        // neighbors anchored earlier), hoist it to the front of the order
+        // and retry — the constraint then lands on the neighbors, whose
+        // loop-carried edges leave II-wide slack. This keeps the scheduler
+        // backtracking-free per attempt while avoiding the pathological
+        // II inflation of a single rigid order.
+        let mut attempt_order = order.clone();
+        for _retry in 0..6 {
+            let attempt = TryState {
+                kernel,
+                ddg: &ddg,
+                machine,
+                latencies: &latencies,
+                chains: &chains,
+                policy: options.policy,
+                pins: &pins,
+                order: &attempt_order,
+            };
+            match attempt.run(ii) {
+                Ok((ops, copies)) => {
+                    return Ok(Schedule {
+                        ii,
+                        ops,
+                        copies,
+                        mii: mii0,
+                        res_mii: res,
+                        rec_mii: rec,
+                        latencies,
+                    });
+                }
+                Err(failed) => {
+                    let pos = attempt_order.iter().position(|&o| o == failed).expect("in order");
+                    if pos == 0 {
+                        break; // already first: retries cannot help
+                    }
+                    attempt_order.remove(pos);
+                    attempt_order.insert(0, failed);
+                }
+            }
+        }
+    }
+    Err(ScheduleError::NoSchedule { loop_name: kernel.name.clone(), max_ii })
+}
+
+struct TryState<'a> {
+    kernel: &'a LoopKernel,
+    ddg: &'a Ddg,
+    machine: &'a MachineConfig,
+    latencies: &'a LatencyAssignment,
+    chains: &'a MemChains,
+    policy: ClusterPolicy,
+    pins: &'a [Option<usize>],
+    order: &'a [OpId],
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    cluster: usize,
+    cycle: i64,
+}
+
+impl TryState<'_> {
+    /// One no-backtracking placement attempt; `Err` carries the op that
+    /// could not be placed.
+    fn run(&self, ii: u32) -> Result<(Vec<ScheduledOp>, Vec<ScheduledCopy>), OpId> {
+        let n_ops = self.kernel.ops.len();
+        let n = self.machine.clusters.n_clusters;
+        let transfer = self.machine.buses.transfer_cycles as i64;
+        let iii = ii as i64;
+
+        let mut mrt = Mrt::new(ii, self.machine);
+        let mut placed: Vec<Option<Placement>> = vec![None; n_ops];
+        let mut copies: Vec<ScheduledCopy> = Vec::new();
+        let mut copy_cycles: Vec<i64> = Vec::new(); // parallel to `copies`
+        let mut copy_map: HashMap<(OpId, usize), usize> = HashMap::new();
+        let mut ibc_pin: HashMap<usize, usize> = HashMap::new();
+        let mut load_count = vec![0usize; n];
+
+        for &op_id in self.order {
+            let op = self.kernel.op(op_id);
+            let kind = op.fu_kind();
+            let lat_self = self.latencies.latency_of(op_id) as i64;
+
+            // gather placed neighbors
+            struct Nbr {
+                other_cluster: usize,
+                other_cycle: i64,
+                lat: i64,
+                dist: i64,
+                regflow: bool,
+                other: OpId,
+            }
+            let mut preds: Vec<Nbr> = Vec::new();
+            let mut succs: Vec<Nbr> = Vec::new();
+            for e in self.ddg.pred_edges(op_id) {
+                if e.from == op_id {
+                    continue; // self-edge constrains nothing within an II
+                }
+                if let Some(p) = placed[e.from.index()] {
+                    preds.push(Nbr {
+                        other_cluster: p.cluster,
+                        other_cycle: p.cycle,
+                        lat: self.latencies.edge_latency(e, self.kernel) as i64,
+                        dist: e.distance as i64,
+                        regflow: e.kind == DepKind::RegFlow,
+                        other: e.from,
+                    });
+                }
+            }
+            for e in self.ddg.succ_edges(op_id) {
+                if e.to == op_id {
+                    continue;
+                }
+                if let Some(s) = placed[e.to.index()] {
+                    succs.push(Nbr {
+                        other_cluster: s.cluster,
+                        other_cycle: s.cycle,
+                        lat: self.latencies.edge_latency(e, self.kernel) as i64,
+                        dist: e.distance as i64,
+                        regflow: e.kind == DepKind::RegFlow,
+                        other: e.to,
+                    });
+                }
+            }
+
+            // candidate clusters
+            let pin = match self.policy {
+                ClusterPolicy::BuildChains => {
+                    if op.is_mem() {
+                        self.chains.chain_id(op_id).and_then(|c| ibc_pin.get(&c).copied())
+                    } else {
+                        None
+                    }
+                }
+                _ => self.pins[op_id.index()],
+            };
+            let candidates: Vec<usize> = match pin {
+                Some(c) => vec![c],
+                None => {
+                    let mut cs: Vec<usize> = (0..n).collect();
+                    let score = |c: usize| -> (usize, isize, usize) {
+                        // copies needed now if placed in c
+                        let mut need = 0usize;
+                        let mut affinity = 0isize;
+                        for p in &preds {
+                            if p.regflow {
+                                if p.other_cluster != c {
+                                    if !copy_map.contains_key(&(p.other, c)) {
+                                        need += 1;
+                                    }
+                                } else {
+                                    affinity += 1;
+                                }
+                            }
+                        }
+                        let mut succ_clusters: Vec<usize> = Vec::new();
+                        for s in &succs {
+                            if s.regflow {
+                                if s.other_cluster != c {
+                                    if !succ_clusters.contains(&s.other_cluster) {
+                                        succ_clusters.push(s.other_cluster);
+                                        need += 1;
+                                    }
+                                } else {
+                                    affinity += 1;
+                                }
+                            }
+                        }
+                        (need, -affinity, load_count[c])
+                    };
+                    cs.sort_by_key(|&c| (score(c), c));
+                    cs
+                }
+            };
+
+            // compute placement window per cluster and scan
+            let mut done = false;
+            for &cluster in &candidates {
+                let mut estart: Option<i64> = None;
+                for p in &preds {
+                    let extra = if p.regflow && p.other_cluster != cluster { transfer } else { 0 };
+                    let e = p.other_cycle + p.lat + extra - iii * p.dist;
+                    estart = Some(estart.map_or(e, |x: i64| x.max(e)));
+                }
+                let mut lstart: Option<i64> = None;
+                for s in &succs {
+                    let extra = if s.regflow && s.other_cluster != cluster { transfer } else { 0 };
+                    // s.lat already accounts for edge kind (flow edges carry
+                    // this op's latency, since this op is the producer)
+                    let l = s.other_cycle - s.lat - extra + iii * s.dist;
+                    lstart = Some(lstart.map_or(l, |x: i64| x.min(l)));
+                }
+
+                let range: Vec<i64> = match (estart, lstart) {
+                    (Some(e), Some(l)) => {
+                        if e > l {
+                            continue;
+                        }
+                        // Both sides constrained: place as close to the
+                        // consumers as possible (descending). The window can
+                        // be II-wide when the pred side connects through a
+                        // loop-carried edge; placing at its bottom would
+                        // stretch the value's lifetime by up to a whole II
+                        // and starve the (pred-side) ops ordered after this
+                        // one of their windows.
+                        let top = l.min(e + iii - 1);
+                        (e..=top).rev().collect()
+                    }
+                    (Some(e), None) => (e..=(e + iii - 1)).collect(),
+                    (None, Some(l)) => ((l - iii + 1)..=l).rev().collect(),
+                    (None, None) => (0..iii).collect(),
+                };
+
+                'cycle: for cycle in range {
+                    if !mrt.fu_free(cluster, kind, cycle) {
+                        continue;
+                    }
+                    // trial resource state
+                    let mut trial = mrt.clone();
+                    trial.fu_reserve(cluster, kind, cycle);
+                    let mut new_copies: Vec<(OpId, usize, usize, i64, usize)> = Vec::new();
+
+                    // copies for cross-cluster flow predecessors
+                    let mut seen_pred: Vec<OpId> = Vec::new();
+                    for p in preds.iter().filter(|p| p.regflow && p.other_cluster != cluster) {
+                        if seen_pred.contains(&p.other) {
+                            continue;
+                        }
+                        seen_pred.push(p.other);
+                        // all edges from this producer to op in this cluster:
+                        // bound = min over them
+                        let bound = preds
+                            .iter()
+                            .filter(|q| q.regflow && q.other == p.other)
+                            .map(|q| cycle + iii * q.dist - transfer)
+                            .min()
+                            .unwrap();
+                        if let Some(&idx) = copy_map.get(&(p.other, cluster)) {
+                            if copy_cycles[idx] <= bound {
+                                continue; // reuse existing copy
+                            }
+                            continue 'cycle; // existing copy too late
+                        }
+                        let ready = p.other_cycle + p.lat; // producer completion
+                        let mut found = false;
+                        let mut tc = ready;
+                        while tc <= bound {
+                            if let Some(bus) = trial.bus_find(tc) {
+                                trial.bus_reserve(bus, tc);
+                                new_copies.push((p.other, p.other_cluster, cluster, tc, bus));
+                                found = true;
+                                break;
+                            }
+                            tc += 1;
+                        }
+                        if !found {
+                            continue 'cycle;
+                        }
+                    }
+
+                    // copies for cross-cluster flow successors (op is the
+                    // producer): one copy per destination cluster
+                    let mut dest_bounds: Vec<(usize, i64)> = Vec::new();
+                    for s in succs.iter().filter(|s| s.regflow && s.other_cluster != cluster) {
+                        let b = s.other_cycle + iii * s.dist - transfer;
+                        match dest_bounds.iter_mut().find(|(c, _)| *c == s.other_cluster) {
+                            Some((_, bound)) => *bound = (*bound).min(b),
+                            None => dest_bounds.push((s.other_cluster, b)),
+                        }
+                    }
+                    for (dest, bound) in dest_bounds {
+                        let ready = cycle + lat_self;
+                        let mut found = false;
+                        let mut tc = ready;
+                        while tc <= bound {
+                            if let Some(bus) = trial.bus_find(tc) {
+                                trial.bus_reserve(bus, tc);
+                                new_copies.push((op_id, cluster, dest, tc, bus));
+                                found = true;
+                                break;
+                            }
+                            tc += 1;
+                        }
+                        if !found {
+                            continue 'cycle;
+                        }
+                    }
+
+                    // success: commit
+                    if std::env::var_os("VLIW_SCHED_TRACE").is_some() {
+                        eprintln!("II {ii}: place {op_id} ({}) cl {cluster} cyc {cycle}", op.name);
+                    }
+                    mrt = trial;
+                    placed[op_id.index()] = Some(Placement { cluster, cycle });
+                    load_count[cluster] += 1;
+                    for (prod, from, to, tc, bus) in new_copies {
+                        copy_map.insert((prod, to), copies.len());
+                        copy_cycles.push(tc);
+                        // real cycle is fixed after normalization below
+                        copies.push(ScheduledCopy { producer: prod, from, to, cycle: 0, bus });
+                    }
+                    if self.policy == ClusterPolicy::BuildChains && op.is_mem() {
+                        if let Some(cid) = self.chains.chain_id(op_id) {
+                            ibc_pin.entry(cid).or_insert(cluster);
+                        }
+                    }
+                    done = true;
+                    break;
+                }
+                if done {
+                    break;
+                }
+            }
+            if !done {
+                if std::env::var_os("VLIW_SCHED_DEBUG").is_some() {
+                    eprintln!(
+                        "II {ii}: failed to place {op_id} ({}) pin {pin:?} preds {} succs {}",
+                        op.name,
+                        preds.len(),
+                        succs.len()
+                    );
+                    for p in &preds {
+                        eprintln!(
+                            "  pred {} cl {} cyc {} lat {} d {}",
+                            p.other, p.other_cluster, p.other_cycle, p.lat, p.dist
+                        );
+                    }
+                    for s in &succs {
+                        eprintln!(
+                            "  succ {} cl {} cyc {} lat {} d {}",
+                            s.other, s.other_cluster, s.other_cycle, s.lat, s.dist
+                        );
+                    }
+                    for &cluster in &candidates {
+                        let e = preds
+                            .iter()
+                            .map(|p| {
+                                let x = if p.regflow && p.other_cluster != cluster { transfer } else { 0 };
+                                p.other_cycle + p.lat + x - iii * p.dist
+                            })
+                            .max();
+                        let l = succs
+                            .iter()
+                            .map(|s| {
+                                let x = if s.regflow && s.other_cluster != cluster { transfer } else { 0 };
+                                s.other_cycle - s.lat - x + iii * s.dist
+                            })
+                            .min();
+                        eprintln!("  cluster {cluster}: estart {e:?} lstart {l:?}");
+                    }
+                }
+                return Err(op_id);
+            }
+        }
+
+        // normalize cycles to start at 0
+        let min_cycle = placed
+            .iter()
+            .map(|p| p.unwrap().cycle)
+            .chain(copy_cycles.iter().copied())
+            .min()
+            .unwrap_or(0);
+        let ops: Vec<ScheduledOp> = placed
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let p = p.expect("all ops placed");
+                ScheduledOp {
+                    cluster: p.cluster,
+                    cycle: (p.cycle - min_cycle) as u32,
+                    assumed_latency: self.latencies.latency_of(OpId::new(i)),
+                }
+            })
+            .collect();
+        let copies: Vec<ScheduledCopy> = copies
+            .into_iter()
+            .zip(copy_cycles)
+            .map(|(mut c, raw)| {
+                c.cycle = (raw - min_cycle) as u32;
+                c
+            })
+            .collect();
+        Ok((ops, copies))
+    }
+}

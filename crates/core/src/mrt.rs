@@ -1,0 +1,192 @@
+//! Modulo reservation table: functional-unit slots and register-bus slots.
+
+use vliw_ir::FuKind;
+use vliw_machine::MachineConfig;
+
+/// Tracks resource usage of a partial modulo schedule at one II.
+///
+/// Functional units are per-(cluster, kind, modulo-slot) counters; register
+/// buses are per-(bus, modulo-slot) flags, and a transfer occupies
+/// [`transfer_cycles`](vliw_machine::BusConfig::transfer_cycles) consecutive
+/// slots on the same bus (the buses run at half the core frequency).
+#[derive(Debug, Clone)]
+pub struct Mrt {
+    ii: u32,
+    n_clusters: usize,
+    fu_cap: [usize; 3],
+    // [cluster][kind][slot]
+    fu: Vec<u16>,
+    // [bus][slot]
+    bus: Vec<bool>,
+    n_buses: usize,
+    transfer: u32,
+}
+
+fn kind_index(kind: FuKind) -> usize {
+    match kind {
+        FuKind::Int => 0,
+        FuKind::Fp => 1,
+        FuKind::Mem => 2,
+    }
+}
+
+impl Mrt {
+    /// An empty table for the given II and machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(ii: u32, machine: &MachineConfig) -> Self {
+        assert!(ii > 0, "II must be positive");
+        let n = machine.clusters.n_clusters;
+        Mrt {
+            ii,
+            n_clusters: n,
+            fu_cap: [
+                machine.clusters.int_units,
+                machine.clusters.fp_units,
+                machine.clusters.mem_units,
+            ],
+            fu: vec![0; n * 3 * ii as usize],
+            bus: vec![false; machine.buses.reg_buses * ii as usize],
+            n_buses: machine.buses.reg_buses,
+            transfer: machine.buses.transfer_cycles,
+        }
+    }
+
+    /// The II this table was built for.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    fn slot(&self, cycle: i64) -> usize {
+        cycle.rem_euclid(self.ii as i64) as usize
+    }
+
+    fn fu_idx(&self, cluster: usize, kind: FuKind, cycle: i64) -> usize {
+        (cluster * 3 + kind_index(kind)) * self.ii as usize + self.slot(cycle)
+    }
+
+    /// Whether a `kind` unit is free in `cluster` at `cycle`.
+    pub fn fu_free(&self, cluster: usize, kind: FuKind, cycle: i64) -> bool {
+        (self.fu[self.fu_idx(cluster, kind, cycle)] as usize) < self.fu_cap[kind_index(kind)]
+    }
+
+    /// Reserves a `kind` unit in `cluster` at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no unit is free (callers check [`Mrt::fu_free`] first).
+    pub fn fu_reserve(&mut self, cluster: usize, kind: FuKind, cycle: i64) {
+        assert!(self.fu_free(cluster, kind, cycle), "functional unit oversubscribed");
+        let idx = self.fu_idx(cluster, kind, cycle);
+        self.fu[idx] += 1;
+    }
+
+    /// Finds a register bus free for a whole transfer starting at `cycle`.
+    pub fn bus_find(&self, cycle: i64) -> Option<usize> {
+        (0..self.n_buses).find(|&b| self.bus_free(b, cycle))
+    }
+
+    /// Whether bus `bus` is free for a transfer starting at `cycle`.
+    ///
+    /// A transfer longer than the II can never fit: it would overlap its
+    /// own next-iteration instance on the same bus (each static copy fires
+    /// every II cycles).
+    pub fn bus_free(&self, bus: usize, cycle: i64) -> bool {
+        if self.transfer > self.ii {
+            return false;
+        }
+        (0..self.transfer as i64).all(|k| !self.bus[bus * self.ii as usize + self.slot(cycle + k)])
+    }
+
+    /// Reserves bus `bus` for a transfer starting at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any needed slot is taken.
+    pub fn bus_reserve(&mut self, bus: usize, cycle: i64) {
+        assert!(self.bus_free(bus, cycle), "register bus oversubscribed");
+        for k in 0..self.transfer as i64 {
+            let s = self.slot(cycle + k);
+            self.bus[bus * self.ii as usize + s] = true;
+        }
+    }
+
+    /// Number of clusters this table covers.
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mrt(ii: u32) -> Mrt {
+        Mrt::new(ii, &MachineConfig::word_interleaved_4())
+    }
+
+    #[test]
+    fn fu_capacity_is_one_per_kind() {
+        let mut t = mrt(4);
+        assert!(t.fu_free(0, FuKind::Mem, 2));
+        t.fu_reserve(0, FuKind::Mem, 2);
+        assert!(!t.fu_free(0, FuKind::Mem, 2));
+        // same slot, different cluster or kind is fine
+        assert!(t.fu_free(1, FuKind::Mem, 2));
+        assert!(t.fu_free(0, FuKind::Int, 2));
+        // modulo wrap: cycle 6 shares slot 2 at II 4
+        assert!(!t.fu_free(0, FuKind::Mem, 6));
+        // negative cycles wrap correctly: -2 ≡ 2 (mod 4)
+        assert!(!t.fu_free(0, FuKind::Mem, -2));
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn fu_over_reservation_panics() {
+        let mut t = mrt(4);
+        t.fu_reserve(0, FuKind::Int, 1);
+        t.fu_reserve(0, FuKind::Int, 5); // same modulo slot
+    }
+
+    #[test]
+    fn bus_transfer_occupies_two_slots() {
+        let mut t = mrt(4);
+        let b = t.bus_find(1).unwrap();
+        t.bus_reserve(b, 1);
+        // bus b busy at slots 1 and 2
+        assert!(!t.bus_free(b, 1));
+        assert!(!t.bus_free(b, 2)); // starting at 2 needs slots 2,3; 2 busy
+        assert!(t.bus_free(b, 3)); // slots 3,0 free
+        // other buses unaffected
+        assert!(t.bus_find(1).is_some());
+    }
+
+    #[test]
+    fn bus_exhaustion() {
+        let mut t = mrt(2);
+        // II=2: each transfer occupies both slots of a bus -> 4 transfers max
+        for _ in 0..4 {
+            let b = t.bus_find(0).expect("bus available");
+            t.bus_reserve(b, 0);
+        }
+        assert_eq!(t.bus_find(0), None);
+        assert_eq!(t.bus_find(1), None);
+    }
+
+    #[test]
+    fn bus_wraps_around_ii() {
+        let mut t = mrt(3);
+        t.bus_reserve(0, 2); // occupies slots 2 and 0
+        assert!(!t.bus_free(0, 0));
+        assert!(t.bus_free(0, 1) == false || t.bus_free(0, 1)); // starting at 1 needs 1,2; 2 busy
+        assert!(!t.bus_free(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "II must be positive")]
+    fn zero_ii_rejected() {
+        let _ = mrt(0);
+    }
+}

@@ -1,0 +1,483 @@
+//! Swing-Modulo-Scheduling node ordering (§4.3.1 step 3, after [13]).
+//!
+//! The ordering gives priority to recurrences according to the constraints
+//! they impose on the II (most constraining first) and guarantees that most
+//! nodes — all except one per recurrence — have only predecessors or only
+//! successors placed before them in the ordered list, which keeps register
+//! pressure low and scheduling windows tight.
+//!
+//! Implementation outline (faithful to the published algorithm, in the
+//! style of production SMS implementations):
+//!
+//! 1. Group circuits that share nodes into *recurrence sets*; sort sets by
+//!    descending recurrence II, then size.
+//! 2. Before ordering each set, pull in the nodes lying on intra-iteration
+//!    paths between already-ordered nodes and the set.
+//! 3. Remaining nodes form per-weakly-connected-component sets at the end.
+//! 4. Within the accumulated work list, alternate top-down sweeps (pick
+//!    highest *height* first) and bottom-up sweeps (pick highest *depth*
+//!    first), seeding the direction from how the set connects to the nodes
+//!    already ordered.
+
+use std::collections::HashSet;
+
+use vliw_ir::{Ddg, OpId};
+
+use crate::circuits::Circuit;
+use crate::mii;
+
+/// Depth/height over the intra-iteration (distance-0) subgraph.
+#[derive(Debug, Clone)]
+struct DagInfo {
+    depth: Vec<i64>,
+    height: Vec<i64>,
+    preds0: Vec<Vec<usize>>,
+    succs0: Vec<Vec<usize>>,
+}
+
+fn dag_info(ddg: &Ddg, lat_of: &dyn Fn(OpId) -> u32) -> DagInfo {
+    let n = ddg.n_ops();
+    let mut preds0 = vec![Vec::new(); n];
+    let mut succs0 = vec![Vec::new(); n];
+    for e in ddg.edges() {
+        // distance-0 edges always point forward in construction order (the
+        // builder creates defs before uses), so this subgraph is acyclic;
+        // guard against hand-built graphs violating it.
+        if e.distance == 0 && e.from.index() < e.to.index() {
+            preds0[e.to.index()].push(e.from.index());
+            succs0[e.from.index()].push(e.to.index());
+        }
+    }
+    let mut depth = vec![0i64; n];
+    for v in 0..n {
+        for &p in &preds0[v] {
+            let l = mii::edge_latency(
+                ddg.edges()
+                    .iter()
+                    .find(|e| e.from.index() == p && e.to.index() == v && e.distance == 0)
+                    .expect("edge exists"),
+                |o| lat_of(o),
+            ) as i64;
+            depth[v] = depth[v].max(depth[p] + l.max(1));
+        }
+    }
+    let mut height = vec![0i64; n];
+    for v in (0..n).rev() {
+        for &s in &succs0[v] {
+            let l = mii::edge_latency(
+                ddg.edges()
+                    .iter()
+                    .find(|e| e.from.index() == v && e.to.index() == s && e.distance == 0)
+                    .expect("edge exists"),
+                |o| lat_of(o),
+            ) as i64;
+            height[v] = height[v].max(height[s] + l.max(1));
+        }
+    }
+    DagInfo { depth, height, preds0, succs0 }
+}
+
+/// Transitive closure helper over the distance-0 subgraph.
+fn reachable(from: &HashSet<usize>, succs: &[Vec<usize>]) -> HashSet<usize> {
+    let mut seen = from.clone();
+    let mut stack: Vec<usize> = from.iter().copied().collect();
+    while let Some(v) = stack.pop() {
+        for &w in &succs[v] {
+            if seen.insert(w) {
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// Computes the SMS node order for a kernel.
+///
+/// `circuits` are the kernel's recurrences and `lat_of` the (assigned)
+/// per-op latencies; both feed the recurrence priorities.
+pub fn sms_order(ddg: &Ddg, circuits: &[Circuit], lat_of: impl Fn(OpId) -> u32) -> Vec<OpId> {
+    let n = ddg.n_ops();
+    if n == 0 {
+        return Vec::new();
+    }
+    let lat_ref: &dyn Fn(OpId) -> u32 = &lat_of;
+    let info = dag_info(ddg, lat_ref);
+
+    // --- step 1: recurrence sets ------------------------------------------------
+    // union circuits sharing nodes
+    let mut parent: Vec<usize> = (0..circuits.len()).collect();
+    fn find(p: &mut Vec<usize>, x: usize) -> usize {
+        if p[x] != x {
+            let r = find(p, p[x]);
+            p[x] = r;
+        }
+        p[x]
+    }
+    for i in 0..circuits.len() {
+        for j in (i + 1)..circuits.len() {
+            if circuits[i].nodes.iter().any(|x| circuits[j].nodes.contains(x)) {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut set_nodes: std::collections::HashMap<usize, HashSet<usize>> = Default::default();
+    let mut set_prio: std::collections::HashMap<usize, u32> = Default::default();
+    for (i, c) in circuits.iter().enumerate() {
+        let root = find(&mut parent, i);
+        let entry = set_nodes.entry(root).or_default();
+        entry.extend(c.nodes.iter().map(|o| o.index()));
+        let ii = c.ii_bound(|e| mii::edge_latency(&ddg.edges()[e], |o| lat_of(o)));
+        let p = set_prio.entry(root).or_insert(0);
+        *p = (*p).max(ii);
+    }
+    let mut rec_sets: Vec<(u32, HashSet<usize>)> =
+        set_nodes.into_iter().map(|(root, nodes)| (set_prio[&root], nodes)).collect();
+    rec_sets.sort_by(|a, b| {
+        b.0.cmp(&a.0)
+            .then(b.1.len().cmp(&a.1.len()))
+            .then(a.1.iter().min().cmp(&b.1.iter().min()))
+    });
+
+    // --- steps 2-3: build the processing sets ------------------------------------
+    let mut taken: HashSet<usize> = HashSet::new();
+    let mut process_sets: Vec<HashSet<usize>> = Vec::new();
+    for (_, set) in &rec_sets {
+        let mut s: HashSet<usize> = set.difference(&taken).copied().collect();
+        if s.is_empty() {
+            continue;
+        }
+        if !taken.is_empty() {
+            // nodes on intra-iteration paths between ordered nodes and s
+            let down_from_taken = reachable(&taken, &info.succs0);
+            let up_to_s = {
+                let mut anc = s.clone();
+                let mut stack: Vec<usize> = s.iter().copied().collect();
+                while let Some(v) = stack.pop() {
+                    for &p in &info.preds0[v] {
+                        if anc.insert(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+                anc
+            };
+            for v in down_from_taken.intersection(&up_to_s) {
+                if !taken.contains(v) {
+                    s.insert(*v);
+                }
+            }
+            // and the symmetric direction (paths from s down to taken)
+            let down_from_s = reachable(&s, &info.succs0);
+            let up_to_taken = {
+                let mut anc = taken.clone();
+                let mut stack: Vec<usize> = taken.iter().copied().collect();
+                while let Some(v) = stack.pop() {
+                    for &p in &info.preds0[v] {
+                        if anc.insert(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+                anc
+            };
+            for v in down_from_s.intersection(&up_to_taken) {
+                if !taken.contains(v) {
+                    s.insert(*v);
+                }
+            }
+        }
+        taken.extend(s.iter().copied());
+        process_sets.push(s);
+    }
+    // remaining nodes: weakly-connected components over all edges
+    let mut remaining: Vec<usize> = (0..n).filter(|v| !taken.contains(v)).collect();
+    if !remaining.is_empty() {
+        let mut comp_parent: Vec<usize> = (0..n).collect();
+        for e in ddg.edges() {
+            let (a, b) = (find2(&mut comp_parent, e.from.index()), find2(&mut comp_parent, e.to.index()));
+            if a != b {
+                comp_parent[a] = b;
+            }
+        }
+        fn find2(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find2(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        remaining.sort_unstable();
+        let mut comps: std::collections::HashMap<usize, HashSet<usize>> = Default::default();
+        for v in remaining {
+            let r = find2(&mut comp_parent, v);
+            comps.entry(r).or_default().insert(v);
+        }
+        let mut comps: Vec<HashSet<usize>> = comps.into_values().collect();
+        comps.sort_by_key(|c| *c.iter().min().unwrap());
+        process_sets.extend(comps);
+    }
+
+    // --- step 4: the swing ordering ----------------------------------------------
+    #[derive(PartialEq, Clone, Copy)]
+    enum Dir {
+        TopDown,
+        BottomUp,
+    }
+    let mut order: Vec<usize> = Vec::new();
+    let mut ordered: HashSet<usize> = HashSet::new();
+    for s in &process_sets {
+        // seed: how does this set connect to what is already ordered?
+        let succ_of_ordered: HashSet<usize> = order
+            .iter()
+            .flat_map(|&v| info.succs0[v].iter().copied())
+            .filter(|v| s.contains(v) && !ordered.contains(v))
+            .collect();
+        let pred_of_ordered: HashSet<usize> = order
+            .iter()
+            .flat_map(|&v| info.preds0[v].iter().copied())
+            .filter(|v| s.contains(v) && !ordered.contains(v))
+            .collect();
+        // Seed priority follows SMS: prefer sweeping bottom-up from the
+        // set's nodes that feed already-ordered nodes. This keeps each
+        // recurrence circuit contiguous so that its closing node's window
+        // is bounded by the circuit (II >= RecMII suffices), instead of by
+        // unrelated far-apart anchors.
+        let (mut r, mut dir) = if !pred_of_ordered.is_empty() {
+            (pred_of_ordered, Dir::BottomUp)
+        } else if !succ_of_ordered.is_empty() {
+            (succ_of_ordered, Dir::TopDown)
+        } else {
+            // start bottom-up from the node with the greatest ASAP (the tail
+            // of the set's longest chain), as SMS does; deterministic
+            // tie-break by height then id
+            let seed = s
+                .iter()
+                .copied()
+                .filter(|v| !ordered.contains(v))
+                .max_by(|&a, &b| {
+                    info.depth[a]
+                        .cmp(&info.depth[b])
+                        .then(info.height[b].cmp(&info.height[a]))
+                        .then(b.cmp(&a))
+                });
+            match seed {
+                Some(v) => ([v].into_iter().collect(), Dir::BottomUp),
+                None => continue,
+            }
+        };
+        loop {
+            while !r.is_empty() {
+                // pick by height (top-down) or depth (bottom-up)
+                let &v = r
+                    .iter()
+                    .max_by(|&&a, &&b| {
+                        let (ka, kb) = match dir {
+                            Dir::TopDown => (info.height[a], info.height[b]),
+                            Dir::BottomUp => (info.depth[a], info.depth[b]),
+                        };
+                        ka.cmp(&kb)
+                            .then(match dir {
+                                Dir::TopDown => info.depth[b].cmp(&info.depth[a]),
+                                Dir::BottomUp => info.height[b].cmp(&info.height[a]),
+                            })
+                            .then(b.cmp(&a))
+                    })
+                    .expect("nonempty");
+                r.remove(&v);
+                if ordered.contains(&v) {
+                    continue;
+                }
+                order.push(v);
+                ordered.insert(v);
+                let next = match dir {
+                    Dir::TopDown => &info.succs0[v],
+                    Dir::BottomUp => &info.preds0[v],
+                };
+                for &w in next {
+                    if s.contains(&w) && !ordered.contains(&w) {
+                        r.insert(w);
+                    }
+                }
+            }
+            if s.iter().all(|v| ordered.contains(v)) {
+                break;
+            }
+            // swing: reverse direction, restart from the frontier
+            dir = match dir {
+                Dir::TopDown => Dir::BottomUp,
+                Dir::BottomUp => Dir::TopDown,
+            };
+            let frontier: HashSet<usize> = order
+                .iter()
+                .flat_map(|&v| {
+                    match dir {
+                        Dir::TopDown => info.succs0[v].iter(),
+                        Dir::BottomUp => info.preds0[v].iter(),
+                    }
+                    .copied()
+                })
+                .filter(|v| s.contains(v) && !ordered.contains(v))
+                .collect();
+            if frontier.is_empty() {
+                // disconnected leftover inside the set: reseed
+                let seed = s
+                    .iter()
+                    .copied()
+                    .filter(|v| !ordered.contains(v))
+                    .max_by(|&a, &b| {
+                        info.height[a].cmp(&info.height[b]).then(b.cmp(&a))
+                    });
+                match seed {
+                    Some(v) => {
+                        r = [v].into_iter().collect();
+                    }
+                    None => break,
+                }
+            } else {
+                r = frontier;
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "every op must be ordered");
+    order.into_iter().map(OpId::new).collect()
+}
+
+/// Checks the SMS invariant the paper relies on: every node except (at
+/// most) one per recurrence has, at the moment of its placement in the
+/// order, only predecessors or only successors among the earlier nodes
+/// (intra-iteration edges). Returns the number of violating nodes.
+pub fn order_violations(ddg: &Ddg, order: &[OpId]) -> usize {
+    let mut placed = HashSet::new();
+    let mut bad = 0;
+    for &v in order {
+        let preds: HashSet<usize> = ddg
+            .pred_edges(v)
+            .filter(|e| e.distance == 0)
+            .map(|e| e.from.index())
+            .collect();
+        let succs: HashSet<usize> = ddg
+            .succ_edges(v)
+            .filter(|e| e.distance == 0)
+            .map(|e| e.to.index())
+            .collect();
+        let has_p = preds.iter().any(|p| placed.contains(p));
+        let has_s = succs.iter().any(|s| placed.contains(s));
+        if has_p && has_s {
+            bad += 1;
+        }
+        placed.insert(v.index());
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::{elementary_circuits, EnumLimits};
+    use vliw_ir::{DepKind, KernelBuilder, Opcode};
+
+    fn order_of(k: &vliw_ir::LoopKernel) -> (Vec<OpId>, Ddg) {
+        let g = Ddg::build(k);
+        let cs = elementary_circuits(&g, EnumLimits::default());
+        let o = sms_order(&g, &cs, |_| 1);
+        (o, g)
+    }
+
+    #[test]
+    fn all_ops_ordered_exactly_once() {
+        let mut b = KernelBuilder::new("t");
+        let (_, r1) = b.int_op("a", Opcode::Add, &[]);
+        let (_, r2) = b.int_op("b", Opcode::Sub, &[r1.into()]);
+        let _ = b.int_op("c", Opcode::Mul, &[r1.into(), r2.into()]);
+        let _ = b.int_op_carried("acc", Opcode::Add, &[r2.into()], 1);
+        let k = b.finish(1.0);
+        let (o, _) = order_of(&k);
+        assert_eq!(o.len(), 4);
+        let set: HashSet<_> = o.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn recurrence_nodes_come_first() {
+        let mut b = KernelBuilder::new("t");
+        // free chain
+        let (f1, rf) = b.int_op("f1", Opcode::Add, &[]);
+        let (f2, _) = b.int_op("f2", Opcode::Sub, &[rf.into()]);
+        // a recurrence with higher priority
+        let (r1, rr) = b.int_op("r1", Opcode::Div, &[]);
+        let (r2, _) = b.int_op("r2", Opcode::Add, &[rr.into()]);
+        b.raw_edge(r2, r1, DepKind::RegFlow, 1);
+        let k = b.finish(1.0);
+        let (o, _) = order_of(&k);
+        let pos = |id: vliw_ir::OpId| o.iter().position(|&x| x == id).unwrap();
+        assert!(pos(r1) < pos(f1));
+        assert!(pos(r2) < pos(f2));
+    }
+
+    #[test]
+    fn higher_ii_recurrence_ordered_first() {
+        let mut b = KernelBuilder::new("t");
+        // REC A: short (II = 2 at lat 1)
+        let (a1, ra) = b.int_op("a1", Opcode::Add, &[]);
+        let (a2, _) = b.int_op("a2", Opcode::Add, &[ra.into()]);
+        b.raw_edge(a2, a1, DepKind::RegFlow, 1);
+        // REC B: long (II = 4 at lat 1)
+        let (b1, rb1) = b.int_op("b1", Opcode::Add, &[]);
+        let (b2, rb2) = b.int_op("b2", Opcode::Add, &[rb1.into()]);
+        let (b3, rb3) = b.int_op("b3", Opcode::Add, &[rb2.into()]);
+        let (b4, _) = b.int_op("b4", Opcode::Add, &[rb3.into()]);
+        b.raw_edge(b4, b1, DepKind::RegFlow, 1);
+        let k = b.finish(1.0);
+        let (o, _) = order_of(&k);
+        let pos = |id: vliw_ir::OpId| o.iter().position(|&x| x == id).unwrap();
+        for x in [b1, b2, b3, b4] {
+            for y in [a1, a2] {
+                assert!(pos(x) < pos(y), "REC B (higher II) must be ordered first");
+            }
+        }
+    }
+
+    #[test]
+    fn sms_invariant_holds_on_diamond() {
+        // diamond: a -> b, a -> c, b -> d, c -> d: only the closing node may
+        // see both sides
+        let mut b = KernelBuilder::new("t");
+        let (_, ra) = b.int_op("a", Opcode::Add, &[]);
+        let (_, rb) = b.int_op("b", Opcode::Sub, &[ra.into()]);
+        let (_, rc) = b.int_op("c", Opcode::Mul, &[ra.into()]);
+        let _ = b.int_op("d", Opcode::Add, &[rb.into(), rc.into()]);
+        let k = b.finish(1.0);
+        let (o, g) = order_of(&k);
+        assert!(order_violations(&g, &o) <= 1);
+    }
+
+    #[test]
+    fn chain_is_ordered_monotonically() {
+        let mut b = KernelBuilder::new("t");
+        let (n1, r1) = b.int_op("n1", Opcode::Add, &[]);
+        let (n2, r2) = b.int_op("n2", Opcode::Add, &[r1.into()]);
+        let (n3, r3) = b.int_op("n3", Opcode::Add, &[r2.into()]);
+        let (n4, _) = b.int_op("n4", Opcode::Add, &[r3.into()]);
+        let k = b.finish(1.0);
+        let (o, g) = order_of(&k);
+        // a pure chain: either all top-down or all bottom-up, and the SMS
+        // invariant holds with zero violations
+        assert_eq!(order_violations(&g, &o), 0);
+        let pos = |id: vliw_ir::OpId| o.iter().position(|&x| x == id).unwrap();
+        let ps = [pos(n1), pos(n2), pos(n3), pos(n4)];
+        let increasing = ps.windows(2).all(|w| w[0] < w[1]);
+        let decreasing = ps.windows(2).all(|w| w[0] > w[1]);
+        assert!(increasing || decreasing);
+    }
+
+    #[test]
+    fn empty_kernel_orders_nothing() {
+        let b = KernelBuilder::new("t");
+        let k = b.finish(1.0);
+        let g = Ddg::build(&k);
+        assert!(sms_order(&g, &[], |_| 1).is_empty());
+    }
+}

@@ -1,0 +1,422 @@
+//! The experiment pipeline: profile → unroll → schedule → simulate.
+
+use vliw_ir::{unroll, LoopKernel, OpId};
+use vliw_machine::MachineConfig;
+use vliw_mem::build_cache;
+use vliw_sched::{
+    attraction_hints, schedule_kernel, unroll_candidates, AttractionHints, ClusterPolicy,
+    EnumLimits, Schedule, ScheduleError, ScheduleOptions, UnrollChoice,
+};
+use vliw_sim::{simulate_loop, LoopSimResult, SimOptions};
+use vliw_workloads::{
+    profile_kernel, suite, synthesize, ArrayLayout, BenchmarkModel, ProfileOptions, WorkloadConfig,
+};
+
+/// How loops are unrolled in an experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnrollMode {
+    /// No unrolling (factor 1).
+    NoUnroll,
+    /// Always the optimal unrolling factor.
+    Ouf,
+    /// The paper's selective unrolling: evaluate no-unroll / ×N / OUF and
+    /// keep the variant with the lowest `Texec` estimate.
+    Selective,
+}
+
+/// Which of the three cache organizations a run targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchVariant {
+    /// The word-interleaved distributed cache.
+    WordInterleaved,
+    /// The multiVLIW (coherent per-cluster caches).
+    MultiVliw,
+    /// The unified cache at the given access latency (1 or 5).
+    Unified(u32),
+}
+
+/// One experiment configuration: architecture, scheduling policy,
+/// unrolling, alignment and Attraction Buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Target cache organization.
+    pub arch: ArchVariant,
+    /// Cluster-assignment policy (IPBC / IBC / no-chains / BASE).
+    pub policy: ClusterPolicy,
+    /// Unrolling mode.
+    pub unroll: UnrollMode,
+    /// Variable alignment (§4.3.4 padding) on or off.
+    pub padding: bool,
+    /// Attraction Buffers `(entries, associativity)`, word-interleaved only.
+    pub attraction_buffers: Option<(usize, usize)>,
+    /// Whether the §5.2 compiler hints gate buffer allocation.
+    pub use_hints: bool,
+}
+
+impl RunConfig {
+    /// The paper's headline interleaved configuration: IPBC, selective
+    /// unrolling, alignment, no buffers.
+    pub fn ipbc() -> Self {
+        RunConfig {
+            arch: ArchVariant::WordInterleaved,
+            policy: ClusterPolicy::PreBuildChains,
+            unroll: UnrollMode::Selective,
+            padding: true,
+            attraction_buffers: None,
+            use_hints: false,
+        }
+    }
+
+    /// IBC, selective unrolling, alignment, no buffers.
+    pub fn ibc() -> Self {
+        RunConfig { policy: ClusterPolicy::BuildChains, ..Self::ipbc() }
+    }
+
+    /// The multiVLIW bar of Figure 8 (scheduled with IBC, as in §5.1).
+    pub fn multivliw() -> Self {
+        RunConfig {
+            arch: ArchVariant::MultiVliw,
+            policy: ClusterPolicy::BuildChains,
+            ..Self::ipbc()
+        }
+    }
+
+    /// A unified-cache bar (BASE scheduling) at the given latency.
+    pub fn unified(latency: u32) -> Self {
+        RunConfig {
+            arch: ArchVariant::Unified(latency),
+            policy: ClusterPolicy::Free,
+            ..Self::ipbc()
+        }
+    }
+
+    /// Adds 16-entry 2-way Attraction Buffers.
+    pub fn with_buffers(mut self) -> Self {
+        self.attraction_buffers = Some((16, 2));
+        self
+    }
+}
+
+/// Scale knobs for the whole experiment suite.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// The word-interleaved machine experiments derive variants from.
+    pub machine: MachineConfig,
+    /// Workload build configuration (seeds; padding is overridden per run).
+    pub workloads: WorkloadConfig,
+    /// Simulated iterations per loop.
+    pub sim: SimOptions,
+    /// Profiled iterations per loop.
+    pub profile: ProfileOptions,
+    /// Benchmarks to run (subset of the suite for quick modes).
+    pub benchmarks: Vec<String>,
+    /// Circuit-enumeration caps passed to the scheduler.
+    pub enum_limits: EnumLimits,
+}
+
+impl ExperimentContext {
+    /// The full 14-benchmark context at paper scale.
+    pub fn full() -> Self {
+        ExperimentContext {
+            machine: MachineConfig::word_interleaved_4(),
+            workloads: WorkloadConfig::default(),
+            sim: SimOptions { iteration_cap: 512, warmup_iterations: 256 },
+            profile: ProfileOptions { iteration_cap: 256 },
+            benchmarks: suite().iter().map(|s| s.name.to_string()).collect(),
+            enum_limits: EnumLimits { max_circuits: 4000, max_len: 64 },
+        }
+    }
+
+    /// A reduced context for tests: four representative benchmarks, short
+    /// simulations.
+    pub fn quick() -> Self {
+        let mut ctx = Self::full();
+        ctx.sim.iteration_cap = 96;
+        ctx.profile.iteration_cap = 96;
+        ctx.benchmarks = ["epicdec", "gsmdec", "jpegenc", "mpeg2dec"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        ctx
+    }
+
+    /// The benchmark models of this context.
+    pub fn models(&self) -> Vec<BenchmarkModel> {
+        suite()
+            .iter()
+            .filter(|s| self.benchmarks.iter().any(|b| b == s.name))
+            .map(|s| synthesize(s, &self.workloads, &self.machine))
+            .collect()
+    }
+
+    /// Builds the machine variant for a run configuration.
+    pub fn machine_for(&self, cfg: &RunConfig) -> MachineConfig {
+        match cfg.arch {
+            ArchVariant::WordInterleaved => {
+                let mut m = self.machine.clone();
+                if let Some((entries, assoc)) = cfg.attraction_buffers {
+                    m = m.with_attraction_buffers(entries, assoc);
+                }
+                m
+            }
+            ArchVariant::MultiVliw => MachineConfig::multi_vliw_4(),
+            ArchVariant::Unified(lat) => MachineConfig::unified_4(lat),
+        }
+    }
+}
+
+/// A fully prepared (unrolled + profiled + scheduled) loop.
+#[derive(Debug, Clone)]
+pub struct PreparedLoop {
+    /// The kernel actually scheduled (after unrolling), with profiles.
+    pub kernel: LoopKernel,
+    /// Its schedule.
+    pub schedule: Schedule,
+    /// Which unrolling variant won.
+    pub choice: UnrollChoice,
+    /// The unroll factor applied.
+    pub factor: u32,
+}
+
+/// Profiles `kernel` in place on the *profile* input and returns it.
+fn profiled(
+    mut kernel: LoopKernel,
+    machine: &MachineConfig,
+    ctx: &ExperimentContext,
+    padding: bool,
+) -> LoopKernel {
+    let layout = ArrayLayout::new(&kernel, machine, padding, ctx.workloads.profile_input);
+    profile_kernel(&mut kernel, machine, &layout, &ctx.profile);
+    kernel
+}
+
+/// Runs unrolling (per `cfg.unroll`), profiling and scheduling for one
+/// original kernel.
+///
+/// # Errors
+///
+/// Propagates scheduling failures (pathological kernels only).
+pub fn prepare_loop(
+    original: &LoopKernel,
+    machine: &MachineConfig,
+    cfg: &RunConfig,
+    ctx: &ExperimentContext,
+) -> Result<PreparedLoop, ScheduleError> {
+    let opts = ScheduleOptions {
+        policy: cfg.policy,
+        max_ii: None,
+        enum_limits: ctx.enum_limits,
+    };
+    // hit rates steer the OUF analysis: profile the original first
+    let original = profiled(original.clone(), machine, ctx, cfg.padding);
+    let ouf = vliw_sched::optimal_unroll_factor(&original, machine);
+    let candidates: Vec<(UnrollChoice, u32)> = match cfg.unroll {
+        UnrollMode::NoUnroll => vec![(UnrollChoice::None, 1)],
+        UnrollMode::Ouf => vec![(UnrollChoice::Ouf, ouf)],
+        UnrollMode::Selective => unroll_candidates(&original, machine),
+    };
+    let mut best: Option<PreparedLoop> = None;
+    let mut last_err = None;
+    for (choice, factor) in candidates {
+        let kernel = profiled(unroll(&original, factor), machine, ctx, cfg.padding);
+        // an unschedulable variant is simply not a candidate (giant pinned
+        // chains after deep unrolling can defeat the no-backtracking
+        // scheduler); factor 1 virtually always schedules
+        let schedule = match schedule_kernel(&kernel, machine, opts) {
+            Ok(s) => s,
+            Err(e) => {
+                last_err = Some(e);
+                continue;
+            }
+        };
+        let texec = schedule.texec(kernel.avg_trip);
+        // Texec ignores stall time, so near-ties are common between the
+        // unrolled variants and factor 1. Within 1%, prefer the OUF factor
+        // (that is where the locality is), then the smaller factor —
+        // unrolling past the OUF buys nothing and multiplies chains.
+        let rank = |f: u32| (f == ouf, std::cmp::Reverse(f));
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let bt = b.schedule.texec(b.kernel.avg_trip);
+                texec < bt * 0.99 || (texec <= bt * 1.01 && rank(factor) > rank(b.factor))
+            }
+        };
+        if better {
+            best = Some(PreparedLoop { kernel, schedule, choice, factor });
+        }
+    }
+    match best {
+        Some(b) => Ok(b),
+        None => {
+            // no variant scheduled: retry factor 1 explicitly (covers the
+            // Ouf-only mode whose single candidate failed)
+            let kernel = profiled(unroll(&original, 1), machine, ctx, cfg.padding);
+            let schedule = schedule_kernel(&kernel, machine, opts)
+                .map_err(|_| last_err.expect("at least one failure recorded"))?;
+            Ok(PreparedLoop { kernel, schedule, choice: UnrollChoice::None, factor: 1 })
+        }
+    }
+}
+
+/// The outcome of one loop under one configuration.
+#[derive(Debug, Clone)]
+pub struct LoopRun {
+    /// Loop name.
+    pub name: String,
+    /// Aggregation weight (dynamic operations).
+    pub weight: f64,
+    /// The prepared loop (kernel + schedule).
+    pub prepared: PreparedLoop,
+    /// Simulation result (cycles, stalls, access mix).
+    pub sim: LoopSimResult,
+}
+
+/// The outcome of a whole benchmark under one configuration.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Benchmark name.
+    pub name: String,
+    /// Per-loop outcomes.
+    pub loops: Vec<LoopRun>,
+}
+
+impl BenchRun {
+    /// Total scaled cycles (compute + stall).
+    pub fn total_cycles(&self) -> f64 {
+        self.loops.iter().map(|l| l.sim.total_cycles()).sum()
+    }
+
+    /// Total scaled compute cycles.
+    pub fn compute_cycles(&self) -> f64 {
+        self.loops.iter().map(|l| l.sim.compute_cycles).sum()
+    }
+
+    /// Total scaled stall cycles.
+    pub fn stall_cycles(&self) -> f64 {
+        self.loops.iter().map(|l| l.sim.stall_cycles).sum()
+    }
+
+    /// Scaled access-class counts `[LH, RH, LM, RM, combined]`.
+    pub fn access_mix(&self) -> [f64; 5] {
+        use vliw_machine::AccessClass as C;
+        let mut out = [0.0; 5];
+        for l in &self.loops {
+            let s = &l.sim.mem;
+            let w = l.sim.scale;
+            out[0] += s.count(C::LocalHit) as f64 * w;
+            out[1] += s.count(C::RemoteHit) as f64 * w;
+            out[2] += s.count(C::LocalMiss) as f64 * w;
+            out[3] += s.count(C::RemoteMiss) as f64 * w;
+            out[4] += s.combined() as f64 * w;
+        }
+        out
+    }
+
+    /// Scaled stall breakdown summed over loops.
+    pub fn stall_breakdown(&self) -> vliw_sim::StallBreakdown {
+        let mut out = vliw_sim::StallBreakdown::default();
+        for l in &self.loops {
+            out.merge(&l.sim.stall_by);
+        }
+        out
+    }
+
+    /// Weighted workload balance over loops.
+    pub fn workload_balance(&self, n_clusters: usize) -> f64 {
+        vliw_sched::weighted_workload_balance(
+            self.loops
+                .iter()
+                .map(|l| (l.weight, l.prepared.schedule.workload_balance(n_clusters))),
+        )
+    }
+}
+
+/// Runs one benchmark model under one configuration: prepares every loop
+/// and simulates it on the *execution* input.
+pub fn run_benchmark(
+    model: &BenchmarkModel,
+    cfg: &RunConfig,
+    ctx: &ExperimentContext,
+) -> BenchRun {
+    let machine = ctx.machine_for(cfg);
+    let mut loops = Vec::new();
+    for lw in &model.loops {
+        let prepared = match prepare_loop(&lw.kernel, &machine, cfg, ctx) {
+            Ok(p) => p,
+            Err(e) => {
+                // pathological loop: report and skip rather than abort the
+                // whole benchmark
+                eprintln!("warning: skipping {}: {e}", lw.kernel.name);
+                continue;
+            }
+        };
+        let hints = if cfg.use_hints {
+            attraction_hints(&prepared.kernel, &prepared.schedule, &machine)
+        } else {
+            AttractionHints::allow_all(&prepared.kernel)
+        };
+        let layout =
+            ArrayLayout::new(&prepared.kernel, &machine, cfg.padding, ctx.workloads.exec_input);
+        let mut cache = build_cache(&machine);
+        let kernel_for_addr = prepared.kernel.clone();
+        let mut addresses =
+            move |op: OpId, iter: u64| vliw_workloads::address_for(&kernel_for_addr, &layout, op, iter);
+        let sim = simulate_loop(
+            &prepared.kernel,
+            &prepared.schedule,
+            &machine,
+            cache.as_mut(),
+            &mut addresses,
+            &hints,
+            &ctx.sim,
+        );
+        loops.push(LoopRun {
+            name: prepared.kernel.name.clone(),
+            weight: prepared.kernel.dynamic_ops(),
+            prepared,
+            sim,
+        });
+    }
+    BenchRun { name: model.name.clone(), loops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_prepares_and_runs_a_benchmark() {
+        let ctx = ExperimentContext::quick();
+        let models = ctx.models();
+        assert_eq!(models.len(), 4);
+        let gsm = models.iter().find(|m| m.name == "gsmdec").unwrap();
+        let run = run_benchmark(gsm, &RunConfig::ipbc(), &ctx);
+        assert_eq!(run.loops.len(), gsm.loops.len(), "no loop skipped");
+        assert!(run.total_cycles() > 0.0);
+        let mix = run.access_mix();
+        assert!(mix.iter().sum::<f64>() > 0.0);
+        // every schedule is legal
+        let m = ctx.machine_for(&RunConfig::ipbc());
+        for l in &run.loops {
+            assert!(l.prepared.schedule.verify(&l.prepared.kernel, &m).is_empty());
+        }
+    }
+
+    #[test]
+    fn unroll_modes_differ() {
+        let ctx = ExperimentContext::quick();
+        let models = ctx.models();
+        let gsm = models.iter().find(|m| m.name == "gsmdec").unwrap();
+        let machine = ctx.machine.clone();
+        let base = RunConfig::ipbc();
+        let no = RunConfig { unroll: UnrollMode::NoUnroll, ..base };
+        let ouf = RunConfig { unroll: UnrollMode::Ouf, ..base };
+        let k = &gsm.loops[0].kernel;
+        let p_no = prepare_loop(k, &machine, &no, &ctx).unwrap();
+        let p_ouf = prepare_loop(k, &machine, &ouf, &ctx).unwrap();
+        assert_eq!(p_no.factor, 1);
+        assert!(p_ouf.factor >= 1);
+        assert_eq!(p_ouf.kernel.ops.len(), k.ops.len() * p_ouf.factor as usize);
+    }
+}

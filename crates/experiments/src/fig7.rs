@@ -1,0 +1,86 @@
+//! Figure 7: workload balance.
+//!
+//! `WB = instructions in the most loaded cluster / total instructions`,
+//! weighted over loops by dynamic execution — 0.25 is perfect on four
+//! clusters, 1.0 fully unbalanced. Three IPBC configurations: no
+//! unrolling, OUF unrolling, and OUF without memory dependent chains.
+
+use std::fmt;
+
+use vliw_sched::ClusterPolicy;
+
+use crate::context::{run_benchmark, ExperimentContext, RunConfig, UnrollMode};
+use crate::report::{amean, f3, Table};
+
+/// The three configuration labels.
+pub const CONFIG_LABELS: [&str; 3] = ["IPBC no unrolling", "IPBC OUF", "IPBC OUF no chains"];
+
+/// One benchmark's workload balances.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// WB per configuration, in [`CONFIG_LABELS`] order.
+    pub wb: [f64; 3],
+}
+
+/// Figure 7 data.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig7Row>,
+    /// Mean WB per configuration.
+    pub amean: [f64; 3],
+}
+
+impl Fig7 {
+    /// Renders the paper-style table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 7: workload balance (0.25 = perfect, 1.0 = unbalanced)",
+            &["bench", CONFIG_LABELS[0], CONFIG_LABELS[1], CONFIG_LABELS[2]],
+        );
+        for r in &self.rows {
+            t.row(vec![r.bench.clone(), f3(r.wb[0]), f3(r.wb[1]), f3(r.wb[2])]);
+        }
+        t.row(vec![
+            "AMEAN".into(),
+            f3(self.amean[0]),
+            f3(self.amean[1]),
+            f3(self.amean[2]),
+        ]);
+        t
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table().render())
+    }
+}
+
+/// Runs the Figure 7 experiment.
+pub fn fig7(ctx: &ExperimentContext) -> Fig7 {
+    let base = RunConfig::ipbc();
+    let configs = [
+        RunConfig { unroll: UnrollMode::NoUnroll, ..base },
+        RunConfig { unroll: UnrollMode::Ouf, ..base },
+        RunConfig { unroll: UnrollMode::Ouf, policy: ClusterPolicy::NoChains, ..base },
+    ];
+    let n = ctx.machine.n_clusters();
+    let models = ctx.models();
+    let mut rows = Vec::new();
+    for model in &models {
+        let mut wb = [0.0; 3];
+        for (i, cfg) in configs.iter().enumerate() {
+            let run = run_benchmark(model, cfg, ctx);
+            wb[i] = run.workload_balance(n);
+        }
+        rows.push(Fig7Row { bench: model.name.clone(), wb });
+    }
+    let mut mean = [0.0; 3];
+    for (i, m) in mean.iter_mut().enumerate() {
+        *m = amean(rows.iter().map(|r| r.wb[i]));
+    }
+    Fig7 { rows, amean: mean }
+}

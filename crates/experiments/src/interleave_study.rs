@@ -1,0 +1,101 @@
+//! §5.1's interleaving-factor remark, made quantitative.
+//!
+//! The paper fixes the interleaving factor at 4 bytes because 4-byte words
+//! dominate the suite, and remarks that "if a processor is to be built for
+//! the gsm family of applications, a 2-byte interleaving factor would match
+//! better the applications' characteristics". This study runs selected
+//! benchmarks under both factors and reports the local-hit ratio and cycle
+//! count each gets.
+
+use std::fmt;
+
+use crate::context::{run_benchmark, ExperimentContext, RunConfig};
+use crate::report::{f3, Table};
+
+/// One benchmark × interleave-factor measurement.
+#[derive(Debug, Clone)]
+pub struct InterleaveRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// Interleave factor in bytes.
+    pub interleave: usize,
+    /// Local-hit fraction of all accesses.
+    pub local_hits: f64,
+    /// Total cycles (scaled).
+    pub cycles: f64,
+}
+
+/// The study's results.
+#[derive(Debug, Clone)]
+pub struct InterleaveStudy {
+    /// All rows, grouped by benchmark.
+    pub rows: Vec<InterleaveRow>,
+}
+
+impl InterleaveStudy {
+    /// The cycle improvement of `bytes`-interleaving over the baseline
+    /// 4-byte factor for `bench` (positive = faster).
+    pub fn improvement(&self, bench: &str, bytes: usize) -> Option<f64> {
+        let at = |i: usize| {
+            self.rows
+                .iter()
+                .find(|r| r.bench == bench && r.interleave == i)
+                .map(|r| r.cycles)
+        };
+        Some(at(4)? / at(bytes)? - 1.0)
+    }
+
+    /// Renders the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "§5.1: interleaving-factor study (gsm prefers 2-byte interleaving)",
+            &["bench", "interleave", "local hits", "cycles"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.bench.clone(),
+                format!("{} B", r.interleave),
+                f3(r.local_hits),
+                crate::report::fcycles(r.cycles),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for InterleaveStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table().render())?;
+        for bench in ["gsmdec", "gsmenc", "pgpdec"] {
+            if let Some(imp) = self.improvement(bench, 2) {
+                writeln!(f, "{bench}: 2-byte interleaving is {:+.1}% vs 4-byte", 100.0 * imp)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the study over the gsm pair (2-byte data) and a 4-byte control.
+pub fn interleave_study(ctx: &ExperimentContext) -> InterleaveStudy {
+    let benches = ["gsmdec", "gsmenc", "pgpdec"];
+    let mut rows = Vec::new();
+    for interleave in [2usize, 4] {
+        let mut variant = ctx.clone();
+        variant.machine.cache.interleave_bytes = interleave;
+        variant.machine.validate().expect("geometry stays valid");
+        variant.benchmarks = benches.iter().map(|s| s.to_string()).collect();
+        for model in variant.models() {
+            let run = run_benchmark(&model, &RunConfig::ipbc().with_buffers(), &variant);
+            let mix = run.access_mix();
+            let total: f64 = mix.iter().sum();
+            rows.push(InterleaveRow {
+                bench: model.name.clone(),
+                interleave,
+                local_hits: if total > 0.0 { mix[0] / total } else { 0.0 },
+                cycles: run.total_cycles(),
+            });
+        }
+    }
+    rows.sort_by(|a, b| a.bench.cmp(&b.bench).then(a.interleave.cmp(&b.interleave)));
+    InterleaveStudy { rows }
+}

@@ -1,0 +1,192 @@
+//! Data-dependence graph: edges and adjacency view.
+
+use std::fmt;
+
+use crate::kernel::LoopKernel;
+use crate::op::OpId;
+
+/// The kind of a dependence edge.
+///
+/// The paper's example DDG (Figure 3) uses register-flow (RF), register-anti
+/// (RA) and memory-anti (MA) edges; the full set also includes register
+/// output and memory flow/output dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Register flow (true) dependence: producer's value is read.
+    RegFlow,
+    /// Register anti dependence: a read must not follow the next write.
+    /// Two register anti-dependent instructions may share a cycle (§4.3.3).
+    RegAnti,
+    /// Register output dependence (write after write).
+    RegOut,
+    /// Memory flow dependence (store → load, possibly unresolved).
+    MemFlow,
+    /// Memory anti dependence (load → store).
+    MemAnti,
+    /// Memory output dependence (store → store).
+    MemOut,
+}
+
+impl DepKind {
+    /// Whether this is a register dependence.
+    pub fn is_register(self) -> bool {
+        matches!(self, DepKind::RegFlow | DepKind::RegAnti | DepKind::RegOut)
+    }
+
+    /// Whether this is a memory dependence. Memory dependences define the
+    /// *memory dependent chains* of §4.3.2.
+    pub fn is_memory(self) -> bool {
+        !self.is_register()
+    }
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::RegFlow => "RF",
+            DepKind::RegAnti => "RA",
+            DepKind::RegOut => "RO",
+            DepKind::MemFlow => "MF",
+            DepKind::MemAnti => "MA",
+            DepKind::MemOut => "MO",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dependence edge `from → to` with an iteration distance.
+///
+/// A distance of `d` means the instance of `to` in iteration `i + d` depends
+/// on the instance of `from` in iteration `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DepEdge {
+    /// Source operation.
+    pub from: OpId,
+    /// Destination operation.
+    pub to: OpId,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Iteration distance (0 = same iteration).
+    pub distance: u32,
+}
+
+impl DepEdge {
+    /// Creates an edge.
+    pub fn new(from: OpId, to: OpId, kind: DepKind, distance: u32) -> Self {
+        DepEdge { from, to, kind, distance }
+    }
+}
+
+impl fmt::Display for DepEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -{}:d{}-> {}", self.from, self.kind, self.distance, self.to)
+    }
+}
+
+/// Adjacency view of a kernel's dependence graph.
+///
+/// Holds, for every operation, the indices (into
+/// [`LoopKernel::edges`](crate::LoopKernel::edges)) of its outgoing and
+/// incoming edges. Built once per kernel and shared by the MII computation,
+/// the node ordering and the scheduling engine.
+#[derive(Debug, Clone)]
+pub struct Ddg {
+    n_ops: usize,
+    edges: Vec<DepEdge>,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl Ddg {
+    /// Builds the adjacency view for `kernel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references an operation id outside the kernel.
+    pub fn build(kernel: &LoopKernel) -> Self {
+        let n_ops = kernel.ops.len();
+        let mut succs = vec![Vec::new(); n_ops];
+        let mut preds = vec![Vec::new(); n_ops];
+        for (i, e) in kernel.edges.iter().enumerate() {
+            assert!(e.from.index() < n_ops, "edge {e} references unknown source");
+            assert!(e.to.index() < n_ops, "edge {e} references unknown target");
+            succs[e.from.index()].push(i);
+            preds[e.to.index()].push(i);
+        }
+        Ddg { n_ops, edges: kernel.edges.clone(), succs, preds }
+    }
+
+    /// Number of operations in the underlying kernel.
+    pub fn n_ops(&self) -> usize {
+        self.n_ops
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of `op`.
+    pub fn succ_edges(&self, op: OpId) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.succs[op.index()].iter().map(move |&i| &self.edges[i])
+    }
+
+    /// Incoming edges of `op`.
+    pub fn pred_edges(&self, op: OpId) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.preds[op.index()].iter().map(move |&i| &self.edges[i])
+    }
+
+    /// Successor operations of `op` (with repetitions if multiple edges).
+    pub fn succs(&self, op: OpId) -> impl Iterator<Item = OpId> + '_ {
+        self.succ_edges(op).map(|e| e.to)
+    }
+
+    /// Predecessor operations of `op` (with repetitions if multiple edges).
+    pub fn preds(&self, op: OpId) -> impl Iterator<Item = OpId> + '_ {
+        self.pred_edges(op).map(|e| e.from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::op::Opcode;
+
+    #[test]
+    fn dep_kind_classification() {
+        assert!(DepKind::RegFlow.is_register());
+        assert!(DepKind::RegAnti.is_register());
+        assert!(DepKind::RegOut.is_register());
+        assert!(DepKind::MemFlow.is_memory());
+        assert!(DepKind::MemAnti.is_memory());
+        assert!(DepKind::MemOut.is_memory());
+    }
+
+    #[test]
+    fn adjacency_roundtrip() {
+        let mut b = KernelBuilder::new("t");
+        let (o1, r1) = b.int_const("c1");
+        let (o2, r2) = b.int_op("a", Opcode::Add, &[r1.into()]);
+        let (o3, _) = b.int_op("b", Opcode::Sub, &[r1.into(), r2.into()]);
+        let k = b.finish(10.0);
+        let g = Ddg::build(&k);
+        assert_eq!(g.n_ops(), 3);
+        let s1: Vec<_> = g.succs(o1).collect();
+        assert!(s1.contains(&o2) && s1.contains(&o3));
+        let p3: Vec<_> = g.preds(o3).collect();
+        assert_eq!(p3.len(), 2);
+        assert!(g.succ_edges(o2).all(|e| e.kind == DepKind::RegFlow));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn build_rejects_dangling_edges() {
+        let mut b = KernelBuilder::new("t");
+        let (_, r) = b.int_const("c");
+        let _ = b.int_op("a", Opcode::Add, &[r.into()]);
+        let mut k = b.finish(1.0);
+        k.edges.push(DepEdge::new(OpId::new(0), OpId::new(99), DepKind::RegFlow, 0));
+        let _ = Ddg::build(&k);
+    }
+}

@@ -1,0 +1,59 @@
+//! Virtual registers.
+
+use std::fmt;
+
+/// A virtual register.
+///
+/// Kernels are in a per-iteration SSA-like form: each `VirtReg` has exactly
+/// one defining operation inside the loop body, or none at all, in which case
+/// it is a *live-in* (a loop-invariant value produced before the loop).
+/// Register allocation itself is outside the scope of the paper; the
+/// scheduler only needs def-use information, which this form makes exact.
+///
+/// # Example
+///
+/// ```
+/// use vliw_ir::VirtReg;
+/// let r = VirtReg::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "%r3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtReg(u32);
+
+impl VirtReg {
+    /// Creates a register with the given index.
+    pub fn new(index: u32) -> Self {
+        VirtReg(index)
+    }
+
+    /// The register's index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for VirtReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_accessors() {
+        let r = VirtReg::new(17);
+        assert_eq!(r.index(), 17);
+        assert_eq!(format!("{r}"), "%r17");
+        assert_eq!(format!("{r:?}"), "VirtReg(17)");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VirtReg::new(1) < VirtReg::new(2));
+        assert_eq!(VirtReg::new(5), VirtReg::new(5));
+    }
+}

@@ -1,0 +1,263 @@
+//! Loop unrolling (step 1 of the paper's scheduling algorithm).
+
+use std::collections::HashMap;
+
+use crate::ddg::DepEdge;
+use crate::kernel::LoopKernel;
+use crate::op::{OpId, SrcOperand};
+use crate::reg::VirtReg;
+
+/// Unrolls `kernel` by `factor`, renaming registers and rewriting memory
+/// offsets/strides and dependence distances.
+///
+/// After unrolling by `U`:
+///
+/// * copy `k` of a memory access gains `k × stride` bytes of offset and the
+///   per-(unrolled-)iteration stride becomes `U × stride` — which is what
+///   makes every access with `U` a multiple of its
+///   [`individual unrolling factor`](https://example.org) reference a single
+///   cluster in a word-interleaved cache;
+/// * a dependence of distance `d` from copy `k` lands on copy
+///   `(k + d) mod U` at distance `(k + d) / U`;
+/// * the average trip count divides by `U`.
+///
+/// Remainder iterations (trip counts not divisible by `U`) execute in an
+/// un-pipelined cleanup copy in the paper's framework and are ignored here,
+/// as they are in the paper's evaluation (loops iterating fewer than 8 times
+/// are not modulo-scheduled at all).
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+pub fn unroll(kernel: &LoopKernel, factor: u32) -> LoopKernel {
+    assert!(factor > 0, "unroll factor must be at least 1");
+    if factor == 1 {
+        return kernel.clone();
+    }
+    let u = factor as usize;
+    let n = kernel.ops.len();
+
+    // defs of the original kernel (for renaming)
+    let mut defs: HashMap<VirtReg, OpId> = HashMap::new();
+    let mut max_reg = 0u32;
+    for op in &kernel.ops {
+        if let Some(d) = op.dst {
+            defs.insert(d, op.id);
+            max_reg = max_reg.max(d.index() + 1);
+        }
+        for s in &op.srcs {
+            max_reg = max_reg.max(s.reg.index() + 1);
+        }
+    }
+
+    // rename(reg, copy): defined registers get a fresh name per copy;
+    // live-ins keep their name in every copy.
+    let rename = |reg: VirtReg, copy: usize| -> VirtReg {
+        if defs.contains_key(&reg) {
+            VirtReg::new(max_reg + (copy as u32) * max_reg + reg.index())
+        } else {
+            reg
+        }
+    };
+
+    // Instance numbering: copy k of original op i has id k*n + i.
+    let instance = |orig: OpId, copy: usize| OpId::new(copy * n + orig.index());
+
+    let mut ops = Vec::with_capacity(n * u);
+    for k in 0..u {
+        for op in &kernel.ops {
+            let mut new_op = op.clone();
+            new_op.id = instance(op.id, k);
+            if u > 1 {
+                new_op.name = format!("{}#{}", op.name, k);
+            }
+            new_op.dst = op.dst.map(|d| rename(d, k));
+            new_op.srcs = op
+                .srcs
+                .iter()
+                .map(|s| {
+                    if defs.contains_key(&s.reg) {
+                        let t = k as i64 - s.distance as i64;
+                        let kk = t.rem_euclid(u as i64) as usize;
+                        let nd = ((kk as i64 - t) / u as i64) as u32;
+                        SrcOperand::with_distance(rename(s.reg, kk), nd)
+                    } else {
+                        *s
+                    }
+                })
+                .collect();
+            if let Some(mem) = &mut new_op.mem {
+                if let Some(stride) = mem.stride {
+                    mem.offset += k as i64 * stride;
+                    mem.stride = Some(stride * factor as i64);
+                }
+            }
+            ops.push(new_op);
+        }
+    }
+
+    // Map every dependence edge: v at iteration i+d depends on u at i.
+    let mut edges = Vec::with_capacity(kernel.edges.len() * u);
+    for e in &kernel.edges {
+        for k in 0..u {
+            let t = k + e.distance as usize;
+            let kk = t % u;
+            let nd = (t / u) as u32;
+            edges.push(DepEdge::new(
+                instance(e.from, k),
+                instance(e.to, kk),
+                e.kind,
+                nd,
+            ));
+        }
+    }
+
+    LoopKernel {
+        name: format!("{}.u{}", kernel.name, factor),
+        ops,
+        edges,
+        arrays: kernel.arrays.clone(),
+        avg_trip: kernel.avg_trip / factor as f64,
+        invocations: kernel.invocations,
+    }
+}
+
+/// Helper shared with tests: total register-flow edge count of a kernel.
+#[cfg(test)]
+fn flow_edge_count(k: &LoopKernel) -> usize {
+    k.edges.iter().filter(|e| e.kind == crate::DepKind::RegFlow).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ddg::DepKind;
+    use crate::mem_access::ArrayKind;
+    use crate::op::Opcode;
+
+    /// `b[i] = a[i] + a[i]` with a carried accumulator and a mem dependence.
+    fn sample() -> LoopKernel {
+        let mut b = KernelBuilder::new("k");
+        let a = b.array("a", 4096, ArrayKind::Heap);
+        let out = b.array("b", 4096, ArrayKind::Heap);
+        let (ld, v) = b.load("ld", a, 0, 4, 4);
+        let (_, w) = b.int_op_carried("acc", Opcode::Add, &[v.into()], 1);
+        let (st, _) = b.store("st", out, 0, 4, 4, w);
+        b.mem_dep(st, ld, DepKind::MemFlow, 2);
+        b.finish(400.0)
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let k = sample();
+        let u = unroll(&k, 1);
+        assert_eq!(k, u);
+    }
+
+    #[test]
+    fn op_count_and_trip_scale() {
+        let k = sample();
+        let u = unroll(&k, 4);
+        assert_eq!(u.ops.len(), k.ops.len() * 4);
+        assert!((u.avg_trip - 100.0).abs() < 1e-9);
+        assert_eq!(u.name, "k.u4");
+        // dynamic work is preserved
+        assert!((u.dynamic_ops() - k.dynamic_ops()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mem_offsets_and_strides() {
+        let k = sample();
+        let u = unroll(&k, 4);
+        let loads: Vec<_> = u.ops.iter().filter(|o| o.is_load()).collect();
+        assert_eq!(loads.len(), 4);
+        for (k_copy, ld) in loads.iter().enumerate() {
+            let m = ld.mem.as_ref().unwrap();
+            assert_eq!(m.offset, 4 * k_copy as i64);
+            assert_eq!(m.stride, Some(16));
+        }
+    }
+
+    #[test]
+    fn carried_use_becomes_intra_iteration_chain() {
+        let k = sample();
+        let u = unroll(&k, 4);
+        // accumulator copies: acc#k reads acc#(k-1) at distance 0 (k>0),
+        // acc#0 reads acc#3 at distance 1.
+        let accs: Vec<_> = u.ops.iter().filter(|o| o.name.starts_with("acc")).collect();
+        assert_eq!(accs.len(), 4);
+        for (kc, op) in accs.iter().enumerate() {
+            let self_src = op
+                .srcs
+                .iter()
+                .find(|s| u.def_of(s.reg).map(|d| u.op(d).name.starts_with("acc")) == Some(true))
+                .unwrap();
+            if kc == 0 {
+                assert_eq!(self_src.distance, 1);
+            } else {
+                assert_eq!(self_src.distance, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mem_edge_distances_rewritten() {
+        let k = sample();
+        let u = unroll(&k, 4);
+        // original MemFlow d=2 from st to ld: copy k -> copy (k+2)%4 at
+        // distance (k+2)/4.
+        let mf: Vec<_> = u.edges.iter().filter(|e| e.kind == DepKind::MemFlow).collect();
+        assert_eq!(mf.len(), 4);
+        for e in mf {
+            let from_copy = e.from.index() / k.ops.len();
+            let to_copy = e.to.index() / k.ops.len();
+            assert_eq!(to_copy, (from_copy + 2) % 4);
+            assert_eq!(e.distance, ((from_copy + 2) / 4) as u32);
+        }
+    }
+
+    #[test]
+    fn flow_edges_scale_with_factor() {
+        let k = sample();
+        let u3 = unroll(&k, 3);
+        assert_eq!(flow_edge_count(&u3), flow_edge_count(&k) * 3);
+    }
+
+    #[test]
+    fn live_ins_are_shared() {
+        let mut b = KernelBuilder::new("li");
+        let base = b.live_in();
+        let (_, x) = b.int_op("x", Opcode::Add, &[base.into()]);
+        let a = b.array("a", 64, ArrayKind::Global);
+        b.store("st", a, 0, 4, 4, x);
+        let k = b.finish(8.0);
+        let u = unroll(&k, 2);
+        // both copies of x read the *same* live-in register
+        let xs: Vec<_> = u.ops.iter().filter(|o| o.name.starts_with("x")).collect();
+        assert_eq!(xs[0].srcs[0].reg, xs[1].srcs[0].reg);
+        // and their destinations differ
+        assert_ne!(xs[0].dst, xs[1].dst);
+    }
+
+    #[test]
+    fn ssa_preserved_after_unroll() {
+        let k = sample();
+        let u = unroll(&k, 5);
+        let mut seen = std::collections::HashSet::new();
+        for op in &u.ops {
+            if let Some(d) = op.dst {
+                assert!(seen.insert(d), "register defined twice after unroll");
+            }
+        }
+        // Ddg::build validates edge endpoints
+        let _ = crate::Ddg::build(&u);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_factor_rejected() {
+        let k = sample();
+        let _ = unroll(&k, 0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Architecture configuration (Table 2 of the paper).
+
+use std::fmt;
+
+use vliw_ir::FuKind;
+
+use crate::latency::{MemLatencies, OpLatencies};
+
+/// The three architecture families evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchKind {
+    /// Word-interleaved distributed data cache (§3).
+    WordInterleaved,
+    /// Cache-coherent clustered processor (multiVLIW, [20]).
+    MultiVliw,
+    /// Clustered processor with a central multi-ported data cache.
+    Unified,
+}
+
+impl fmt::Display for ArchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArchKind::WordInterleaved => "word-interleaved",
+            ArchKind::MultiVliw => "multiVLIW",
+            ArchKind::Unified => "unified",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cluster resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of clusters.
+    pub n_clusters: usize,
+    /// Integer units per cluster.
+    pub int_units: usize,
+    /// Floating-point units per cluster.
+    pub fp_units: usize,
+    /// Memory units per cluster.
+    pub mem_units: usize,
+}
+
+impl ClusterConfig {
+    /// Units of the given kind per cluster.
+    pub fn fu_count(&self, kind: FuKind) -> usize {
+        match kind {
+            FuKind::Int => self.int_units,
+            FuKind::Fp => self.fp_units,
+            FuKind::Mem => self.mem_units,
+        }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { n_clusters: 4, int_units: 1, fp_units: 1, mem_units: 1 }
+    }
+}
+
+/// First-level cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total L1 capacity in bytes (split across modules when distributed).
+    pub total_bytes: usize,
+    /// Cache block (line) size in bytes.
+    pub block_bytes: usize,
+    /// Set associativity.
+    pub associativity: usize,
+    /// Interleaving factor in bytes (word-interleaved architecture only).
+    pub interleave_bytes: usize,
+    /// Read/write ports of the unified cache (unified architecture only;
+    /// interleaved modules have one local port and one bus-side port).
+    pub unified_ports: usize,
+}
+
+impl CacheConfig {
+    /// Capacity of one per-cluster module when split over `n` clusters.
+    pub fn module_bytes(&self, n: usize) -> usize {
+        self.total_bytes / n
+    }
+
+    /// Bytes of each block held by one cluster (the *subblock* size).
+    pub fn subblock_bytes(&self, n: usize) -> usize {
+        self.block_bytes / n
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            total_bytes: 8 * 1024,
+            block_bytes: 32,
+            associativity: 2,
+            interleave_bytes: 4,
+            unified_ports: 5,
+        }
+    }
+}
+
+/// Interconnect configuration. Both bus families run at half the core
+/// frequency (Table 2), so one transfer occupies its bus for
+/// [`BusConfig::transfer_cycles`] = 2 core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Register-to-register communication buses.
+    pub reg_buses: usize,
+    /// Memory buses (cache modules ↔ remote clusters / next level).
+    pub mem_buses: usize,
+    /// Core cycles one bus transfer occupies (2 = half frequency).
+    pub transfer_cycles: u32,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig { reg_buses: 4, mem_buses: 4, transfer_cycles: 2 }
+    }
+}
+
+/// Next memory level: 4 ports, 10-cycle total latency, always hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextLevelConfig {
+    /// Simultaneous requests serviced per cycle.
+    pub ports: usize,
+    /// Total round-trip latency in cycles.
+    pub latency: u32,
+}
+
+impl Default for NextLevelConfig {
+    fn default() -> Self {
+        NextLevelConfig { ports: 4, latency: 10 }
+    }
+}
+
+/// Attraction Buffer geometry (§3): a small per-cluster buffer holding
+/// remote *subblocks*; flushed at loop boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttractionBufferConfig {
+    /// Number of subblock entries.
+    pub entries: usize,
+    /// Set associativity.
+    pub associativity: usize,
+}
+
+impl Default for AttractionBufferConfig {
+    fn default() -> Self {
+        AttractionBufferConfig { entries: 16, associativity: 2 }
+    }
+}
+
+/// Complete machine description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Architecture family.
+    pub arch: ArchKind,
+    /// Cluster resources.
+    pub clusters: ClusterConfig,
+    /// L1 geometry.
+    pub cache: CacheConfig,
+    /// Interconnect.
+    pub buses: BusConfig,
+    /// Latency of each memory-access class.
+    pub mem_latencies: MemLatencies,
+    /// Non-memory operation latencies.
+    pub op_latencies: OpLatencies,
+    /// Attraction Buffers (word-interleaved architecture only).
+    pub attraction_buffers: Option<AttractionBufferConfig>,
+    /// Next memory level.
+    pub next_level: NextLevelConfig,
+}
+
+impl MachineConfig {
+    /// The paper's baseline word-interleaved configuration: Table 2 with
+    /// the §4.3.3 latencies (1/5/10/15) and no Attraction Buffers.
+    pub fn word_interleaved_4() -> Self {
+        MachineConfig {
+            arch: ArchKind::WordInterleaved,
+            clusters: ClusterConfig::default(),
+            cache: CacheConfig::default(),
+            buses: BusConfig::default(),
+            mem_latencies: MemLatencies::default(),
+            op_latencies: OpLatencies::default(),
+            attraction_buffers: None,
+            next_level: NextLevelConfig::default(),
+        }
+    }
+
+    /// A word-interleaved machine with `n` clusters (total cache capacity
+    /// and bus counts kept at Table 2 values).
+    pub fn word_interleaved(n: usize) -> Self {
+        let mut m = Self::word_interleaved_4();
+        m.clusters.n_clusters = n;
+        m
+    }
+
+    /// The multiVLIW configuration: per-cluster coherent caches. A hit is
+    /// local (1 cycle); a miss served by another cluster's cache costs the
+    /// remote-hit latency; a miss served by the next level costs the
+    /// local-miss latency.
+    pub fn multi_vliw_4() -> Self {
+        let mut m = Self::word_interleaved_4();
+        m.arch = ArchKind::MultiVliw;
+        m
+    }
+
+    /// The unified-cache configuration with the given cache access latency
+    /// (1 = the paper's optimistic bar, 5 = the realistic bar): 5 read/write
+    /// ports, a miss adds the next-level round trip.
+    pub fn unified_4(cache_latency: u32) -> Self {
+        let mut m = Self::word_interleaved_4();
+        m.arch = ArchKind::Unified;
+        let next = m.next_level.latency;
+        m.mem_latencies = MemLatencies {
+            local_hit: cache_latency,
+            remote_hit: cache_latency, // unused: no remote accesses
+            local_miss: cache_latency + next,
+            remote_miss: cache_latency + next, // unused
+        };
+        m
+    }
+
+    /// Adds Attraction Buffers with the given geometry (consuming builder).
+    pub fn with_attraction_buffers(mut self, entries: usize, associativity: usize) -> Self {
+        assert_eq!(
+            self.arch,
+            ArchKind::WordInterleaved,
+            "attraction buffers only exist on the word-interleaved architecture"
+        );
+        self.attraction_buffers = Some(AttractionBufferConfig { entries, associativity });
+        self
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.n_clusters
+    }
+
+    /// `N × I`: the unrolling/padding boundary of the paper
+    /// (clusters × interleave factor).
+    pub fn ni_bytes(&self) -> i64 {
+        (self.clusters.n_clusters * self.cache.interleave_bytes) as i64
+    }
+
+    /// The cluster owning byte address `addr` under word interleaving.
+    pub fn home_cluster(&self, addr: u64) -> usize {
+        (addr as usize / self.cache.interleave_bytes) % self.clusters.n_clusters
+    }
+
+    /// Whether the distributed-cache access classes (remote hits/misses)
+    /// exist on this architecture. On unified and multiVLIW machines the
+    /// scheduler uses the two-latency (hit/miss) scheme of the BASE
+    /// algorithm (§4.2).
+    pub fn has_remote_accesses(&self) -> bool {
+        self.arch == ArchKind::WordInterleaved
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency
+    /// found (non-divisible geometry, zero resources, non-monotone
+    /// latencies…).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.clusters.n_clusters;
+        if n == 0 {
+            return Err("machine must have at least one cluster".into());
+        }
+        if self.clusters.mem_units == 0 {
+            return Err("clusters need at least one memory unit".into());
+        }
+        if self.cache.total_bytes % n != 0 {
+            return Err(format!("cache capacity {} not divisible by {n} clusters", self.cache.total_bytes));
+        }
+        if self.cache.block_bytes % (n * self.cache.interleave_bytes) != 0 {
+            return Err(format!(
+                "block size {} must be a multiple of clusters x interleave = {}",
+                self.cache.block_bytes,
+                n * self.cache.interleave_bytes
+            ));
+        }
+        let module = self.cache.module_bytes(n);
+        let sets = module / (self.cache.subblock_bytes(n) * self.cache.associativity);
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(format!("module set count {sets} must be a nonzero power of two"));
+        }
+        let l = &self.mem_latencies;
+        if !(l.local_hit <= l.remote_hit && l.remote_hit <= l.local_miss && l.local_miss <= l.remote_miss)
+        {
+            return Err("memory latencies must be monotone over access classes".into());
+        }
+        if self.buses.reg_buses == 0 || self.buses.mem_buses == 0 {
+            return Err("bus counts must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::word_interleaved_4()
+    }
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} / {} clusters", self.arch, self.clusters.n_clusters)?;
+        writeln!(
+            f,
+            "  FUs per cluster: {} INT, {} FP, {} MEM",
+            self.clusters.int_units, self.clusters.fp_units, self.clusters.mem_units
+        )?;
+        writeln!(
+            f,
+            "  cache: {} KB total, {}-byte blocks, {}-way, interleave {} B",
+            self.cache.total_bytes / 1024,
+            self.cache.block_bytes,
+            self.cache.associativity,
+            self.cache.interleave_bytes
+        )?;
+        writeln!(
+            f,
+            "  latencies: LH {} / RH {} / LM {} / RM {}",
+            self.mem_latencies.local_hit,
+            self.mem_latencies.remote_hit,
+            self.mem_latencies.local_miss,
+            self.mem_latencies.remote_miss
+        )?;
+        writeln!(
+            f,
+            "  buses: {} reg + {} mem, {} cycles/transfer",
+            self.buses.reg_buses, self.buses.mem_buses, self.buses.transfer_cycles
+        )?;
+        match self.attraction_buffers {
+            Some(ab) => writeln!(f, "  attraction buffers: {}-entry {}-way", ab.entries, ab.associativity)?,
+            None => writeln!(f, "  attraction buffers: none")?,
+        }
+        write!(
+            f,
+            "  next level: {} ports, {} cycles, always hit",
+            self.next_level.ports, self.next_level.latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::AccessClass;
+
+    #[test]
+    fn table2_defaults() {
+        let m = MachineConfig::word_interleaved_4();
+        assert_eq!(m.clusters.n_clusters, 4);
+        assert_eq!(m.clusters.fu_count(FuKind::Int), 1);
+        assert_eq!(m.clusters.fu_count(FuKind::Fp), 1);
+        assert_eq!(m.clusters.fu_count(FuKind::Mem), 1);
+        assert_eq!(m.cache.total_bytes, 8192);
+        assert_eq!(m.cache.module_bytes(4), 2048);
+        assert_eq!(m.cache.block_bytes, 32);
+        assert_eq!(m.cache.subblock_bytes(4), 8);
+        assert_eq!(m.buses.reg_buses, 4);
+        assert_eq!(m.buses.mem_buses, 4);
+        assert_eq!(m.next_level.ports, 4);
+        assert_eq!(m.next_level.latency, 10);
+        assert_eq!(m.ni_bytes(), 16);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn home_cluster_wraps_by_word() {
+        let m = MachineConfig::word_interleaved_4();
+        // words 0..7 of a 32-byte block: clusters 0,1,2,3,0,1,2,3
+        for w in 0..8u64 {
+            assert_eq!(m.home_cluster(w * 4), (w % 4) as usize);
+        }
+        // within a word, all bytes share a home
+        assert_eq!(m.home_cluster(5), 1);
+        assert_eq!(m.home_cluster(7), 1);
+    }
+
+    #[test]
+    fn unified_latencies() {
+        let m1 = MachineConfig::unified_4(1);
+        assert_eq!(m1.mem_latencies.of(AccessClass::LocalHit), 1);
+        assert_eq!(m1.mem_latencies.of(AccessClass::LocalMiss), 11);
+        let m5 = MachineConfig::unified_4(5);
+        assert_eq!(m5.mem_latencies.of(AccessClass::LocalHit), 5);
+        assert_eq!(m5.mem_latencies.of(AccessClass::LocalMiss), 15);
+        assert!(!m5.has_remote_accesses());
+        m5.validate().unwrap();
+    }
+
+    #[test]
+    fn multivliw_preset() {
+        let m = MachineConfig::multi_vliw_4();
+        assert_eq!(m.arch, ArchKind::MultiVliw);
+        assert!(!m.has_remote_accesses());
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn attraction_buffer_builder() {
+        let m = MachineConfig::word_interleaved_4().with_attraction_buffers(16, 2);
+        let ab = m.attraction_buffers.unwrap();
+        assert_eq!((ab.entries, ab.associativity), (16, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "word-interleaved")]
+    fn attraction_buffers_require_interleaved_arch() {
+        let _ = MachineConfig::unified_4(1).with_attraction_buffers(16, 2);
+    }
+
+    #[test]
+    fn validation_catches_bad_geometry() {
+        let mut m = MachineConfig::word_interleaved_4();
+        m.cache.block_bytes = 24;
+        assert!(m.validate().is_err());
+
+        let mut m = MachineConfig::word_interleaved_4();
+        m.clusters.n_clusters = 0;
+        assert!(m.validate().is_err());
+
+        let mut m = MachineConfig::word_interleaved_4();
+        m.mem_latencies.remote_hit = 0;
+        assert!(m.validate().is_err());
+
+        let mut m = MachineConfig::word_interleaved_4();
+        m.buses.reg_buses = 0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn two_cluster_variant_for_worked_example() {
+        let m = MachineConfig::word_interleaved(2);
+        // §4.3.3 uses a 2-cluster machine; keep geometry divisible
+        m.validate().unwrap();
+        assert_eq!(m.ni_bytes(), 8);
+        assert_eq!(m.home_cluster(4), 1);
+        assert_eq!(m.home_cluster(8), 0);
+    }
+
+    #[test]
+    fn display_mentions_key_parameters() {
+        let s = MachineConfig::word_interleaved_4().to_string();
+        assert!(s.contains("word-interleaved"));
+        assert!(s.contains("8 KB"));
+        assert!(s.contains("LH 1 / RH 5 / LM 10 / RM 15"));
+    }
+}

@@ -1,0 +1,396 @@
+//! The word-interleaved distributed data cache (§3 of the paper).
+
+use std::collections::HashMap;
+
+use vliw_machine::{AccessClass, MachineConfig};
+
+use crate::lru::SetAssoc;
+use crate::pool::ResourcePool;
+use crate::stats::MemStats;
+use crate::{AccessOutcome, AccessRequest, DataCache};
+
+/// Word-interleaved cache: cluster `c` owns the words whose address
+/// satisfies `(addr / I) mod N == c`. Subblocks live in exactly one module
+/// (no replication); tags are replicated, so hit/miss is known locally.
+///
+/// Timing is composed from physical components — memory buses at half the
+/// core frequency, one local port and one bus-side port per module, and the
+/// shared next level — so that the four access classes land exactly on the
+/// configured 1 / 5 / 10 / 15 cycles when uncontended (see the crate docs).
+///
+/// Optional per-cluster **Attraction Buffers** hold remote subblocks: a
+/// remote load attracts its whole subblock into the requester's buffer, so
+/// the next access to it is a local hit. Buffers are flushed at loop
+/// boundaries ([`DataCache::flush_loop_boundary`]), which together with the
+/// memory-dependent-chain scheduling constraint guarantees correctness.
+#[derive(Debug)]
+pub struct InterleavedCache {
+    n: usize,
+    interleave: u64,
+    block_bytes: u64,
+    transfer: u64,
+    module_access: u64,
+    nl_latency: u64,
+    tags: Vec<SetAssoc>,
+    local_ports: Vec<ResourcePool>,
+    bus_ports: Vec<ResourcePool>,
+    mem_buses: ResourcePool,
+    nl_ports: ResourcePool,
+    buffers: Option<Vec<SetAssoc>>,
+    pending: HashMap<(usize, u64), (u64, AccessClass)>,
+    stats: MemStats,
+    last_now: u64,
+}
+
+impl InterleavedCache {
+    /// Builds the cache for a word-interleaved machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` fails validation or is not word-interleaved.
+    pub fn new(machine: &MachineConfig) -> Self {
+        machine.validate().expect("valid machine");
+        assert!(machine.has_remote_accesses(), "machine must be word-interleaved");
+        let n = machine.n_clusters();
+        let module_bytes = machine.cache.module_bytes(n);
+        let subblock = machine.cache.subblock_bytes(n);
+        let sets = module_bytes / (subblock * machine.cache.associativity);
+        let buffers = machine.attraction_buffers.map(|ab| {
+            let ab_sets = (ab.entries / ab.associativity).max(1);
+            (0..n).map(|_| SetAssoc::new(ab_sets, ab.associativity)).collect()
+        });
+        InterleavedCache {
+            n,
+            interleave: machine.cache.interleave_bytes as u64,
+            block_bytes: machine.cache.block_bytes as u64,
+            transfer: machine.buses.transfer_cycles as u64,
+            module_access: machine.mem_latencies.local_hit as u64,
+            nl_latency: machine.next_level.latency as u64,
+            tags: (0..n).map(|_| SetAssoc::new(sets, machine.cache.associativity)).collect(),
+            local_ports: (0..n).map(|_| ResourcePool::new(1)).collect(),
+            bus_ports: (0..n).map(|_| ResourcePool::new(1)).collect(),
+            mem_buses: ResourcePool::new(machine.buses.mem_buses),
+            nl_ports: ResourcePool::new(machine.next_level.ports),
+            buffers,
+            pending: HashMap::new(),
+            stats: MemStats::new(),
+            last_now: 0,
+        }
+    }
+
+    /// The cluster owning `addr`.
+    pub fn home_cluster(&self, addr: u64) -> usize {
+        ((addr / self.interleave) % self.n as u64) as usize
+    }
+
+    fn block_of(&self, addr: u64) -> u64 {
+        addr / self.block_bytes
+    }
+
+    /// Attraction Buffer key for a (block, home-module) subblock.
+    fn subblock_key(&self, block: u64, home: usize) -> u64 {
+        block * self.n as u64 + home as u64
+    }
+
+    fn remote_fetch(&mut self, req: &AccessRequest, home: usize, block: u64) -> (u64, AccessClass) {
+        // request bus -> remote module (bus-side port) -> reply bus
+        let bus_start = self.mem_buses.acquire(req.now, self.transfer);
+        let acc_start = self.bus_ports[home].acquire(bus_start + self.transfer, 1);
+        let hit = self.tags[home].probe(block);
+        if hit {
+            let reply = self.mem_buses.acquire(acc_start + self.module_access, self.transfer);
+            (reply + self.transfer, AccessClass::RemoteHit)
+        } else {
+            let nl_start = self.nl_ports.acquire(acc_start + self.module_access, 1);
+            let filled = nl_start + self.nl_latency;
+            self.tags[home].insert(block);
+            let reply = self.mem_buses.acquire(filled, self.transfer);
+            (reply + self.transfer, AccessClass::RemoteMiss)
+        }
+    }
+}
+
+impl DataCache for InterleavedCache {
+    fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        debug_assert!(req.now >= self.last_now, "requests must arrive in time order");
+        self.last_now = req.now;
+        let home = self.home_cluster(req.addr);
+        let block = self.block_of(req.addr);
+        // elements larger than the interleave factor span clusters and are
+        // always remote (§5.2)
+        let oversized = req.size as u64 > self.interleave;
+        let local = home == req.cluster && !oversized;
+        let key = self.subblock_key(block, home);
+
+        if req.is_store {
+            let class = if local {
+                self.local_ports[req.cluster].acquire(req.now, 1);
+                let hit = self.tags[req.cluster].probe(block);
+                if hit {
+                    AccessClass::LocalHit
+                } else {
+                    // write-allocate: fetch the subblock (store buffer hides
+                    // the latency; the next-level port traffic still counts)
+                    self.nl_ports.acquire(req.now, 1);
+                    self.tags[req.cluster].insert(block);
+                    AccessClass::LocalMiss
+                }
+            } else {
+                // send the update over a memory bus to the home module
+                let bus_start = self.mem_buses.acquire(req.now, self.transfer);
+                let acc = self.bus_ports[home].acquire(bus_start + self.transfer, 1);
+                let hit = self.tags[home].probe(block);
+                if hit {
+                    AccessClass::RemoteHit
+                } else {
+                    self.nl_ports.acquire(acc + self.module_access, 1);
+                    self.tags[home].insert(block);
+                    AccessClass::RemoteMiss
+                }
+            };
+            // keep Attraction Buffers coherent: the writer's own copy is
+            // updated through the write, every other cluster's copy dies
+            if let Some(bufs) = &mut self.buffers {
+                for (c, buf) in bufs.iter_mut().enumerate() {
+                    if c != req.cluster {
+                        buf.invalidate(key);
+                    }
+                }
+            }
+            self.stats.record(class, false, false);
+            // stores complete through the store buffer next cycle
+            return AccessOutcome { ready_at: req.now + 1, class, combined: false, ab_hit: false };
+        }
+
+        // loads
+        if local {
+            let port_start = self.local_ports[req.cluster].acquire(req.now, 1);
+            let hit = self.tags[req.cluster].probe(block);
+            let (ready, class) = if hit {
+                (port_start + self.module_access, AccessClass::LocalHit)
+            } else {
+                let nl_start = self.nl_ports.acquire(port_start, 1);
+                self.tags[req.cluster].insert(block);
+                (nl_start + self.nl_latency, AccessClass::LocalMiss)
+            };
+            self.stats.record(class, false, false);
+            return AccessOutcome { ready_at: ready, class, combined: false, ab_hit: false };
+        }
+
+        // remote load: Attraction Buffer first
+        if !oversized {
+            if let Some(bufs) = &mut self.buffers {
+                if bufs[req.cluster].probe(key) {
+                    let ready = req.now + self.module_access;
+                    self.stats.record(AccessClass::LocalHit, false, true);
+                    return AccessOutcome {
+                        ready_at: ready,
+                        class: AccessClass::LocalHit,
+                        combined: false,
+                        ab_hit: true,
+                    };
+                }
+            }
+        }
+
+        // request combining: a second access to a subblock with a pending
+        // request does not issue
+        if let Some(&(ready, class)) = self.pending.get(&(req.cluster, key)) {
+            if ready > req.now {
+                self.stats.record(class, true, false);
+                return AccessOutcome { ready_at: ready, class, combined: true, ab_hit: false };
+            }
+        }
+
+        let (ready, class) = self.remote_fetch(&req, home, block);
+        self.pending.insert((req.cluster, key), (ready, class));
+        if !oversized && req.attractable {
+            if let Some(bufs) = &mut self.buffers {
+                // the whole subblock is attracted into the local buffer
+                bufs[req.cluster].insert(key);
+            }
+        }
+        self.stats.record(class, false, false);
+        AccessOutcome { ready_at: ready, class, combined: false, ab_hit: false }
+    }
+
+    fn flush_loop_boundary(&mut self) {
+        if let Some(bufs) = &mut self.buffers {
+            for b in bufs {
+                b.clear();
+            }
+        }
+        self.pending.clear();
+    }
+
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::word_interleaved_4()
+    }
+
+    fn machine_ab() -> MachineConfig {
+        MachineConfig::word_interleaved_4().with_attraction_buffers(16, 2)
+    }
+
+    #[test]
+    fn uncontended_class_latencies_match_worked_example() {
+        let mut c = InterleavedCache::new(&machine());
+        // local miss then local hit (cluster 0 owns address 0)
+        let o = c.access(AccessRequest::load(0, 0, 4, 0));
+        assert_eq!((o.class, o.ready_at), (AccessClass::LocalMiss, 10));
+        let o = c.access(AccessRequest::load(0, 0, 4, 100));
+        assert_eq!((o.class, o.ready_at), (AccessClass::LocalHit, 101));
+        // remote miss then remote hit (cluster 1 reads address 0)
+        let o = c.access(AccessRequest::load(1, 128, 4, 200));
+        assert_eq!((o.class, o.ready_at - 200), (AccessClass::RemoteMiss, 15));
+        let o = c.access(AccessRequest::load(1, 128, 4, 300));
+        assert_eq!((o.class, o.ready_at - 300), (AccessClass::RemoteHit, 5));
+    }
+
+    #[test]
+    fn home_cluster_mapping() {
+        let c = InterleavedCache::new(&machine());
+        assert_eq!(c.home_cluster(0), 0);
+        assert_eq!(c.home_cluster(4), 1);
+        assert_eq!(c.home_cluster(12), 3);
+        assert_eq!(c.home_cluster(16), 0); // wraps every N*I = 16 bytes
+    }
+
+    #[test]
+    fn no_replication_outside_buffers() {
+        // a remote access must NOT copy the subblock into the requester's
+        // module: the next access from the home cluster still hits at home,
+        // and the requester stays remote
+        let mut c = InterleavedCache::new(&machine());
+        let _ = c.access(AccessRequest::load(0, 0, 4, 0)); // cluster 0 local miss -> fills module 0
+        let o = c.access(AccessRequest::load(1, 0, 4, 50));
+        assert_eq!(o.class, AccessClass::RemoteHit);
+        let o = c.access(AccessRequest::load(1, 0, 4, 100));
+        assert_eq!(o.class, AccessClass::RemoteHit, "still remote without buffers");
+    }
+
+    #[test]
+    fn attraction_buffer_turns_remote_into_local() {
+        let mut c = InterleavedCache::new(&machine_ab());
+        let _ = c.access(AccessRequest::load(0, 0, 4, 0)); // warm module 0
+        let o = c.access(AccessRequest::load(1, 0, 4, 50));
+        assert_eq!(o.class, AccessClass::RemoteHit);
+        // subblock now in cluster 1's buffer: next access is a local hit
+        let o = c.access(AccessRequest::load(1, 0, 4, 100));
+        assert_eq!(o.class, AccessClass::LocalHit);
+        assert!(o.ab_hit);
+        assert_eq!(o.ready_at, 101);
+        // the whole subblock was attracted: word 16 (same block, module 0)
+        let o = c.access(AccessRequest::load(1, 16, 4, 150));
+        assert_eq!(o.class, AccessClass::LocalHit, "sibling word of the subblock");
+    }
+
+    #[test]
+    fn flush_empties_buffers() {
+        let mut c = InterleavedCache::new(&machine_ab());
+        let _ = c.access(AccessRequest::load(0, 0, 4, 0));
+        let _ = c.access(AccessRequest::load(1, 0, 4, 50));
+        c.flush_loop_boundary();
+        let o = c.access(AccessRequest::load(1, 0, 4, 100));
+        assert_eq!(o.class, AccessClass::RemoteHit, "buffer flushed between loops");
+    }
+
+    #[test]
+    fn stores_invalidate_other_buffers() {
+        let mut c = InterleavedCache::new(&machine_ab());
+        let _ = c.access(AccessRequest::load(0, 0, 4, 0));
+        let _ = c.access(AccessRequest::load(1, 0, 4, 50)); // cluster 1 attracts
+        let _ = c.access(AccessRequest::store(2, 0, 4, 100)); // cluster 2 writes
+        let o = c.access(AccessRequest::load(1, 0, 4, 150));
+        assert_eq!(o.class, AccessClass::RemoteHit, "stale buffer entry invalidated");
+    }
+
+    #[test]
+    fn non_attractable_requests_bypass_buffer() {
+        let mut c = InterleavedCache::new(&machine_ab());
+        let _ = c.access(AccessRequest::load(0, 0, 4, 0));
+        let mut r = AccessRequest::load(1, 0, 4, 50);
+        r.attractable = false;
+        let _ = c.access(r);
+        let o = c.access(AccessRequest::load(1, 0, 4, 100));
+        assert_eq!(o.class, AccessClass::RemoteHit, "hint suppressed allocation");
+    }
+
+    #[test]
+    fn combining_merges_inflight_subblock_requests() {
+        let mut c = InterleavedCache::new(&machine());
+        let a = c.access(AccessRequest::load(1, 0, 4, 0)); // remote miss, ready at 15
+        assert_eq!(a.class, AccessClass::RemoteMiss);
+        let b = c.access(AccessRequest::load(1, 16, 4, 2)); // same subblock (block 0, module 0)
+        assert!(b.combined);
+        assert_eq!(b.ready_at, a.ready_at);
+        assert_eq!(c.stats().combined(), 1);
+        // after completion, no combining
+        let d = c.access(AccessRequest::load(1, 0, 4, 40));
+        assert!(!d.combined);
+    }
+
+    #[test]
+    fn oversized_accesses_are_always_remote() {
+        let mut c = InterleavedCache::new(&machine());
+        // 8-byte element at address 0: home is cluster 0, but granularity 8 > I=4
+        let o = c.access(AccessRequest::load(0, 0, 8, 0));
+        assert!(!o.class.is_local());
+        let o = c.access(AccessRequest::load(0, 0, 8, 100));
+        assert!(!o.class.is_local());
+    }
+
+    #[test]
+    fn bus_contention_delays_remote_hits() {
+        let mut m = machine();
+        m.buses.mem_buses = 1; // single bus
+        let mut c = InterleavedCache::new(&m);
+        let _ = c.access(AccessRequest::load(0, 0, 4, 0)); // warm module 0
+        let a = c.access(AccessRequest::load(1, 0, 4, 100));
+        let b = c.access(AccessRequest::load(2, 128, 4, 100));
+        assert_eq!(a.ready_at - 100, 5);
+        assert!(b.ready_at - 100 > 5, "second request waits for the bus");
+    }
+
+    #[test]
+    fn capacity_evictions_cause_misses() {
+        // module 0 holds 2 KB = 256 subblocks in 128 sets x 2 ways; streaming
+        // 4x its capacity through one set-mapping evicts earlier blocks
+        let mut c = InterleavedCache::new(&machine());
+        let mut now = 0;
+        // touch 512 distinct blocks (addresses 0, 32, 64, …), all module 0
+        for i in 0..512u64 {
+            now += 20;
+            let _ = c.access(AccessRequest::load(0, i * 32, 4, now));
+        }
+        // re-touch the first block: evicted long ago
+        now += 20;
+        let o = c.access(AccessRequest::load(0, 0, 4, now));
+        assert_eq!(o.class, AccessClass::LocalMiss);
+    }
+
+    #[test]
+    fn stats_conserve_total() {
+        let mut c = InterleavedCache::new(&machine_ab());
+        let mut now = 0;
+        for i in 0..100u64 {
+            now += 3;
+            let _ = c.access(AccessRequest::load((i % 4) as usize, (i * 4) % 1024, 4, now));
+        }
+        let s = c.stats();
+        let sum = AccessClass::ALL.iter().map(|&cl| s.count(cl)).sum::<u64>() + s.combined();
+        assert_eq!(sum, 100);
+    }
+}

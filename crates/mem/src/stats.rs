@@ -1,0 +1,199 @@
+//! Access statistics (the raw material of Figures 4 and 6).
+
+use std::fmt;
+
+use vliw_machine::AccessClass;
+
+/// Counters for every access class plus the combined/AB special cases.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    counts: [u64; 4],
+    combined: u64,
+    ab_hits: u64,
+}
+
+fn class_index(class: AccessClass) -> usize {
+    match class {
+        AccessClass::LocalHit => 0,
+        AccessClass::RemoteHit => 1,
+        AccessClass::LocalMiss => 2,
+        AccessClass::RemoteMiss => 3,
+    }
+}
+
+impl MemStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access. A `combined` access is counted **only** in the
+    /// combined bucket (the paper treats combined accesses as a separate
+    /// group that "can derive in hits or misses").
+    pub fn record(&mut self, class: AccessClass, combined: bool, ab_hit: bool) {
+        if combined {
+            self.combined += 1;
+        } else {
+            self.counts[class_index(class)] += 1;
+        }
+        if ab_hit {
+            self.ab_hits += 1;
+        }
+    }
+
+    /// Accesses of `class` (excluding combined ones).
+    pub fn count(&self, class: AccessClass) -> u64 {
+        self.counts[class_index(class)]
+    }
+
+    /// Combined accesses.
+    pub fn combined(&self) -> u64 {
+        self.combined
+    }
+
+    /// Accesses served by Attraction Buffers (subset of local hits).
+    pub fn ab_hits(&self) -> u64 {
+        self.ab_hits
+    }
+
+    /// Total accesses including combined ones.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.combined
+    }
+
+    /// Fraction of all accesses classified as `class`.
+    pub fn ratio(&self, class: AccessClass) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / t as f64
+        }
+    }
+
+    /// Fraction of combined accesses.
+    pub fn combined_ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.combined as f64 / t as f64
+        }
+    }
+
+    /// The local hit ratio of §5.2 (local hits over all accesses).
+    pub fn local_hit_ratio(&self) -> f64 {
+        self.ratio(AccessClass::LocalHit)
+    }
+
+    /// Hit rate over classified (non-combined) accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.count(AccessClass::LocalHit) + self.count(AccessClass::RemoteHit);
+        let classified: u64 = self.counts.iter().sum();
+        if classified == 0 {
+            0.0
+        } else {
+            hits as f64 / classified as f64
+        }
+    }
+
+    /// Counter-wise difference `self − before` (saturating) — used to
+    /// isolate the accesses of one simulated loop from a shared cache's
+    /// running totals.
+    pub fn diff(&self, before: &MemStats) -> MemStats {
+        let mut out = MemStats::new();
+        for i in 0..4 {
+            out.counts[i] = self.counts[i].saturating_sub(before.counts[i]);
+        }
+        out.combined = self.combined.saturating_sub(before.combined);
+        out.ab_hits = self.ab_hits.saturating_sub(before.ab_hits);
+        out
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &MemStats) {
+        for i in 0..4 {
+            self.counts[i] += other.counts[i];
+        }
+        self.combined += other.combined;
+        self.ab_hits += other.ab_hits;
+    }
+
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        *self = MemStats::default();
+    }
+}
+
+impl fmt::Display for MemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LH {} RH {} LM {} RM {} combined {} (AB hits {})",
+            self.counts[0], self.counts[1], self.counts[2], self.counts[3], self.combined, self.ab_hits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_ratios() {
+        let mut s = MemStats::new();
+        for _ in 0..6 {
+            s.record(AccessClass::LocalHit, false, false);
+        }
+        for _ in 0..2 {
+            s.record(AccessClass::RemoteHit, false, false);
+        }
+        s.record(AccessClass::LocalMiss, false, false);
+        s.record(AccessClass::RemoteMiss, true, false); // combined
+        assert_eq!(s.total(), 10);
+        assert_eq!(s.count(AccessClass::RemoteMiss), 0, "combined not double-counted");
+        assert!((s.local_hit_ratio() - 0.6).abs() < 1e-12);
+        assert!((s.combined_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.hit_rate() - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservation_classes_plus_combined() {
+        let mut s = MemStats::new();
+        let classes = [
+            AccessClass::LocalHit,
+            AccessClass::RemoteHit,
+            AccessClass::LocalMiss,
+            AccessClass::RemoteMiss,
+        ];
+        for (i, c) in classes.iter().enumerate() {
+            for _ in 0..=i {
+                s.record(*c, false, false);
+            }
+        }
+        s.record(AccessClass::LocalHit, true, false);
+        let sum: u64 = classes.iter().map(|&c| s.count(c)).sum::<u64>() + s.combined();
+        assert_eq!(sum, s.total());
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = MemStats::new();
+        a.record(AccessClass::LocalHit, false, true);
+        let mut b = MemStats::new();
+        b.record(AccessClass::RemoteHit, false, false);
+        b.record(AccessClass::LocalHit, true, false);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.ab_hits(), 1);
+        assert_eq!(a.combined(), 1);
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        let s = MemStats::new();
+        assert_eq!(s.local_hit_ratio(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.combined_ratio(), 0.0);
+    }
+}

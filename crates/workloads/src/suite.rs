@@ -1,0 +1,242 @@
+//! The 14-benchmark suite (Table 1 + §5.2 characteristics).
+
+use crate::spec::BenchSpec;
+
+/// Names of the suite's benchmarks, in the paper's figure order.
+pub const SUITE_NAMES: [&str; 14] = [
+    "epicdec", "epicenc", "g721dec", "g721enc", "gsmdec", "gsmenc", "jpegdec", "jpegenc",
+    "mpeg2dec", "pegwitdec", "pegwitenc", "pgpdec", "pgpenc", "rasta",
+];
+
+fn base() -> BenchSpec {
+    BenchSpec {
+        name: "",
+        profile_input: "",
+        exec_input: "",
+        main_gran: 4,
+        main_share: 0.85,
+        n_loops: 8,
+        loads_per_loop: (2, 6),
+        stores_per_loop: (1, 2),
+        indirect_share: 0.02,
+        double_share: 0.0,
+        fp_frac: 0.1,
+        dynamic_frac: 0.6,
+        chain_density: 0.12,
+        chain_conflict: 0.2,
+        mem_recurrence: 0.3,
+        accumulator: 0.4,
+        trip_range: (64, 1024),
+        array_bytes: (1024, 6144),
+        stray_stride: 0.08,
+    }
+}
+
+/// The full benchmark suite.
+pub fn suite() -> Vec<BenchSpec> {
+    let b = base();
+    let specs = vec![
+        // epic decoder: 4-byte data (84%), chains cost 37% of the local hit
+        // ratio, and one loop overflows the Attraction Buffer with 19
+        // memory instructions in one cluster (synthesized in `synth`).
+        BenchSpec {
+            name: "epicdec",
+            profile_input: "test_image.pgm.E",
+            exec_input: "titanic3.pgm.E",
+            main_gran: 4,
+            main_share: 0.84,
+            chain_density: 0.55,
+            chain_conflict: 0.75,
+            n_loops: 7,
+            ..b.clone()
+        },
+        // epic encoder: 4-byte (89%), "unclear" preferred clusters
+        // (concentration 0.57) from spread-out strides.
+        BenchSpec {
+            name: "epicenc",
+            profile_input: "test_image",
+            exec_input: "titanic3.pgm",
+            main_gran: 4,
+            main_share: 0.89,
+            stray_stride: 0.45,
+            indirect_share: 0.08,
+            fp_frac: 0.3,
+            ..b.clone()
+        },
+        // g721: 2-byte (89%), tiny working sets, negligible stall time.
+        BenchSpec {
+            name: "g721dec",
+            profile_input: "clinton.g721",
+            exec_input: "S_16_44.g721",
+            main_gran: 2,
+            main_share: 0.89,
+            array_bytes: (512, 2048),
+            trip_range: (64, 256),
+            chain_density: 0.05,
+            mem_recurrence: 0.15,
+            n_loops: 6,
+            ..b.clone()
+        },
+        BenchSpec {
+            name: "g721enc",
+            profile_input: "clinton.pcm",
+            exec_input: "S_16_44.pcm",
+            main_gran: 2,
+            main_share: 0.917,
+            array_bytes: (512, 2048),
+            trip_range: (64, 256),
+            chain_density: 0.05,
+            mem_recurrence: 0.15,
+            n_loops: 6,
+            ..b.clone()
+        },
+        // gsm: 2-byte (99%) — the §4.3.4 dynamically-allocated 2-byte
+        // arrays whose alignment flips the preferred cluster.
+        BenchSpec {
+            name: "gsmdec",
+            profile_input: "clint.pcm.run.gsm",
+            exec_input: "S_16_44.pcm.gsm",
+            main_gran: 2,
+            main_share: 0.99,
+            dynamic_frac: 0.85,
+            accumulator: 0.6,
+            ..b.clone()
+        },
+        BenchSpec {
+            name: "gsmenc",
+            profile_input: "clinton.pcm",
+            exec_input: "S_16_44.pcm",
+            main_gran: 2,
+            main_share: 0.99,
+            dynamic_frac: 0.85,
+            accumulator: 0.6,
+            ..b.clone()
+        },
+        // jpeg decoder: bytes (53%), 40% indirect accesses, concentration
+        // 0.81.
+        BenchSpec {
+            name: "jpegdec",
+            profile_input: "testimg.jpg",
+            exec_input: "monalisa.jpg",
+            main_gran: 1,
+            main_share: 0.53,
+            indirect_share: 0.40,
+            stray_stride: 0.2,
+            ..b.clone()
+        },
+        // jpeg encoder: 4-byte (70%), 23% indirect, concentration 0.78;
+        // loop 67 (II 9 IBC vs 10 IPBC) emerges from the comm-heavy mix.
+        BenchSpec {
+            name: "jpegenc",
+            profile_input: "testimg.ppm",
+            exec_input: "monalisa.ppm",
+            main_gran: 4,
+            main_share: 0.70,
+            indirect_share: 0.23,
+            stray_stride: 0.18,
+            ..b.clone()
+        },
+        // mpeg2 decoder: ~half the references are 8-byte double precision —
+        // always remote, but scheduled at large latencies (no stall).
+        BenchSpec {
+            name: "mpeg2dec",
+            profile_input: "mei16v2.m2v",
+            exec_input: "tek6.m2v",
+            main_gran: 8,
+            main_share: 0.49,
+            double_share: 0.49,
+            fp_frac: 0.45,
+            ..b.clone()
+        },
+        // pegwit decrypt: 93% (!) of accesses are indirect.
+        BenchSpec {
+            name: "pegwitdec",
+            profile_input: "pegwit.enc",
+            exec_input: "tech_rep.txt.enc",
+            main_gran: 2,
+            main_share: 0.758,
+            indirect_share: 0.93,
+            ..b.clone()
+        },
+        // pegwit encrypt: 13% indirect.
+        BenchSpec {
+            name: "pegwitenc",
+            profile_input: "pgptest.plain",
+            exec_input: "tech_rep.txt",
+            main_gran: 2,
+            main_share: 0.836,
+            indirect_share: 0.13,
+            ..b.clone()
+        },
+        // pgp: 4-byte, chains cost 25% / 20% of the local hit ratio.
+        BenchSpec {
+            name: "pgpdec",
+            profile_input: "pgptext.pgp",
+            exec_input: "tech_rep.txt.enc",
+            main_gran: 4,
+            main_share: 0.921,
+            chain_density: 0.45,
+            chain_conflict: 0.6,
+            ..b.clone()
+        },
+        BenchSpec {
+            name: "pgpenc",
+            profile_input: "pgptest.plain",
+            exec_input: "tech_rep.txt",
+            main_gran: 4,
+            main_share: 0.732,
+            chain_density: 0.40,
+            chain_conflict: 0.55,
+            ..b.clone()
+        },
+        // rasta: FP-heavy speech processing, chains cost 29%.
+        BenchSpec {
+            name: "rasta",
+            profile_input: "ex5_c1.wav",
+            exec_input: "ex5_c1.wav",
+            main_gran: 4,
+            main_share: 0.95,
+            fp_frac: 0.55,
+            chain_density: 0.45,
+            chain_conflict: 0.65,
+            ..b.clone()
+        },
+    ];
+    for s in &specs {
+        s.validate().expect("suite spec valid");
+    }
+    specs
+}
+
+/// Looks up one benchmark's spec by name.
+pub fn spec_by_name(name: &str) -> Option<BenchSpec> {
+    suite().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_14_valid_benchmarks_in_figure_order() {
+        let s = suite();
+        assert_eq!(s.len(), 14);
+        for (spec, name) in s.iter().zip(SUITE_NAMES) {
+            assert_eq!(spec.name, name);
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn table1_dominant_sizes() {
+        assert_eq!(spec_by_name("gsmdec").unwrap().main_gran, 2);
+        assert_eq!(spec_by_name("jpegdec").unwrap().main_gran, 1);
+        assert_eq!(spec_by_name("mpeg2dec").unwrap().main_gran, 8);
+        assert!((spec_by_name("pegwitdec").unwrap().indirect_share - 0.93).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookup_misses_gracefully() {
+        assert!(spec_by_name("nonesuch").is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! The §4.3.4 variable-alignment effect, isolated: the same loop profiled
+//! on one input and executed on another, with and without padding.
+//!
+//! Without padding, a dynamically allocated array lands at a different
+//! `mod N×I` offset under the execution input than under the profiling
+//! input, the preferred-cluster information goes stale, and the local hit
+//! ratio collapses — the paper's gsmdec anecdote. Padding stack frames and
+//! `malloc` results to `N×I` makes the profile stable.
+//!
+//! Run with `cargo run --release --example alignment_effect`.
+
+use interleaved_vliw::experiments::{run_benchmark, ExperimentContext, RunConfig, UnrollMode};
+use interleaved_vliw::workloads::{spec_by_name, synthesize};
+
+fn main() {
+    let ctx = ExperimentContext::full();
+    let spec = spec_by_name("gsmdec").expect("gsmdec in suite");
+    let model = synthesize(&spec, &ctx.workloads, &ctx.machine);
+
+    println!("gsmdec (2-byte samples in dynamically allocated buffers), IPBC + OUF:\n");
+    println!(
+        "{:>20} {:>11} {:>11} {:>11} {:>11}",
+        "", "local hits", "remote hits", "misses", "stall"
+    );
+    for (label, padding) in [("without alignment", false), ("with alignment", true)] {
+        let cfg = RunConfig { unroll: UnrollMode::Ouf, padding, ..RunConfig::ipbc() };
+        let run = run_benchmark(&model, &cfg, &ctx);
+        let mix = run.access_mix();
+        let total: f64 = mix.iter().sum();
+        println!(
+            "{label:>20} {:>10.1}% {:>10.1}% {:>10.1}% {:>11.0}",
+            100.0 * mix[0] / total,
+            100.0 * mix[1] / total,
+            100.0 * (mix[2] + mix[3]) / total,
+            run.stall_cycles(),
+        );
+    }
+    println!(
+        "\nThe paper reports a ~20 percentage-point local-hit gain from variable\n\
+         alignment on average (Figure 4, bars ii vs iii)."
+    );
+}

@@ -1,0 +1,256 @@
+//! Property-based tests over randomly generated kernels: scheduling
+//! legality, unrolling semantics and cache-model invariants must hold for
+//! *arbitrary* inputs, not just the synthesized suite.
+
+use proptest::prelude::*;
+
+use interleaved_vliw::ir::{
+    unroll, ArrayKind, DepKind, KernelBuilder, LoopKernel, MemProfile, Opcode,
+};
+use interleaved_vliw::machine::{AccessClass, MachineConfig};
+use interleaved_vliw::mem::{AccessRequest, CoherentCache, DataCache, InterleavedCache};
+use interleaved_vliw::sched::{
+    optimal_unroll_factor, schedule_kernel, ClusterPolicy, MemChains, ScheduleOptions,
+};
+
+/// Compact description of one generated operation.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Load { array: usize, offset: u8, stride: u8, gran_pow: u8, hit: u8, pref: u8 },
+    Compute { opcode: u8, src_a: u8, src_b: Option<u8>, carried: bool },
+    Store { array: usize, offset: u8, stride: u8, gran_pow: u8, value: u8 },
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0..2usize, any::<u8>(), 1..32u8, 0..3u8, 0..=10u8, 0..4u8).prop_map(
+            |(array, offset, stride, gran_pow, hit, pref)| GenOp::Load {
+                array,
+                offset,
+                stride,
+                gran_pow,
+                hit,
+                pref
+            }
+        ),
+        (0..6u8, any::<u8>(), proptest::option::of(any::<u8>()), any::<bool>()).prop_map(
+            |(opcode, src_a, src_b, carried)| GenOp::Compute { opcode, src_a, src_b, carried }
+        ),
+        (0..2usize, any::<u8>(), 1..32u8, 0..3u8, any::<u8>()).prop_map(
+            |(array, offset, stride, gran_pow, value)| GenOp::Store {
+                array,
+                offset,
+                stride,
+                gran_pow,
+                value
+            }
+        ),
+    ]
+}
+
+/// Builds a valid kernel from the op descriptions (always at least one op).
+fn build_kernel(ops: &[GenOp], chain_pairs: &[(u8, u8)], recur: bool) -> LoopKernel {
+    let mut b = KernelBuilder::new("prop");
+    let a0 = b.array("a0", 4096, ArrayKind::Heap);
+    let a1 = b.array("a1", 4096, ArrayKind::Global);
+    let arrays = [a0, a1];
+    let mut values = Vec::new();
+    let mut mem_ids = Vec::new();
+    let mut store_ids = Vec::new();
+    let mut load_ids = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            GenOp::Load { array, offset, stride, gran_pow, hit, pref } => {
+                let gran = 1u8 << gran_pow; // 1, 2 or 4 bytes
+                let (id, v) = b.load(
+                    format!("ld{i}"),
+                    arrays[*array],
+                    (*offset as i64) * gran as i64,
+                    (*stride as i64) * gran as i64,
+                    gran,
+                );
+                b.set_profile(
+                    id,
+                    MemProfile::with_local_ratio(*hit as f64 / 10.0, *pref as usize, 0.7, 4),
+                );
+                values.push(v);
+                mem_ids.push(id);
+                load_ids.push(id);
+            }
+            GenOp::Compute { opcode, src_a, src_b, carried } => {
+                let table = [Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::And, Opcode::FAdd, Opcode::FMul];
+                let mut srcs = Vec::new();
+                if !values.is_empty() {
+                    srcs.push(values[*src_a as usize % values.len()].into());
+                    if let Some(sb) = src_b {
+                        srcs.push(values[*sb as usize % values.len()].into());
+                    }
+                }
+                let (_, v) = if *carried {
+                    b.int_op_carried(format!("c{i}"), table[*opcode as usize % 6], &srcs, 1)
+                } else {
+                    b.int_op(format!("c{i}"), table[*opcode as usize % 6], &srcs)
+                };
+                values.push(v);
+            }
+            GenOp::Store { array, offset, stride, gran_pow, value } => {
+                if values.is_empty() {
+                    continue; // nothing to store yet
+                }
+                let gran = 1u8 << gran_pow;
+                let v = values[*value as usize % values.len()];
+                let (id, _) = b.store(
+                    format!("st{i}"),
+                    arrays[*array],
+                    2048 + (*offset as i64) * gran as i64,
+                    (*stride as i64) * gran as i64,
+                    gran,
+                    v,
+                );
+                mem_ids.push(id);
+                store_ids.push(id);
+            }
+        }
+    }
+    if values.is_empty() {
+        let (_, v) = b.int_op("seed", Opcode::Add, &[]);
+        values.push(v);
+    }
+    // conservative chains: forward memory edges between chosen pairs
+    for &(x, y) in chain_pairs {
+        if mem_ids.len() >= 2 {
+            let i = x as usize % mem_ids.len();
+            let j = y as usize % mem_ids.len();
+            if i != j {
+                let (from, to) = (mem_ids[i.min(j)], mem_ids[i.max(j)]);
+                b.mem_dep(from, to, DepKind::MemOut, 0);
+            }
+        }
+    }
+    // optional memory recurrence
+    if recur {
+        if let (Some(&st), Some(&ld)) = (store_ids.first(), load_ids.first()) {
+            b.mem_dep(st, ld, DepKind::MemFlow, 1);
+        }
+    }
+    b.finish(64.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any generated kernel schedules legally under every policy.
+    #[test]
+    fn schedules_are_always_legal(
+        ops in proptest::collection::vec(gen_op(), 1..10),
+        chains in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..4),
+        recur in any::<bool>(),
+        policy_idx in 0..4usize,
+    ) {
+        let kernel = build_kernel(&ops, &chains, recur);
+        let machine = MachineConfig::word_interleaved_4();
+        let policy = [
+            ClusterPolicy::Free,
+            ClusterPolicy::BuildChains,
+            ClusterPolicy::PreBuildChains,
+            ClusterPolicy::NoChains,
+        ][policy_idx];
+        let s = schedule_kernel(&kernel, &machine, ScheduleOptions::new(policy))
+            .expect("generated kernels are schedulable");
+        let errs = s.verify(&kernel, &machine);
+        prop_assert!(errs.is_empty(), "violations: {errs:?}\nkernel: {kernel}");
+        prop_assert!(s.ii >= s.mii);
+        // chain co-location under the chain-respecting policies
+        if matches!(policy, ClusterPolicy::BuildChains | ClusterPolicy::PreBuildChains) {
+            let mc = MemChains::build(&kernel);
+            for (_, members) in mc.iter() {
+                let c0 = s.op(members[0]).cluster;
+                for &m in members {
+                    prop_assert_eq!(s.op(m).cluster, c0);
+                }
+            }
+        }
+    }
+
+    /// Unrolling preserves dynamic work and makes every eligible stride a
+    /// multiple of N×I at the OUF.
+    #[test]
+    fn unrolling_invariants(
+        ops in proptest::collection::vec(gen_op(), 1..8),
+        factor in 1..9u32,
+    ) {
+        let kernel = build_kernel(&ops, &[], false);
+        let machine = MachineConfig::word_interleaved_4();
+        let u = unroll(&kernel, factor);
+        prop_assert_eq!(u.ops.len(), kernel.ops.len() * factor as usize);
+        prop_assert!((u.dynamic_ops() - kernel.dynamic_ops()).abs() < 1e-6);
+        // SSA preserved
+        let mut seen = std::collections::HashSet::new();
+        for op in &u.ops {
+            if let Some(d) = op.dst {
+                prop_assert!(seen.insert(d));
+            }
+        }
+        // OUF property
+        let ouf = optimal_unroll_factor(&kernel, &machine);
+        let at_ouf = unroll(&kernel, ouf);
+        for op in at_ouf.mem_ops() {
+            let m = op.mem.as_ref().unwrap();
+            if let Some(stride) = m.stride {
+                if m.granularity as usize <= machine.cache.interleave_bytes && m.hit_rate() > 0.0 {
+                    prop_assert_eq!(stride % machine.ni_bytes(), 0,
+                        "op {} stride {} not aligned at OUF {}", op.name, stride, ouf);
+                }
+            }
+        }
+    }
+
+    /// Cache models conserve accesses and the interleaved cache never
+    /// replicates data outside Attraction Buffers.
+    #[test]
+    fn cache_invariants(addrs in proptest::collection::vec((0..4096u64, 0..4usize, any::<bool>()), 1..200)) {
+        let machine = MachineConfig::word_interleaved_4();
+        let mut cache = InterleavedCache::new(&machine);
+        let mut now = 0;
+        for &(addr, cluster, is_store) in &addrs {
+            now += 3;
+            let req = if is_store {
+                AccessRequest::store(cluster, addr, 4, now)
+            } else {
+                AccessRequest::load(cluster, addr, 4, now)
+            };
+            let out = cache.access(req);
+            prop_assert!(out.ready_at >= now);
+            // a local access classifies local iff the home matches
+            let home = cache.home_cluster(addr);
+            if out.class.is_local() && !out.combined {
+                prop_assert_eq!(home, cluster);
+            }
+        }
+        let s = cache.stats();
+        let sum: u64 = AccessClass::ALL.iter().map(|&c| s.count(c)).sum::<u64>() + s.combined();
+        prop_assert_eq!(sum, addrs.len() as u64);
+    }
+
+    /// The coherent (multiVLIW) cache keeps the single-writer invariant.
+    #[test]
+    fn coherent_single_writer(addrs in proptest::collection::vec((0..1024u64, 0..4usize, any::<bool>()), 1..150)) {
+        let machine = MachineConfig::multi_vliw_4();
+        let mut cache = CoherentCache::new(&machine);
+        let mut now = 0;
+        for &(addr, cluster, is_store) in &addrs {
+            now += 3;
+            let req = if is_store {
+                AccessRequest::store(cluster, addr, 4, now)
+            } else {
+                AccessRequest::load(cluster, addr, 4, now)
+            };
+            let _ = cache.access(req);
+            if is_store {
+                prop_assert_eq!(cache.copies_of(addr), 1, "store must leave one copy");
+            } else {
+                prop_assert!(cache.copies_of(addr) >= 1);
+            }
+        }
+    }
+}
