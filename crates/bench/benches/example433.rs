@@ -1,17 +1,13 @@
-//! Criterion bench: the §4.3.3 worked example (latency assignment on the
-//! Figure 3 DDG).
+//! Bench: the §4.3.3 worked example (latency assignment on the Figure 3
+//! DDG).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+use vliw_bench::harness::Bench;
 use vliw_experiments::example433::example433;
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("example433", |b| b.iter(|| black_box(example433())));
+fn main() {
+    let mut b = Bench::new("example433").min_iters(20);
+    b.run("example433", || black_box(example433()));
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench: regenerate the paper's figures on a reduced context, each one
+//! routed through its `RunGrid` (parallel, schedule-memoized).
+
+use std::hint::black_box;
+
+use vliw_bench::{bench_context, harness::Bench};
+use vliw_experiments::{fig4, fig5, fig6, fig7, fig8, tables};
+
+fn main() {
+    let ctx = bench_context();
+    let mut b = Bench::new("figures").min_iters(5);
+    b.run("fig4", || black_box(fig4::fig4(black_box(&ctx))));
+    b.run("fig5", || black_box(fig5::fig5(black_box(&ctx))));
+    b.run("fig6", || black_box(fig6::fig6(black_box(&ctx))));
+    b.run("fig7", || black_box(fig7::fig7(black_box(&ctx))));
+    b.run("fig8", || black_box(fig8::fig8(black_box(&ctx))));
+    b.run("table1", || black_box(tables::table1(black_box(&ctx))));
+    b.finish();
+}

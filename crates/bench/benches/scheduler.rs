@@ -1,9 +1,9 @@
-//! Microbenches of the scheduler itself: latency assignment, ordering and
-//! full modulo scheduling of an OUF-unrolled kernel, per policy.
+//! Microbenches of the scheduler itself: full modulo scheduling of an
+//! OUF-unrolled kernel, per cluster-assignment policy.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use vliw_bench::micro_context;
+
+use vliw_bench::{harness::Bench, micro_context};
 use vliw_ir::unroll;
 use vliw_machine::MachineConfig;
 use vliw_sched::{schedule_kernel, ClusterPolicy, ScheduleOptions};
@@ -19,31 +19,24 @@ fn prepared_kernel() -> (vliw_ir::LoopKernel, MachineConfig) {
     (k, ctx.machine)
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (kernel, machine) = prepared_kernel();
+    let mut b = Bench::new("scheduler").min_iters(20);
     for (name, policy) in [
-        ("schedule/base", ClusterPolicy::Free),
-        ("schedule/ibc", ClusterPolicy::BuildChains),
-        ("schedule/ipbc", ClusterPolicy::PreBuildChains),
+        ("base", ClusterPolicy::Free),
+        ("ibc", ClusterPolicy::BuildChains),
+        ("ipbc", ClusterPolicy::PreBuildChains),
     ] {
-        c.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(
-                    schedule_kernel(
-                        black_box(&kernel),
-                        black_box(&machine),
-                        ScheduleOptions::new(policy),
-                    )
-                    .unwrap(),
+        b.run(name, || {
+            black_box(
+                schedule_kernel(
+                    black_box(&kernel),
+                    black_box(&machine),
+                    ScheduleOptions::new(policy),
                 )
-            })
+                .unwrap(),
+            )
         });
     }
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

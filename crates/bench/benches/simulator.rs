@@ -1,24 +1,24 @@
 //! Microbenches of the cache models and the execution engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+use vliw_bench::harness::Bench;
 use vliw_machine::MachineConfig;
 use vliw_mem::{build_cache, AccessRequest, DataCache, InterleavedCache};
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("simulator").min_iters(20);
     // raw interleaved-cache access throughput
     let machine = MachineConfig::word_interleaved_4().with_attraction_buffers(16, 2);
-    c.bench_function("cache/interleaved_10k_accesses", |b| {
-        b.iter(|| {
-            let mut cache = InterleavedCache::new(&machine);
-            let mut now = 0;
-            for i in 0..10_000u64 {
-                now += 2;
-                let req = AccessRequest::load((i % 4) as usize, (i * 4) % 16384, 4, now);
-                black_box(cache.access(req));
-            }
-            black_box(cache.stats().total())
-        })
+    b.run("interleaved_10k_accesses", || {
+        let mut cache = InterleavedCache::new(&machine);
+        let mut now = 0;
+        for i in 0..10_000u64 {
+            now += 2;
+            let req = AccessRequest::load((i % 4) as usize, (i * 4) % 16384, 4, now);
+            black_box(cache.access(req));
+        }
+        black_box(cache.stats().total())
     });
     // the three organizations, same stream
     for arch in ["interleaved", "multivliw", "unified"] {
@@ -27,22 +27,19 @@ fn bench(c: &mut Criterion) {
             "multivliw" => MachineConfig::multi_vliw_4(),
             _ => MachineConfig::unified_4(1),
         };
-        c.bench_function(&format!("cache/{arch}_stream"), |b| {
-            b.iter(|| {
-                let mut cache = build_cache(&m);
-                let mut now = 0;
-                for i in 0..4096u64 {
-                    now += 2;
-                    black_box(cache.access(AccessRequest::load((i % 4) as usize, (i * 8) % 8192, 4, now)));
-                }
-            })
+        b.run(&format!("{arch}_stream"), || {
+            let mut cache = build_cache(&m);
+            let mut now = 0;
+            for i in 0..4096u64 {
+                now += 2;
+                black_box(cache.access(AccessRequest::load(
+                    (i % 4) as usize,
+                    (i * 8) % 8192,
+                    4,
+                    now,
+                )));
+            }
         });
     }
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

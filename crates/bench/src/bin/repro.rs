@@ -1,11 +1,16 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro [quick|full] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|all]`
+//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|all]`
 //!
 //! Results print to stdout and are also written as CSV under `results/`.
+//! Every run additionally emits `BENCH_repro.json` — a machine-readable
+//! record of per-figure wall time and headline cycle metrics, so the perf
+//! trajectory of the full pipeline can be tracked across commits.
 
+use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 use vliw_experiments::{
     chains_exp, example433, fig4, fig5, fig6, fig7, fig8, hints_exp, interleave_study, tables,
@@ -24,77 +29,279 @@ fn save(name: &str, csv: String) {
     }
 }
 
+/// One figure's machine-readable record.
+struct FigureRecord {
+    name: &'static str,
+    wall_seconds: f64,
+    metrics: Vec<(String, f64)>,
+}
+
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_bench_json(scale: &str, n_benchmarks: usize, serial: bool, figures: &[FigureRecord]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"vliw-bench-repro/1\",");
+    let _ = writeln!(out, "  \"scale\": \"{}\",", json_escape(scale));
+    let _ = writeln!(out, "  \"benchmarks\": {n_benchmarks},");
+    let _ = writeln!(out, "  \"serial\": {serial},");
+    let total: f64 = figures.iter().map(|f| f.wall_seconds).sum();
+    let _ = writeln!(out, "  \"total_wall_seconds\": {},", json_number(total));
+    out.push_str("  \"figures\": {\n");
+    for (i, f) in figures.iter().enumerate() {
+        let _ = writeln!(out, "    \"{}\": {{", json_escape(f.name));
+        let _ = write!(
+            out,
+            "      \"wall_seconds\": {}",
+            json_number(f.wall_seconds)
+        );
+        if f.metrics.is_empty() {
+            out.push('\n');
+        } else {
+            out.push_str(",\n      \"metrics\": {\n");
+            for (j, (k, v)) in f.metrics.iter().enumerate() {
+                let comma = if j + 1 < f.metrics.len() { "," } else { "" };
+                let _ = writeln!(
+                    out,
+                    "        \"{}\": {}{comma}",
+                    json_escape(k),
+                    json_number(*v)
+                );
+            }
+            out.push_str("      }\n");
+        }
+        let comma = if i + 1 < figures.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  }\n}\n");
+    let path = "BENCH_repro.json";
+    if let Err(e) = fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("[saved {path}]");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = "full";
+    let mut serial = false;
     let mut targets: Vec<&str> = Vec::new();
     for a in &args {
         match a.as_str() {
             "quick" | "full" => scale = a,
+            "--serial" => serial = true,
             other => targets.push(other),
         }
     }
     if targets.is_empty() {
         targets.push("all");
     }
-    let ctx = if scale == "quick" { ExperimentContext::quick() } else { ExperimentContext::full() };
+    const KNOWN: [&str; 12] = [
+        "all",
+        "table1",
+        "table2",
+        "example433",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "hints",
+        "chains",
+        "interleave",
+    ];
+    if let Some(bad) = targets.iter().find(|t| !KNOWN.contains(t)) {
+        eprintln!(
+            "error: unknown target '{bad}' (expected one of: {})",
+            KNOWN.join(", ")
+        );
+        std::process::exit(2);
+    }
+    if serial {
+        // the figure drivers consult this to pick serial grid execution;
+        // used by the determinism check in CI
+        std::env::set_var("VLIW_GRID_SERIAL", "1");
+    }
+    let ctx = if scale == "quick" {
+        ExperimentContext::quick()
+    } else {
+        ExperimentContext::full()
+    };
     println!("# scale: {scale} ({} benchmarks)\n", ctx.benchmarks.len());
 
     let want = |t: &str| targets.contains(&"all") || targets.contains(&t);
+    let mut records: Vec<FigureRecord> = Vec::new();
+    let mut record = |name: &'static str, started: Instant, metrics: Vec<(String, f64)>| {
+        records.push(FigureRecord {
+            name,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            metrics,
+        });
+    };
 
     if want("table1") {
+        let t0 = Instant::now();
         let t = tables::table1(&ctx);
         println!("{t}");
         save("table1", t.table().to_csv());
+        record("table1", t0, Vec::new());
     }
     if want("table2") {
+        let t0 = Instant::now();
         let t = tables::table2(&ctx);
         println!("{t}");
         save("table2", t.table().to_csv());
+        record("table2", t0, Vec::new());
     }
     if want("example433") {
+        let t0 = Instant::now();
         let e = example433::example433();
         println!("{e}");
         save("example433", e.table().to_csv());
+        record("example433", t0, Vec::new());
     }
     if want("fig4") {
+        let t0 = Instant::now();
         let f = fig4::fig4(&ctx);
         println!("{f}");
         save("fig4", f.table().to_csv());
+        let mut m = vec![
+            ("alignment_gain".into(), f.alignment_gain()),
+            ("unrolling_gain".into(), f.unrolling_gain()),
+        ];
+        for (b, label) in fig4::BAR_LABELS.iter().enumerate() {
+            m.push((format!("local_hit_amean/{label}"), f.amean[b][0]));
+        }
+        record("fig4", t0, m);
     }
     if want("fig5") {
+        let t0 = Instant::now();
         let f = fig5::fig5(&ctx);
         println!("{f}");
         save("fig5", f.table().to_csv());
+        let mut m = Vec::new();
+        for r in &f.rows {
+            m.push((format!("stall_ibc/{}", r.bench), r.stall.0));
+            m.push((format!("stall_ipbc/{}", r.bench), r.stall.1));
+        }
+        record("fig5", t0, m);
     }
     if want("fig6") {
+        let t0 = Instant::now();
         let f = fig6::fig6(&ctx);
         println!("{f}");
         save("fig6", f.table().to_csv());
+        record(
+            "fig6",
+            t0,
+            vec![
+                ("remote_hit_share_ibc".into(), f.remote_hit_share(0)),
+                ("remote_hit_share_ipbc".into(), f.remote_hit_share(2)),
+                ("ab_reduction_ibc".into(), f.ab_reduction(0)),
+                ("ab_reduction_ipbc".into(), f.ab_reduction(2)),
+            ],
+        );
     }
     if want("fig7") {
+        let t0 = Instant::now();
         let f = fig7::fig7(&ctx);
         println!("{f}");
         save("fig7", f.table().to_csv());
+        let m = fig7::CONFIG_LABELS
+            .iter()
+            .enumerate()
+            .map(|(i, label)| (format!("wb_amean/{label}"), f.amean[i]))
+            .collect();
+        record("fig7", t0, m);
     }
     if want("fig8") {
+        let t0 = Instant::now();
         let f = fig8::fig8(&ctx);
         println!("{f}");
         save("fig8", f.table().to_csv());
+        let mut m = vec![
+            ("ipbc_vs_unified5".into(), f.speedup(0, 3)),
+            ("ibc_vs_unified5".into(), f.speedup(1, 3)),
+            ("ipbc_vs_multivliw".into(), f.vs_multivliw()),
+        ];
+        for r in &f.rows {
+            m.push((format!("unified1_cycles/{}", r.bench), r.unified1_cycles));
+            for (i, label) in fig8::BAR_LABELS.iter().enumerate() {
+                m.push((
+                    format!("cycles/{}/{label}", r.bench),
+                    r.bars[i].total() * r.unified1_cycles,
+                ));
+            }
+        }
+        record("fig8", t0, m);
     }
     if want("hints") {
+        let t0 = Instant::now();
         let h = hints_exp::hints_experiment(&ctx);
         println!("{h}");
         save("hints", h.table().to_csv());
+        let mut m = Vec::new();
+        for heuristic in ["IPBC", "IBC"] {
+            for entries in [8usize, 16] {
+                if let Some(r) = h.reduction(heuristic, entries) {
+                    m.push((format!("hint_reduction/{heuristic}/{entries}"), r));
+                }
+            }
+        }
+        record("hints", t0, m);
     }
     if want("interleave") {
+        let t0 = Instant::now();
         let s = interleave_study::interleave_study(&ctx);
         println!("{s}");
         save("interleave", s.table().to_csv());
+        let m = s
+            .rows
+            .iter()
+            .map(|r| (format!("cycles/{}/{}B", r.bench, r.interleave), r.cycles))
+            .collect();
+        record("interleave", t0, m);
     }
     if want("chains") {
+        let t0 = Instant::now();
         let c = chains_exp::chain_breaking(&ctx, "epicdec");
         println!("{c}");
         save("chains", c.table().to_csv());
+        record(
+            "chains",
+            t0,
+            vec![
+                ("compute_with".into(), c.compute.0),
+                ("compute_without".into(), c.compute.1),
+                ("stall_with".into(), c.stall.0),
+                ("stall_without".into(), c.stall.1),
+            ],
+        );
     }
+
+    write_bench_json(scale, ctx.benchmarks.len(), serial, &records);
 }

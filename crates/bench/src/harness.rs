@@ -1,0 +1,131 @@
+//! A minimal wall-clock bench harness (no external dependencies).
+//!
+//! Each measurement warms up, then runs enough iterations to cover a
+//! target measurement window and reports min / median / mean per-iteration
+//! times. Use [`Bench::run`] per case and call [`Bench::finish`] at the end
+//! of `main` so the target exits non-zero on misuse (no cases run).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One bench target's runner and report accumulator.
+pub struct Bench {
+    target: String,
+    min_iters: u32,
+    measure_for: Duration,
+    cases: usize,
+}
+
+/// The timing summary of one case.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseResult {
+    /// Iterations measured.
+    pub iters: u32,
+    /// Minimum per-iteration time.
+    pub min: Duration,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl Bench {
+    /// A harness for the named bench target.
+    pub fn new(target: &str) -> Self {
+        Bench {
+            target: target.to_string(),
+            min_iters: 10,
+            measure_for: Duration::from_millis(750),
+            cases: 0,
+        }
+    }
+
+    /// Lowers/raises the iteration floor (default 10).
+    pub fn min_iters(mut self, iters: u32) -> Self {
+        self.min_iters = iters.max(1);
+        self
+    }
+
+    /// Runs one case: warmup once, then measure at least `min_iters`
+    /// iterations (and at least the measurement window), and print a
+    /// one-line summary. The closure's result is black-boxed so the work
+    /// cannot be optimized away.
+    pub fn run<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> CaseResult {
+        self.cases += 1;
+        black_box(f()); // warmup + lazy-init
+        let mut samples: Vec<Duration> = Vec::new();
+        let started = Instant::now();
+        while (samples.len() as u32) < self.min_iters || started.elapsed() < self.measure_for {
+            let t = Instant::now();
+            black_box(f());
+            samples.push(t.elapsed());
+            if samples.len() >= 10_000 {
+                break; // fast case: enough samples for any statistic
+            }
+        }
+        samples.sort();
+        let iters = samples.len() as u32;
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / iters;
+        let result = CaseResult {
+            iters,
+            min,
+            median,
+            mean,
+        };
+        println!(
+            "bench {}/{name}: {} iters, min {}, median {}, mean {}",
+            self.target,
+            iters,
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+        );
+        result
+    }
+
+    /// Ends the target; exits non-zero if no case ran.
+    pub fn finish(self) {
+        if self.cases == 0 {
+            eprintln!("bench {}: no cases ran", self.target);
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut b = Bench::new("t").min_iters(3);
+        b.measure_for = Duration::from_millis(1);
+        let r = b.run("noop", || 1 + 1);
+        assert!(r.iters >= 3);
+        assert!(r.min <= r.median && r.median <= r.mean.max(r.median));
+        b.finish();
+    }
+
+    #[test]
+    fn formats_durations() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.000 s");
+    }
+}

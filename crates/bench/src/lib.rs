@@ -1,13 +1,16 @@
-//! Shared plumbing for the Criterion benches and the `repro` binary.
+//! Shared plumbing for the bench targets and the `repro` binary.
 //!
-//! Each bench target regenerates one table or figure of the paper on a
-//! reduced context (Criterion repeats the measurement, so the full
-//! 14-benchmark sweep lives in the `repro` binary instead — run
-//! `cargo run --release -p vliw-bench --bin repro full all`).
+//! The bench targets use the dependency-free [`harness`] (the container
+//! this workspace builds in has no registry access, so Criterion is out of
+//! reach); each target regenerates one artifact of the paper on a reduced
+//! context. The full 14-benchmark sweep lives in the `repro` binary —
+//! run `cargo run --release -p vliw-bench --bin repro full all`.
+
+pub mod harness;
 
 use vliw_experiments::ExperimentContext;
 
-/// A deliberately small context for Criterion: two benchmarks, short
+/// A deliberately small context for the benches: two benchmarks, short
 /// simulations — large enough to exercise every pipeline stage, small
 /// enough to repeat.
 pub fn bench_context() -> ExperimentContext {

@@ -30,7 +30,10 @@ impl MemChains {
             parent[x]
         }
         for e in kernel.edges.iter().filter(|e| e.kind.is_memory()) {
-            let (a, b) = (find(&mut parent, e.from.index()), find(&mut parent, e.to.index()));
+            let (a, b) = (
+                find(&mut parent, e.from.index()),
+                find(&mut parent, e.to.index()),
+            );
             if a != b {
                 parent[a] = b;
             }
@@ -76,7 +79,10 @@ impl MemChains {
 
     /// Iterator over `(chain id, members)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[OpId])> + '_ {
-        self.chains.iter().enumerate().map(|(i, m)| (i, m.as_slice()))
+        self.chains
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i, m.as_slice()))
     }
 
     /// The chain's *average preferred cluster* (§4.3.2): each member votes
@@ -84,11 +90,21 @@ impl MemChains {
     /// (ties resolve to the lowest-numbered cluster). With this rule the
     /// paper's Figure 3 chain {n1, n2, n4} — preferences {1, 1, 2} — lands
     /// in cluster 1. `None` when no member has profile data.
-    pub fn preferred_cluster(&self, id: usize, kernel: &LoopKernel, n_clusters: usize) -> Option<usize> {
+    pub fn preferred_cluster(
+        &self,
+        id: usize,
+        kernel: &LoopKernel,
+        n_clusters: usize,
+    ) -> Option<usize> {
         let mut votes = vec![0u64; n_clusters];
         let mut any = false;
         for &op in self.members(id) {
-            if let Some(pref) = kernel.op(op).mem.as_ref().and_then(|m| m.preferred_cluster()) {
+            if let Some(pref) = kernel
+                .op(op)
+                .mem
+                .as_ref()
+                .and_then(|m| m.preferred_cluster())
+            {
                 if pref < n_clusters {
                     any = true;
                     votes[pref] += 1;

@@ -32,7 +32,10 @@ impl Circuit {
     pub fn ii_bound(&self, mut edge_latency: impl FnMut(usize) -> u32) -> u32 {
         let lat: u64 = self.edges.iter().map(|&e| edge_latency(e) as u64).sum();
         let dist = self.total_distance as u64;
-        debug_assert!(dist > 0, "circuit with zero total distance is an illegal DDG");
+        debug_assert!(
+            dist > 0,
+            "circuit with zero total distance is an illegal DDG"
+        );
         lat.div_ceil(dist) as u32
     }
 }
@@ -48,7 +51,10 @@ pub struct EnumLimits {
 
 impl Default for EnumLimits {
     fn default() -> Self {
-        EnumLimits { max_circuits: 50_000, max_len: 256 }
+        EnumLimits {
+            max_circuits: 50_000,
+            max_len: 256,
+        }
     }
 }
 
@@ -117,7 +123,11 @@ pub fn elementary_circuits(ddg: &Ddg, limits: EnumLimits) -> Vec<Circuit> {
                         "zero-distance circuit through {nodes:?}: illegal dependence graph"
                     );
                 } else {
-                    result.push(Circuit { nodes, edges, total_distance });
+                    result.push(Circuit {
+                        nodes,
+                        edges,
+                        total_distance,
+                    });
                 }
                 found = true;
                 if result.len() >= limits.max_circuits {
@@ -126,7 +136,16 @@ pub fn elementary_circuits(ddg: &Ddg, limits: EnumLimits) -> Vec<Circuit> {
             } else if !blocked[w] {
                 stack_edges.push(ei);
                 if circuit(
-                    w, s, adj, ddg, blocked, block_list, stack_nodes, stack_edges, result, limits,
+                    w,
+                    s,
+                    adj,
+                    ddg,
+                    blocked,
+                    block_list,
+                    stack_nodes,
+                    stack_edges,
+                    result,
+                    limits,
                 ) {
                     found = true;
                 }
@@ -275,7 +294,13 @@ mod tests {
         }
         let k = b.finish(1.0);
         let g = Ddg::build(&k);
-        let cs = elementary_circuits(&g, EnumLimits { max_circuits: 100, max_len: 8 });
+        let cs = elementary_circuits(
+            &g,
+            EnumLimits {
+                max_circuits: 100,
+                max_len: 8,
+            },
+        );
         assert!(cs.len() <= 100);
         assert!(!cs.is_empty());
     }

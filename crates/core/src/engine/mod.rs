@@ -1,6 +1,18 @@
 //! The scheduling engine: cluster assignment and slot placement in a single
 //! step (§4.2 and §4.3.1 step 4), with no backtracking — any failure bumps
 //! the II and restarts, exactly as the paper describes.
+//!
+//! Cluster-assignment heuristics are pluggable: the engine drives a
+//! [`ClusterAssign`] trait object, one implementation per policy module
+//! ([`base`], [`ibc`], [`ipbc`], [`no_chains`]). [`ClusterPolicy`] is the
+//! thin enum mapping the paper's names onto those implementations; adding a
+//! heuristic is one new module plus one enum arm.
+
+pub mod base;
+pub mod ibc;
+pub mod ipbc;
+pub mod no_chains;
+pub mod policy;
 
 use std::collections::HashMap;
 
@@ -14,6 +26,8 @@ use crate::mii;
 use crate::mrt::Mrt;
 use crate::order::sms_order;
 use crate::schedule::{Schedule, ScheduleError, ScheduledCopy, ScheduledOp};
+
+pub use policy::{AssignContext, AssignState, ClusterAssign, Neighbor};
 
 /// How memory instructions are assigned to clusters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,6 +49,26 @@ pub enum ClusterPolicy {
     NoChains,
 }
 
+impl ClusterPolicy {
+    /// The [`ClusterAssign`] implementation behind this policy.
+    pub fn assigner(&self) -> &'static dyn ClusterAssign {
+        match self {
+            ClusterPolicy::Free => &base::Base,
+            ClusterPolicy::BuildChains => &ibc::Ibc,
+            ClusterPolicy::PreBuildChains => &ipbc::Ipbc,
+            ClusterPolicy::NoChains => &no_chains::NoChains,
+        }
+    }
+
+    /// All four paper policies, in the paper's presentation order.
+    pub const ALL: [ClusterPolicy; 4] = [
+        ClusterPolicy::Free,
+        ClusterPolicy::BuildChains,
+        ClusterPolicy::PreBuildChains,
+        ClusterPolicy::NoChains,
+    ];
+}
+
 /// Options for [`schedule_kernel`].
 #[derive(Debug, Clone, Copy)]
 pub struct ScheduleOptions {
@@ -49,7 +83,11 @@ pub struct ScheduleOptions {
 impl ScheduleOptions {
     /// Options for the given policy with default limits.
     pub fn new(policy: ClusterPolicy) -> Self {
-        ScheduleOptions { policy, max_ii: None, enum_limits: EnumLimits::default() }
+        ScheduleOptions {
+            policy,
+            max_ii: None,
+            enum_limits: EnumLimits::default(),
+        }
     }
 }
 
@@ -63,7 +101,10 @@ impl Default for ScheduleOptions {
 ///
 /// Runs the full pipeline of §4.3.1 (except unrolling, which is a kernel
 /// transformation — see `unroll_select`): latency assignment, node
-/// ordering, then cluster assignment + scheduling at increasing II.
+/// ordering, then cluster assignment + scheduling at increasing II. The
+/// cluster-assignment policy is resolved through
+/// [`ClusterPolicy::assigner`] — see [`ClusterAssign`] for the extension
+/// seam.
 ///
 /// # Errors
 ///
@@ -81,30 +122,12 @@ pub fn schedule_kernel(
     let ddg = Ddg::build(kernel);
     let circuits = elementary_circuits(&ddg, options.enum_limits);
     let chains = MemChains::build(kernel);
+    let assigner = options.policy.assigner();
 
     // pre-computed pins (IPBC / NoChains) — known before scheduling, so
     // the latency assignment can estimate stall against the real cluster
     let n = machine.clusters.n_clusters;
-    let mut pins: Vec<Option<usize>> = vec![None; kernel.ops.len()];
-    match options.policy {
-        ClusterPolicy::PreBuildChains => {
-            for (cid, members) in chains.iter() {
-                if let Some(c) = chains.preferred_cluster(cid, kernel, n) {
-                    for &m in members {
-                        pins[m.index()] = Some(c);
-                    }
-                }
-            }
-        }
-        ClusterPolicy::NoChains => {
-            for op in kernel.mem_ops() {
-                if let Some(c) = op.mem.as_ref().and_then(|m| m.preferred_cluster()) {
-                    pins[op.id.index()] = Some(c.min(n - 1));
-                }
-            }
-        }
-        ClusterPolicy::Free | ClusterPolicy::BuildChains => {}
-    }
+    let pins = assigner.precompute_pins(kernel, &chains, n);
 
     let latencies =
         crate::latency::assign_latencies_with_pins(kernel, &ddg, machine, &circuits, &pins);
@@ -117,7 +140,7 @@ pub fn schedule_kernel(
     let order = sms_order(&ddg, &circuits, |op| latencies.latency_of(op));
 
     for ii in mii0..=max_ii {
-        // Up to three placement attempts per II: when an op cannot be
+        // Up to six placement attempts per II: when an op cannot be
         // placed (its window was squeezed shut by loosely-connected
         // neighbors anchored earlier), hoist it to the front of the order
         // and retry — the constraint then lands on the neighbors, whose
@@ -132,7 +155,7 @@ pub fn schedule_kernel(
                 machine,
                 latencies: &latencies,
                 chains: &chains,
-                policy: options.policy,
+                assigner,
                 pins: &pins,
                 order: &attempt_order,
             };
@@ -149,7 +172,10 @@ pub fn schedule_kernel(
                     });
                 }
                 Err(failed) => {
-                    let pos = attempt_order.iter().position(|&o| o == failed).expect("in order");
+                    let pos = attempt_order
+                        .iter()
+                        .position(|&o| o == failed)
+                        .expect("in order");
                     if pos == 0 {
                         break; // already first: retries cannot help
                     }
@@ -159,7 +185,10 @@ pub fn schedule_kernel(
             }
         }
     }
-    Err(ScheduleError::NoSchedule { loop_name: kernel.name.clone(), max_ii })
+    Err(ScheduleError::NoSchedule {
+        loop_name: kernel.name.clone(),
+        max_ii,
+    })
 }
 
 struct TryState<'a> {
@@ -168,7 +197,7 @@ struct TryState<'a> {
     machine: &'a MachineConfig,
     latencies: &'a LatencyAssignment,
     chains: &'a MemChains,
-    policy: ClusterPolicy,
+    assigner: &'a dyn ClusterAssign,
     pins: &'a [Option<usize>],
     order: &'a [OpId],
 }
@@ -193,7 +222,7 @@ impl TryState<'_> {
         let mut copies: Vec<ScheduledCopy> = Vec::new();
         let mut copy_cycles: Vec<i64> = Vec::new(); // parallel to `copies`
         let mut copy_map: HashMap<(OpId, usize), usize> = HashMap::new();
-        let mut ibc_pin: HashMap<usize, usize> = HashMap::new();
+        let mut assign_state = AssignState::default();
         let mut load_count = vec![0usize; n];
 
         for &op_id in self.order {
@@ -243,54 +272,45 @@ impl TryState<'_> {
                 }
             }
 
-            // candidate clusters
-            let pin = match self.policy {
-                ClusterPolicy::BuildChains => {
-                    if op.is_mem() {
-                        self.chains.chain_id(op_id).and_then(|c| ibc_pin.get(&c).copied())
-                    } else {
-                        None
+            // candidate clusters, chosen by the policy
+            let nbr_preds: Vec<Neighbor> = preds
+                .iter()
+                .map(|p| Neighbor {
+                    other: p.other,
+                    cluster: p.other_cluster,
+                    regflow: p.regflow,
+                })
+                .collect();
+            let nbr_succs: Vec<Neighbor> = succs
+                .iter()
+                .map(|s| Neighbor {
+                    other: s.other,
+                    cluster: s.other_cluster,
+                    regflow: s.regflow,
+                })
+                .collect();
+            // the context borrows the mutable bookkeeping immutably, so it
+            // is rebuilt at each policy call site instead of held across
+            // the placement scan
+            macro_rules! assign_ctx {
+                ($has_copy:ident) => {
+                    AssignContext {
+                        kernel: self.kernel,
+                        chains: self.chains,
+                        n_clusters: n,
+                        preds: &nbr_preds,
+                        succs: &nbr_succs,
+                        has_copy: &$has_copy,
+                        load_count: &load_count,
                     }
-                }
-                _ => self.pins[op_id.index()],
-            };
-            let candidates: Vec<usize> = match pin {
-                Some(c) => vec![c],
-                None => {
-                    let mut cs: Vec<usize> = (0..n).collect();
-                    let score = |c: usize| -> (usize, isize, usize) {
-                        // copies needed now if placed in c
-                        let mut need = 0usize;
-                        let mut affinity = 0isize;
-                        for p in &preds {
-                            if p.regflow {
-                                if p.other_cluster != c {
-                                    if !copy_map.contains_key(&(p.other, c)) {
-                                        need += 1;
-                                    }
-                                } else {
-                                    affinity += 1;
-                                }
-                            }
-                        }
-                        let mut succ_clusters: Vec<usize> = Vec::new();
-                        for s in &succs {
-                            if s.regflow {
-                                if s.other_cluster != c {
-                                    if !succ_clusters.contains(&s.other_cluster) {
-                                        succ_clusters.push(s.other_cluster);
-                                        need += 1;
-                                    }
-                                } else {
-                                    affinity += 1;
-                                }
-                            }
-                        }
-                        (need, -affinity, load_count[c])
-                    };
-                    cs.sort_by_key(|&c| (score(c), c));
-                    cs
-                }
+                };
+            }
+            let candidates = {
+                let has_copy =
+                    |producer: OpId, cluster: usize| copy_map.contains_key(&(producer, cluster));
+                let ctx = assign_ctx!(has_copy);
+                self.assigner
+                    .candidates(op_id, &ctx, self.pins, &assign_state)
             };
 
             // compute placement window per cluster and scan
@@ -298,13 +318,21 @@ impl TryState<'_> {
             for &cluster in &candidates {
                 let mut estart: Option<i64> = None;
                 for p in &preds {
-                    let extra = if p.regflow && p.other_cluster != cluster { transfer } else { 0 };
+                    let extra = if p.regflow && p.other_cluster != cluster {
+                        transfer
+                    } else {
+                        0
+                    };
                     let e = p.other_cycle + p.lat + extra - iii * p.dist;
                     estart = Some(estart.map_or(e, |x: i64| x.max(e)));
                 }
                 let mut lstart: Option<i64> = None;
                 for s in &succs {
-                    let extra = if s.regflow && s.other_cluster != cluster { transfer } else { 0 };
+                    let extra = if s.regflow && s.other_cluster != cluster {
+                        transfer
+                    } else {
+                        0
+                    };
                     // s.lat already accounts for edge kind (flow edges carry
                     // this op's latency, since this op is the producer)
                     let l = s.other_cycle - s.lat - extra + iii * s.dist;
@@ -342,7 +370,10 @@ impl TryState<'_> {
 
                     // copies for cross-cluster flow predecessors
                     let mut seen_pred: Vec<OpId> = Vec::new();
-                    for p in preds.iter().filter(|p| p.regflow && p.other_cluster != cluster) {
+                    for p in preds
+                        .iter()
+                        .filter(|p| p.regflow && p.other_cluster != cluster)
+                    {
                         if seen_pred.contains(&p.other) {
                             continue;
                         }
@@ -381,7 +412,10 @@ impl TryState<'_> {
                     // copies for cross-cluster flow successors (op is the
                     // producer): one copy per destination cluster
                     let mut dest_bounds: Vec<(usize, i64)> = Vec::new();
-                    for s in succs.iter().filter(|s| s.regflow && s.other_cluster != cluster) {
+                    for s in succs
+                        .iter()
+                        .filter(|s| s.regflow && s.other_cluster != cluster)
+                    {
                         let b = s.other_cycle + iii * s.dist - transfer;
                         match dest_bounds.iter_mut().find(|(c, _)| *c == s.other_cluster) {
                             Some((_, bound)) => *bound = (*bound).min(b),
@@ -408,7 +442,10 @@ impl TryState<'_> {
 
                     // success: commit
                     if std::env::var_os("VLIW_SCHED_TRACE").is_some() {
-                        eprintln!("II {ii}: place {op_id} ({}) cl {cluster} cyc {cycle}", op.name);
+                        eprintln!(
+                            "II {ii}: place {op_id} ({}) cl {cluster} cyc {cycle}",
+                            op.name
+                        );
                     }
                     mrt = trial;
                     placed[op_id.index()] = Some(Placement { cluster, cycle });
@@ -417,12 +454,21 @@ impl TryState<'_> {
                         copy_map.insert((prod, to), copies.len());
                         copy_cycles.push(tc);
                         // real cycle is fixed after normalization below
-                        copies.push(ScheduledCopy { producer: prod, from, to, cycle: 0, bus });
+                        copies.push(ScheduledCopy {
+                            producer: prod,
+                            from,
+                            to,
+                            cycle: 0,
+                            bus,
+                        });
                     }
-                    if self.policy == ClusterPolicy::BuildChains && op.is_mem() {
-                        if let Some(cid) = self.chains.chain_id(op_id) {
-                            ibc_pin.entry(cid).or_insert(cluster);
-                        }
+                    {
+                        let has_copy = |producer: OpId, cluster: usize| {
+                            copy_map.contains_key(&(producer, cluster))
+                        };
+                        let ctx = assign_ctx!(has_copy);
+                        self.assigner
+                            .commit(op_id, cluster, &ctx, &mut assign_state);
                     }
                     done = true;
                     break;
@@ -433,6 +479,11 @@ impl TryState<'_> {
             }
             if !done {
                 if std::env::var_os("VLIW_SCHED_DEBUG").is_some() {
+                    let has_copy = |producer: OpId, cluster: usize| {
+                        copy_map.contains_key(&(producer, cluster))
+                    };
+                    let ctx = assign_ctx!(has_copy);
+                    let pin = self.assigner.pin(op_id, &ctx, self.pins, &assign_state);
                     eprintln!(
                         "II {ii}: failed to place {op_id} ({}) pin {pin:?} preds {} succs {}",
                         op.name,
@@ -455,14 +506,22 @@ impl TryState<'_> {
                         let e = preds
                             .iter()
                             .map(|p| {
-                                let x = if p.regflow && p.other_cluster != cluster { transfer } else { 0 };
+                                let x = if p.regflow && p.other_cluster != cluster {
+                                    transfer
+                                } else {
+                                    0
+                                };
                                 p.other_cycle + p.lat + x - iii * p.dist
                             })
                             .max();
                         let l = succs
                             .iter()
                             .map(|s| {
-                                let x = if s.regflow && s.other_cluster != cluster { transfer } else { 0 };
+                                let x = if s.regflow && s.other_cluster != cluster {
+                                    transfer
+                                } else {
+                                    0
+                                };
                                 s.other_cycle - s.lat - x + iii * s.dist
                             })
                             .min();

@@ -1,0 +1,235 @@
+//! The cluster-assignment extension seam.
+//!
+//! [`ClusterAssign`] factors the §4 heuristics into four hooks — pins known
+//! before scheduling starts, pins discovered while scheduling, candidate
+//! enumeration/tie-breaking, and placement observation — so a new heuristic
+//! is one new file implementing the trait (see `base.rs` / `ibc.rs` /
+//! `ipbc.rs` / `no_chains.rs` for the paper's four policies).
+//! [`super::ClusterPolicy`] stays a thin enum whose
+//! [`assigner`](super::ClusterPolicy::assigner) method hands the engine a
+//! trait object.
+
+use std::collections::HashMap;
+
+use vliw_ir::{LoopKernel, OpId};
+
+use crate::chains::MemChains;
+
+/// An already-placed dependence neighbor of the operation being assigned.
+#[derive(Debug, Clone, Copy)]
+pub struct Neighbor {
+    /// The neighbor operation.
+    pub other: OpId,
+    /// The cluster it was placed in.
+    pub cluster: usize,
+    /// Whether the connecting edge is a register-flow dependence (the only
+    /// kind that forces an inter-cluster copy).
+    pub regflow: bool,
+}
+
+/// Everything a policy may inspect when choosing candidate clusters for
+/// one operation.
+pub struct AssignContext<'a> {
+    /// The kernel being scheduled.
+    pub kernel: &'a LoopKernel,
+    /// Its memory dependent chains.
+    pub chains: &'a MemChains,
+    /// Number of clusters in the target machine.
+    pub n_clusters: usize,
+    /// Placed predecessors of the op.
+    pub preds: &'a [Neighbor],
+    /// Placed successors of the op.
+    pub succs: &'a [Neighbor],
+    /// Whether a copy of `producer`'s value already exists in `cluster`
+    /// (placing a consumer there needs no new bus transfer).
+    pub has_copy: &'a dyn Fn(OpId, usize) -> bool,
+    /// Operations currently placed per cluster (balance tie-breaker).
+    pub load_count: &'a [usize],
+}
+
+/// Per-attempt mutable policy state, reset on every placement attempt.
+///
+/// IBC records here the cluster chosen for the first-scheduled member of
+/// each memory dependent chain; the other paper policies keep no dynamic
+/// state.
+#[derive(Debug, Clone, Default)]
+pub struct AssignState {
+    /// `chain id → cluster` pins discovered during the attempt.
+    pub chain_pin: HashMap<usize, usize>,
+}
+
+/// A cluster-assignment heuristic (§4.2 / §4.3.2).
+///
+/// The engine drives implementations through four hooks:
+///
+/// 1. [`precompute_pins`](ClusterAssign::precompute_pins) — pins known
+///    *before* scheduling (IPBC's chain pins, the no-chains ablation's
+///    per-op preferences). These also steer the latency assignment, which
+///    estimates stall against the pinned cluster.
+/// 2. [`pin`](ClusterAssign::pin) — a hard pin discovered *during*
+///    scheduling (IBC's first-member chain pins).
+/// 3. [`candidates`](ClusterAssign::candidates) — candidate clusters in
+///    preference order; the default defers to the pin, then to the shared
+///    communication/balance ranking.
+/// 4. [`commit`](ClusterAssign::commit) — observes a successful placement.
+///
+/// Implementations must be stateless (`Sync`); all dynamic state lives in
+/// [`AssignState`] so one attempt cannot leak decisions into the next.
+pub trait ClusterAssign: std::fmt::Debug + Sync {
+    /// Short policy name (diagnostics and reports).
+    fn name(&self) -> &'static str;
+
+    /// Cluster pins known before scheduling starts; `None` entries are
+    /// assigned by the communication/balance heuristic.
+    fn precompute_pins(
+        &self,
+        kernel: &LoopKernel,
+        chains: &MemChains,
+        n_clusters: usize,
+    ) -> Vec<Option<usize>> {
+        let _ = (chains, n_clusters);
+        vec![None; kernel.ops.len()]
+    }
+
+    /// A hard pin for `op` at assignment time, if any. The default reads
+    /// the precomputed pins.
+    fn pin(
+        &self,
+        op: OpId,
+        ctx: &AssignContext<'_>,
+        pins: &[Option<usize>],
+        state: &AssignState,
+    ) -> Option<usize> {
+        let _ = (ctx, state);
+        pins[op.index()]
+    }
+
+    /// Candidate clusters for `op`, best first. The engine tries them in
+    /// order and keeps the first with a feasible slot and bus schedule.
+    fn candidates(
+        &self,
+        op: OpId,
+        ctx: &AssignContext<'_>,
+        pins: &[Option<usize>],
+        state: &AssignState,
+    ) -> Vec<usize> {
+        match self.pin(op, ctx, pins, state) {
+            Some(c) => vec![c],
+            None => rank_by_communication_balance(ctx),
+        }
+    }
+
+    /// Observes that `op` was committed to `cluster`.
+    fn commit(&self, op: OpId, cluster: usize, ctx: &AssignContext<'_>, state: &mut AssignState) {
+        let _ = (op, cluster, ctx, state);
+    }
+}
+
+/// The shared BASE ranking (§4.2): prefer the cluster that (1) needs the
+/// fewest new inter-cluster copies, then (2) holds the most register-flow
+/// neighbors (affinity), then (3) has the lightest workload, then (4) the
+/// lowest index.
+pub fn rank_by_communication_balance(ctx: &AssignContext<'_>) -> Vec<usize> {
+    let mut cs: Vec<usize> = (0..ctx.n_clusters).collect();
+    let score = |c: usize| -> (usize, isize, usize) {
+        // copies needed now if placed in c
+        let mut need = 0usize;
+        let mut affinity = 0isize;
+        for p in ctx.preds {
+            if p.regflow {
+                if p.cluster != c {
+                    if !(ctx.has_copy)(p.other, c) {
+                        need += 1;
+                    }
+                } else {
+                    affinity += 1;
+                }
+            }
+        }
+        let mut succ_clusters: Vec<usize> = Vec::new();
+        for s in ctx.succs {
+            if s.regflow {
+                if s.cluster != c {
+                    if !succ_clusters.contains(&s.cluster) {
+                        succ_clusters.push(s.cluster);
+                        need += 1;
+                    }
+                } else {
+                    affinity += 1;
+                }
+            }
+        }
+        (need, -affinity, ctx.load_count[c])
+    };
+    cs.sort_by_key(|&c| (score(c), c));
+    cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::{ArrayKind, KernelBuilder};
+
+    fn tiny_kernel() -> LoopKernel {
+        let mut b = KernelBuilder::new("t");
+        let a = b.array("a", 1024, ArrayKind::Global);
+        let (_, v) = b.load("ld", a, 0, 4, 4);
+        b.store("st", a, 512, 4, 4, v);
+        b.finish(1.0)
+    }
+
+    #[test]
+    fn ranking_prefers_copy_free_then_affinity_then_balance() {
+        let kernel = tiny_kernel();
+        let chains = MemChains::build(&kernel);
+        let no_copy = |_: OpId, _: usize| false;
+        let producer = kernel.ops[0].id;
+        let preds = [Neighbor {
+            other: producer,
+            cluster: 2,
+            regflow: true,
+        }];
+        let load_count = [5usize, 0, 3, 0];
+        let ctx = AssignContext {
+            kernel: &kernel,
+            chains: &chains,
+            n_clusters: 4,
+            preds: &preds,
+            succs: &[],
+            has_copy: &no_copy,
+            load_count: &load_count,
+        };
+        let ranked = rank_by_communication_balance(&ctx);
+        // cluster 2 holds the producer: no copy needed AND affinity
+        assert_eq!(ranked[0], 2);
+        // the rest need one copy each; balance then index break the tie
+        assert_eq!(ranked[1..], [1, 3, 0]);
+    }
+
+    #[test]
+    fn existing_copy_removes_the_penalty() {
+        let kernel = tiny_kernel();
+        let chains = MemChains::build(&kernel);
+        let producer = kernel.ops[0].id;
+        // a copy of the producer's value already sits in cluster 1
+        let has_copy = move |op: OpId, c: usize| op == producer && c == 1;
+        let preds = [Neighbor {
+            other: producer,
+            cluster: 2,
+            regflow: true,
+        }];
+        let load_count = [0usize, 0, 0, 0];
+        let ctx = AssignContext {
+            kernel: &kernel,
+            chains: &chains,
+            n_clusters: 4,
+            preds: &preds,
+            succs: &[],
+            has_copy: &has_copy,
+            load_count: &load_count,
+        };
+        let ranked = rank_by_communication_balance(&ctx);
+        // cluster 2 wins on affinity; cluster 1 rides the existing copy
+        assert_eq!(&ranked[..2], &[2, 1]);
+    }
+}

@@ -4,9 +4,9 @@
 //! 15 / 10 / 5 / 1 and a loop with two recurrences:
 //!
 //! * **REC1** — `n1 (load) → n2 (load) → n3 (add) → n5 (sub) → n4 (store)`,
-//!   closed by a memory dependence from the store back to `n1` at distance
-//!   1. At local-hit latencies its II is 5; with all loads at the
-//!   remote-miss latency it is 33.
+//!   closed by a memory dependence from the store back to `n1` at
+//!   distance 1. At local-hit latencies its II is 5; with all loads at
+//!   the remote-miss latency it is 33.
 //! * **REC2** — `n6 (load) → n7 (div, 6 cycles) → n8 (add)`, closed by a
 //!   register flow at distance 1. Local-hit II 8, remote-miss II 22.
 //!
@@ -74,7 +74,19 @@ pub fn figure3_kernel() -> (LoopKernel, Figure3Ops) {
     b.set_profile(n6, MemProfile::with_local_ratio(0.9, 1, 0.5, 2));
 
     let kernel = b.finish(200.0);
-    (kernel, Figure3Ops { n1, n2, n3, n4, n5, n6, n7, n8 })
+    (
+        kernel,
+        Figure3Ops {
+            n1,
+            n2,
+            n3,
+            n4,
+            n5,
+            n6,
+            n7,
+            n8,
+        },
+    )
 }
 
 /// The example's 2-cluster machine (latencies 15/10/5/1 are the defaults).
@@ -108,10 +120,7 @@ mod tests {
             .iter()
             .find(|c| c.nodes.len() == 5 && c.contains(ops.n4))
             .expect("REC1 exists");
-        let rec2 = cs
-            .iter()
-            .find(|c| c.contains(ops.n6))
-            .expect("REC2 exists");
+        let rec2 = cs.iter().find(|c| c.contains(ops.n6)).expect("REC2 exists");
         // with local-hit (1-cycle) loads: REC1 = 5, REC2 = 8
         let lat_lh = |o: OpId| -> u32 {
             let op = k.op(o);
@@ -123,8 +132,14 @@ mod tests {
             }
         };
         let g2 = &g;
-        assert_eq!(rec1.ii_bound(|e| mii::edge_latency(&g2.edges()[e], lat_lh)), 5);
-        assert_eq!(rec2.ii_bound(|e| mii::edge_latency(&g2.edges()[e], lat_lh)), 8);
+        assert_eq!(
+            rec1.ii_bound(|e| mii::edge_latency(&g2.edges()[e], lat_lh)),
+            5
+        );
+        assert_eq!(
+            rec2.ii_bound(|e| mii::edge_latency(&g2.edges()[e], lat_lh)),
+            8
+        );
         // with remote-miss (15-cycle) loads: REC1 = 33, REC2 = 22
         let lat_rm = |o: OpId| -> u32 {
             let op = k.op(o);
@@ -135,8 +150,14 @@ mod tests {
                 _ => 1,
             }
         };
-        assert_eq!(rec1.ii_bound(|e| mii::edge_latency(&g2.edges()[e], lat_rm)), 33);
-        assert_eq!(rec2.ii_bound(|e| mii::edge_latency(&g2.edges()[e], lat_rm)), 22);
+        assert_eq!(
+            rec1.ii_bound(|e| mii::edge_latency(&g2.edges()[e], lat_rm)),
+            33
+        );
+        assert_eq!(
+            rec2.ii_bound(|e| mii::edge_latency(&g2.edges()[e], lat_rm)),
+            22
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub struct AttractionHints {
 impl AttractionHints {
     /// Hints that allow every access (the default hardware behaviour).
     pub fn allow_all(kernel: &LoopKernel) -> Self {
-        AttractionHints { allowed: vec![true; kernel.ops.len()] }
+        AttractionHints {
+            allowed: vec![true; kernel.ops.len()],
+        }
     }
 
     /// Whether `op` may allocate into the Attraction Buffer.
@@ -101,7 +103,8 @@ mod tests {
     fn no_overflow_keeps_everything_attractable() {
         let m = MachineConfig::word_interleaved_4().with_attraction_buffers(16, 2);
         let k = packed_loop(5);
-        let s = schedule_kernel(&k, &m, ScheduleOptions::new(ClusterPolicy::PreBuildChains)).unwrap();
+        let s =
+            schedule_kernel(&k, &m, ScheduleOptions::new(ClusterPolicy::PreBuildChains)).unwrap();
         let h = attraction_hints(&k, &s, &m);
         assert_eq!(h.n_attractable(), k.ops.len());
     }
@@ -110,7 +113,8 @@ mod tests {
     fn overflowing_cluster_is_capped_at_buffer_entries() {
         let m = MachineConfig::word_interleaved_4().with_attraction_buffers(8, 2);
         let k = packed_loop(19); // the epicdec situation
-        let s = schedule_kernel(&k, &m, ScheduleOptions::new(ClusterPolicy::PreBuildChains)).unwrap();
+        let s =
+            schedule_kernel(&k, &m, ScheduleOptions::new(ClusterPolicy::PreBuildChains)).unwrap();
         // all 19 loads land in cluster 0 under IPBC
         assert!(k.mem_ops().all(|o| s.op(o.id).cluster == 0));
         let h = attraction_hints(&k, &s, &m);
@@ -122,7 +126,8 @@ mod tests {
     fn machines_without_buffers_allow_all() {
         let m = MachineConfig::word_interleaved_4();
         let k = packed_loop(19);
-        let s = schedule_kernel(&k, &m, ScheduleOptions::new(ClusterPolicy::PreBuildChains)).unwrap();
+        let s =
+            schedule_kernel(&k, &m, ScheduleOptions::new(ClusterPolicy::PreBuildChains)).unwrap();
         let h = attraction_hints(&k, &s, &m);
         assert_eq!(h.n_attractable(), k.ops.len());
     }

@@ -196,7 +196,11 @@ pub fn assign_latencies_with_pins(
     });
     let target = mii::res_mii(kernel, machine).max(rec_target);
 
-    let mut asg = LatencyAssignment { lat: base, target_mii: target, steps: Vec::new() };
+    let mut asg = LatencyAssignment {
+        lat: base,
+        target_mii: target,
+        steps: Vec::new(),
+    };
 
     let circuit_ii = |asg: &LatencyAssignment, c: &Circuit| -> u32 {
         c.ii_bound(|e| asg.edge_latency(&ddg.edges()[e], kernel))
@@ -221,8 +225,12 @@ pub fn assign_latencies_with_pins(
         while circuit_ii(&asg, circuit) > target {
             let cur_ii = circuit_ii(&asg, circuit);
             let mut candidates = Vec::new();
-            let mut loads: Vec<OpId> =
-                circuit.nodes.iter().copied().filter(|&o| kernel.op(o).is_load()).collect();
+            let mut loads: Vec<OpId> = circuit
+                .nodes
+                .iter()
+                .copied()
+                .filter(|&o| kernel.op(o).is_load())
+                .collect();
             loads.dedup();
             for &m in &loads {
                 let cur = asg.latency_of(m);
@@ -243,7 +251,13 @@ pub fn assign_latencies_with_pins(
                     } else {
                         delta_ii as f64 / delta_stall
                     };
-                    candidates.push(CandidateEval { op: m, to_class: class, delta_ii, delta_stall, benefit });
+                    candidates.push(CandidateEval {
+                        op: m,
+                        to_class: class,
+                        delta_ii,
+                        delta_stall,
+                        benefit,
+                    });
                 }
             }
             if candidates.is_empty() {
@@ -275,7 +289,11 @@ pub fn assign_latencies_with_pins(
             }
             asg.set(c.op, lats.of(c.to_class));
             last_changed = Some(c.op);
-            asg.steps.push(BenefitStep { circuit: ci, candidates, chosen });
+            asg.steps.push(BenefitStep {
+                circuit: ci,
+                candidates,
+                chosen,
+            });
         }
 
         if circuit_ii(&asg, circuit) > target {

@@ -72,9 +72,14 @@ pub mod unroll_select;
 pub use balance::weighted_workload_balance;
 pub use chains::MemChains;
 pub use circuits::{elementary_circuits, Circuit, EnumLimits};
-pub use engine::{schedule_kernel, ClusterPolicy, ScheduleOptions};
+pub use engine::{
+    schedule_kernel, AssignContext, AssignState, ClusterAssign, ClusterPolicy, Neighbor,
+    ScheduleOptions,
+};
 pub use hints::{attraction_hints, AttractionHints};
-pub use latency::{assign_latencies, assign_latencies_with_pins, BenefitStep, CandidateEval, LatencyAssignment};
+pub use latency::{
+    assign_latencies, assign_latencies_with_pins, BenefitStep, CandidateEval, LatencyAssignment,
+};
 pub use mii::{edge_latency, rec_mii, res_mii};
 pub use order::sms_order;
 pub use pressure::{max_live, max_live_per_cluster};

@@ -78,7 +78,10 @@ impl Mrt {
     ///
     /// Panics if no unit is free (callers check [`Mrt::fu_free`] first).
     pub fn fu_reserve(&mut self, cluster: usize, kind: FuKind, cycle: i64) {
-        assert!(self.fu_free(cluster, kind, cycle), "functional unit oversubscribed");
+        assert!(
+            self.fu_free(cluster, kind, cycle),
+            "functional unit oversubscribed"
+        );
         let idx = self.fu_idx(cluster, kind, cycle);
         self.fu[idx] += 1;
     }
@@ -159,7 +162,7 @@ mod tests {
         assert!(!t.bus_free(b, 1));
         assert!(!t.bus_free(b, 2)); // starting at 2 needs slots 2,3; 2 busy
         assert!(t.bus_free(b, 3)); // slots 3,0 free
-        // other buses unaffected
+                                   // other buses unaffected
         assert!(t.bus_find(1).is_some());
     }
 
@@ -180,8 +183,7 @@ mod tests {
         let mut t = mrt(3);
         t.bus_reserve(0, 2); // occupies slots 2 and 0
         assert!(!t.bus_free(0, 0));
-        assert!(t.bus_free(0, 1) == false || t.bus_free(0, 1)); // starting at 1 needs 1,2; 2 busy
-        assert!(!t.bus_free(0, 1));
+        assert!(!t.bus_free(0, 1)); // starting at 1 needs slots 1,2; 2 busy
     }
 
     #[test]

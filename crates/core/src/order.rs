@@ -56,7 +56,7 @@ fn dag_info(ddg: &Ddg, lat_of: &dyn Fn(OpId) -> u32) -> DagInfo {
                     .iter()
                     .find(|e| e.from.index() == p && e.to.index() == v && e.distance == 0)
                     .expect("edge exists"),
-                |o| lat_of(o),
+                lat_of,
             ) as i64;
             depth[v] = depth[v].max(depth[p] + l.max(1));
         }
@@ -69,12 +69,17 @@ fn dag_info(ddg: &Ddg, lat_of: &dyn Fn(OpId) -> u32) -> DagInfo {
                     .iter()
                     .find(|e| e.from.index() == v && e.to.index() == s && e.distance == 0)
                     .expect("edge exists"),
-                |o| lat_of(o),
+                lat_of,
             ) as i64;
             height[v] = height[v].max(height[s] + l.max(1));
         }
     }
-    DagInfo { depth, height, preds0, succs0 }
+    DagInfo {
+        depth,
+        height,
+        preds0,
+        succs0,
+    }
 }
 
 /// Transitive closure helper over the distance-0 subgraph.
@@ -115,7 +120,11 @@ pub fn sms_order(ddg: &Ddg, circuits: &[Circuit], lat_of: impl Fn(OpId) -> u32) 
     }
     for i in 0..circuits.len() {
         for j in (i + 1)..circuits.len() {
-            if circuits[i].nodes.iter().any(|x| circuits[j].nodes.contains(x)) {
+            if circuits[i]
+                .nodes
+                .iter()
+                .any(|x| circuits[j].nodes.contains(x))
+            {
                 let (a, b) = (find(&mut parent, i), find(&mut parent, j));
                 if a != b {
                     parent[a] = b;
@@ -129,12 +138,14 @@ pub fn sms_order(ddg: &Ddg, circuits: &[Circuit], lat_of: impl Fn(OpId) -> u32) 
         let root = find(&mut parent, i);
         let entry = set_nodes.entry(root).or_default();
         entry.extend(c.nodes.iter().map(|o| o.index()));
-        let ii = c.ii_bound(|e| mii::edge_latency(&ddg.edges()[e], |o| lat_of(o)));
+        let ii = c.ii_bound(|e| mii::edge_latency(&ddg.edges()[e], &lat_of));
         let p = set_prio.entry(root).or_insert(0);
         *p = (*p).max(ii);
     }
-    let mut rec_sets: Vec<(u32, HashSet<usize>)> =
-        set_nodes.into_iter().map(|(root, nodes)| (set_prio[&root], nodes)).collect();
+    let mut rec_sets: Vec<(u32, HashSet<usize>)> = set_nodes
+        .into_iter()
+        .map(|(root, nodes)| (set_prio[&root], nodes))
+        .collect();
     rec_sets.sort_by(|a, b| {
         b.0.cmp(&a.0)
             .then(b.1.len().cmp(&a.1.len()))
@@ -197,7 +208,10 @@ pub fn sms_order(ddg: &Ddg, circuits: &[Circuit], lat_of: impl Fn(OpId) -> u32) 
     if !remaining.is_empty() {
         let mut comp_parent: Vec<usize> = (0..n).collect();
         for e in ddg.edges() {
-            let (a, b) = (find2(&mut comp_parent, e.from.index()), find2(&mut comp_parent, e.to.index()));
+            let (a, b) = (
+                find2(&mut comp_parent, e.from.index()),
+                find2(&mut comp_parent, e.to.index()),
+            );
             if a != b {
                 comp_parent[a] = b;
             }
@@ -327,9 +341,7 @@ pub fn sms_order(ddg: &Ddg, circuits: &[Circuit], lat_of: impl Fn(OpId) -> u32) 
                     .iter()
                     .copied()
                     .filter(|v| !ordered.contains(v))
-                    .max_by(|&a, &b| {
-                        info.height[a].cmp(&info.height[b]).then(b.cmp(&a))
-                    });
+                    .max_by(|&a, &b| info.height[a].cmp(&info.height[b]).then(b.cmp(&a)));
                 match seed {
                     Some(v) => {
                         r = [v].into_iter().collect();

@@ -33,7 +33,11 @@ pub fn max_live(kernel: &LoopKernel, schedule: &Schedule) -> usize {
         // the value dies at its last read (in schedule space, reads happen
         // at consumer cycle + II * edge distance)
         let mut death = born + 1; // at least one cycle live
-        for e in kernel.edges.iter().filter(|e| e.from == op.id && e.kind == DepKind::RegFlow) {
+        for e in kernel
+            .edges
+            .iter()
+            .filter(|e| e.from == op.id && e.kind == DepKind::RegFlow)
+        {
             let cons = schedule.op(e.to);
             death = death.max(cons.cycle as i64 + ii * e.distance as i64);
         }
@@ -61,7 +65,11 @@ pub fn max_live(kernel: &LoopKernel, schedule: &Schedule) -> usize {
 /// file (the clustered architecture's actual constraint). A value lives in
 /// its producer's cluster, and a copied value additionally lives in every
 /// destination cluster from the copy onward.
-pub fn max_live_per_cluster(kernel: &LoopKernel, schedule: &Schedule, n_clusters: usize) -> Vec<usize> {
+pub fn max_live_per_cluster(
+    kernel: &LoopKernel,
+    schedule: &Schedule,
+    n_clusters: usize,
+) -> Vec<usize> {
     let ii = schedule.ii as i64;
     let mut pressure = vec![vec![0i64; schedule.ii as usize]; n_clusters];
     for op in &kernel.ops {
@@ -75,7 +83,11 @@ pub fn max_live_per_cluster(kernel: &LoopKernel, schedule: &Schedule, n_clusters
         let mut death_by_cluster: Vec<Option<(i64, i64)>> = vec![None; n_clusters];
         let born_home = def.cycle as i64;
         death_by_cluster[def.cluster] = Some((born_home, born_home + 1));
-        for e in kernel.edges.iter().filter(|e| e.from == op.id && e.kind == DepKind::RegFlow) {
+        for e in kernel
+            .edges
+            .iter()
+            .filter(|e| e.from == op.id && e.kind == DepKind::RegFlow)
+        {
             let cons = schedule.op(e.to);
             let read = cons.cycle as i64 + ii * e.distance as i64;
             if cons.cluster == def.cluster {
@@ -93,7 +105,9 @@ pub fn max_live_per_cluster(kernel: &LoopKernel, schedule: &Schedule, n_clusters
             }
         }
         for (c, range) in death_by_cluster.iter().enumerate() {
-            let Some((born, death)) = *range else { continue };
+            let Some((born, death)) = *range else {
+                continue;
+            };
             let span = (death - born).max(1);
             let full_turns = span / ii;
             let rem = span % ii;
@@ -138,7 +152,7 @@ mod tests {
         let k = b.finish(16.0);
         let s = schedule(&k);
         let ml = max_live(&k, &s);
-        assert!(ml >= 2 && ml <= 6, "chain MaxLive {ml}");
+        assert!((2..=6).contains(&ml), "chain MaxLive {ml}");
     }
 
     #[test]
@@ -154,7 +168,10 @@ mod tests {
         let s = schedule(&k);
         let expect = (s.op(vliw_ir::OpId::new(0)).assumed_latency as usize) / s.ii as usize;
         let ml = max_live(&k, &s);
-        assert!(ml >= expect, "MaxLive {ml} must cover ~{expect} in-flight values");
+        assert!(
+            ml >= expect,
+            "MaxLive {ml} must cover ~{expect} in-flight values"
+        );
     }
 
     #[test]

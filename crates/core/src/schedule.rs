@@ -131,8 +131,7 @@ impl Schedule {
                 // value travels through a copy
                 match self.copy_for(e.from, to.cluster) {
                     Some(c) => {
-                        let copy_ready =
-                            c.cycle as i64 + machine.buses.transfer_cycles as i64;
+                        let copy_ready = c.cycle as i64 + machine.buses.transfer_cycles as i64;
                         if (c.cycle as i64) < from.cycle as i64 + base_lat {
                             errs.push(format!(
                                 "copy of {} to cluster {} starts before producer completes",
@@ -169,10 +168,15 @@ impl Schedule {
         for (i, s) in self.ops.iter().enumerate() {
             let kind = kernel.ops[i].fu_kind();
             if s.cluster >= n {
-                errs.push(format!("op n{i} scheduled in nonexistent cluster {}", s.cluster));
+                errs.push(format!(
+                    "op n{i} scheduled in nonexistent cluster {}",
+                    s.cluster
+                ));
                 continue;
             }
-            *fu_use.entry((s.cluster, kind, s.cycle % self.ii)).or_default() += 1;
+            *fu_use
+                .entry((s.cluster, kind, s.cycle % self.ii))
+                .or_default() += 1;
         }
         for ((cluster, kind, slot), used) in fu_use {
             let cap = machine.clusters.fu_count(kind);
@@ -188,7 +192,10 @@ impl Schedule {
         let mut bus_use: HashMap<(usize, u32), usize> = HashMap::new();
         for c in &self.copies {
             if c.bus >= machine.buses.reg_buses {
-                errs.push(format!("copy of {} uses nonexistent bus {}", c.producer, c.bus));
+                errs.push(format!(
+                    "copy of {} uses nonexistent bus {}",
+                    c.producer, c.bus
+                ));
                 continue;
             }
             for k in 0..machine.buses.transfer_cycles {
@@ -197,7 +204,9 @@ impl Schedule {
         }
         for ((bus, slot), used) in bus_use {
             if used > 1 {
-                errs.push(format!("register bus {bus} oversubscribed in slot {slot} ({used} transfers)"));
+                errs.push(format!(
+                    "register bus {bus} oversubscribed in slot {slot} ({used} transfers)"
+                ));
             }
         }
 
@@ -256,7 +265,10 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::NoSchedule { loop_name, max_ii } => {
-                write!(f, "no feasible schedule for loop `{loop_name}` up to II {max_ii}")
+                write!(
+                    f,
+                    "no feasible schedule for loop `{loop_name}` up to II {max_ii}"
+                )
             }
             ScheduleError::EmptyKernel => write!(f, "cannot schedule an empty kernel"),
         }

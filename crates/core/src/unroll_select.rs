@@ -178,7 +178,7 @@ mod tests {
         assert_eq!(individual_unroll_factor(16, 16), 1); // already aligned
         assert_eq!(individual_unroll_factor(32, 16), 1);
         assert_eq!(individual_unroll_factor(12, 16), 4); // gcd(16,12)=4
-        // the gsmdec example of §4.3.4: 16-byte stride needs no unrolling
+                                                         // the gsmdec example of §4.3.4: 16-byte stride needs no unrolling
         assert_eq!(individual_unroll_factor(16, 16), 1);
     }
 
@@ -203,7 +203,13 @@ mod tests {
         let (_, idx) = b.load("ld", a, 0, 16, 4); // aligned stride: Ui = 1
         let _ = b.load_indirect("ind", a, idx, 4); // unknown stride: skipped
         let (cold, _) = b.load("cold", a, 64, 2, 2); // would be Ui = 8…
-        b.set_profile(cold, vliw_ir::MemProfile { hit_rate: 0.0, cluster_hist: vec![1, 0, 0, 0] });
+        b.set_profile(
+            cold,
+            vliw_ir::MemProfile {
+                hit_rate: 0.0,
+                cluster_hist: vec![1, 0, 0, 0],
+            },
+        );
         let k = b.finish(64.0); // …but hit rate 0: skipped
         assert_eq!(optimal_unroll_factor(&k, &m), 1);
     }
@@ -233,12 +239,16 @@ mod tests {
         let (_, w) = b.int_op("add", vliw_ir::Opcode::Add, &[v.into()]);
         b.store("st", out, 0, 4, 4, w);
         let k = b.finish(1024.0);
-        let r = select_unrolling(&k, &m, ScheduleOptions::new(ClusterPolicy::Free), |_| {})
-            .unwrap();
+        let r =
+            select_unrolling(&k, &m, ScheduleOptions::new(ClusterPolicy::Free), |_| {}).unwrap();
         assert_eq!(r.evaluated.len(), 2); // factor 1 and OUF=4
-        // the chosen variant has minimal Texec among candidates
+                                          // the chosen variant has minimal Texec among candidates
         let chosen_texec = r.schedule.texec(r.kernel.avg_trip);
-        let min_texec = r.evaluated.iter().map(|e| e.3).fold(f64::INFINITY, f64::min);
+        let min_texec = r
+            .evaluated
+            .iter()
+            .map(|e| e.3)
+            .fold(f64::INFINITY, f64::min);
         assert!(chosen_texec <= min_texec * 1.01 + 1e-9);
     }
 }

@@ -10,7 +10,8 @@ use std::fmt;
 
 use vliw_sched::ClusterPolicy;
 
-use crate::context::{run_benchmark, ExperimentContext, RunConfig};
+use crate::context::{ExperimentContext, RunConfig};
+use crate::grid::{Parallelism, RunGrid};
 use crate::report::{f3, fcycles, Table};
 
 /// Chain-breaking results for one benchmark.
@@ -38,7 +39,12 @@ impl ChainBreaking {
         );
         let mut row = |name: &str, a: f64, b: f64| {
             let red = if a > 0.0 { 1.0 - b / a } else { 0.0 };
-            t.row(vec![name.into(), fcycles(a), fcycles(b), format!("{:.0}%", 100.0 * red)]);
+            t.row(vec![
+                name.into(),
+                fcycles(a),
+                fcycles(b),
+                format!("{:.0}%", 100.0 * red),
+            ]);
         };
         row("compute cycles", self.compute.0, self.compute.1);
         row("stall cycles", self.stall.0, self.stall.1);
@@ -62,12 +68,17 @@ impl fmt::Display for ChainBreaking {
 pub fn chain_breaking(ctx: &ExperimentContext, bench: &str) -> ChainBreaking {
     let spec = vliw_workloads::spec_by_name(bench).expect("benchmark in suite");
     let model = vliw_workloads::synthesize(&spec, &ctx.workloads, &ctx.machine);
-    let with = run_benchmark(&model, &RunConfig::ipbc().with_buffers(), ctx);
-    let without = run_benchmark(
-        &model,
-        &RunConfig { policy: ClusterPolicy::NoChains, ..RunConfig::ipbc().with_buffers() },
-        ctx,
-    );
+    let result = RunGrid::new("chains")
+        .config("with-chains", RunConfig::ipbc().with_buffers())
+        .config(
+            "no-chains",
+            RunConfig {
+                policy: ClusterPolicy::NoChains,
+                ..RunConfig::ipbc().with_buffers()
+            },
+        )
+        .run_on_models(&[model], ctx, Parallelism::from_env());
+    let (with, without) = (result.cell(0, 0), result.cell(0, 1));
     let remote = |run: &crate::context::BenchRun| {
         let mix = run.access_mix();
         mix[1] + mix[3]
@@ -82,7 +93,7 @@ pub fn chain_breaking(ctx: &ExperimentContext, bench: &str) -> ChainBreaking {
         bench: bench.to_string(),
         compute: (with.compute_cycles(), without.compute_cycles()),
         stall: (with.stall_cycles(), without.stall_cycles()),
-        remote: (remote(&with), remote(&without)),
+        remote: (remote(with), remote(without)),
         best_loop_compute_reduction: best,
     }
 }

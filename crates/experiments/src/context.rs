@@ -1,5 +1,8 @@
 //! The experiment pipeline: profile → unroll → schedule → simulate.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use vliw_ir::{unroll, LoopKernel, OpId};
 use vliw_machine::MachineConfig;
 use vliw_mem::build_cache;
@@ -13,7 +16,7 @@ use vliw_workloads::{
 };
 
 /// How loops are unrolled in an experiment configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnrollMode {
     /// No unrolling (factor 1).
     NoUnroll,
@@ -25,7 +28,7 @@ pub enum UnrollMode {
 }
 
 /// Which of the three cache organizations a run targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArchVariant {
     /// The word-interleaved distributed cache.
     WordInterleaved,
@@ -37,7 +40,7 @@ pub enum ArchVariant {
 
 /// One experiment configuration: architecture, scheduling policy,
 /// unrolling, alignment and Attraction Buffers.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunConfig {
     /// Target cache organization.
     pub arch: ArchVariant,
@@ -69,7 +72,10 @@ impl RunConfig {
 
     /// IBC, selective unrolling, alignment, no buffers.
     pub fn ibc() -> Self {
-        RunConfig { policy: ClusterPolicy::BuildChains, ..Self::ipbc() }
+        RunConfig {
+            policy: ClusterPolicy::BuildChains,
+            ..Self::ipbc()
+        }
     }
 
     /// The multiVLIW bar of Figure 8 (scheduled with IBC, as in §5.1).
@@ -120,10 +126,16 @@ impl ExperimentContext {
         ExperimentContext {
             machine: MachineConfig::word_interleaved_4(),
             workloads: WorkloadConfig::default(),
-            sim: SimOptions { iteration_cap: 512, warmup_iterations: 256 },
+            sim: SimOptions {
+                iteration_cap: 512,
+                warmup_iterations: 256,
+            },
             profile: ProfileOptions { iteration_cap: 256 },
             benchmarks: suite().iter().map(|s| s.name.to_string()).collect(),
-            enum_limits: EnumLimits { max_circuits: 4000, max_len: 64 },
+            enum_limits: EnumLimits {
+                max_circuits: 4000,
+                max_len: 64,
+            },
         }
     }
 
@@ -243,7 +255,12 @@ pub fn prepare_loop(
             }
         };
         if better {
-            best = Some(PreparedLoop { kernel, schedule, choice, factor });
+            best = Some(PreparedLoop {
+                kernel,
+                schedule,
+                choice,
+                factor,
+            });
         }
     }
     match best {
@@ -254,8 +271,137 @@ pub fn prepare_loop(
             let kernel = profiled(unroll(&original, 1), machine, ctx, cfg.padding);
             let schedule = schedule_kernel(&kernel, machine, opts)
                 .map_err(|_| last_err.expect("at least one failure recorded"))?;
-            Ok(PreparedLoop { kernel, schedule, choice: UnrollChoice::None, factor: 1 })
+            Ok(PreparedLoop {
+                kernel,
+                schedule,
+                choice: UnrollChoice::None,
+                factor: 1,
+            })
         }
+    }
+}
+
+/// Memoizes prepared loops across run configurations.
+///
+/// Preparation (profile → unroll → schedule) depends on the loop, the
+/// machine, the profiling knobs, the policy, the unroll mode and the
+/// padding flag — *not* on Attraction Buffers (consumed by the cache
+/// model and the §5.2 hints, both downstream of scheduling) and not on
+/// `use_hints`. A grid that sweeps buffer sizes or hints therefore
+/// schedules each loop once per distinct key and reuses the result,
+/// which is where most of the full-suite wall time goes.
+///
+/// The key includes a machine/context fingerprint (with buffers masked
+/// out), so one memo can safely outlive a single context — e.g. be
+/// shared across the machine variants of the interleaving study — and
+/// same-named loops under different geometry never collide.
+///
+/// The memo is safe to share across worker threads; results are identical
+/// whether a cell computes or reuses an entry, because preparation is
+/// deterministic in the key.
+#[derive(Debug, Default)]
+pub struct ScheduleMemo {
+    // each key owns a slot; the slot's own mutex doubles as an in-flight
+    // guard, so concurrent cells needing the same preparation block on the
+    // first computer instead of duplicating the work
+    map: Mutex<HashMap<PrepareKey, Arc<MemoSlot>>>,
+}
+
+/// One key's entry: empty while the first preparation is in flight.
+type MemoSlot = Mutex<Option<Arc<PreparedLoop>>>;
+
+/// The preparation-relevant slice of `(loop, machine, context, RunConfig)`:
+/// the kernel's name plus a content hash (same-named kernels with different
+/// bodies must not collide), a machine/context fingerprint (Attraction
+/// Buffers masked out — they do not affect preparation), and the
+/// preparation-relevant `RunConfig` axes.
+type PrepareKey = (
+    String,
+    u64,
+    String,
+    ArchVariant,
+    ClusterPolicy,
+    UnrollMode,
+    bool,
+);
+
+impl ScheduleMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(
+        kernel: &LoopKernel,
+        machine: &MachineConfig,
+        cfg: &RunConfig,
+        ctx: &ExperimentContext,
+    ) -> PrepareKey {
+        use std::hash::{Hash, Hasher};
+        let mut schedule_relevant = machine.clone();
+        schedule_relevant.attraction_buffers = None;
+        let fingerprint = format!(
+            "{schedule_relevant:?}|{:?}|{:?}|{:?}",
+            ctx.workloads, ctx.profile, ctx.enum_limits
+        );
+        // structural hash over the kernel body: the name alone is not an
+        // identity for hand-built models
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{kernel:?}").hash(&mut h);
+        (
+            kernel.name.clone(),
+            h.finish(),
+            fingerprint,
+            cfg.arch,
+            cfg.policy,
+            cfg.unroll,
+            cfg.padding,
+        )
+    }
+
+    /// Number of memoized schedules (completed preparations).
+    pub fn len(&self) -> usize {
+        let map = self.map.lock().expect("memo lock");
+        map.values()
+            .filter(|s| s.lock().expect("memo slot").is_some())
+            .count()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up or computes the prepared loop for `(original, cfg)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures (pathological kernels only).
+    pub fn prepare(
+        &self,
+        original: &LoopKernel,
+        machine: &MachineConfig,
+        cfg: &RunConfig,
+        ctx: &ExperimentContext,
+    ) -> Result<Arc<PreparedLoop>, ScheduleError> {
+        let key = Self::key(original, machine, cfg, ctx);
+        let slot = {
+            let mut map = self.map.lock().expect("memo lock");
+            Arc::clone(map.entry(key).or_default())
+        };
+        // the slot lock is held across the computation: waiters for the
+        // same key block here (instead of duplicating the dominant cost),
+        // while cells with other keys proceed untouched
+        let mut guard = slot.lock().expect("memo slot");
+        if let Some(hit) = guard.as_ref() {
+            return Ok(Arc::clone(hit));
+        }
+        // scheduling failures are not cached: they are deterministic, and
+        // the pipeline's error path (skip + warn) is rare enough that a
+        // retry by a later waiter is harmless
+        let prepared = Arc::new(prepare_loop(original, machine, cfg, ctx)?);
+        *guard = Some(Arc::clone(&prepared));
+        Ok(prepared)
     }
 }
 
@@ -266,8 +412,9 @@ pub struct LoopRun {
     pub name: String,
     /// Aggregation weight (dynamic operations).
     pub weight: f64,
-    /// The prepared loop (kernel + schedule).
-    pub prepared: PreparedLoop,
+    /// The prepared loop (kernel + schedule), possibly shared with other
+    /// runs through a [`ScheduleMemo`].
+    pub prepared: Arc<PreparedLoop>,
     /// Simulation result (cycles, stalls, access mix).
     pub sim: LoopSimResult,
 }
@@ -334,15 +481,27 @@ impl BenchRun {
 
 /// Runs one benchmark model under one configuration: prepares every loop
 /// and simulates it on the *execution* input.
-pub fn run_benchmark(
+pub fn run_benchmark(model: &BenchmarkModel, cfg: &RunConfig, ctx: &ExperimentContext) -> BenchRun {
+    run_benchmark_memo(model, cfg, ctx, None)
+}
+
+/// [`run_benchmark`] with an optional shared [`ScheduleMemo`], so grids
+/// sweeping buffer/hint axes schedule each loop once per distinct
+/// preparation key. Results are identical with or without the memo.
+pub fn run_benchmark_memo(
     model: &BenchmarkModel,
     cfg: &RunConfig,
     ctx: &ExperimentContext,
+    memo: Option<&ScheduleMemo>,
 ) -> BenchRun {
     let machine = ctx.machine_for(cfg);
     let mut loops = Vec::new();
     for lw in &model.loops {
-        let prepared = match prepare_loop(&lw.kernel, &machine, cfg, ctx) {
+        let prepared = match memo {
+            Some(m) => m.prepare(&lw.kernel, &machine, cfg, ctx),
+            None => prepare_loop(&lw.kernel, &machine, cfg, ctx).map(Arc::new),
+        };
+        let prepared = match prepared {
             Ok(p) => p,
             Err(e) => {
                 // pathological loop: report and skip rather than abort the
@@ -356,12 +515,17 @@ pub fn run_benchmark(
         } else {
             AttractionHints::allow_all(&prepared.kernel)
         };
-        let layout =
-            ArrayLayout::new(&prepared.kernel, &machine, cfg.padding, ctx.workloads.exec_input);
+        let layout = ArrayLayout::new(
+            &prepared.kernel,
+            &machine,
+            cfg.padding,
+            ctx.workloads.exec_input,
+        );
         let mut cache = build_cache(&machine);
         let kernel_for_addr = prepared.kernel.clone();
-        let mut addresses =
-            move |op: OpId, iter: u64| vliw_workloads::address_for(&kernel_for_addr, &layout, op, iter);
+        let mut addresses = move |op: OpId, iter: u64| {
+            vliw_workloads::address_for(&kernel_for_addr, &layout, op, iter)
+        };
         let sim = simulate_loop(
             &prepared.kernel,
             &prepared.schedule,
@@ -378,7 +542,10 @@ pub fn run_benchmark(
             sim,
         });
     }
-    BenchRun { name: model.name.clone(), loops }
+    BenchRun {
+        name: model.name.clone(),
+        loops,
+    }
 }
 
 #[cfg(test)]
@@ -399,7 +566,11 @@ mod tests {
         // every schedule is legal
         let m = ctx.machine_for(&RunConfig::ipbc());
         for l in &run.loops {
-            assert!(l.prepared.schedule.verify(&l.prepared.kernel, &m).is_empty());
+            assert!(l
+                .prepared
+                .schedule
+                .verify(&l.prepared.kernel, &m)
+                .is_empty());
         }
     }
 
@@ -410,8 +581,14 @@ mod tests {
         let gsm = models.iter().find(|m| m.name == "gsmdec").unwrap();
         let machine = ctx.machine.clone();
         let base = RunConfig::ipbc();
-        let no = RunConfig { unroll: UnrollMode::NoUnroll, ..base };
-        let ouf = RunConfig { unroll: UnrollMode::Ouf, ..base };
+        let no = RunConfig {
+            unroll: UnrollMode::NoUnroll,
+            ..base
+        };
+        let ouf = RunConfig {
+            unroll: UnrollMode::Ouf,
+            ..base
+        };
         let k = &gsm.loops[0].kernel;
         let p_no = prepare_loop(k, &machine, &no, &ctx).unwrap();
         let p_ouf = prepare_loop(k, &machine, &ouf, &ctx).unwrap();

@@ -42,7 +42,11 @@ impl Example433 {
                 class.to_string(),
                 dii.to_string(),
                 format!("{dstall:.2}"),
-                if b.is_infinite() { "inf".into() } else { format!("{b:.2}") },
+                if b.is_infinite() {
+                    "inf".into()
+                } else {
+                    format!("{b:.2}")
+                },
                 if *applied { "<-".into() } else { String::new() },
             ]);
         }
@@ -90,9 +94,12 @@ pub fn example433() -> Example433 {
         }
     }
 
-    let schedule =
-        schedule_kernel(&kernel, &machine, ScheduleOptions::new(ClusterPolicy::PreBuildChains))
-            .expect("figure 3 schedules");
+    let schedule = schedule_kernel(
+        &kernel,
+        &machine,
+        ScheduleOptions::new(ClusterPolicy::PreBuildChains),
+    )
+    .expect("figure 3 schedules");
     Example433 {
         steps,
         final_latencies: (

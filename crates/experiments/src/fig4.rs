@@ -13,19 +13,39 @@ use std::fmt;
 
 use vliw_sched::ClusterPolicy;
 
-use crate::context::{run_benchmark, ExperimentContext, RunConfig, UnrollMode};
+use crate::context::{ExperimentContext, RunConfig, UnrollMode};
+use crate::grid::{GridResult, RunGrid};
 use crate::report::{amean, f3, Table};
 
 /// The four bar configurations, in the paper's order.
-pub const BAR_LABELS: [&str; 4] =
-    ["nounroll+align", "OUF-align", "OUF+align", "OUF+align-nochains"];
+pub const BAR_LABELS: [&str; 4] = [
+    "nounroll+align",
+    "OUF-align",
+    "OUF+align",
+    "OUF+align-nochains",
+];
 
 fn bar_configs() -> [RunConfig; 4] {
-    let base = RunConfig { attraction_buffers: None, ..RunConfig::ipbc() };
+    let base = RunConfig {
+        attraction_buffers: None,
+        ..RunConfig::ipbc()
+    };
     [
-        RunConfig { unroll: UnrollMode::NoUnroll, padding: true, ..base },
-        RunConfig { unroll: UnrollMode::Ouf, padding: false, ..base },
-        RunConfig { unroll: UnrollMode::Ouf, padding: true, ..base },
+        RunConfig {
+            unroll: UnrollMode::NoUnroll,
+            padding: true,
+            ..base
+        },
+        RunConfig {
+            unroll: UnrollMode::Ouf,
+            padding: false,
+            ..base
+        },
+        RunConfig {
+            unroll: UnrollMode::Ouf,
+            padding: true,
+            ..base
+        },
         RunConfig {
             unroll: UnrollMode::Ouf,
             padding: true,
@@ -78,7 +98,15 @@ impl Fig4 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Figure 4: memory access classification (IPBC)",
-            &["bench", "bar", "local hit", "remote hit", "local miss", "remote miss", "combined"],
+            &[
+                "bench",
+                "bar",
+                "local hit",
+                "remote hit",
+                "local miss",
+                "remote miss",
+                "combined",
+            ],
         );
         for r in &self.rows {
             for (b, bar) in r.bars.iter().enumerate() {
@@ -120,15 +148,27 @@ impl fmt::Display for Fig4 {
     }
 }
 
-/// Runs the Figure 4 experiment.
+/// The Figure 4 grid: the four bar configurations over the context's
+/// benchmarks.
+pub fn fig4_grid() -> RunGrid {
+    let mut grid = RunGrid::new("fig4");
+    for (label, cfg) in BAR_LABELS.iter().zip(bar_configs()) {
+        grid = grid.config(*label, cfg);
+    }
+    grid
+}
+
+/// Runs the Figure 4 experiment (parallel grid).
 pub fn fig4(ctx: &ExperimentContext) -> Fig4 {
-    let models = ctx.models();
-    let configs = bar_configs();
+    fig4_from(&fig4_grid().run(ctx))
+}
+
+/// Aggregates Figure 4 from an executed grid.
+pub fn fig4_from(result: &GridResult) -> Fig4 {
     let mut rows = Vec::new();
-    for model in &models {
+    for (bench, runs) in result.by_bench() {
         let mut bars = [[0.0; 5]; 4];
-        for (b, cfg) in configs.iter().enumerate() {
-            let run = run_benchmark(model, cfg, ctx);
+        for (b, run) in runs.iter().enumerate() {
             let mix = run.access_mix();
             let total: f64 = mix.iter().sum();
             if total > 0.0 {
@@ -137,12 +177,15 @@ pub fn fig4(ctx: &ExperimentContext) -> Fig4 {
                 }
             }
         }
-        rows.push(Fig4Row { bench: model.name.clone(), bars });
+        rows.push(Fig4Row {
+            bench: bench.to_string(),
+            bars,
+        });
     }
     let mut mean = [[0.0; 5]; 4];
-    for b in 0..4 {
-        for i in 0..5 {
-            mean[b][i] = amean(rows.iter().map(|r| r.bars[b][i]));
+    for (b, row) in mean.iter_mut().enumerate() {
+        for (i, cell) in row.iter_mut().enumerate() {
+            *cell = amean(rows.iter().map(|r| r.bars[b][i]));
         }
     }
     Fig4 { rows, amean: mean }

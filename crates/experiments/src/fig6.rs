@@ -14,7 +14,8 @@ use std::fmt;
 
 use vliw_machine::AccessClass;
 
-use crate::context::{run_benchmark, ExperimentContext, RunConfig};
+use crate::context::{ExperimentContext, RunConfig};
+use crate::grid::{GridResult, RunGrid};
 use crate::report::{amean, f3, Table};
 
 /// The four bar labels.
@@ -66,10 +67,15 @@ impl Fig6 {
     /// Remote-hit share of stall time for a no-buffer bar
     /// (0 = IBC, 2 = IPBC), AMEAN over benchmarks with stall.
     pub fn remote_hit_share(&self, bar: usize) -> f64 {
-        amean(self.rows.iter().filter(|r| r.bars[bar].total() > 0.0).map(|r| {
-            let b = &r.bars[bar];
-            b.remote_hit / b.total()
-        }))
+        amean(
+            self.rows
+                .iter()
+                .filter(|r| r.bars[bar].total() > 0.0)
+                .map(|r| {
+                    let b = &r.bars[bar];
+                    b.remote_hit / b.total()
+                }),
+        )
     }
 
     /// Average stall reduction of Attraction Buffers for a heuristic
@@ -87,7 +93,16 @@ impl Fig6 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Figure 6: stall time by access type (normalized to IBC)",
-            &["bench", "bar", "remote hit", "local miss", "remote miss", "combined", "other", "total"],
+            &[
+                "bench",
+                "bar",
+                "remote hit",
+                "local miss",
+                "remote miss",
+                "combined",
+                "other",
+                "total",
+            ],
         );
         let mut push = |name: &str, label: &str, b: &StallBar| {
             t.row(vec![
@@ -127,21 +142,35 @@ impl fmt::Display for Fig6 {
     }
 }
 
-/// Runs the Figure 6 experiment.
-pub fn fig6(ctx: &ExperimentContext) -> Fig6 {
+/// The Figure 6 grid: IBC and IPBC, each with and without 16-entry 2-way
+/// Attraction Buffers. The buffer axis shares schedules through the grid
+/// memo — only the simulation differs between the paired bars.
+pub fn fig6_grid() -> RunGrid {
     let configs = [
         RunConfig::ibc(),
         RunConfig::ibc().with_buffers(),
         RunConfig::ipbc(),
         RunConfig::ipbc().with_buffers(),
     ];
-    let models = ctx.models();
+    let mut grid = RunGrid::new("fig6");
+    for (label, cfg) in BAR_LABELS.iter().zip(configs) {
+        grid = grid.config(*label, cfg);
+    }
+    grid
+}
+
+/// Runs the Figure 6 experiment (parallel grid).
+pub fn fig6(ctx: &ExperimentContext) -> Fig6 {
+    fig6_from(&fig6_grid().run(ctx))
+}
+
+/// Aggregates Figure 6 from an executed grid.
+pub fn fig6_from(result: &GridResult) -> Fig6 {
     let mut rows = Vec::new();
-    for model in &models {
+    for (bench, runs) in result.by_bench() {
         let mut bars = [StallBar::default(); 4];
         let mut ibc_total = 0.0;
-        for (i, cfg) in configs.iter().enumerate() {
-            let run = run_benchmark(model, cfg, ctx);
+        for (i, run) in runs.iter().enumerate() {
             let b = run.stall_breakdown();
             let bar = StallBar {
                 remote_hit: b.of(AccessClass::RemoteHit),
@@ -165,7 +194,11 @@ pub fn fig6(ctx: &ExperimentContext) -> Fig6 {
                 b.other /= ibc_total;
             }
         }
-        rows.push(Fig6Row { bench: model.name.clone(), bars, ibc_stall: ibc_total });
+        rows.push(Fig6Row {
+            bench: bench.to_string(),
+            bars,
+            ibc_stall: ibc_total,
+        });
     }
     let mut mean = [StallBar::default(); 4];
     for (i, m) in mean.iter_mut().enumerate() {

@@ -9,7 +9,8 @@ use std::fmt;
 
 use vliw_sched::ClusterPolicy;
 
-use crate::context::{run_benchmark, ExperimentContext, RunConfig, UnrollMode};
+use crate::context::{ExperimentContext, RunConfig, UnrollMode};
+use crate::grid::{GridResult, RunGrid};
 use crate::report::{amean, f3, Table};
 
 /// The three configuration labels.
@@ -38,7 +39,12 @@ impl Fig7 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Figure 7: workload balance (0.25 = perfect, 1.0 = unbalanced)",
-            &["bench", CONFIG_LABELS[0], CONFIG_LABELS[1], CONFIG_LABELS[2]],
+            &[
+                "bench",
+                CONFIG_LABELS[0],
+                CONFIG_LABELS[1],
+                CONFIG_LABELS[2],
+            ],
         );
         for r in &self.rows {
             t.row(vec![r.bench.clone(), f3(r.wb[0]), f3(r.wb[1]), f3(r.wb[2])]);
@@ -59,24 +65,49 @@ impl fmt::Display for Fig7 {
     }
 }
 
-/// Runs the Figure 7 experiment.
-pub fn fig7(ctx: &ExperimentContext) -> Fig7 {
+/// The Figure 7 grid: the three IPBC configurations.
+pub fn fig7_grid() -> RunGrid {
     let base = RunConfig::ipbc();
     let configs = [
-        RunConfig { unroll: UnrollMode::NoUnroll, ..base },
-        RunConfig { unroll: UnrollMode::Ouf, ..base },
-        RunConfig { unroll: UnrollMode::Ouf, policy: ClusterPolicy::NoChains, ..base },
+        RunConfig {
+            unroll: UnrollMode::NoUnroll,
+            ..base
+        },
+        RunConfig {
+            unroll: UnrollMode::Ouf,
+            ..base
+        },
+        RunConfig {
+            unroll: UnrollMode::Ouf,
+            policy: ClusterPolicy::NoChains,
+            ..base
+        },
     ];
+    let mut grid = RunGrid::new("fig7");
+    for (label, cfg) in CONFIG_LABELS.iter().zip(configs) {
+        grid = grid.config(*label, cfg);
+    }
+    grid
+}
+
+/// Runs the Figure 7 experiment (parallel grid).
+pub fn fig7(ctx: &ExperimentContext) -> Fig7 {
+    fig7_from(&fig7_grid().run(ctx), ctx)
+}
+
+/// Aggregates Figure 7 from an executed grid.
+pub fn fig7_from(result: &GridResult, ctx: &ExperimentContext) -> Fig7 {
     let n = ctx.machine.n_clusters();
-    let models = ctx.models();
     let mut rows = Vec::new();
-    for model in &models {
+    for (bench, runs) in result.by_bench() {
         let mut wb = [0.0; 3];
-        for (i, cfg) in configs.iter().enumerate() {
-            let run = run_benchmark(model, cfg, ctx);
+        for (i, run) in runs.iter().enumerate() {
             wb[i] = run.workload_balance(n);
         }
-        rows.push(Fig7Row { bench: model.name.clone(), wb });
+        rows.push(Fig7Row {
+            bench: bench.to_string(),
+            wb,
+        });
     }
     let mut mean = [0.0; 3];
     for (i, m) in mean.iter_mut().enumerate() {

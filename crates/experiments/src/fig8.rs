@@ -14,7 +14,8 @@
 
 use std::fmt;
 
-use crate::context::{run_benchmark, ExperimentContext, RunConfig};
+use crate::context::{ExperimentContext, RunConfig};
+use crate::grid::{GridResult, RunGrid};
 use crate::report::{amean, f3, Table};
 
 /// The bar labels, in the paper's order.
@@ -59,7 +60,11 @@ pub struct Fig8 {
 impl Fig8 {
     /// Mean speedup of bar `a` over bar `b` (`total_b / total_a − 1`).
     pub fn speedup(&self, a: usize, b: usize) -> f64 {
-        amean(self.rows.iter().map(|r| r.bars[b].total() / r.bars[a].total())) - 1.0
+        amean(
+            self.rows
+                .iter()
+                .map(|r| r.bars[b].total() / r.bars[a].total()),
+        ) - 1.0
     }
 
     /// Mean slowdown of bar `a` versus the unified-L=1 baseline
@@ -71,7 +76,11 @@ impl Fig8 {
     /// Mean cycle-count degradation of the interleaved IPBC bar versus the
     /// multiVLIW bar.
     pub fn vs_multivliw(&self) -> f64 {
-        amean(self.rows.iter().map(|r| r.bars[0].total() / r.bars[2].total())) - 1.0
+        amean(
+            self.rows
+                .iter()
+                .map(|r| r.bars[0].total() / r.bars[2].total()),
+        ) - 1.0
     }
 
     /// Renders the paper-style table.
@@ -81,7 +90,13 @@ impl Fig8 {
             &["bench", "bar", "compute", "stall", "total"],
         );
         let mut push = |name: &str, label: &str, b: &CycleBar| {
-            t.row(vec![name.into(), label.into(), f3(b.compute), f3(b.stall), f3(b.total())]);
+            t.row(vec![
+                name.into(),
+                label.into(),
+                f3(b.compute),
+                f3(b.stall),
+                f3(b.total()),
+            ]);
         };
         for r in &self.rows {
             for (i, b) in r.bars.iter().enumerate() {
@@ -111,29 +126,45 @@ impl fmt::Display for Fig8 {
     }
 }
 
-/// Runs the Figure 8 experiment.
-pub fn fig8(ctx: &ExperimentContext) -> Fig8 {
+/// The Figure 8 grid: the four bars plus the unified-L=1 normalizer as a
+/// fifth column.
+pub fn fig8_grid() -> RunGrid {
     let configs = [
         RunConfig::ipbc().with_buffers(),
         RunConfig::ibc().with_buffers(),
         RunConfig::multivliw(),
         RunConfig::unified(5),
     ];
-    let baseline_cfg = RunConfig::unified(1);
-    let models = ctx.models();
+    let mut grid = RunGrid::new("fig8");
+    for (label, cfg) in BAR_LABELS.iter().zip(configs) {
+        grid = grid.config(*label, cfg);
+    }
+    grid.config("Unified(L=1)", RunConfig::unified(1))
+}
+
+/// Runs the Figure 8 experiment (parallel grid).
+pub fn fig8(ctx: &ExperimentContext) -> Fig8 {
+    fig8_from(&fig8_grid().run(ctx))
+}
+
+/// Aggregates Figure 8 from an executed grid.
+pub fn fig8_from(result: &GridResult) -> Fig8 {
     let mut rows = Vec::new();
-    for model in &models {
-        let baseline = run_benchmark(model, &baseline_cfg, ctx);
+    for (bench, runs) in result.by_bench() {
+        let baseline = &runs[4];
         let norm = baseline.total_cycles().max(1.0);
         let mut bars = [CycleBar::default(); 4];
-        for (i, cfg) in configs.iter().enumerate() {
-            let run = run_benchmark(model, cfg, ctx);
+        for (i, run) in runs[..4].iter().enumerate() {
             bars[i] = CycleBar {
                 compute: run.compute_cycles() / norm,
                 stall: run.stall_cycles() / norm,
             };
         }
-        rows.push(Fig8Row { bench: model.name.clone(), bars, unified1_cycles: norm });
+        rows.push(Fig8Row {
+            bench: bench.to_string(),
+            bars,
+            unified1_cycles: norm,
+        });
     }
     let mut mean = [CycleBar::default(); 4];
     for (i, m) in mean.iter_mut().enumerate() {

@@ -1,0 +1,465 @@
+//! Declarative experiment grids: enumerate `RunConfig` cross-products,
+//! execute every `(benchmark, config)` cell — in parallel, with schedules
+//! memoized across cells — and feed the shared aggregation backbone every
+//! figure driver sits on.
+//!
+//! A [`RunGrid`] is built from labeled configurations (figure bars) or a
+//! [`GridAxes`] cross-product, then executed with [`RunGrid::run`]
+//! (parallel) or [`RunGrid::run_serial`]. Cells are independent and
+//! deterministic, and the schedule memo only *shares* results, so a
+//! parallel run is bit-identical to a serial one —
+//! [`GridResult::fingerprint`] makes that checkable.
+//!
+//! ```no_run
+//! use vliw_experiments::{ExperimentContext, RunConfig, RunGrid};
+//!
+//! let ctx = ExperimentContext::quick();
+//! let result = RunGrid::new("demo")
+//!     .config("IPBC", RunConfig::ipbc())
+//!     .config("IPBC+AB", RunConfig::ipbc().with_buffers())
+//!     .run(&ctx);
+//! for (bench, runs) in result.by_bench() {
+//!     println!("{bench}: {:.0} vs {:.0} cycles", runs[0].total_cycles(), runs[1].total_cycles());
+//! }
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use vliw_sched::ClusterPolicy;
+use vliw_workloads::{spec_by_name, synthesize, BenchmarkModel};
+
+use crate::context::{
+    run_benchmark_memo, ArchVariant, BenchRun, ExperimentContext, RunConfig, ScheduleMemo,
+    UnrollMode,
+};
+use crate::report::amean;
+
+/// Axes of a declarative `RunConfig` cross-product. Every axis defaults to
+/// the corresponding value of a base configuration; widened axes multiply.
+///
+/// ```
+/// use vliw_experiments::{GridAxes, RunConfig, UnrollMode};
+///
+/// let configs = GridAxes::from(RunConfig::ipbc())
+///     .unrolls(&[UnrollMode::NoUnroll, UnrollMode::Ouf])
+///     .paddings(&[false, true])
+///     .enumerate();
+/// assert_eq!(configs.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridAxes {
+    arches: Vec<ArchVariant>,
+    policies: Vec<ClusterPolicy>,
+    unrolls: Vec<UnrollMode>,
+    paddings: Vec<bool>,
+    buffers: Vec<Option<(usize, usize)>>,
+    hints: Vec<bool>,
+}
+
+impl GridAxes {
+    /// Axes fixed to `base`'s values; widen individual axes from here.
+    pub fn from(base: RunConfig) -> Self {
+        GridAxes {
+            arches: vec![base.arch],
+            policies: vec![base.policy],
+            unrolls: vec![base.unroll],
+            paddings: vec![base.padding],
+            buffers: vec![base.attraction_buffers],
+            hints: vec![base.use_hints],
+        }
+    }
+
+    /// Sweeps the architecture axis.
+    pub fn arches(mut self, values: &[ArchVariant]) -> Self {
+        self.arches = values.to_vec();
+        self
+    }
+
+    /// Sweeps the cluster-assignment policy axis.
+    pub fn policies(mut self, values: &[ClusterPolicy]) -> Self {
+        self.policies = values.to_vec();
+        self
+    }
+
+    /// Sweeps the unrolling-mode axis.
+    pub fn unrolls(mut self, values: &[UnrollMode]) -> Self {
+        self.unrolls = values.to_vec();
+        self
+    }
+
+    /// Sweeps the §4.3.4 alignment (padding) axis.
+    pub fn paddings(mut self, values: &[bool]) -> Self {
+        self.paddings = values.to_vec();
+        self
+    }
+
+    /// Sweeps the Attraction-Buffer axis (`None` = no buffers).
+    pub fn buffers(mut self, values: &[Option<(usize, usize)>]) -> Self {
+        self.buffers = values.to_vec();
+        self
+    }
+
+    /// Sweeps the §5.2 compiler-hints axis.
+    pub fn hints(mut self, values: &[bool]) -> Self {
+        self.hints = values.to_vec();
+        self
+    }
+
+    /// Enumerates the full cross-product, architecture-major, in axis
+    /// order (arch × policy × unroll × padding × buffers × hints).
+    pub fn enumerate(&self) -> Vec<RunConfig> {
+        let mut out = Vec::new();
+        for &arch in &self.arches {
+            for &policy in &self.policies {
+                for &unroll in &self.unrolls {
+                    for &padding in &self.paddings {
+                        for &attraction_buffers in &self.buffers {
+                            for &use_hints in &self.hints {
+                                out.push(RunConfig {
+                                    arch,
+                                    policy,
+                                    unroll,
+                                    padding,
+                                    attraction_buffers,
+                                    use_hints,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// How a grid's cells are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One cell at a time, in declaration order.
+    Serial,
+    /// A fixed number of worker threads.
+    Threads(usize),
+    /// One worker per available core.
+    Auto,
+}
+
+impl Parallelism {
+    /// [`Parallelism::Auto`], unless the `VLIW_GRID_SERIAL` environment
+    /// variable is set (the `repro --serial` determinism check).
+    pub fn from_env() -> Self {
+        if std::env::var_os("VLIW_GRID_SERIAL").is_some() {
+            Parallelism::Serial
+        } else {
+            Parallelism::Auto
+        }
+    }
+
+    fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// A declarative experiment grid: labeled configurations × benchmarks.
+#[derive(Debug, Clone)]
+pub struct RunGrid {
+    label: String,
+    configs: Vec<(String, RunConfig)>,
+    benchmarks: Option<Vec<String>>,
+}
+
+impl RunGrid {
+    /// An empty grid named `label` (the label shows up in diagnostics).
+    pub fn new(label: impl Into<String>) -> Self {
+        RunGrid {
+            label: label.into(),
+            configs: Vec::new(),
+            benchmarks: None,
+        }
+    }
+
+    /// Adds one labeled configuration (one figure bar).
+    pub fn config(mut self, label: impl Into<String>, cfg: RunConfig) -> Self {
+        self.configs.push((label.into(), cfg));
+        self
+    }
+
+    /// Adds every configuration of a cross-product, with generated labels.
+    pub fn cross(mut self, axes: &GridAxes) -> Self {
+        for cfg in axes.enumerate() {
+            let label = format!(
+                "{:?}/{:?}/{:?}/pad={}/ab={:?}/hints={}",
+                cfg.arch,
+                cfg.policy,
+                cfg.unroll,
+                cfg.padding,
+                cfg.attraction_buffers,
+                cfg.use_hints
+            );
+            self.configs.push((label, cfg));
+        }
+        self
+    }
+
+    /// Restricts the grid to the named benchmarks (default: the context's).
+    pub fn benchmarks(mut self, names: &[&str]) -> Self {
+        self.benchmarks = Some(names.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// The grid's name.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The labeled configurations, in declaration order.
+    pub fn configs(&self) -> &[(String, RunConfig)] {
+        &self.configs
+    }
+
+    /// Synthesizes the benchmark models this grid runs over — the shared
+    /// model-building step every driver (including the tables) goes
+    /// through.
+    /// # Panics
+    ///
+    /// Panics if a name passed to [`RunGrid::benchmarks`] is not in the
+    /// suite — a typo must fail loudly, not produce a blank report.
+    pub fn models(&self, ctx: &ExperimentContext) -> Vec<BenchmarkModel> {
+        match &self.benchmarks {
+            None => ctx.models(),
+            Some(names) => names
+                .iter()
+                .map(|n| {
+                    let spec = spec_by_name(n).unwrap_or_else(|| {
+                        panic!("grid '{}': unknown benchmark '{n}'", self.label)
+                    });
+                    synthesize(&spec, &ctx.workloads, &ctx.machine)
+                })
+                .collect(),
+        }
+    }
+
+    /// Executes every cell in parallel (one worker per core; serial when
+    /// `VLIW_GRID_SERIAL` is set).
+    pub fn run(&self, ctx: &ExperimentContext) -> GridResult {
+        self.run_with(ctx, Parallelism::from_env())
+    }
+
+    /// Executes every cell serially, in declaration order.
+    pub fn run_serial(&self, ctx: &ExperimentContext) -> GridResult {
+        self.run_with(ctx, Parallelism::Serial)
+    }
+
+    /// Executes every cell with the given parallelism.
+    pub fn run_with(&self, ctx: &ExperimentContext, par: Parallelism) -> GridResult {
+        let models = self.models(ctx);
+        self.run_on_models(&models, ctx, par)
+    }
+
+    /// Executes the grid over explicit (possibly filtered or synthetic)
+    /// models instead of synthesizing them from the context.
+    pub fn run_on_models(
+        &self,
+        models: &[BenchmarkModel],
+        ctx: &ExperimentContext,
+        par: Parallelism,
+    ) -> GridResult {
+        let n_cfg = self.configs.len();
+        let n_models = models.len();
+        let cells_total = n_models * n_cfg;
+        let memo = ScheduleMemo::new();
+        let slots: Vec<Mutex<Option<BenchRun>>> =
+            (0..cells_total).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = par.workers().min(cells_total.max(1));
+
+        let work = |_worker: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= cells_total {
+                break;
+            }
+            // config-major claim order: concurrent workers start on
+            // *different* benchmarks, so they rarely contend on a memo
+            // slot; a benchmark's later configs then hit warm entries (or
+            // block on the in-flight computation instead of repeating it)
+            let (b, c) = (i % n_models, i / n_models);
+            let run = run_benchmark_memo(&models[b], &self.configs[c].1, ctx, Some(&memo));
+            *slots[b * n_cfg + c].lock().expect("cell slot") = Some(run);
+        };
+
+        if workers <= 1 {
+            work(0);
+        } else {
+            thread::scope(|s| {
+                for w in 0..workers {
+                    s.spawn(move || work(w));
+                }
+            });
+        }
+
+        let cells: Vec<BenchRun> = slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("cell lock").expect("cell computed"))
+            .collect();
+        GridResult {
+            benches: models.iter().map(|m| m.name.clone()).collect(),
+            configs: self.configs.clone(),
+            cells,
+            memoized_schedules: memo.len(),
+        }
+    }
+}
+
+/// The outcome of a grid run: one [`BenchRun`] per `(benchmark, config)`
+/// cell, bench-major, plus the aggregation backbone the figure drivers
+/// share.
+#[derive(Debug)]
+pub struct GridResult {
+    benches: Vec<String>,
+    configs: Vec<(String, RunConfig)>,
+    cells: Vec<BenchRun>,
+    memoized_schedules: usize,
+}
+
+impl GridResult {
+    /// Benchmark names, in model order.
+    pub fn benches(&self) -> &[String] {
+        &self.benches
+    }
+
+    /// The labeled configurations, in declaration order.
+    pub fn configs(&self) -> &[(String, RunConfig)] {
+        &self.configs
+    }
+
+    /// Number of distinct schedules the run actually computed (the rest
+    /// were memo hits across cells).
+    pub fn memoized_schedules(&self) -> usize {
+        self.memoized_schedules
+    }
+
+    /// The cell for benchmark index `b` under config index `c`.
+    pub fn cell(&self, b: usize, c: usize) -> &BenchRun {
+        &self.cells[b * self.configs.len() + c]
+    }
+
+    /// Iterates `(benchmark name, its runs in config order)`.
+    pub fn by_bench(&self) -> impl Iterator<Item = (&str, &[BenchRun])> {
+        let n = self.configs.len();
+        self.benches
+            .iter()
+            .enumerate()
+            .map(move |(b, name)| (name.as_str(), &self.cells[b * n..(b + 1) * n]))
+    }
+
+    /// All runs of config index `c`, one per benchmark.
+    pub fn by_config(&self, c: usize) -> impl Iterator<Item = &BenchRun> {
+        let n = self.configs.len();
+        self.cells.iter().skip(c).step_by(n.max(1))
+    }
+
+    /// Arithmetic mean of `f` over benchmarks, per configuration.
+    pub fn amean_by_config(&self, f: impl Fn(&BenchRun) -> f64) -> Vec<f64> {
+        (0..self.configs.len())
+            .map(|c| amean(self.by_config(c).map(&f)))
+            .collect()
+    }
+
+    /// A canonical, bit-exact digest of every cell: per loop, the II, the
+    /// cluster of every operation, and the exact bits of the cycle
+    /// counters. Two runs produce equal fingerprints iff their reports are
+    /// bit-identical — the serial/parallel determinism contract.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (b, bench) in self.benches.iter().enumerate() {
+            for (c, (label, _)) in self.configs.iter().enumerate() {
+                let run = self.cell(b, c);
+                let _ = write!(out, "{bench}|{label}:");
+                for l in &run.loops {
+                    let clusters: Vec<usize> =
+                        l.prepared.schedule.ops.iter().map(|o| o.cluster).collect();
+                    let _ = write!(
+                        out,
+                        "{}#ii={},f={},cl={:?},cc={:016x},sc={:016x};",
+                        l.name,
+                        l.prepared.schedule.ii,
+                        l.prepared.factor,
+                        clusters,
+                        l.sim.compute_cycles.to_bits(),
+                        l.sim.stall_cycles.to_bits(),
+                    );
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axes_cross_product_enumerates_in_order() {
+        let configs = GridAxes::from(RunConfig::ipbc())
+            .policies(&[ClusterPolicy::PreBuildChains, ClusterPolicy::BuildChains])
+            .paddings(&[true, false])
+            .enumerate();
+        assert_eq!(configs.len(), 4);
+        assert_eq!(configs[0].policy, ClusterPolicy::PreBuildChains);
+        assert!(configs[0].padding);
+        assert!(!configs[1].padding);
+        assert_eq!(configs[2].policy, ClusterPolicy::BuildChains);
+        // untouched axes keep the base value everywhere
+        assert!(configs.iter().all(|c| c.unroll == UnrollMode::Selective));
+    }
+
+    #[test]
+    fn grid_runs_and_indexes_cells() {
+        let mut ctx = ExperimentContext::quick();
+        ctx.sim.iteration_cap = 32;
+        ctx.sim.warmup_iterations = 32;
+        ctx.profile.iteration_cap = 32;
+        let grid = RunGrid::new("t")
+            .benchmarks(&["gsmdec"])
+            .config("IPBC", RunConfig::ipbc())
+            .config("IBC", RunConfig::ibc());
+        let res = grid.run_serial(&ctx);
+        assert_eq!(res.benches(), ["gsmdec"]);
+        assert_eq!(res.configs().len(), 2);
+        assert!(res.cell(0, 0).total_cycles() > 0.0);
+        assert_eq!(res.by_bench().count(), 1);
+        assert_eq!(res.by_config(1).count(), 1);
+        assert_eq!(res.amean_by_config(|r| r.total_cycles()).len(), 2);
+    }
+
+    #[test]
+    fn memo_shares_schedules_across_buffer_axis() {
+        let mut ctx = ExperimentContext::quick();
+        ctx.sim.iteration_cap = 32;
+        ctx.sim.warmup_iterations = 32;
+        ctx.profile.iteration_cap = 32;
+        let grid = RunGrid::new("t")
+            .benchmarks(&["gsmdec"])
+            .config("IPBC", RunConfig::ipbc())
+            .config("IPBC+AB", RunConfig::ipbc().with_buffers());
+        let res = grid.run_serial(&ctx);
+        let n_loops = res.cell(0, 0).loops.len();
+        // both configs share one preparation per loop
+        assert_eq!(res.memoized_schedules(), n_loops);
+        // ...and the shared schedule is literally the same allocation
+        for (a, b) in res.cell(0, 0).loops.iter().zip(&res.cell(0, 1).loops) {
+            assert!(std::sync::Arc::ptr_eq(&a.prepared, &b.prepared));
+        }
+    }
+}

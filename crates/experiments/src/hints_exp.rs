@@ -3,7 +3,8 @@
 
 use std::fmt;
 
-use crate::context::{run_benchmark, ExperimentContext, RunConfig};
+use crate::context::{ExperimentContext, RunConfig};
+use crate::grid::{Parallelism, RunGrid};
 use crate::report::Table;
 
 /// Stall cycles of the epicdec overflow loop under every combination of
@@ -66,14 +67,18 @@ impl fmt::Display for HintsExperiment {
     }
 }
 
-/// Runs the hints experiment (epicdec only).
+/// Runs the hints experiment (epicdec only): a heuristic × buffer-size ×
+/// hints grid over the single overflow loop. The eight cells share two
+/// schedules (one per heuristic) through the grid memo — buffers and
+/// hints only affect simulation.
 pub fn hints_experiment(ctx: &ExperimentContext) -> HintsExperiment {
     let spec = vliw_workloads::spec_by_name("epicdec").expect("epicdec in suite");
-    let model = vliw_workloads::synthesize(&spec, &ctx.workloads, &ctx.machine);
+    let mut model = vliw_workloads::synthesize(&spec, &ctx.workloads, &ctx.machine);
     // keep only the overflow loop: that is where hints matter
-    let mut model = model;
     model.loops.retain(|l| l.kernel.name == "epicdec_l19");
-    let mut rows = Vec::new();
+
+    let mut grid = RunGrid::new("hints");
+    let mut keys: Vec<(&'static str, usize, bool)> = Vec::new();
     for (name, base) in [("IBC", RunConfig::ibc()), ("IPBC", RunConfig::ipbc())] {
         for entries in [8usize, 16] {
             for hints in [false, true] {
@@ -82,10 +87,16 @@ pub fn hints_experiment(ctx: &ExperimentContext) -> HintsExperiment {
                     use_hints: hints,
                     ..base
                 };
-                let run = run_benchmark(&model, &cfg, ctx);
-                rows.push((name, entries, hints, run.stall_cycles()));
+                grid = grid.config(format!("{name}/{entries}/{hints}"), cfg);
+                keys.push((name, entries, hints));
             }
         }
     }
+    let result = grid.run_on_models(&[model], ctx, Parallelism::from_env());
+    let rows = keys
+        .into_iter()
+        .enumerate()
+        .map(|(c, (name, entries, hints))| (name, entries, hints, result.cell(0, c).stall_cycles()))
+        .collect();
     HintsExperiment { rows }
 }

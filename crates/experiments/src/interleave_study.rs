@@ -9,7 +9,8 @@
 
 use std::fmt;
 
-use crate::context::{run_benchmark, ExperimentContext, RunConfig};
+use crate::context::{ExperimentContext, RunConfig};
+use crate::grid::RunGrid;
 use crate::report::{f3, Table};
 
 /// One benchmark × interleave-factor measurement.
@@ -68,7 +69,11 @@ impl fmt::Display for InterleaveStudy {
         write!(f, "{}", self.table().render())?;
         for bench in ["gsmdec", "gsmenc", "pgpdec"] {
             if let Some(imp) = self.improvement(bench, 2) {
-                writeln!(f, "{bench}: 2-byte interleaving is {:+.1}% vs 4-byte", 100.0 * imp)?;
+                writeln!(
+                    f,
+                    "{bench}: 2-byte interleaving is {:+.1}% vs 4-byte",
+                    100.0 * imp
+                )?;
             }
         }
         Ok(())
@@ -76,20 +81,27 @@ impl fmt::Display for InterleaveStudy {
 }
 
 /// Runs the study over the gsm pair (2-byte data) and a 4-byte control.
+///
+/// Each interleave factor is a *machine* variant, not a `RunConfig` axis,
+/// so the study executes one [`RunGrid`] per factor (the grid memoizes and
+/// parallelizes within a factor; machine geometry is part of the context).
 pub fn interleave_study(ctx: &ExperimentContext) -> InterleaveStudy {
     let benches = ["gsmdec", "gsmenc", "pgpdec"];
+    let grid = RunGrid::new("interleave")
+        .benchmarks(&benches)
+        .config("IPBC+AB", RunConfig::ipbc().with_buffers());
     let mut rows = Vec::new();
     for interleave in [2usize, 4] {
         let mut variant = ctx.clone();
         variant.machine.cache.interleave_bytes = interleave;
         variant.machine.validate().expect("geometry stays valid");
-        variant.benchmarks = benches.iter().map(|s| s.to_string()).collect();
-        for model in variant.models() {
-            let run = run_benchmark(&model, &RunConfig::ipbc().with_buffers(), &variant);
+        let result = grid.run(&variant);
+        for (bench, runs) in result.by_bench() {
+            let run = &runs[0];
             let mix = run.access_mix();
             let total: f64 = mix.iter().sum();
             rows.push(InterleaveRow {
-                bench: model.name.clone(),
+                bench: bench.to_string(),
                 interleave,
                 local_hits: if total > 0.0 { mix[0] / total } else { 0.0 },
                 cycles: run.total_cycles(),

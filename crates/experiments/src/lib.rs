@@ -43,13 +43,15 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod grid;
 pub mod hints_exp;
 pub mod interleave_study;
 pub mod report;
 pub mod tables;
 
 pub use context::{
-    prepare_loop, run_benchmark, ArchVariant, BenchRun, ExperimentContext, LoopRun, PreparedLoop,
-    RunConfig, UnrollMode,
+    prepare_loop, run_benchmark, run_benchmark_memo, ArchVariant, BenchRun, ExperimentContext,
+    LoopRun, PreparedLoop, RunConfig, ScheduleMemo, UnrollMode,
 };
+pub use grid::{GridAxes, GridResult, Parallelism, RunGrid};
 pub use report::Table;

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::context::ExperimentContext;
+use crate::grid::RunGrid;
 use crate::report::Table;
 
 /// Table 1: benchmarks, inputs and dominant data sizes — both the spec
@@ -23,7 +24,14 @@ impl Table1 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Table 1: benchmarks and inputs",
-            &["bench", "profile input", "exec input", "main size", "paper share", "measured"],
+            &[
+                "bench",
+                "profile input",
+                "exec input",
+                "main size",
+                "paper share",
+                "measured",
+            ],
         );
         for (name, pi, ei, gran, paper, measured) in &self.rows {
             t.row(vec![
@@ -45,10 +53,11 @@ impl fmt::Display for Table1 {
     }
 }
 
-/// Builds Table 1 from the context's models.
+/// Builds Table 1 from the context's models (synthesized through the same
+/// [`RunGrid`] model-building step the figure drivers use).
 pub fn table1(ctx: &ExperimentContext) -> Table1 {
     let mut rows = Vec::new();
-    for model in ctx.models() {
+    for model in RunGrid::new("table1").models(ctx) {
         let spec = &model.spec;
         let (mut dominant, mut total) = (0.0f64, 0.0f64);
         for l in &model.loops {
@@ -119,12 +128,21 @@ impl Table2 {
             "register buses",
             format!("{} at 1/2 core frequency", m.buses.reg_buses),
         );
-        kv("memory buses", format!("{} at 1/2 core frequency", m.buses.mem_buses));
+        kv(
+            "memory buses",
+            format!("{} at 1/2 core frequency", m.buses.mem_buses),
+        );
         kv(
             "next memory level",
-            format!("{} ports, {} cycles, always hit", m.next_level.ports, m.next_level.latency),
+            format!(
+                "{} ports, {} cycles, always hit",
+                m.next_level.ports, m.next_level.latency
+            ),
         );
-        kv("interleaving factor", format!("{} bytes", m.cache.interleave_bytes));
+        kv(
+            "interleaving factor",
+            format!("{} bytes", m.cache.interleave_bytes),
+        );
         t
     }
 }
@@ -137,5 +155,7 @@ impl fmt::Display for Table2 {
 
 /// Builds Table 2 from the context's machine.
 pub fn table2(ctx: &ExperimentContext) -> Table2 {
-    Table2 { machine: ctx.machine.clone() }
+    Table2 {
+        machine: ctx.machine.clone(),
+    }
 }

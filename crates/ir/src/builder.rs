@@ -69,7 +69,12 @@ impl KernelBuilder {
     /// Declares an array (data object) the kernel accesses.
     pub fn array(&mut self, name: impl Into<String>, size: u64, kind: ArrayKind) -> ArrayId {
         let id = ArrayId::new(self.arrays.len());
-        self.arrays.push(ArrayInfo { id, name: name.into(), size, kind });
+        self.arrays.push(ArrayInfo {
+            id,
+            name: name.into(),
+            size,
+            kind,
+        });
         id
     }
 
@@ -91,7 +96,14 @@ impl KernelBuilder {
     ) -> OpId {
         debug_assert_eq!(opcode.is_mem(), mem.is_some(), "mem info iff memory opcode");
         let id = OpId::new(self.ops.len());
-        self.ops.push(Operation { id, name: name.into(), opcode, dst, srcs, mem });
+        self.ops.push(Operation {
+            id,
+            name: name.into(),
+            opcode,
+            dst,
+            srcs,
+            mem,
+        });
         id
     }
 
@@ -227,19 +239,24 @@ impl KernelBuilder {
     /// Panics if `kind` is a register dependence kind or either endpoint is
     /// not a memory operation.
     pub fn mem_dep(&mut self, from: OpId, to: OpId, kind: DepKind, distance: u32) -> &mut Self {
-        assert!(kind.is_memory(), "mem_dep requires a memory dependence kind");
+        assert!(
+            kind.is_memory(),
+            "mem_dep requires a memory dependence kind"
+        );
         assert!(
             self.ops[from.index()].is_mem() && self.ops[to.index()].is_mem(),
             "memory dependences connect memory operations"
         );
-        self.extra_edges.push(DepEdge::new(from, to, kind, distance));
+        self.extra_edges
+            .push(DepEdge::new(from, to, kind, distance));
         self
     }
 
     /// Adds an arbitrary extra dependence edge (register anti/output edges,
     /// or hand-built graphs like the paper's Figure 3).
     pub fn raw_edge(&mut self, from: OpId, to: OpId, kind: DepKind, distance: u32) -> &mut Self {
-        self.extra_edges.push(DepEdge::new(from, to, kind, distance));
+        self.extra_edges
+            .push(DepEdge::new(from, to, kind, distance));
         self
     }
 
@@ -270,7 +287,10 @@ impl KernelBuilder {
         for op in &self.ops {
             if let Some(d) = op.dst {
                 let prev = defs.insert(d, op.id);
-                assert!(prev.is_none(), "register {d} defined twice (SSA form required)");
+                assert!(
+                    prev.is_none(),
+                    "register {d} defined twice (SSA form required)"
+                );
             }
         }
         let mut edges = Vec::new();
@@ -305,9 +325,15 @@ mod tests {
         let (u, _) = b.int_op("u", Opcode::Mul, &[r.into(), r.into()]);
         let k = b.finish(1.0);
         // two uses of r -> two flow edges c->u
-        let cu: Vec<_> = k.edges.iter().filter(|e| e.from == c && e.to == u).collect();
+        let cu: Vec<_> = k
+            .edges
+            .iter()
+            .filter(|e| e.from == c && e.to == u)
+            .collect();
         assert_eq!(cu.len(), 2);
-        assert!(cu.iter().all(|e| e.kind == DepKind::RegFlow && e.distance == 0));
+        assert!(cu
+            .iter()
+            .all(|e| e.kind == DepKind::RegFlow && e.distance == 0));
     }
 
     #[test]
@@ -379,7 +405,10 @@ mod tests {
         let k = b.finish(1.0);
         assert!(k.op(ld2).mem.as_ref().unwrap().indirect);
         // flow edge from index load to indirect load
-        assert!(k.edges.iter().any(|e| e.to == ld2 && e.kind == DepKind::RegFlow));
+        assert!(k
+            .edges
+            .iter()
+            .any(|e| e.to == ld2 && e.kind == DepKind::RegFlow));
     }
 
     #[test]

@@ -73,13 +73,22 @@ pub struct DepEdge {
 impl DepEdge {
     /// Creates an edge.
     pub fn new(from: OpId, to: OpId, kind: DepKind, distance: u32) -> Self {
-        DepEdge { from, to, kind, distance }
+        DepEdge {
+            from,
+            to,
+            kind,
+            distance,
+        }
     }
 }
 
 impl fmt::Display for DepEdge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -{}:d{}-> {}", self.from, self.kind, self.distance, self.to)
+        write!(
+            f,
+            "{} -{}:d{}-> {}",
+            self.from, self.kind, self.distance, self.to
+        )
     }
 }
 
@@ -113,7 +122,12 @@ impl Ddg {
             succs[e.from.index()].push(i);
             preds[e.to.index()].push(i);
         }
-        Ddg { n_ops, edges: kernel.edges.clone(), succs, preds }
+        Ddg {
+            n_ops,
+            edges: kernel.edges.clone(),
+            succs,
+            preds,
+        }
     }
 
     /// Number of operations in the underlying kernel.
@@ -186,7 +200,12 @@ mod tests {
         let (_, r) = b.int_const("c");
         let _ = b.int_op("a", Opcode::Add, &[r.into()]);
         let mut k = b.finish(1.0);
-        k.edges.push(DepEdge::new(OpId::new(0), OpId::new(99), DepKind::RegFlow, 0));
+        k.edges.push(DepEdge::new(
+            OpId::new(0),
+            OpId::new(99),
+            DepKind::RegFlow,
+            0,
+        ));
         let _ = Ddg::build(&k);
     }
 }

@@ -74,7 +74,11 @@ impl LoopKernel {
 
 impl fmt::Display for LoopKernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "loop {} (trip {:.1} x {:.1}):", self.name, self.avg_trip, self.invocations)?;
+        writeln!(
+            f,
+            "loop {} (trip {:.1} x {:.1}):",
+            self.name, self.avg_trip, self.invocations
+        )?;
         for op in &self.ops {
             writeln!(f, "  {op}")?;
         }

@@ -84,7 +84,10 @@ impl MemProfile {
     pub fn concentrated(hit_rate: f64, cluster: usize, n_clusters: usize) -> Self {
         let mut cluster_hist = vec![0; n_clusters];
         cluster_hist[cluster] = 100;
-        MemProfile { hit_rate, cluster_hist }
+        MemProfile {
+            hit_rate,
+            cluster_hist,
+        }
     }
 
     /// A profile with an explicit local-access ratio: a fraction `local` of
@@ -102,7 +105,10 @@ impl MemProfile {
                 *slot = (total * (1.0 - local) / (n_clusters as f64 - 1.0)) as u64;
             }
         }
-        MemProfile { hit_rate, cluster_hist }
+        MemProfile {
+            hit_rate,
+            cluster_hist,
+        }
     }
 
     /// Total profiled accesses.
@@ -208,7 +214,11 @@ impl MemAccessInfo {
 impl fmt::Display for MemAccessInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.stride {
-            Some(s) => write!(f, "{}+{}:{}B stride {}", self.array, self.offset, self.granularity, s),
+            Some(s) => write!(
+                f,
+                "{}+{}:{}B stride {}",
+                self.array, self.offset, self.granularity, s
+            ),
             None => write!(f, "{}[indirect]:{}B", self.array, self.granularity),
         }
     }
@@ -237,7 +247,10 @@ mod tests {
 
     #[test]
     fn even_spread_concentration() {
-        let p = MemProfile { hit_rate: 1.0, cluster_hist: vec![25, 25, 25, 25] };
+        let p = MemProfile {
+            hit_rate: 1.0,
+            cluster_hist: vec![25, 25, 25, 25],
+        };
         assert!((p.concentration() - 0.25).abs() < 1e-9);
         // tie resolves to the lowest cluster
         assert_eq!(p.preferred_cluster(), Some(0));
@@ -245,7 +258,10 @@ mod tests {
 
     #[test]
     fn empty_profile() {
-        let p = MemProfile { hit_rate: 0.0, cluster_hist: vec![0, 0] };
+        let p = MemProfile {
+            hit_rate: 0.0,
+            cluster_hist: vec![0, 0],
+        };
         assert_eq!(p.preferred_cluster(), None);
         assert_eq!(p.concentration(), 0.0);
     }

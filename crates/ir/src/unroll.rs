@@ -125,7 +125,10 @@ pub fn unroll(kernel: &LoopKernel, factor: u32) -> LoopKernel {
 /// Helper shared with tests: total register-flow edge count of a kernel.
 #[cfg(test)]
 fn flow_edge_count(k: &LoopKernel) -> usize {
-    k.edges.iter().filter(|e| e.kind == crate::DepKind::RegFlow).count()
+    k.edges
+        .iter()
+        .filter(|e| e.kind == crate::DepKind::RegFlow)
+        .count()
 }
 
 #[cfg(test)]
@@ -207,7 +210,11 @@ mod tests {
         let u = unroll(&k, 4);
         // original MemFlow d=2 from st to ld: copy k -> copy (k+2)%4 at
         // distance (k+2)/4.
-        let mf: Vec<_> = u.edges.iter().filter(|e| e.kind == DepKind::MemFlow).collect();
+        let mf: Vec<_> = u
+            .edges
+            .iter()
+            .filter(|e| e.kind == DepKind::MemFlow)
+            .collect();
         assert_eq!(mf.len(), 4);
         for e in mf {
             let from_copy = e.from.index() / k.ops.len();

@@ -54,7 +54,12 @@ impl ClusterConfig {
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { n_clusters: 4, int_units: 1, fp_units: 1, mem_units: 1 }
+        ClusterConfig {
+            n_clusters: 4,
+            int_units: 1,
+            fp_units: 1,
+            mem_units: 1,
+        }
     }
 }
 
@@ -113,7 +118,11 @@ pub struct BusConfig {
 
 impl Default for BusConfig {
     fn default() -> Self {
-        BusConfig { reg_buses: 4, mem_buses: 4, transfer_cycles: 2 }
+        BusConfig {
+            reg_buses: 4,
+            mem_buses: 4,
+            transfer_cycles: 2,
+        }
     }
 }
 
@@ -128,7 +137,10 @@ pub struct NextLevelConfig {
 
 impl Default for NextLevelConfig {
     fn default() -> Self {
-        NextLevelConfig { ports: 4, latency: 10 }
+        NextLevelConfig {
+            ports: 4,
+            latency: 10,
+        }
     }
 }
 
@@ -144,7 +156,10 @@ pub struct AttractionBufferConfig {
 
 impl Default for AttractionBufferConfig {
     fn default() -> Self {
-        AttractionBufferConfig { entries: 16, associativity: 2 }
+        AttractionBufferConfig {
+            entries: 16,
+            associativity: 2,
+        }
     }
 }
 
@@ -226,7 +241,10 @@ impl MachineConfig {
             ArchKind::WordInterleaved,
             "attraction buffers only exist on the word-interleaved architecture"
         );
-        self.attraction_buffers = Some(AttractionBufferConfig { entries, associativity });
+        self.attraction_buffers = Some(AttractionBufferConfig {
+            entries,
+            associativity,
+        });
         self
     }
 
@@ -269,10 +287,17 @@ impl MachineConfig {
         if self.clusters.mem_units == 0 {
             return Err("clusters need at least one memory unit".into());
         }
-        if self.cache.total_bytes % n != 0 {
-            return Err(format!("cache capacity {} not divisible by {n} clusters", self.cache.total_bytes));
+        if !self.cache.total_bytes.is_multiple_of(n) {
+            return Err(format!(
+                "cache capacity {} not divisible by {n} clusters",
+                self.cache.total_bytes
+            ));
         }
-        if self.cache.block_bytes % (n * self.cache.interleave_bytes) != 0 {
+        if !self
+            .cache
+            .block_bytes
+            .is_multiple_of(n * self.cache.interleave_bytes)
+        {
             return Err(format!(
                 "block size {} must be a multiple of clusters x interleave = {}",
                 self.cache.block_bytes,
@@ -282,10 +307,14 @@ impl MachineConfig {
         let module = self.cache.module_bytes(n);
         let sets = module / (self.cache.subblock_bytes(n) * self.cache.associativity);
         if sets == 0 || !sets.is_power_of_two() {
-            return Err(format!("module set count {sets} must be a nonzero power of two"));
+            return Err(format!(
+                "module set count {sets} must be a nonzero power of two"
+            ));
         }
         let l = &self.mem_latencies;
-        if !(l.local_hit <= l.remote_hit && l.remote_hit <= l.local_miss && l.local_miss <= l.remote_miss)
+        if !(l.local_hit <= l.remote_hit
+            && l.remote_hit <= l.local_miss
+            && l.local_miss <= l.remote_miss)
         {
             return Err("memory latencies must be monotone over access classes".into());
         }
@@ -332,7 +361,11 @@ impl fmt::Display for MachineConfig {
             self.buses.reg_buses, self.buses.mem_buses, self.buses.transfer_cycles
         )?;
         match self.attraction_buffers {
-            Some(ab) => writeln!(f, "  attraction buffers: {}-entry {}-way", ab.entries, ab.associativity)?,
+            Some(ab) => writeln!(
+                f,
+                "  attraction buffers: {}-entry {}-way",
+                ab.entries, ab.associativity
+            )?,
             None => writeln!(f, "  attraction buffers: none")?,
         }
         write!(

@@ -99,7 +99,12 @@ impl MemLatencies {
 
 impl Default for MemLatencies {
     fn default() -> Self {
-        MemLatencies { local_hit: 1, remote_hit: 5, local_miss: 10, remote_miss: 15 }
+        MemLatencies {
+            local_hit: 1,
+            remote_hit: 5,
+            local_miss: 10,
+            remote_miss: 15,
+        }
     }
 }
 

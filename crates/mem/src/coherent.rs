@@ -44,7 +44,11 @@ impl CoherentCache {
     ///
     /// Panics if the machine is not a multiVLIW configuration.
     pub fn new(machine: &MachineConfig) -> Self {
-        assert_eq!(machine.arch, ArchKind::MultiVliw, "machine must be multiVLIW");
+        assert_eq!(
+            machine.arch,
+            ArchKind::MultiVliw,
+            "machine must be multiVLIW"
+        );
         let n = machine.n_clusters();
         let module_bytes = machine.cache.module_bytes(n);
         let sets = module_bytes / (machine.cache.block_bytes * machine.cache.associativity);
@@ -54,7 +58,9 @@ impl CoherentCache {
             transfer: machine.buses.transfer_cycles as u64,
             access_latency: machine.mem_latencies.local_hit as u64,
             nl_latency: machine.next_level.latency as u64,
-            tags: (0..n).map(|_| SetAssoc::new(sets, machine.cache.associativity)).collect(),
+            tags: (0..n)
+                .map(|_| SetAssoc::new(sets, machine.cache.associativity))
+                .collect(),
             local_ports: (0..n).map(|_| ResourcePool::new(1)).collect(),
             buses: ResourcePool::new(machine.buses.mem_buses),
             nl_ports: ResourcePool::new(machine.next_level.ports),
@@ -70,7 +76,9 @@ impl CoherentCache {
     /// `addr`'s block.
     pub fn copies_of(&self, addr: u64) -> usize {
         let block = addr / self.block_bytes;
-        (0..self.n).filter(|&c| self.tags[c].contains(block)).count()
+        (0..self.n)
+            .filter(|&c| self.tags[c].contains(block))
+            .count()
     }
 }
 
@@ -91,7 +99,8 @@ impl DataCache for CoherentCache {
             if !local_hit {
                 // read-for-ownership fill (timing folded into the store
                 // buffer; the traffic still occupies a bus)
-                self.buses.acquire(port_start + self.access_latency, self.transfer);
+                self.buses
+                    .acquire(port_start + self.access_latency, self.transfer);
                 self.tags[req.cluster].insert(block);
             }
             // invalidate every other copy (snoop)
@@ -105,16 +114,25 @@ impl DataCache for CoherentCache {
                 self.buses.acquire(port_start, self.transfer);
             }
             self.stats.record(class, false, false);
-            return AccessOutcome { ready_at: req.now + 1, class, combined: false, ab_hit: false };
+            return AccessOutcome {
+                ready_at: req.now + 1,
+                class,
+                combined: false,
+                ab_hit: false,
+            };
         }
 
         let (ready, class) = if local_hit {
             (port_start + self.access_latency, AccessClass::LocalHit)
         } else if let Some(holder) = self.holder_other_than(block, req.cluster) {
             // cache-to-cache transfer: bus + remote access + bus
-            let bus_start = self.buses.acquire(port_start + self.access_latency - 1, self.transfer);
+            let bus_start = self
+                .buses
+                .acquire(port_start + self.access_latency - 1, self.transfer);
             let supply = self.local_ports[holder].acquire(bus_start + self.transfer, 1);
-            let reply = self.buses.acquire(supply + self.access_latency, self.transfer);
+            let reply = self
+                .buses
+                .acquire(supply + self.access_latency, self.transfer);
             self.tags[req.cluster].insert(block); // replicate
             (reply + self.transfer, AccessClass::RemoteHit)
         } else {
@@ -123,7 +141,12 @@ impl DataCache for CoherentCache {
             (nl_start + self.nl_latency, AccessClass::LocalMiss)
         };
         self.stats.record(class, false, false);
-        AccessOutcome { ready_at: ready, class, combined: false, ab_hit: false }
+        AccessOutcome {
+            ready_at: ready,
+            class,
+            combined: false,
+            ab_hit: false,
+        }
     }
 
     fn flush_loop_boundary(&mut self) {}
@@ -206,7 +229,12 @@ mod tests {
         let mut now = 0;
         for i in 0..200u64 {
             now += 7;
-            let _ = c.access(AccessRequest::load((i % 4) as usize, (i * 16) % 4096, 4, now));
+            let _ = c.access(AccessRequest::load(
+                (i % 4) as usize,
+                (i * 16) % 4096,
+                4,
+                now,
+            ));
         }
         assert_eq!(c.stats().count(AccessClass::RemoteMiss), 0);
     }

@@ -29,7 +29,9 @@ impl FunctionalCache {
             n,
             interleave: machine.cache.interleave_bytes as u64,
             block_bytes: machine.cache.block_bytes as u64,
-            tags: (0..n).map(|_| SetAssoc::new(sets, machine.cache.associativity)).collect(),
+            tags: (0..n)
+                .map(|_| SetAssoc::new(sets, machine.cache.associativity))
+                .collect(),
         }
     }
 

@@ -50,14 +50,19 @@ impl InterleavedCache {
     /// Panics if `machine` fails validation or is not word-interleaved.
     pub fn new(machine: &MachineConfig) -> Self {
         machine.validate().expect("valid machine");
-        assert!(machine.has_remote_accesses(), "machine must be word-interleaved");
+        assert!(
+            machine.has_remote_accesses(),
+            "machine must be word-interleaved"
+        );
         let n = machine.n_clusters();
         let module_bytes = machine.cache.module_bytes(n);
         let subblock = machine.cache.subblock_bytes(n);
         let sets = module_bytes / (subblock * machine.cache.associativity);
         let buffers = machine.attraction_buffers.map(|ab| {
             let ab_sets = (ab.entries / ab.associativity).max(1);
-            (0..n).map(|_| SetAssoc::new(ab_sets, ab.associativity)).collect()
+            (0..n)
+                .map(|_| SetAssoc::new(ab_sets, ab.associativity))
+                .collect()
         });
         InterleavedCache {
             n,
@@ -66,7 +71,9 @@ impl InterleavedCache {
             transfer: machine.buses.transfer_cycles as u64,
             module_access: machine.mem_latencies.local_hit as u64,
             nl_latency: machine.next_level.latency as u64,
-            tags: (0..n).map(|_| SetAssoc::new(sets, machine.cache.associativity)).collect(),
+            tags: (0..n)
+                .map(|_| SetAssoc::new(sets, machine.cache.associativity))
+                .collect(),
             local_ports: (0..n).map(|_| ResourcePool::new(1)).collect(),
             bus_ports: (0..n).map(|_| ResourcePool::new(1)).collect(),
             mem_buses: ResourcePool::new(machine.buses.mem_buses),
@@ -98,7 +105,9 @@ impl InterleavedCache {
         let acc_start = self.bus_ports[home].acquire(bus_start + self.transfer, 1);
         let hit = self.tags[home].probe(block);
         if hit {
-            let reply = self.mem_buses.acquire(acc_start + self.module_access, self.transfer);
+            let reply = self
+                .mem_buses
+                .acquire(acc_start + self.module_access, self.transfer);
             (reply + self.transfer, AccessClass::RemoteHit)
         } else {
             let nl_start = self.nl_ports.acquire(acc_start + self.module_access, 1);
@@ -112,7 +121,10 @@ impl InterleavedCache {
 
 impl DataCache for InterleavedCache {
     fn access(&mut self, req: AccessRequest) -> AccessOutcome {
-        debug_assert!(req.now >= self.last_now, "requests must arrive in time order");
+        debug_assert!(
+            req.now >= self.last_now,
+            "requests must arrive in time order"
+        );
         self.last_now = req.now;
         let home = self.home_cluster(req.addr);
         let block = self.block_of(req.addr);
@@ -159,7 +171,12 @@ impl DataCache for InterleavedCache {
             }
             self.stats.record(class, false, false);
             // stores complete through the store buffer next cycle
-            return AccessOutcome { ready_at: req.now + 1, class, combined: false, ab_hit: false };
+            return AccessOutcome {
+                ready_at: req.now + 1,
+                class,
+                combined: false,
+                ab_hit: false,
+            };
         }
 
         // loads
@@ -174,7 +191,12 @@ impl DataCache for InterleavedCache {
                 (nl_start + self.nl_latency, AccessClass::LocalMiss)
             };
             self.stats.record(class, false, false);
-            return AccessOutcome { ready_at: ready, class, combined: false, ab_hit: false };
+            return AccessOutcome {
+                ready_at: ready,
+                class,
+                combined: false,
+                ab_hit: false,
+            };
         }
 
         // remote load: Attraction Buffer first
@@ -198,7 +220,12 @@ impl DataCache for InterleavedCache {
         if let Some(&(ready, class)) = self.pending.get(&(req.cluster, key)) {
             if ready > req.now {
                 self.stats.record(class, true, false);
-                return AccessOutcome { ready_at: ready, class, combined: true, ab_hit: false };
+                return AccessOutcome {
+                    ready_at: ready,
+                    class,
+                    combined: true,
+                    ab_hit: false,
+                };
             }
         }
 
@@ -211,7 +238,12 @@ impl DataCache for InterleavedCache {
             }
         }
         self.stats.record(class, false, false);
-        AccessOutcome { ready_at: ready, class, combined: false, ab_hit: false }
+        AccessOutcome {
+            ready_at: ready,
+            class,
+            combined: false,
+            ab_hit: false,
+        }
     }
 
     fn flush_loop_boundary(&mut self) {
@@ -278,7 +310,11 @@ mod tests {
         let o = c.access(AccessRequest::load(1, 0, 4, 50));
         assert_eq!(o.class, AccessClass::RemoteHit);
         let o = c.access(AccessRequest::load(1, 0, 4, 100));
-        assert_eq!(o.class, AccessClass::RemoteHit, "still remote without buffers");
+        assert_eq!(
+            o.class,
+            AccessClass::RemoteHit,
+            "still remote without buffers"
+        );
     }
 
     #[test]
@@ -294,7 +330,11 @@ mod tests {
         assert_eq!(o.ready_at, 101);
         // the whole subblock was attracted: word 16 (same block, module 0)
         let o = c.access(AccessRequest::load(1, 16, 4, 150));
-        assert_eq!(o.class, AccessClass::LocalHit, "sibling word of the subblock");
+        assert_eq!(
+            o.class,
+            AccessClass::LocalHit,
+            "sibling word of the subblock"
+        );
     }
 
     #[test]
@@ -304,7 +344,11 @@ mod tests {
         let _ = c.access(AccessRequest::load(1, 0, 4, 50));
         c.flush_loop_boundary();
         let o = c.access(AccessRequest::load(1, 0, 4, 100));
-        assert_eq!(o.class, AccessClass::RemoteHit, "buffer flushed between loops");
+        assert_eq!(
+            o.class,
+            AccessClass::RemoteHit,
+            "buffer flushed between loops"
+        );
     }
 
     #[test]
@@ -314,7 +358,11 @@ mod tests {
         let _ = c.access(AccessRequest::load(1, 0, 4, 50)); // cluster 1 attracts
         let _ = c.access(AccessRequest::store(2, 0, 4, 100)); // cluster 2 writes
         let o = c.access(AccessRequest::load(1, 0, 4, 150));
-        assert_eq!(o.class, AccessClass::RemoteHit, "stale buffer entry invalidated");
+        assert_eq!(
+            o.class,
+            AccessClass::RemoteHit,
+            "stale buffer entry invalidated"
+        );
     }
 
     #[test]
@@ -325,7 +373,11 @@ mod tests {
         r.attractable = false;
         let _ = c.access(r);
         let o = c.access(AccessRequest::load(1, 0, 4, 100));
-        assert_eq!(o.class, AccessClass::RemoteHit, "hint suppressed allocation");
+        assert_eq!(
+            o.class,
+            AccessClass::RemoteHit,
+            "hint suppressed allocation"
+        );
     }
 
     #[test]
@@ -387,7 +439,12 @@ mod tests {
         let mut now = 0;
         for i in 0..100u64 {
             now += 3;
-            let _ = c.access(AccessRequest::load((i % 4) as usize, (i * 4) % 1024, 4, now));
+            let _ = c.access(AccessRequest::load(
+                (i % 4) as usize,
+                (i * 4) % 1024,
+                4,
+                now,
+            ));
         }
         let s = c.stats();
         let sum = AccessClass::ALL.iter().map(|&cl| s.count(cl)).sum::<u64>() + s.combined();

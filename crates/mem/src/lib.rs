@@ -87,12 +87,26 @@ pub struct AccessRequest {
 impl AccessRequest {
     /// A load request with the attraction hint enabled.
     pub fn load(cluster: usize, addr: u64, size: u8, now: u64) -> Self {
-        AccessRequest { cluster, addr, size, is_store: false, attractable: true, now }
+        AccessRequest {
+            cluster,
+            addr,
+            size,
+            is_store: false,
+            attractable: true,
+            now,
+        }
     }
 
     /// A store request.
     pub fn store(cluster: usize, addr: u64, size: u8, now: u64) -> Self {
-        AccessRequest { cluster, addr, size, is_store: true, attractable: true, now }
+        AccessRequest {
+            cluster,
+            addr,
+            size,
+            is_store: true,
+            attractable: true,
+            now,
+        }
     }
 }
 

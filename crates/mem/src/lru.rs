@@ -57,7 +57,9 @@ impl SetAssoc {
 
     /// Whether `key` is present, without touching LRU state.
     pub fn contains(&self, key: u64) -> bool {
-        self.set_range(key).into_iter().any(|i| self.entries[i] == Some(key))
+        self.set_range(key)
+            .into_iter()
+            .any(|i| self.entries[i] == Some(key))
     }
 
     /// Inserts `key`, evicting the LRU way of its set if needed.

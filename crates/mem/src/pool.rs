@@ -20,7 +20,9 @@ impl ResourcePool {
     /// Panics if `servers` is zero.
     pub fn new(servers: usize) -> Self {
         assert!(servers > 0, "a resource pool needs at least one server");
-        ResourcePool { next_free: vec![0; servers] }
+        ResourcePool {
+            next_free: vec![0; servers],
+        }
     }
 
     /// Books the earliest-available server at or after `earliest` for
@@ -40,7 +42,11 @@ impl ResourcePool {
     /// The earliest start a request arriving at `earliest` would get,
     /// without booking.
     pub fn peek(&self, earliest: u64) -> u64 {
-        self.next_free.iter().map(|&t| t.max(earliest)).min().expect("nonempty pool")
+        self.next_free
+            .iter()
+            .map(|&t| t.max(earliest))
+            .min()
+            .expect("nonempty pool")
     }
 
     /// Number of servers.

@@ -130,7 +130,12 @@ impl fmt::Display for MemStats {
         write!(
             f,
             "LH {} RH {} LM {} RM {} combined {} (AB hits {})",
-            self.counts[0], self.counts[1], self.counts[2], self.counts[3], self.combined, self.ab_hits
+            self.counts[0],
+            self.counts[1],
+            self.counts[2],
+            self.counts[3],
+            self.combined,
+            self.ab_hits
         )
     }
 }
@@ -151,7 +156,11 @@ mod tests {
         s.record(AccessClass::LocalMiss, false, false);
         s.record(AccessClass::RemoteMiss, true, false); // combined
         assert_eq!(s.total(), 10);
-        assert_eq!(s.count(AccessClass::RemoteMiss), 0, "combined not double-counted");
+        assert_eq!(
+            s.count(AccessClass::RemoteMiss),
+            0,
+            "combined not double-counted"
+        );
         assert!((s.local_hit_ratio() - 0.6).abs() < 1e-12);
         assert!((s.combined_ratio() - 0.1).abs() < 1e-12);
         assert!((s.hit_rate() - 8.0 / 9.0).abs() < 1e-12);

@@ -62,7 +62,12 @@ impl DataCache for UnifiedCache {
         };
         let ready = if req.is_store { req.now + 1 } else { ready };
         self.stats.record(class, false, false);
-        AccessOutcome { ready_at: ready, class, combined: false, ab_hit: false }
+        AccessOutcome {
+            ready_at: ready,
+            class,
+            combined: false,
+            ab_hit: false,
+        }
     }
 
     fn flush_loop_boundary(&mut self) {}
@@ -121,7 +126,11 @@ mod tests {
         assert_eq!(o.ready_at, 8, "store buffer completes next cycle");
         assert_eq!(o.class, AccessClass::LocalMiss);
         let o = c.access(AccessRequest::load(0, 64, 4, 20));
-        assert_eq!(o.class, AccessClass::LocalHit, "write-allocate filled the block");
+        assert_eq!(
+            o.class,
+            AccessClass::LocalHit,
+            "write-allocate filled the block"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { iteration_cap: 1024, warmup_iterations: 256 }
+        SimOptions {
+            iteration_cap: 1024,
+            warmup_iterations: 256,
+        }
     }
 }
 
@@ -210,98 +213,98 @@ pub fn simulate_loop(
             continue;
         }
 
-    // issue events in nominal order via a k-way merge over ops
-    let mut heap: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
-    for (i, s) in schedule.ops.iter().enumerate() {
-        heap.push(Reverse((s.cycle as u64 + time_base, i, 0)));
-    }
-    delay = 0;
-
-    while let Some(&Reverse((nominal, _, _))) = heap.peek() {
-        // collect the whole issue group at this nominal cycle
-        group.clear();
-        while let Some(&Reverse((n, op, iter))) = heap.peek() {
-            if n != nominal {
-                break;
-            }
-            heap.pop();
-            group.push((op, iter));
-            if iter + 1 < iters {
-                heap.push(Reverse((n + ii, op, iter + 1)));
-            }
+        // issue events in nominal order via a k-way merge over ops
+        let mut heap: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+        for (i, s) in schedule.ops.iter().enumerate() {
+            heap.push(Reverse((s.cycle as u64 + time_base, i, 0)));
         }
+        delay = 0;
 
-        // phase 1: the group's issue time is gated by its least-ready operand
-        let scheduled_issue = nominal + delay;
-        let mut required = scheduled_issue;
-        let mut cause: Option<(usize, Option<(AccessClass, bool)>)> = None;
-        for &(op, iter) in &group {
-            for operand in &operands[op] {
-                if operand.distance > iter {
-                    continue; // produced before the loop: live-in, ready
+        while let Some(&Reverse((nominal, _, _))) = heap.peek() {
+            // collect the whole issue group at this nominal cycle
+            group.clear();
+            while let Some(&Reverse((n, op, iter))) = heap.peek() {
+                if n != nominal {
+                    break;
                 }
-                let src_iter = iter - operand.distance;
-                let slot = rings.slot(src_iter);
-                let p = operand.producer;
-                let mut arrival = rings.ready[p][slot];
-                if let Some(rel) = operand.rel_copy {
-                    let copy_issue = rings.issued[p][slot] + rel;
-                    arrival = arrival.max(copy_issue) + transfer;
-                }
-                if arrival > required {
-                    required = arrival;
-                    cause = Some((p, rings.cause[p][slot]));
+                heap.pop();
+                group.push((op, iter));
+                if iter + 1 < iters {
+                    heap.push(Reverse((n + ii, op, iter + 1)));
                 }
             }
-        }
-        if required > scheduled_issue {
-            let stall = required - scheduled_issue;
-            delay += stall;
-            if let Some((p, klass)) = cause {
-                if !measured {
-                    // warm-up pass: timing advances, nothing is recorded
-                } else {
-                stall_by_op[p] += stall as f64;
-                match klass {
-                    Some((c, true)) => {
-                        let _ = c;
-                        stall_by.combined += stall as f64;
+
+            // phase 1: the group's issue time is gated by its least-ready operand
+            let scheduled_issue = nominal + delay;
+            let mut required = scheduled_issue;
+            let mut cause: Option<(usize, Option<(AccessClass, bool)>)> = None;
+            for &(op, iter) in &group {
+                for operand in &operands[op] {
+                    if operand.distance > iter {
+                        continue; // produced before the loop: live-in, ready
                     }
-                    Some((c, false)) => stall_by.by_class[class_index(c)] += stall as f64,
-                    // non-memory producers only run late through copy
-                    // timing; book those rare cycles as local hits
-                    None => stall_by.by_class[0] += stall as f64,
-                }
+                    let src_iter = iter - operand.distance;
+                    let slot = rings.slot(src_iter);
+                    let p = operand.producer;
+                    let mut arrival = rings.ready[p][slot];
+                    if let Some(rel) = operand.rel_copy {
+                        let copy_issue = rings.issued[p][slot] + rel;
+                        arrival = arrival.max(copy_issue) + transfer;
+                    }
+                    if arrival > required {
+                        required = arrival;
+                        cause = Some((p, rings.cause[p][slot]));
+                    }
                 }
             }
-        }
-        let issue_abs = nominal + delay;
+            if required > scheduled_issue {
+                let stall = required - scheduled_issue;
+                delay += stall;
+                if let Some((p, klass)) = cause {
+                    if !measured {
+                        // warm-up pass: timing advances, nothing is recorded
+                    } else {
+                        stall_by_op[p] += stall as f64;
+                        match klass {
+                            Some((c, true)) => {
+                                let _ = c;
+                                stall_by.combined += stall as f64;
+                            }
+                            Some((c, false)) => stall_by.by_class[class_index(c)] += stall as f64,
+                            // non-memory producers only run late through copy
+                            // timing; book those rare cycles as local hits
+                            None => stall_by.by_class[0] += stall as f64,
+                        }
+                    }
+                }
+            }
+            let issue_abs = nominal + delay;
 
-        // phase 2: issue every member (clusters issue in index order)
-        for &(op, iter) in &group {
-            let o = &kernel.ops[op];
-            let s = schedule.ops[op];
-            let slot = rings.slot(iter);
-            rings.issued[op][slot] = issue_abs;
-            if o.is_mem() {
-                let addr = addresses(OpId::new(op), iter);
-                let req = AccessRequest {
-                    cluster: s.cluster,
-                    addr,
-                    size: o.mem.as_ref().map_or(4, |m| m.granularity),
-                    is_store: o.is_store(),
-                    attractable: hints.is_attractable(OpId::new(op)),
-                    now: issue_abs,
-                };
-                let out = cache.access(req);
-                rings.ready[op][slot] = out.ready_at;
-                rings.cause[op][slot] = Some((out.class, out.combined));
-            } else {
-                rings.ready[op][slot] = issue_abs + s.assumed_latency as u64;
-                rings.cause[op][slot] = None;
+            // phase 2: issue every member (clusters issue in index order)
+            for &(op, iter) in &group {
+                let o = &kernel.ops[op];
+                let s = schedule.ops[op];
+                let slot = rings.slot(iter);
+                rings.issued[op][slot] = issue_abs;
+                if o.is_mem() {
+                    let addr = addresses(OpId::new(op), iter);
+                    let req = AccessRequest {
+                        cluster: s.cluster,
+                        addr,
+                        size: o.mem.as_ref().map_or(4, |m| m.granularity),
+                        is_store: o.is_store(),
+                        attractable: hints.is_attractable(OpId::new(op)),
+                        now: issue_abs,
+                    };
+                    let out = cache.access(req);
+                    rings.ready[op][slot] = out.ready_at;
+                    rings.cause[op][slot] = Some((out.class, out.combined));
+                } else {
+                    rings.ready[op][slot] = issue_abs + s.assumed_latency as u64;
+                    rings.cause[op][slot] = None;
+                }
             }
         }
-    }
 
         // advance time past this pass and flush the Attraction Buffers
         // (the paper flushes them whenever a loop finishes)
@@ -357,7 +360,10 @@ mod tests {
             cache.as_mut(),
             &mut addr,
             &hints,
-            &SimOptions { iteration_cap: cap, warmup_iterations: 0 },
+            &SimOptions {
+                iteration_cap: cap,
+                warmup_iterations: 0,
+            },
         );
         (schedule, r)
     }

@@ -42,7 +42,12 @@ impl ArrayLayout {
     ///   within `N×I` — unless `padding` is on, which forces them to the
     ///   `N×I` boundary (the paper's variable alignment: aligned stack
     ///   frames and a modified `malloc`).
-    pub fn new(kernel: &LoopKernel, machine: &MachineConfig, padding: bool, input_seed: u64) -> Self {
+    pub fn new(
+        kernel: &LoopKernel,
+        machine: &MachineConfig,
+        padding: bool,
+        input_seed: u64,
+    ) -> Self {
         let ni = machine.ni_bytes() as u64;
         let loop_id = hash_str(&kernel.name);
         let mut bases = Vec::with_capacity(kernel.arrays.len());
@@ -109,7 +114,11 @@ pub fn address_for(kernel: &LoopKernel, layout: &ArrayLayout, op: OpId, iteratio
             // strides keeps (addr mod N×I) periodic
             let span = array.size.saturating_sub(mem.offset.unsigned_abs()).max(s);
             let period = (span / s).max(1) / 16 * 16;
-            let period = if period == 0 { (span / s).max(1) } else { period };
+            let period = if period == 0 {
+                (span / s).max(1)
+            } else {
+                period
+            };
             let i = iteration % period;
             (base as i64 + mem.offset + stride * i as i64) as u64
         }

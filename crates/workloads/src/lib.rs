@@ -34,6 +34,7 @@
 
 mod address;
 mod profiling;
+pub mod rng;
 mod spec;
 mod suite;
 mod synth;
@@ -41,5 +42,5 @@ mod synth;
 pub use address::{address_for, ArrayLayout};
 pub use profiling::{profile_kernel, ProfileOptions};
 pub use spec::{BenchSpec, WorkloadConfig};
-pub use suite::{suite, spec_by_name, SUITE_NAMES};
+pub use suite::{spec_by_name, suite, SUITE_NAMES};
 pub use synth::{synthesize, BenchmarkModel, LoopWorkload};

@@ -83,7 +83,14 @@ mod tests {
         let mut flat = k.clone();
         let layout = ArrayLayout::new(&flat, &m, true, 1);
         profile_kernel(&mut flat, &m, &layout, &ProfileOptions::default());
-        let p = flat.op(OpId::new(0)).mem.as_ref().unwrap().profile.as_ref().unwrap();
+        let p = flat
+            .op(OpId::new(0))
+            .mem
+            .as_ref()
+            .unwrap()
+            .profile
+            .as_ref()
+            .unwrap();
         assert!(p.concentration() < 0.3, "unit stride sweeps all clusters");
 
         let mut unrolled = unroll(&k, 4);
@@ -114,7 +121,15 @@ mod tests {
         let mut k = b.finish(512.0);
         let layout = ArrayLayout::new(&k, &m, true, 1);
         profile_kernel(&mut k, &m, &layout, &ProfileOptions::default());
-        let hot = k.op(OpId::new(0)).mem.as_ref().unwrap().profile.as_ref().unwrap().hit_rate;
+        let hot = k
+            .op(OpId::new(0))
+            .mem
+            .as_ref()
+            .unwrap()
+            .profile
+            .as_ref()
+            .unwrap()
+            .hit_rate;
         assert!(hot > 0.7, "small array mostly hits, got {hot}");
 
         // huge array streamed once: mostly misses
@@ -124,7 +139,15 @@ mod tests {
         let mut k = b.finish(512.0);
         let layout = ArrayLayout::new(&k, &m, true, 1);
         profile_kernel(&mut k, &m, &layout, &ProfileOptions::default());
-        let cold = k.op(OpId::new(0)).mem.as_ref().unwrap().profile.as_ref().unwrap().hit_rate;
+        let cold = k
+            .op(OpId::new(0))
+            .mem
+            .as_ref()
+            .unwrap()
+            .profile
+            .as_ref()
+            .unwrap()
+            .hit_rate;
         assert!(cold < 0.2, "streaming access mostly misses, got {cold}");
     }
 
@@ -159,8 +182,22 @@ mod tests {
         let mut kb = mk();
         let lb = ArrayLayout::new(&kb, &m, false, s2);
         profile_kernel(&mut kb, &m, &lb, &ProfileOptions::default());
-        let pa = ka.op(OpId::new(0)).mem.as_ref().unwrap().profile.as_ref().unwrap();
-        let pb = kb.op(OpId::new(0)).mem.as_ref().unwrap().profile.as_ref().unwrap();
+        let pa = ka
+            .op(OpId::new(0))
+            .mem
+            .as_ref()
+            .unwrap()
+            .profile
+            .as_ref()
+            .unwrap();
+        let pb = kb
+            .op(OpId::new(0))
+            .mem
+            .as_ref()
+            .unwrap()
+            .profile
+            .as_ref()
+            .unwrap();
         assert_ne!(
             pa.preferred_cluster(),
             pb.preferred_cluster(),
@@ -173,8 +210,22 @@ mod tests {
         let mut kb = mk();
         let lb = ArrayLayout::new(&kb, &m, true, s2);
         profile_kernel(&mut kb, &m, &lb, &ProfileOptions::default());
-        let pa = ka.op(OpId::new(0)).mem.as_ref().unwrap().profile.as_ref().unwrap();
-        let pb = kb.op(OpId::new(0)).mem.as_ref().unwrap().profile.as_ref().unwrap();
+        let pa = ka
+            .op(OpId::new(0))
+            .mem
+            .as_ref()
+            .unwrap()
+            .profile
+            .as_ref()
+            .unwrap();
+        let pb = kb
+            .op(OpId::new(0))
+            .mem
+            .as_ref()
+            .unwrap()
+            .profile
+            .as_ref()
+            .unwrap();
         assert_eq!(pa.preferred_cluster(), pb.preferred_cluster());
     }
 }

@@ -1,0 +1,227 @@
+//! A small vendored PRNG (xoshiro256**) with the same call surface the
+//! synthesis pass needs from `rand` (`seed_from_u64`, `random::<f64>()`,
+//! `random_range`), so the workspace builds with no external dependencies.
+//! Determinism is part of the workload contract: the same seed must
+//! synthesize the same suite on every platform and every run.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xoshiro256** generator seeded via splitmix64.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    /// Seeds the generator from a single `u64` (splitmix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly distributed sample of `T`.
+    pub fn random<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range` (empty ranges panic, as in `rand`).
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Types [`StdRng::random`] can produce.
+pub trait Sample {
+    /// Draws one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample(rng: &mut StdRng) -> f64 {
+        // 53 high bits -> uniform in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`StdRng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+/// Unbiased integer sampling in `[0, n)` by rejection (Lemire-style
+/// thresholding is overkill at these call rates).
+fn below(rng: &mut StdRng, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($t:ty) => {
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + below(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let width = (hi - lo) as u64;
+                if width == u64::MAX {
+                    // full-width inclusive range: `width + 1` would overflow
+                    return rng.next_u64() as $t;
+                }
+                lo + below(rng, width + 1) as $t
+            }
+        }
+    };
+}
+
+impl_sample_range!(usize);
+impl_sample_range!(u64);
+impl_sample_range!(u32);
+
+macro_rules! impl_sample_range_signed {
+    ($t:ty) => {
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let width = (hi as i128 - lo as i128) as u64;
+                if width == u64::MAX {
+                    // full-width inclusive range: `width + 1` would overflow
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + below(rng, width + 1) as i128) as $t
+            }
+        }
+    };
+}
+
+impl_sample_range_signed!(i32);
+impl_sample_range_signed!(i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_ranges_sample() {
+        let mut r = StdRng::seed_from_u64(11);
+        // must not overflow in debug builds nor trip the empty-range guard
+        let _: u64 = r.random_range(0..=u64::MAX);
+        let _: i64 = r.random_range(i64::MIN..=i64::MAX);
+        let _: u32 = r.random_range(0..=u32::MAX);
+    }
+
+    #[test]
+    fn ranges_hit_bounds_and_stay_inside() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = r.random_range(0..4usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..4 reachable");
+        for _ in 0..200 {
+            let v = r.random_range(3..=5u64);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(0);
+        let _ = r.random_range(3..3usize);
+    }
+}

@@ -16,7 +16,12 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { seed: 0x6182_2002, padding: true, profile_input: 1, exec_input: 2 }
+        WorkloadConfig {
+            seed: 0x6182_2002,
+            padding: true,
+            profile_input: 1,
+            exec_input: 2,
+        }
     }
 }
 

@@ -4,8 +4,20 @@ use crate::spec::BenchSpec;
 
 /// Names of the suite's benchmarks, in the paper's figure order.
 pub const SUITE_NAMES: [&str; 14] = [
-    "epicdec", "epicenc", "g721dec", "g721enc", "gsmdec", "gsmenc", "jpegdec", "jpegenc",
-    "mpeg2dec", "pegwitdec", "pegwitenc", "pgpdec", "pgpenc", "rasta",
+    "epicdec",
+    "epicenc",
+    "g721dec",
+    "g721enc",
+    "gsmdec",
+    "gsmenc",
+    "jpegdec",
+    "jpegenc",
+    "mpeg2dec",
+    "pegwitdec",
+    "pegwitenc",
+    "pgpdec",
+    "pgpenc",
+    "rasta",
 ];
 
 fn base() -> BenchSpec {

@@ -1,7 +1,6 @@
 //! Loop-kernel synthesis from benchmark specs.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::StdRng;
 
 use vliw_ir::{ArrayId, ArrayKind, DepKind, KernelBuilder, LoopKernel, OpId, Opcode, VirtReg};
 use vliw_machine::MachineConfig;
@@ -54,8 +53,10 @@ impl LoopGen<'_> {
         if self.rng.random::<f64>() < self.spec.main_share {
             self.spec.main_gran
         } else {
-            let others: Vec<u8> =
-                [1u8, 2, 4].into_iter().filter(|&g| g != self.spec.main_gran).collect();
+            let others: Vec<u8> = [1u8, 2, 4]
+                .into_iter()
+                .filter(|&g| g != self.spec.main_gran)
+                .collect();
             others[self.rng.random_range(0..others.len())]
         }
     }
@@ -77,7 +78,7 @@ impl LoopGen<'_> {
         if self.rng.random::<f64>() < self.spec.stray_stride {
             // element strides that keep visiting several clusters even
             // after moderate unrolling
-            g * [3i64, 5, 6, 7][self.rng.random_range(0..4)]
+            g * [3i64, 5, 6, 7][self.rng.random_range(0..4usize)]
         } else if self.rng.random::<f64>() < 0.15 {
             g * 2
         } else {
@@ -87,10 +88,16 @@ impl LoopGen<'_> {
 
     fn compute_opcode(&mut self) -> Opcode {
         if self.rng.random::<f64>() < self.spec.fp_frac {
-            [Opcode::FAdd, Opcode::FMul, Opcode::FSub][self.rng.random_range(0..3)]
+            [Opcode::FAdd, Opcode::FMul, Opcode::FSub][self.rng.random_range(0..3usize)]
         } else {
-            [Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::And, Opcode::Shl, Opcode::Xor]
-                [self.rng.random_range(0..6)]
+            [
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::Mul,
+                Opcode::And,
+                Opcode::Shl,
+                Opcode::Xor,
+            ][self.rng.random_range(0..6usize)]
         }
     }
 
@@ -109,9 +116,12 @@ impl LoopGen<'_> {
             arrays.push((id, gran, size));
         }
 
-        let n_loads = self.rng.random_range(self.spec.loads_per_loop.0..=self.spec.loads_per_loop.1);
-        let n_stores =
-            self.rng.random_range(self.spec.stores_per_loop.0..=self.spec.stores_per_loop.1);
+        let n_loads = self
+            .rng
+            .random_range(self.spec.loads_per_loop.0..=self.spec.loads_per_loop.1);
+        let n_stores = self
+            .rng
+            .random_range(self.spec.stores_per_loop.0..=self.spec.stores_per_loop.1);
 
         let mut values: Vec<VirtReg> = Vec::new();
         let mut loads: Vec<(OpId, ArrayId)> = Vec::new();
@@ -124,8 +134,7 @@ impl LoopGen<'_> {
                 b.load_indirect(format!("ld{i}"), arr, idx, gran)
             } else {
                 let stride = self.stride_for(gran);
-                let offset = (self.rng.random_range(0..(size / 4).max(1)) as i64
-                    * gran as i64)
+                let offset = (self.rng.random_range(0..(size / 4).max(1)) as i64 * gran as i64)
                     .min(size as i64 / 2);
                 b.load(format!("ld{i}"), arr, offset, stride, gran)
             };
@@ -160,7 +169,14 @@ impl LoopGen<'_> {
             let stride = self.stride_for(gran);
             let offset = (size as i64 / 2)
                 + self.rng.random_range(0..(size / 8).max(1)) as i64 * gran as i64;
-            let (id, _) = b.store(format!("st{i}"), arr, offset.min(size as i64 - 64), stride, gran, val);
+            let (id, _) = b.store(
+                format!("st{i}"),
+                arr,
+                offset.min(size as i64 - 64),
+                stride,
+                gran,
+                val,
+            );
             stores.push((id, arr));
         }
 
@@ -198,7 +214,9 @@ impl LoopGen<'_> {
             }
         }
 
-        let trip = self.rng.random_range(self.spec.trip_range.0..=self.spec.trip_range.1) as f64;
+        let trip =
+            self.rng
+                .random_range(self.spec.trip_range.0..=self.spec.trip_range.1) as f64;
         b.invocations(self.rng.random_range(1..=16) as f64);
         b.finish(trip)
     }
@@ -261,16 +279,30 @@ pub fn synthesize(
     let mut loops = Vec::new();
     for l in 0..spec.n_loops {
         let seed = config.seed ^ hash_name(spec.name).rotate_left(l as u32 + 1) ^ (l as u64);
-        let mut generator = LoopGen { spec, machine, rng: StdRng::seed_from_u64(seed) };
+        let mut generator = LoopGen {
+            spec,
+            machine,
+            rng: StdRng::seed_from_u64(seed),
+        };
         let kernel = generator.generate(format!("{}_l{}", spec.name, l));
         loops.push(LoopWorkload { kernel });
     }
     if spec.name == "epicdec" {
         let seed = config.seed ^ hash_name("epicdec_l19");
-        let mut generator = LoopGen { spec, machine, rng: StdRng::seed_from_u64(seed) };
-        loops.push(LoopWorkload { kernel: generator.epicdec_overflow_loop() });
+        let mut generator = LoopGen {
+            spec,
+            machine,
+            rng: StdRng::seed_from_u64(seed),
+        };
+        loops.push(LoopWorkload {
+            kernel: generator.epicdec_overflow_loop(),
+        });
     }
-    BenchmarkModel { name: spec.name.to_string(), spec: spec.clone(), loops }
+    BenchmarkModel {
+        name: spec.name.to_string(),
+        spec: spec.clone(),
+        loops,
+    }
 }
 
 #[cfg(test)]
@@ -303,7 +335,10 @@ mod tests {
         let m = machine();
         for spec in suite() {
             let model = synthesize(&spec, &cfg(), &m);
-            assert_eq!(model.loops.len(), spec.n_loops + (spec.name == "epicdec") as usize);
+            assert_eq!(
+                model.loops.len(),
+                spec.n_loops + (spec.name == "epicdec") as usize
+            );
             for lw in &model.loops {
                 let k = &lw.kernel;
                 assert!(!k.ops.is_empty());

@@ -23,7 +23,11 @@ fn main() {
         "", "local hits", "remote hits", "misses", "stall"
     );
     for (label, padding) in [("without alignment", false), ("with alignment", true)] {
-        let cfg = RunConfig { unroll: UnrollMode::Ouf, padding, ..RunConfig::ipbc() };
+        let cfg = RunConfig {
+            unroll: UnrollMode::Ouf,
+            padding,
+            ..RunConfig::ipbc()
+        };
         let run = run_benchmark(&model, &cfg, &ctx);
         let mix = run.access_mix();
         let total: f64 = mix.iter().sum();

@@ -24,7 +24,10 @@ fn main() {
         let cfg = if entries == 0 {
             RunConfig::ipbc()
         } else {
-            RunConfig { attraction_buffers: Some((entries, 2)), ..RunConfig::ipbc() }
+            RunConfig {
+                attraction_buffers: Some((entries, 2)),
+                ..RunConfig::ipbc()
+            }
         };
         let run = run_benchmark(&model, &cfg, &ctx);
         let stall = run.stall_cycles();
@@ -33,7 +36,10 @@ fn main() {
             base = Some(stall);
         }
         let rel = stall / base.expect("base set first");
-        println!("{:>10} {:>12.0} {:>14.0} {:>13.2}x", entries, stall, rh, rel);
+        println!(
+            "{:>10} {:>12.0} {:>14.0} {:>13.2}x",
+            entries, stall, rh, rel
+        );
     }
     println!(
         "\nThe paper's 16-entry buffers cut average stall by 34%/29% (IBC/IPBC, Figure 6);\n\

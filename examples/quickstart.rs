@@ -32,10 +32,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{machine}\n");
 
     // 3. Modulo-schedule with IPBC (chains pinned to preferred clusters).
-    let schedule =
-        schedule_kernel(&kernel, &machine, ScheduleOptions::new(ClusterPolicy::PreBuildChains))?;
+    let schedule = schedule_kernel(
+        &kernel,
+        &machine,
+        ScheduleOptions::new(ClusterPolicy::PreBuildChains),
+    )?;
     println!("{schedule}");
-    assert!(schedule.verify(&kernel, &machine).is_empty(), "schedule is legal");
+    assert!(
+        schedule.verify(&kernel, &machine).is_empty(),
+        "schedule is legal"
+    );
 
     // 4. Execute it for the loop's trip count and report cycles and stalls.
     let mut cache = build_cache(&machine);

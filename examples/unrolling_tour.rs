@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // individual factors, as in §4.3.1's formula
     println!("individual unrolling factors Ui = NxI / gcd(NxI, Si mod NxI):");
     for stride in [1i64, 2, 4, 8, 12, 16, 24] {
-        println!("  stride {stride:>2} bytes -> Ui = {}", individual_unroll_factor(stride, ni));
+        println!(
+            "  stride {stride:>2} bytes -> Ui = {}",
+            individual_unroll_factor(stride, ni)
+        );
     }
 
     // a mixed loop: a 4-byte stream, a 2-byte stream and a double stream

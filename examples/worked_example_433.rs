@@ -25,7 +25,11 @@ fn main() {
 
     // the paper's checkpoints
     assert_eq!(e.mii, 8, "the loop MII is 8");
-    assert_eq!(e.final_latencies, (4, 1, 1), "n1 = 4 cycles, n2 = n6 = local hit");
+    assert_eq!(
+        e.final_latencies,
+        (4, 1, 1),
+        "n1 = 4 cycles, n2 = n6 = local hit"
+    );
     assert_eq!(e.ipbc_ii, 8, "IPBC achieves the MII");
     println!("all §4.3.3 checkpoints hold");
 }

@@ -20,7 +20,10 @@ fn interleaved_uncontended_latencies_are_1_5_10_15() {
     assert_eq!(drain(c.as_mut(), 0, 0, 0), (AccessClass::LocalMiss, 10));
     assert_eq!(drain(c.as_mut(), 0, 0, 100), (AccessClass::LocalHit, 1));
     // remote miss then remote hit (cluster 1 reads cluster 0's word)
-    assert_eq!(drain(c.as_mut(), 1, 256, 200), (AccessClass::RemoteMiss, 15));
+    assert_eq!(
+        drain(c.as_mut(), 1, 256, 200),
+        (AccessClass::RemoteMiss, 15)
+    );
     assert_eq!(drain(c.as_mut(), 1, 256, 300), (AccessClass::RemoteHit, 5));
 }
 

@@ -1,0 +1,87 @@
+//! The `RunGrid` execution contract: a parallel grid run is bit-identical
+//! to a serial run, and both are identical to calling the pipeline stages
+//! directly (no grid, no memo) per cell.
+
+use interleaved_vliw::experiments::{
+    run_benchmark, ExperimentContext, GridAxes, Parallelism, RunConfig, RunGrid, UnrollMode,
+};
+use interleaved_vliw::sched::ClusterPolicy;
+
+fn tiny_ctx() -> ExperimentContext {
+    let mut ctx = ExperimentContext::quick();
+    ctx.benchmarks = vec!["gsmdec".into(), "epicdec".into()];
+    ctx.sim.iteration_cap = 48;
+    ctx.sim.warmup_iterations = 48;
+    ctx.profile.iteration_cap = 48;
+    ctx
+}
+
+fn small_grid() -> RunGrid {
+    // a real cross-product: policy × unroll × buffers (8 configs)
+    let axes = GridAxes::from(RunConfig::ipbc())
+        .policies(&[ClusterPolicy::PreBuildChains, ClusterPolicy::BuildChains])
+        .unrolls(&[UnrollMode::NoUnroll, UnrollMode::Selective])
+        .buffers(&[None, Some((16, 2))]);
+    RunGrid::new("determinism").cross(&axes)
+}
+
+#[test]
+fn parallel_equals_serial_bitwise() {
+    let ctx = tiny_ctx();
+    let grid = small_grid();
+    let serial = grid.run_serial(&ctx);
+    let parallel = grid.run_with(&ctx, Parallelism::Threads(4));
+    assert_eq!(serial.benches(), parallel.benches());
+    assert_eq!(
+        serial.fingerprint(),
+        parallel.fingerprint(),
+        "parallel grid must be bit-identical to serial"
+    );
+}
+
+#[test]
+fn grid_equals_direct_pipeline_calls() {
+    let ctx = tiny_ctx();
+    let grid = small_grid();
+    let result = grid.run(&ctx);
+    let models = grid.models(&ctx);
+    for (b, model) in models.iter().enumerate() {
+        for (c, (label, cfg)) in result.configs().iter().enumerate() {
+            let direct = run_benchmark(model, cfg, &ctx);
+            let cell = result.cell(b, c);
+            assert_eq!(cell.loops.len(), direct.loops.len(), "{label}");
+            for (x, y) in cell.loops.iter().zip(&direct.loops) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(
+                    x.prepared.schedule, y.prepared.schedule,
+                    "{label}/{}",
+                    x.name
+                );
+                assert_eq!(x.prepared.factor, y.prepared.factor);
+                assert_eq!(
+                    x.sim.compute_cycles.to_bits(),
+                    y.sim.compute_cycles.to_bits(),
+                    "{label}/{}",
+                    x.name
+                );
+                assert_eq!(
+                    x.sim.stall_cycles.to_bits(),
+                    y.sim.stall_cycles.to_bits(),
+                    "{label}/{}",
+                    x.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn memoization_prunes_redundant_schedules() {
+    let ctx = tiny_ctx();
+    let grid = small_grid();
+    let result = grid.run(&ctx);
+    // 8 configs but only 4 distinct (policy × unroll) preparation keys per
+    // loop: the buffer axis must not force re-scheduling
+    let n_loops: usize = grid.models(&ctx).iter().map(|m| m.loops.len()).sum();
+    assert_eq!(result.memoized_schedules(), 4 * n_loops);
+}

@@ -4,9 +4,7 @@
 //! absolute numbers (the substrate is a synthetic suite — see
 //! EXPERIMENTS.md for the full-scale magnitude comparison).
 
-use interleaved_vliw::experiments::{
-    run_benchmark, ExperimentContext, RunConfig, UnrollMode,
-};
+use interleaved_vliw::experiments::{run_benchmark, ExperimentContext, RunConfig, UnrollMode};
 use interleaved_vliw::sched::ClusterPolicy;
 use interleaved_vliw::workloads::{spec_by_name, synthesize};
 
@@ -32,9 +30,19 @@ fn unrolling_and_alignment_raise_local_hits() {
         let t: f64 = m.iter().sum();
         m[0] / t
     };
-    let no_unroll = mix(&RunConfig { unroll: UnrollMode::NoUnroll, ..base });
-    let ouf_noalign = mix(&RunConfig { unroll: UnrollMode::Ouf, padding: false, ..base });
-    let ouf_align = mix(&RunConfig { unroll: UnrollMode::Ouf, ..base });
+    let no_unroll = mix(&RunConfig {
+        unroll: UnrollMode::NoUnroll,
+        ..base
+    });
+    let ouf_noalign = mix(&RunConfig {
+        unroll: UnrollMode::Ouf,
+        padding: false,
+        ..base
+    });
+    let ouf_align = mix(&RunConfig {
+        unroll: UnrollMode::Ouf,
+        ..base
+    });
     assert!(
         ouf_align > no_unroll + 0.05,
         "unrolling gain: {ouf_align:.3} vs {no_unroll:.3}"
@@ -53,7 +61,10 @@ fn attraction_buffers_reduce_stall() {
     let model = synthesize(&spec, &ctx.workloads, &ctx.machine);
     let without = run_benchmark(&model, &RunConfig::ipbc(), &ctx).stall_cycles();
     let with = run_benchmark(&model, &RunConfig::ipbc().with_buffers(), &ctx).stall_cycles();
-    assert!(with <= without, "AB must not increase stall: {with} vs {without}");
+    assert!(
+        with <= without,
+        "AB must not increase stall: {with} vs {without}"
+    );
     if without > 1000.0 {
         assert!(with < without, "AB reduces nontrivial stall");
     }
@@ -86,7 +97,10 @@ fn chains_and_unrolling_affect_balance_as_reported() {
     let n = ctx.machine.n_clusters();
     let base = RunConfig::ipbc();
     let wb = |cfg: &RunConfig| run_benchmark(&model, cfg, &ctx).workload_balance(n);
-    let with_chains = wb(&RunConfig { unroll: UnrollMode::Ouf, ..base });
+    let with_chains = wb(&RunConfig {
+        unroll: UnrollMode::Ouf,
+        ..base
+    });
     let without_chains = wb(&RunConfig {
         unroll: UnrollMode::Ouf,
         policy: ClusterPolicy::NoChains,

@@ -32,7 +32,13 @@ fn suite_matches_table1_identity() {
 fn table2_mentions_every_parameter() {
     let ctx = ExperimentContext::full();
     let s = tables::table2(&ctx).to_string();
-    for needle in ["number of clusters", "8 KB total", "interleaving factor", "4 bytes", "1/2 core frequency"] {
+    for needle in [
+        "number of clusters",
+        "8 KB total",
+        "interleaving factor",
+        "4 bytes",
+        "1/2 core frequency",
+    ] {
         assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
     }
 }

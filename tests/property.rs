@@ -1,8 +1,10 @@
-//! Property-based tests over randomly generated kernels: scheduling
+//! Property-style tests over randomly generated kernels: scheduling
 //! legality, unrolling semantics and cache-model invariants must hold for
 //! *arbitrary* inputs, not just the synthesized suite.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from the workspace's own deterministic PRNG (the
+//! container builds offline, so proptest is not available); seeds are
+//! fixed, so every run exercises the same cases and failures reproduce.
 
 use interleaved_vliw::ir::{
     unroll, ArrayKind, DepKind, KernelBuilder, LoopKernel, MemProfile, Opcode,
@@ -12,40 +14,74 @@ use interleaved_vliw::mem::{AccessRequest, CoherentCache, DataCache, Interleaved
 use interleaved_vliw::sched::{
     optimal_unroll_factor, schedule_kernel, ClusterPolicy, MemChains, ScheduleOptions,
 };
+use interleaved_vliw::workloads::rng::StdRng;
 
 /// Compact description of one generated operation.
 #[derive(Debug, Clone)]
 enum GenOp {
-    Load { array: usize, offset: u8, stride: u8, gran_pow: u8, hit: u8, pref: u8 },
-    Compute { opcode: u8, src_a: u8, src_b: Option<u8>, carried: bool },
-    Store { array: usize, offset: u8, stride: u8, gran_pow: u8, value: u8 },
+    Load {
+        array: usize,
+        offset: u8,
+        stride: u8,
+        gran_pow: u8,
+        hit: u8,
+        pref: u8,
+    },
+    Compute {
+        opcode: u8,
+        src_a: u8,
+        src_b: Option<u8>,
+        carried: bool,
+    },
+    Store {
+        array: usize,
+        offset: u8,
+        stride: u8,
+        gran_pow: u8,
+        value: u8,
+    },
 }
 
-fn gen_op() -> impl Strategy<Value = GenOp> {
-    prop_oneof![
-        (0..2usize, any::<u8>(), 1..32u8, 0..3u8, 0..=10u8, 0..4u8).prop_map(
-            |(array, offset, stride, gran_pow, hit, pref)| GenOp::Load {
-                array,
-                offset,
-                stride,
-                gran_pow,
-                hit,
-                pref
-            }
-        ),
-        (0..6u8, any::<u8>(), proptest::option::of(any::<u8>()), any::<bool>()).prop_map(
-            |(opcode, src_a, src_b, carried)| GenOp::Compute { opcode, src_a, src_b, carried }
-        ),
-        (0..2usize, any::<u8>(), 1..32u8, 0..3u8, any::<u8>()).prop_map(
-            |(array, offset, stride, gran_pow, value)| GenOp::Store {
-                array,
-                offset,
-                stride,
-                gran_pow,
-                value
-            }
-        ),
-    ]
+fn gen_op(rng: &mut StdRng) -> GenOp {
+    match rng.random_range(0..3usize) {
+        0 => GenOp::Load {
+            array: rng.random_range(0..2usize),
+            offset: rng.random::<u64>() as u8,
+            stride: rng.random_range(1..32u32) as u8,
+            gran_pow: rng.random_range(0..3u32) as u8,
+            hit: rng.random_range(0..=10u32) as u8,
+            pref: rng.random_range(0..4u32) as u8,
+        },
+        1 => GenOp::Compute {
+            opcode: rng.random_range(0..6u32) as u8,
+            src_a: rng.random::<u64>() as u8,
+            src_b: if rng.random::<bool>() {
+                Some(rng.random::<u64>() as u8)
+            } else {
+                None
+            },
+            carried: rng.random::<bool>(),
+        },
+        _ => GenOp::Store {
+            array: rng.random_range(0..2usize),
+            offset: rng.random::<u64>() as u8,
+            stride: rng.random_range(1..32u32) as u8,
+            gran_pow: rng.random_range(0..3u32) as u8,
+            value: rng.random::<u64>() as u8,
+        },
+    }
+}
+
+fn gen_ops(rng: &mut StdRng, min: usize, max_exclusive: usize) -> Vec<GenOp> {
+    let n = rng.random_range(min..max_exclusive);
+    (0..n).map(|_| gen_op(rng)).collect()
+}
+
+fn gen_chain_pairs(rng: &mut StdRng, max_exclusive: usize) -> Vec<(u8, u8)> {
+    let n = rng.random_range(0..max_exclusive);
+    (0..n)
+        .map(|_| (rng.random::<u64>() as u8, rng.random::<u64>() as u8))
+        .collect()
 }
 
 /// Builds a valid kernel from the op descriptions (always at least one op).
@@ -60,7 +96,14 @@ fn build_kernel(ops: &[GenOp], chain_pairs: &[(u8, u8)], recur: bool) -> LoopKer
     let mut load_ids = Vec::new();
     for (i, op) in ops.iter().enumerate() {
         match op {
-            GenOp::Load { array, offset, stride, gran_pow, hit, pref } => {
+            GenOp::Load {
+                array,
+                offset,
+                stride,
+                gran_pow,
+                hit,
+                pref,
+            } => {
                 let gran = 1u8 << gran_pow; // 1, 2 or 4 bytes
                 let (id, v) = b.load(
                     format!("ld{i}"),
@@ -77,8 +120,20 @@ fn build_kernel(ops: &[GenOp], chain_pairs: &[(u8, u8)], recur: bool) -> LoopKer
                 mem_ids.push(id);
                 load_ids.push(id);
             }
-            GenOp::Compute { opcode, src_a, src_b, carried } => {
-                let table = [Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::And, Opcode::FAdd, Opcode::FMul];
+            GenOp::Compute {
+                opcode,
+                src_a,
+                src_b,
+                carried,
+            } => {
+                let table = [
+                    Opcode::Add,
+                    Opcode::Sub,
+                    Opcode::Mul,
+                    Opcode::And,
+                    Opcode::FAdd,
+                    Opcode::FMul,
+                ];
                 let mut srcs = Vec::new();
                 if !values.is_empty() {
                     srcs.push(values[*src_a as usize % values.len()].into());
@@ -93,7 +148,13 @@ fn build_kernel(ops: &[GenOp], chain_pairs: &[(u8, u8)], recur: bool) -> LoopKer
                 };
                 values.push(v);
             }
-            GenOp::Store { array, offset, stride, gran_pow, value } => {
+            GenOp::Store {
+                array,
+                offset,
+                stride,
+                gran_pow,
+                value,
+            } => {
                 if values.is_empty() {
                     continue; // nothing to store yet
                 }
@@ -136,59 +197,66 @@ fn build_kernel(ops: &[GenOp], chain_pairs: &[(u8, u8)], recur: bool) -> LoopKer
     b.finish(64.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Any generated kernel schedules legally under every policy.
-    #[test]
-    fn schedules_are_always_legal(
-        ops in proptest::collection::vec(gen_op(), 1..10),
-        chains in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..4),
-        recur in any::<bool>(),
-        policy_idx in 0..4usize,
-    ) {
+/// Any generated kernel schedules legally under every policy.
+#[test]
+fn schedules_are_always_legal() {
+    let mut rng = StdRng::seed_from_u64(0x5ced_0001);
+    for case in 0..24 {
+        let ops = gen_ops(&mut rng, 1, 10);
+        let chains = gen_chain_pairs(&mut rng, 4);
+        let recur = rng.random::<bool>();
+        let policy = ClusterPolicy::ALL[rng.random_range(0..4usize)];
         let kernel = build_kernel(&ops, &chains, recur);
         let machine = MachineConfig::word_interleaved_4();
-        let policy = [
-            ClusterPolicy::Free,
-            ClusterPolicy::BuildChains,
-            ClusterPolicy::PreBuildChains,
-            ClusterPolicy::NoChains,
-        ][policy_idx];
         let s = schedule_kernel(&kernel, &machine, ScheduleOptions::new(policy))
             .expect("generated kernels are schedulable");
         let errs = s.verify(&kernel, &machine);
-        prop_assert!(errs.is_empty(), "violations: {errs:?}\nkernel: {kernel}");
-        prop_assert!(s.ii >= s.mii);
+        assert!(
+            errs.is_empty(),
+            "case {case}: violations: {errs:?}\nkernel: {kernel}"
+        );
+        assert!(s.ii >= s.mii, "case {case}");
         // chain co-location under the chain-respecting policies
-        if matches!(policy, ClusterPolicy::BuildChains | ClusterPolicy::PreBuildChains) {
+        if matches!(
+            policy,
+            ClusterPolicy::BuildChains | ClusterPolicy::PreBuildChains
+        ) {
             let mc = MemChains::build(&kernel);
             for (_, members) in mc.iter() {
                 let c0 = s.op(members[0]).cluster;
                 for &m in members {
-                    prop_assert_eq!(s.op(m).cluster, c0);
+                    assert_eq!(s.op(m).cluster, c0, "case {case}: chain split");
                 }
             }
         }
     }
+}
 
-    /// Unrolling preserves dynamic work and makes every eligible stride a
-    /// multiple of N×I at the OUF.
-    #[test]
-    fn unrolling_invariants(
-        ops in proptest::collection::vec(gen_op(), 1..8),
-        factor in 1..9u32,
-    ) {
+/// Unrolling preserves dynamic work and makes every eligible stride a
+/// multiple of N×I at the OUF.
+#[test]
+fn unrolling_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x5ced_0002);
+    for case in 0..24 {
+        let ops = gen_ops(&mut rng, 1, 8);
+        let factor = rng.random_range(1..9u32);
         let kernel = build_kernel(&ops, &[], false);
         let machine = MachineConfig::word_interleaved_4();
         let u = unroll(&kernel, factor);
-        prop_assert_eq!(u.ops.len(), kernel.ops.len() * factor as usize);
-        prop_assert!((u.dynamic_ops() - kernel.dynamic_ops()).abs() < 1e-6);
+        assert_eq!(
+            u.ops.len(),
+            kernel.ops.len() * factor as usize,
+            "case {case}"
+        );
+        assert!(
+            (u.dynamic_ops() - kernel.dynamic_ops()).abs() < 1e-6,
+            "case {case}"
+        );
         // SSA preserved
         let mut seen = std::collections::HashSet::new();
         for op in &u.ops {
             if let Some(d) = op.dst {
-                prop_assert!(seen.insert(d));
+                assert!(seen.insert(d), "case {case}: duplicate def");
             }
         }
         // OUF property
@@ -198,17 +266,36 @@ proptest! {
             let m = op.mem.as_ref().unwrap();
             if let Some(stride) = m.stride {
                 if m.granularity as usize <= machine.cache.interleave_bytes && m.hit_rate() > 0.0 {
-                    prop_assert_eq!(stride % machine.ni_bytes(), 0,
-                        "op {} stride {} not aligned at OUF {}", op.name, stride, ouf);
+                    assert_eq!(
+                        stride % machine.ni_bytes(),
+                        0,
+                        "case {case}: op {} stride {} not aligned at OUF {}",
+                        op.name,
+                        stride,
+                        ouf
+                    );
                 }
             }
         }
     }
+}
 
-    /// Cache models conserve accesses and the interleaved cache never
-    /// replicates data outside Attraction Buffers.
-    #[test]
-    fn cache_invariants(addrs in proptest::collection::vec((0..4096u64, 0..4usize, any::<bool>()), 1..200)) {
+/// Cache models conserve accesses and the interleaved cache never
+/// replicates data outside Attraction Buffers.
+#[test]
+fn cache_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x5ced_0003);
+    for _case in 0..24 {
+        let n = rng.random_range(1..200usize);
+        let addrs: Vec<(u64, usize, bool)> = (0..n)
+            .map(|_| {
+                (
+                    rng.random_range(0..4096u64),
+                    rng.random_range(0..4usize),
+                    rng.random::<bool>(),
+                )
+            })
+            .collect();
         let machine = MachineConfig::word_interleaved_4();
         let mut cache = InterleavedCache::new(&machine);
         let mut now = 0;
@@ -220,21 +307,34 @@ proptest! {
                 AccessRequest::load(cluster, addr, 4, now)
             };
             let out = cache.access(req);
-            prop_assert!(out.ready_at >= now);
+            assert!(out.ready_at >= now);
             // a local access classifies local iff the home matches
             let home = cache.home_cluster(addr);
             if out.class.is_local() && !out.combined {
-                prop_assert_eq!(home, cluster);
+                assert_eq!(home, cluster);
             }
         }
         let s = cache.stats();
         let sum: u64 = AccessClass::ALL.iter().map(|&c| s.count(c)).sum::<u64>() + s.combined();
-        prop_assert_eq!(sum, addrs.len() as u64);
+        assert_eq!(sum, addrs.len() as u64);
     }
+}
 
-    /// The coherent (multiVLIW) cache keeps the single-writer invariant.
-    #[test]
-    fn coherent_single_writer(addrs in proptest::collection::vec((0..1024u64, 0..4usize, any::<bool>()), 1..150)) {
+/// The coherent (multiVLIW) cache keeps the single-writer invariant.
+#[test]
+fn coherent_single_writer() {
+    let mut rng = StdRng::seed_from_u64(0x5ced_0004);
+    for _case in 0..24 {
+        let n = rng.random_range(1..150usize);
+        let addrs: Vec<(u64, usize, bool)> = (0..n)
+            .map(|_| {
+                (
+                    rng.random_range(0..1024u64),
+                    rng.random_range(0..4usize),
+                    rng.random::<bool>(),
+                )
+            })
+            .collect();
         let machine = MachineConfig::multi_vliw_4();
         let mut cache = CoherentCache::new(&machine);
         let mut now = 0;
@@ -247,9 +347,9 @@ proptest! {
             };
             let _ = cache.access(req);
             if is_store {
-                prop_assert_eq!(cache.copies_of(addr), 1, "store must leave one copy");
+                assert_eq!(cache.copies_of(addr), 1, "store must leave one copy");
             } else {
-                prop_assert!(cache.copies_of(addr) >= 1);
+                assert!(cache.copies_of(addr) >= 1);
             }
         }
     }

@@ -22,7 +22,10 @@ fn schedules_verify_for_every_policy() {
         ClusterPolicy::PreBuildChains,
         ClusterPolicy::NoChains,
     ] {
-        let cfg = RunConfig { policy, ..RunConfig::ipbc() };
+        let cfg = RunConfig {
+            policy,
+            ..RunConfig::ipbc()
+        };
         let machine = ctx.machine_for(&cfg);
         for lw in &model.loops {
             let p = prepare_loop(&lw.kernel, &machine, &cfg, &ctx).expect("schedulable");
@@ -40,7 +43,10 @@ fn chain_members_share_a_cluster_under_ibc_and_ipbc() {
     let spec = spec_by_name("g721dec").unwrap();
     let model = synthesize(&spec, &ctx.workloads, &ctx.machine);
     for policy in [ClusterPolicy::BuildChains, ClusterPolicy::PreBuildChains] {
-        let cfg = RunConfig { policy, ..RunConfig::ipbc() };
+        let cfg = RunConfig {
+            policy,
+            ..RunConfig::ipbc()
+        };
         let machine = ctx.machine_for(&cfg);
         for lw in &model.loops {
             let p = prepare_loop(&lw.kernel, &machine, &cfg, &ctx).expect("schedulable");

@@ -4,9 +4,7 @@
 
 use interleaved_vliw::ir::{ArrayKind, DepKind, KernelBuilder, MemProfile, Opcode};
 use interleaved_vliw::machine::MachineConfig;
-use interleaved_vliw::sched::{
-    max_live, schedule_kernel, ClusterPolicy, ScheduleOptions,
-};
+use interleaved_vliw::sched::{max_live, schedule_kernel, ClusterPolicy, ScheduleOptions};
 
 #[test]
 fn forced_cross_cluster_flow_inserts_a_copy() {
@@ -45,10 +43,19 @@ fn mem_unit_pressure_raises_ii() {
     let k = b.finish(64.0);
     let m = MachineConfig::word_interleaved_4();
     let s = schedule_kernel(&k, &m, ScheduleOptions::new(ClusterPolicy::NoChains)).unwrap();
-    assert!(s.ii >= 9, "II {} must serialize 9 loads on one MEM unit", s.ii);
+    assert!(
+        s.ii >= 9,
+        "II {} must serialize 9 loads on one MEM unit",
+        s.ii
+    );
     // the same loads unpinned spread over four units: II can reach ~3
     let free = schedule_kernel(&k, &m, ScheduleOptions::new(ClusterPolicy::Free)).unwrap();
-    assert!(free.ii < s.ii, "free placement beats pinned: {} vs {}", free.ii, s.ii);
+    assert!(
+        free.ii < s.ii,
+        "free placement beats pinned: {} vs {}",
+        free.ii,
+        s.ii
+    );
 }
 
 #[test]
