@@ -1,6 +1,6 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|all]`
+//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|all]`
 //!
 //! Results print to stdout and are also written as CSV under `results/`.
 //! Every run additionally emits `BENCH_repro.json` — a machine-readable
@@ -13,8 +13,8 @@ use std::path::Path;
 use std::time::Instant;
 
 use vliw_experiments::{
-    chains_exp, example433, fig4, fig5, fig6, fig7, fig8, hints_exp, interleave_study, tables,
-    ExperimentContext,
+    chains_exp, example433, fig4, fig5, fig6, fig7, fig8, hints_exp, interleave_study, report,
+    tables, ExperimentContext,
 };
 
 fn save(name: &str, csv: String) {
@@ -120,7 +120,7 @@ fn main() {
     if targets.is_empty() {
         targets.push("all");
     }
-    const KNOWN: [&str; 12] = [
+    const KNOWN: [&str; 13] = [
         "all",
         "table1",
         "table2",
@@ -133,6 +133,7 @@ fn main() {
         "hints",
         "chains",
         "interleave",
+        "mshr",
     ];
     if let Some(bad) = targets.iter().find(|t| !KNOWN.contains(t)) {
         eprintln!(
@@ -285,6 +286,30 @@ fn main() {
             .map(|r| (format!("cycles/{}/{}B", r.bench, r.interleave), r.cycles))
             .collect();
         record("interleave", t0, m);
+    }
+    if want("mshr") {
+        // in-flight request tracking summary over the Figure 6 bars, on a
+        // machine with a deliberately tight MSHR budget so capacity
+        // back-pressure is visible
+        let t0 = Instant::now();
+        let mut mshr_ctx = ctx.clone();
+        mshr_ctx.machine = mshr_ctx.machine.clone().with_mshrs(2);
+        let res = fig6::fig6_grid().run(&mshr_ctx);
+        let t = report::mshr_table(&res);
+        print!("{}", t.render());
+        save("mshr", t.to_csv());
+        let mix = res.mshr_by_config();
+        let mut m = Vec::new();
+        for (c, (label, _)) in res.configs().iter().enumerate() {
+            m.push((format!("fills/{label}"), mix[c][0]));
+            m.push((format!("merged/{label}"), mix[c][1]));
+            m.push((format!("full_stall/{label}"), mix[c][2]));
+            m.push((
+                format!("peak_occupancy/{label}"),
+                res.mshr_peak_by_config(c) as f64,
+            ));
+        }
+        record("mshr", t0, m);
     }
     if want("chains") {
         let t0 = Instant::now();

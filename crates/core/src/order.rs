@@ -1,4 +1,4 @@
-//! Swing-Modulo-Scheduling node ordering (§4.3.1 step 3, after [13]).
+//! Swing-Modulo-Scheduling node ordering (§4.3.1 step 3, after \[13\]).
 //!
 //! The ordering gives priority to recurrences according to the constraints
 //! they impose on the II (most constraining first) and guarantees that most

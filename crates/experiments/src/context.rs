@@ -285,16 +285,16 @@ pub fn prepare_loop(
 ///
 /// Preparation (profile → unroll → schedule) depends on the loop, the
 /// machine, the profiling knobs, the policy, the unroll mode and the
-/// padding flag — *not* on Attraction Buffers (consumed by the cache
-/// model and the §5.2 hints, both downstream of scheduling) and not on
-/// `use_hints`. A grid that sweeps buffer sizes or hints therefore
-/// schedules each loop once per distinct key and reuses the result,
-/// which is where most of the full-suite wall time goes.
+/// padding flag — *not* on Attraction Buffers or MSHR capacity (both
+/// consumed by the cache timing model, downstream of scheduling) and not
+/// on `use_hints`. A grid that sweeps buffer sizes, MSHR limits or hints
+/// therefore schedules each loop once per distinct key and reuses the
+/// result, which is where most of the full-suite wall time goes.
 ///
-/// The key includes a machine/context fingerprint (with buffers masked
-/// out), so one memo can safely outlive a single context — e.g. be
-/// shared across the machine variants of the interleaving study — and
-/// same-named loops under different geometry never collide.
+/// The key includes a machine/context fingerprint (with buffers and
+/// MSHRs masked out), so one memo can safely outlive a single context —
+/// e.g. be shared across the machine variants of the interleaving study —
+/// and same-named loops under different geometry never collide.
 ///
 /// The memo is safe to share across worker threads; results are identical
 /// whether a cell computes or reuses an entry, because preparation is
@@ -313,8 +313,8 @@ type MemoSlot = Mutex<Option<Arc<PreparedLoop>>>;
 /// The preparation-relevant slice of `(loop, machine, context, RunConfig)`:
 /// the kernel's name plus a content hash (same-named kernels with different
 /// bodies must not collide), a machine/context fingerprint (Attraction
-/// Buffers masked out — they do not affect preparation), and the
-/// preparation-relevant `RunConfig` axes.
+/// Buffers and MSHRs masked out — they do not affect preparation), and
+/// the preparation-relevant `RunConfig` axes.
 type PrepareKey = (
     String,
     u64,
@@ -340,6 +340,7 @@ impl ScheduleMemo {
         use std::hash::{Hash, Hasher};
         let mut schedule_relevant = machine.clone();
         schedule_relevant.attraction_buffers = None;
+        schedule_relevant.mshrs = Default::default();
         let fingerprint = format!(
             "{schedule_relevant:?}|{:?}|{:?}|{:?}",
             ctx.workloads, ctx.profile, ctx.enum_limits
@@ -458,6 +459,29 @@ impl BenchRun {
             out[4] += s.combined() as f64 * w;
         }
         out
+    }
+
+    /// Scaled MSHR activity summed over loops: `[fills, merged waiters,
+    /// full-stall cycles]`.
+    pub fn mshr_mix(&self) -> [f64; 3] {
+        let mut out = [0.0; 3];
+        for l in &self.loops {
+            let m = l.sim.mshr();
+            let w = l.sim.scale;
+            out[0] += m.fills as f64 * w;
+            out[1] += m.merged_waiters as f64 * w;
+            out[2] += m.full_stall_cycles as f64 * w;
+        }
+        out
+    }
+
+    /// Highest per-cluster MSHR occupancy any loop observed.
+    pub fn mshr_peak_occupancy(&self) -> u64 {
+        self.loops
+            .iter()
+            .map(|l| l.sim.mshr().peak_occupancy)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Scaled stall breakdown summed over loops.

@@ -32,7 +32,8 @@ pub struct StallBar {
     pub remote_miss: f64,
     /// Combined-access stall share.
     pub combined: f64,
-    /// Copy/local residue (not part of the paper's four categories).
+    /// Copy/local/MSHR-back-pressure residue (not part of the paper's
+    /// four categories).
     pub other: f64,
 }
 
@@ -177,7 +178,7 @@ pub fn fig6_from(result: &GridResult) -> Fig6 {
                 local_miss: b.of(AccessClass::LocalMiss),
                 remote_miss: b.of(AccessClass::RemoteMiss),
                 combined: b.combined,
-                other: b.of(AccessClass::LocalHit),
+                other: b.of(AccessClass::LocalHit) + b.mshr_full,
             };
             if i == 0 {
                 ibc_total = bar.total();

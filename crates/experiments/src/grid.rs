@@ -373,6 +373,32 @@ impl GridResult {
             .collect()
     }
 
+    /// Per-configuration MSHR activity summed over benchmarks:
+    /// `[fills, merged waiters, full-stall cycles]` (scaled counts, like
+    /// [`BenchRun::mshr_mix`]).
+    pub fn mshr_by_config(&self) -> Vec<[f64; 3]> {
+        (0..self.configs.len())
+            .map(|c| {
+                let mut out = [0.0; 3];
+                for run in self.by_config(c) {
+                    let m = run.mshr_mix();
+                    for (o, v) in out.iter_mut().zip(m) {
+                        *o += v;
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Highest per-cluster MSHR occupancy any cell of config `c` observed.
+    pub fn mshr_peak_by_config(&self, c: usize) -> u64 {
+        self.by_config(c)
+            .map(|r| r.mshr_peak_occupancy())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// A canonical, bit-exact digest of every cell: per loop, the II, the
     /// cluster of every operation, and the exact bits of the cycle
     /// counters. Two runs produce equal fingerprints iff their reports are

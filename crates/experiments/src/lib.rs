@@ -54,4 +54,4 @@ pub use context::{
     LoopRun, PreparedLoop, RunConfig, ScheduleMemo, UnrollMode,
 };
 pub use grid::{GridAxes, GridResult, Parallelism, RunGrid};
-pub use report::Table;
+pub use report::{mshr_table, Table};

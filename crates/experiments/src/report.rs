@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use crate::grid::GridResult;
+
 /// A simple column-aligned text table with a title, built row by row —
 /// the figures print in this form (one row per benchmark plus AMEAN).
 #[derive(Debug, Clone)]
@@ -81,6 +83,41 @@ pub fn fcycles(x: f64) -> String {
     } else {
         format!("{x:.0}")
     }
+}
+
+/// Renders the in-flight request tracking summary of a grid run: per
+/// configuration, the scaled fill count, merged-waiter count, merge rate,
+/// cycles lost to a full MSHR file and the peak per-cluster occupancy.
+pub fn mshr_table(result: &GridResult) -> Table {
+    let mut t = Table::new(
+        "In-flight request tracking (MSHR) summary",
+        &[
+            "config",
+            "fills",
+            "merged",
+            "merge rate",
+            "full-stall",
+            "peak occ",
+        ],
+    );
+    let mix = result.mshr_by_config();
+    for (c, (label, _)) in result.configs().iter().enumerate() {
+        let [fills, merged, full_stall] = mix[c];
+        let rate = if fills + merged > 0.0 {
+            merged / (fills + merged)
+        } else {
+            0.0
+        };
+        t.row(vec![
+            label.clone(),
+            fcycles(fills),
+            fcycles(merged),
+            f3(rate),
+            fcycles(full_stall),
+            result.mshr_peak_by_config(c).to_string(),
+        ]);
+    }
+    t
 }
 
 /// Arithmetic mean of an iterator (NaN on empty).

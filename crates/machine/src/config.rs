@@ -11,7 +11,7 @@ use crate::latency::{MemLatencies, OpLatencies};
 pub enum ArchKind {
     /// Word-interleaved distributed data cache (§3).
     WordInterleaved,
-    /// Cache-coherent clustered processor (multiVLIW, [20]).
+    /// Cache-coherent clustered processor (multiVLIW, \[20\]).
     MultiVliw,
     /// Clustered processor with a central multi-ported data cache.
     Unified,
@@ -144,6 +144,25 @@ impl Default for NextLevelConfig {
     }
 }
 
+/// In-flight request tracking capacity: miss-status holding registers
+/// (MSHRs) per cluster. Every outstanding memory transaction — a remote
+/// request over the buses or a next-level fill — occupies one register
+/// from issue until its fill completes; accesses to an already-tracked
+/// subblock attach to the existing register ("combined accesses", §3)
+/// instead of issuing, and a request finding every register busy waits
+/// for the earliest fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MshrConfig {
+    /// Miss-status registers per cluster (per file on the unified cache).
+    pub per_cluster: usize,
+}
+
+impl Default for MshrConfig {
+    fn default() -> Self {
+        MshrConfig { per_cluster: 8 }
+    }
+}
+
 /// Attraction Buffer geometry (§3): a small per-cluster buffer holding
 /// remote *subblocks*; flushed at loop boundaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,6 +199,8 @@ pub struct MachineConfig {
     pub op_latencies: OpLatencies,
     /// Attraction Buffers (word-interleaved architecture only).
     pub attraction_buffers: Option<AttractionBufferConfig>,
+    /// In-flight request tracking (MSHR) capacity.
+    pub mshrs: MshrConfig,
     /// Next memory level.
     pub next_level: NextLevelConfig,
 }
@@ -196,6 +217,7 @@ impl MachineConfig {
             mem_latencies: MemLatencies::default(),
             op_latencies: OpLatencies::default(),
             attraction_buffers: None,
+            mshrs: MshrConfig::default(),
             next_level: NextLevelConfig::default(),
         }
     }
@@ -245,6 +267,13 @@ impl MachineConfig {
             entries,
             associativity,
         });
+        self
+    }
+
+    /// Sets the number of miss-status registers per cluster (consuming
+    /// builder).
+    pub fn with_mshrs(mut self, per_cluster: usize) -> Self {
+        self.mshrs = MshrConfig { per_cluster };
         self
     }
 
@@ -321,6 +350,9 @@ impl MachineConfig {
         if self.buses.reg_buses == 0 || self.buses.mem_buses == 0 {
             return Err("bus counts must be nonzero".into());
         }
+        if self.mshrs.per_cluster == 0 {
+            return Err("MSHR count per cluster must be nonzero".into());
+        }
         Ok(())
     }
 }
@@ -368,6 +400,7 @@ impl fmt::Display for MachineConfig {
             )?,
             None => writeln!(f, "  attraction buffers: none")?,
         }
+        writeln!(f, "  MSHRs: {} per cluster", self.mshrs.per_cluster)?;
         write!(
             f,
             "  next level: {} ports, {} cycles, always hit",
@@ -462,6 +495,19 @@ mod tests {
         let mut m = MachineConfig::word_interleaved_4();
         m.buses.reg_buses = 0;
         assert!(m.validate().is_err());
+
+        let m = MachineConfig::word_interleaved_4().with_mshrs(0);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn mshr_builder_and_default() {
+        let m = MachineConfig::word_interleaved_4();
+        assert_eq!(m.mshrs.per_cluster, 8);
+        let m = m.with_mshrs(2);
+        assert_eq!(m.mshrs.per_cluster, 2);
+        m.validate().unwrap();
+        assert!(m.to_string().contains("MSHRs: 2 per cluster"));
     }
 
     #[test]

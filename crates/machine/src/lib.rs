@@ -40,6 +40,6 @@ mod latency;
 
 pub use config::{
     ArchKind, AttractionBufferConfig, BusConfig, CacheConfig, ClusterConfig, MachineConfig,
-    NextLevelConfig,
+    MshrConfig, NextLevelConfig,
 };
 pub use latency::{AccessClass, MemLatencies, OpLatencies};

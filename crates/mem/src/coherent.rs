@@ -4,6 +4,7 @@
 use vliw_machine::{AccessClass, ArchKind, MachineConfig};
 
 use crate::lru::SetAssoc;
+use crate::mshr::{MshrEntry, MshrFile};
 use crate::pool::ResourcePool;
 use crate::stats::MemStats;
 use crate::{AccessOutcome, AccessRequest, DataCache};
@@ -23,6 +24,14 @@ use crate::{AccessOutcome, AccessRequest, DataCache};
 /// Write-back traffic of dirty evictions is not timed (the paper's
 /// benchmarks fit their working sets in cache; the relevant behaviours are
 /// replication and invalidation).
+///
+/// Load fills — cache-to-cache transfers and next-level round trips —
+/// occupy a per-cluster miss-status register ([`MshrFile`]) until they
+/// complete: a load hitting a block whose fill is still in flight combines
+/// with the transaction instead of being served before the data arrives,
+/// and a cluster with every register busy delays its next miss. Store
+/// fills are folded into the store buffer (as in the rest of the model)
+/// and are not tracked.
 #[derive(Debug)]
 pub struct CoherentCache {
     n: usize,
@@ -34,6 +43,7 @@ pub struct CoherentCache {
     local_ports: Vec<ResourcePool>,
     buses: ResourcePool,
     nl_ports: ResourcePool,
+    mshrs: MshrFile,
     stats: MemStats,
 }
 
@@ -64,6 +74,7 @@ impl CoherentCache {
             local_ports: (0..n).map(|_| ResourcePool::new(1)).collect(),
             buses: ResourcePool::new(machine.buses.mem_buses),
             nl_ports: ResourcePool::new(machine.next_level.ports),
+            mshrs: MshrFile::new(n, machine.mshrs.per_cluster),
             stats: MemStats::new(),
         }
     }
@@ -84,6 +95,7 @@ impl CoherentCache {
 
 impl DataCache for CoherentCache {
     fn access(&mut self, req: AccessRequest) -> AccessOutcome {
+        self.mshrs.retire_up_to(req.now, &mut |_, _| {});
         let block = req.addr / self.block_bytes;
         let port_start = self.local_ports[req.cluster].acquire(req.now, 1);
         let local_hit = self.tags[req.cluster].probe(block);
@@ -103,13 +115,16 @@ impl DataCache for CoherentCache {
                     .acquire(port_start + self.access_latency, self.transfer);
                 self.tags[req.cluster].insert(block);
             }
-            // invalidate every other copy (snoop)
+            // invalidate every other copy (snoop) — including fills still
+            // in the air: a dead fill must not serve a later load, which
+            // has to re-fetch cache-to-cache from the writer instead
             let mut invalidated = false;
             for c in 0..self.n {
                 if c != req.cluster && self.tags[c].invalidate(block) {
                     invalidated = true;
                 }
             }
+            self.mshrs.invalidate_other(req.cluster, block);
             if invalidated {
                 self.buses.acquire(port_start, self.transfer);
             }
@@ -119,37 +134,93 @@ impl DataCache for CoherentCache {
                 class,
                 combined: false,
                 ab_hit: false,
+                mshr_delay: 0,
             };
         }
 
-        let (ready, class) = if local_hit {
-            (port_start + self.access_latency, AccessClass::LocalHit)
-        } else if let Some(holder) = self.holder_other_than(block, req.cluster) {
-            // cache-to-cache transfer: bus + remote access + bus
+        // a load to a block whose fill is still in flight combines with
+        // the transaction — whether or not the tag survived eviction in
+        // the meantime
+        if let Some(e) = self.mshrs.lookup(req.cluster, block) {
+            e.waiters += 1;
+            let base = port_start + self.access_latency;
+            let (ready, class) = (base.max(e.fill_at), e.class);
+            self.stats.mshr_mut().on_merge();
+            self.stats.record(class, true, false);
+            return AccessOutcome {
+                ready_at: ready,
+                class,
+                combined: true,
+                ab_hit: false,
+                mshr_delay: 0,
+            };
+        }
+
+        if local_hit {
+            let base = port_start + self.access_latency;
+            self.stats.record(AccessClass::LocalHit, false, false);
+            return AccessOutcome {
+                ready_at: base,
+                class: AccessClass::LocalHit,
+                combined: false,
+                ab_hit: false,
+                mshr_delay: 0,
+            };
+        }
+
+        // a fill is about to issue: it needs a free miss-status register
+        let start = self.mshrs.earliest_start(req.cluster, port_start);
+        let delay = start - port_start;
+        if delay > 0 {
+            self.stats.mshr_mut().on_full_stall(delay);
+        }
+        let (ready, class) = if let Some(holder) = self.holder_other_than(block, req.cluster) {
+            // cache-to-cache transfer: bus + remote access + bus. If the
+            // holder's own fill is still in flight, it cannot supply the
+            // data before that fill lands.
+            let holder_fill = self.mshrs.lookup(holder, block).map_or(0, |e| e.fill_at);
             let bus_start = self
                 .buses
-                .acquire(port_start + self.access_latency - 1, self.transfer);
-            let supply = self.local_ports[holder].acquire(bus_start + self.transfer, 1);
+                .acquire(start + self.access_latency - 1, self.transfer);
+            let supply = self.local_ports[holder]
+                .acquire(bus_start + self.transfer, 1)
+                .max(holder_fill);
             let reply = self
                 .buses
                 .acquire(supply + self.access_latency, self.transfer);
             self.tags[req.cluster].insert(block); // replicate
             (reply + self.transfer, AccessClass::RemoteHit)
         } else {
-            let nl_start = self.nl_ports.acquire(port_start, 1);
+            let nl_start = self.nl_ports.acquire(start, 1);
             self.tags[req.cluster].insert(block);
             (nl_start + self.nl_latency, AccessClass::LocalMiss)
         };
+        let occ = self.mshrs.allocate(
+            req.cluster,
+            start,
+            MshrEntry {
+                key: block,
+                fill_at: ready,
+                class,
+                waiters: 0,
+                attract: false,
+            },
+        );
+        self.stats.mshr_mut().on_fill_issued(occ);
         self.stats.record(class, false, false);
         AccessOutcome {
             ready_at: ready,
             class,
             combined: false,
             ab_hit: false,
+            mshr_delay: delay,
         }
     }
 
-    fn flush_loop_boundary(&mut self) {}
+    fn flush_loop_boundary(&mut self) {
+        // nothing to flush: no Attraction Buffers, and in-flight fills
+        // stay tracked so post-boundary accesses cannot outrun them
+    }
 
     fn stats(&self) -> &MemStats {
         &self.stats
@@ -206,6 +277,45 @@ mod tests {
         assert_eq!(o.class, AccessClass::RemoteHit, "fetched from cluster 0");
         assert_eq!(o.ready_at, 51, "stores never stall the core");
         assert_eq!(c.copies_of(0), 1);
+    }
+
+    /// Regression: a load hitting a block whose fill was still in flight
+    /// used to complete at the plain hit latency — before the data arrived.
+    #[test]
+    fn load_on_inflight_fill_waits_for_the_fill() {
+        let mut c = cache();
+        let a = c.access(AccessRequest::load(0, 0, 4, 0)); // miss, fills at 10
+        assert_eq!(a.ready_at, 10);
+        let b = c.access(AccessRequest::load(0, 0, 4, 2));
+        assert!(b.combined, "attaches to the in-flight fill");
+        assert_eq!(b.ready_at, 10, "cannot complete before the fill");
+        assert_eq!(c.stats().mshr().merged_waiters, 1);
+    }
+
+    /// Regression: a store used to invalidate only the *tags* of other
+    /// clusters — a fill still in flight kept its MSHR entry, so the next
+    /// load combined with dead data instead of re-fetching from the writer.
+    #[test]
+    fn store_invalidates_other_clusters_inflight_fills() {
+        let mut c = cache();
+        let _ = c.access(AccessRequest::load(0, 0, 4, 0)); // fill in flight to 10
+        let _ = c.access(AccessRequest::store(1, 0, 4, 2)); // writer snoops
+        let o = c.access(AccessRequest::load(0, 0, 4, 3));
+        assert!(!o.combined, "dead fill must not serve the load");
+        assert_eq!(o.class, AccessClass::RemoteHit, "re-fetches from writer");
+    }
+
+    #[test]
+    fn c2c_transfer_waits_for_holders_inflight_fill() {
+        let mut c = cache();
+        let a = c.access(AccessRequest::load(0, 0, 4, 0)); // miss, fills at 10
+        let b = c.access(AccessRequest::load(1, 0, 4, 2)); // c2c from cluster 0
+        assert_eq!(b.class, AccessClass::RemoteHit);
+        assert_eq!(
+            b.ready_at, 13,
+            "supply waits for the holder's fill at {}, then access + bus",
+            a.ready_at
+        );
     }
 
     #[test]

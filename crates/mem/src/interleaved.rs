@@ -1,13 +1,29 @@
 //! The word-interleaved distributed data cache (§3 of the paper).
 
-use std::collections::HashMap;
-
 use vliw_machine::{AccessClass, MachineConfig};
 
 use crate::lru::SetAssoc;
+use crate::mshr::{MshrEntry, MshrFile};
 use crate::pool::ResourcePool;
 use crate::stats::MemStats;
 use crate::{AccessOutcome, AccessRequest, DataCache};
+
+/// The `(home module, block)` parts of one access — stack-allocated in
+/// the common single-subblock case, heap-allocated only when an oversized
+/// element spans modules.
+enum Parts {
+    One([(usize, u64); 1]),
+    Many(Vec<(usize, u64)>),
+}
+
+impl Parts {
+    fn as_slice(&self) -> &[(usize, u64)] {
+        match self {
+            Parts::One(p) => p,
+            Parts::Many(v) => v,
+        }
+    }
+}
 
 /// Word-interleaved cache: cluster `c` owns the words whose address
 /// satisfies `(addr / I) mod N == c`. Subblocks live in exactly one module
@@ -18,11 +34,31 @@ use crate::{AccessOutcome, AccessRequest, DataCache};
 /// shared next level — so that the four access classes land exactly on the
 /// configured 1 / 5 / 10 / 15 cycles when uncontended (see the crate docs).
 ///
+/// Every transaction a cluster *requests* that takes time — a remote
+/// request over the buses, a local next-level fill (load or store
+/// write-allocate) — occupies one of that cluster's miss-status registers
+/// ([`MshrFile`]) from issue to fill. The registers are what make the
+/// timing honest: a second access to an in-flight subblock *combines* with
+/// the existing transaction and retires at its fill (it can never be served
+/// before the data arrives), and a cluster whose registers are all busy
+/// delays its next request until one frees. Tracking is per requesting
+/// cluster; a *remote* module's own next-level traffic (e.g. a fill another
+/// cluster triggered) is approximated by its tags, which install at issue.
+/// Remote *store* updates are fire-and-forget through the store buffer —
+/// they charge their bus/port/next-level resources but, like the coherent
+/// model's stores, claim no register.
+///
 /// Optional per-cluster **Attraction Buffers** hold remote subblocks: a
-/// remote load attracts its whole subblock into the requester's buffer, so
-/// the next access to it is a local hit. Buffers are flushed at loop
+/// remote load attracts its whole subblock into the requester's buffer.
+/// The buffer entry is allocated when the fill *completes* (MSHR
+/// retirement), not when the request issues. Buffers are flushed at loop
 /// boundaries ([`DataCache::flush_loop_boundary`]), which together with the
 /// memory-dependent-chain scheduling constraint guarantees correctness.
+///
+/// Elements larger than the interleaving factor span several modules
+/// (§5.2): the fetch is split across every spanning module, each part
+/// paying its own bus transfers and bus-side port, and the load completes
+/// when the last part arrives.
 #[derive(Debug)]
 pub struct InterleavedCache {
     n: usize,
@@ -37,7 +73,7 @@ pub struct InterleavedCache {
     mem_buses: ResourcePool,
     nl_ports: ResourcePool,
     buffers: Option<Vec<SetAssoc>>,
-    pending: HashMap<(usize, u64), (u64, AccessClass)>,
+    mshrs: MshrFile,
     stats: MemStats,
     last_now: u64,
 }
@@ -79,7 +115,7 @@ impl InterleavedCache {
             mem_buses: ResourcePool::new(machine.buses.mem_buses),
             nl_ports: ResourcePool::new(machine.next_level.ports),
             buffers,
-            pending: HashMap::new(),
+            mshrs: MshrFile::new(n, machine.mshrs.per_cluster),
             stats: MemStats::new(),
             last_now: 0,
         }
@@ -99,9 +135,59 @@ impl InterleavedCache {
         block * self.n as u64 + home as u64
     }
 
-    fn remote_fetch(&mut self, req: &AccessRequest, home: usize, block: u64) -> (u64, AccessClass) {
-        // request bus -> remote module (bus-side port) -> reply bus
-        let bus_start = self.mem_buses.acquire(req.now, self.transfer);
+    /// The `(home module, block)` pairs an access touches: the single
+    /// `(home, block)` subblock for ordinary accesses (stack-allocated —
+    /// this is the simulator's innermost hot path), every spanning module
+    /// for `size > interleave` elements (§5.2). The oversized walk visits
+    /// interleave-unit boundaries from the aligned base so an unaligned
+    /// access still covers its last byte's module.
+    fn parts_of(&self, addr: u64, size: u8, home: usize, block: u64, oversized: bool) -> Parts {
+        if !oversized {
+            return Parts::One([(home, block)]);
+        }
+        let mut parts = Vec::with_capacity(2);
+        let mut a = addr - addr % self.interleave;
+        while a < addr + size.max(1) as u64 {
+            let part = (self.home_cluster(a), self.block_of(a));
+            if !parts.contains(&part) {
+                parts.push(part);
+            }
+            a += self.interleave;
+        }
+        Parts::Many(parts)
+    }
+
+    /// Retires every transaction whose fill time has passed; arriving
+    /// attractable subblocks allocate their Attraction-Buffer entry here —
+    /// at fill time, never at request time.
+    fn retire(&mut self, now: u64) {
+        let buffers = &mut self.buffers;
+        self.mshrs.retire_up_to(now, &mut |cluster, e: MshrEntry| {
+            if e.attract {
+                if let Some(bufs) = buffers.as_mut() {
+                    bufs[cluster].insert(e.key);
+                }
+            }
+        });
+    }
+
+    /// MSHR capacity back-pressure: the cycle a new transaction for
+    /// `cluster` may claim a register, at or after `earliest`, plus the
+    /// cycles waited (0 when a register was free).
+    fn mshr_gate(&mut self, cluster: usize, earliest: u64) -> (u64, u64) {
+        let start = self.mshrs.earliest_start(cluster, earliest);
+        let delay = start - earliest;
+        if delay > 0 {
+            self.stats.mshr_mut().on_full_stall(delay);
+        }
+        (start, delay)
+    }
+
+    /// One remote-module fetch starting at `start`: request bus → remote
+    /// module (bus-side port) → reply bus, with the next-level round trip
+    /// on a miss.
+    fn fetch_remote(&mut self, start: u64, home: usize, block: u64) -> (u64, AccessClass) {
+        let bus_start = self.mem_buses.acquire(start, self.transfer);
         let acc_start = self.bus_ports[home].acquire(bus_start + self.transfer, 1);
         let hit = self.tags[home].probe(block);
         if hit {
@@ -126,6 +212,10 @@ impl DataCache for InterleavedCache {
             "requests must arrive in time order"
         );
         self.last_now = req.now;
+        // simulated time reached `now`: completed fills retire (and
+        // allocate their Attraction-Buffer entries) before anything can
+        // observe them
+        self.retire(req.now);
         let home = self.home_cluster(req.addr);
         let block = self.block_of(req.addr);
         // elements larger than the interleave factor span clusters and are
@@ -135,39 +225,72 @@ impl DataCache for InterleavedCache {
         let key = self.subblock_key(block, home);
 
         if req.is_store {
+            let parts = self.parts_of(req.addr, req.size, home, block, oversized);
+            let parts = parts.as_slice();
             let class = if local {
-                self.local_ports[req.cluster].acquire(req.now, 1);
+                let port_start = self.local_ports[req.cluster].acquire(req.now, 1);
                 let hit = self.tags[req.cluster].probe(block);
                 if hit {
                     AccessClass::LocalHit
+                } else if self.mshrs.lookup(req.cluster, key).is_some() {
+                    // tag evicted while a fill for the subblock is still
+                    // in flight: the write folds into that transaction
+                    AccessClass::LocalMiss
                 } else {
                     // write-allocate: fetch the subblock (store buffer hides
-                    // the latency; the next-level port traffic still counts)
-                    self.nl_ports.acquire(req.now, 1);
+                    // the latency; the next-level port traffic still counts).
+                    // The next-level port is reached only after the local
+                    // port and tag probe — same order as the load-miss path —
+                    // and the fill occupies a miss-status register like any
+                    // other, so a later load waits for it instead of hitting
+                    // on data still in the air.
+                    let (start, _) = self.mshr_gate(req.cluster, port_start);
+                    let nl_start = self.nl_ports.acquire(start, 1);
                     self.tags[req.cluster].insert(block);
+                    let occ = self.mshrs.allocate(
+                        req.cluster,
+                        start,
+                        MshrEntry {
+                            key,
+                            fill_at: nl_start + self.nl_latency,
+                            class: AccessClass::LocalMiss,
+                            waiters: 0,
+                            attract: false,
+                        },
+                    );
+                    self.stats.mshr_mut().on_fill_issued(occ);
                     AccessClass::LocalMiss
                 }
             } else {
-                // send the update over a memory bus to the home module
-                let bus_start = self.mem_buses.acquire(req.now, self.transfer);
-                let acc = self.bus_ports[home].acquire(bus_start + self.transfer, 1);
-                let hit = self.tags[home].probe(block);
-                if hit {
-                    AccessClass::RemoteHit
-                } else {
-                    self.nl_ports.acquire(acc + self.module_access, 1);
-                    self.tags[home].insert(block);
-                    AccessClass::RemoteMiss
-                }
-            };
-            // keep Attraction Buffers coherent: the writer's own copy is
-            // updated through the write, every other cluster's copy dies
-            if let Some(bufs) = &mut self.buffers {
-                for (c, buf) in bufs.iter_mut().enumerate() {
-                    if c != req.cluster {
-                        buf.invalidate(key);
+                // send the update over a memory bus to each touched module
+                let mut class = AccessClass::RemoteHit;
+                for &(p_home, p_block) in parts {
+                    let bus_start = self.mem_buses.acquire(req.now, self.transfer);
+                    let acc = self.bus_ports[p_home].acquire(bus_start + self.transfer, 1);
+                    let hit = self.tags[p_home].probe(p_block);
+                    if !hit {
+                        self.nl_ports.acquire(acc + self.module_access, 1);
+                        self.tags[p_home].insert(p_block);
+                        class = AccessClass::RemoteMiss;
                     }
                 }
+                class
+            };
+            // keep Attraction Buffers coherent: the writer's own copy is
+            // updated through the write, every other cluster's copy of
+            // every touched subblock dies — including copies still in the
+            // air (in-flight fills must not allocate a stale buffer entry
+            // when they land)
+            for &(p_home, p_block) in parts {
+                let p_key = self.subblock_key(p_block, p_home);
+                if let Some(bufs) = &mut self.buffers {
+                    for (c, buf) in bufs.iter_mut().enumerate() {
+                        if c != req.cluster {
+                            buf.invalidate(p_key);
+                        }
+                    }
+                }
+                self.mshrs.clear_attract(req.cluster, p_key);
             }
             self.stats.record(class, false, false);
             // stores complete through the store buffer next cycle
@@ -176,30 +299,68 @@ impl DataCache for InterleavedCache {
                 class,
                 combined: false,
                 ab_hit: false,
+                mshr_delay: 0,
             };
         }
 
-        // loads
+        // local loads
         if local {
             let port_start = self.local_ports[req.cluster].acquire(req.now, 1);
+            // a load to a subblock whose fill is still in flight combines
+            // with the transaction — whether or not the tag survived
+            // eviction in the meantime
+            if let Some(e) = self.mshrs.lookup(req.cluster, key) {
+                e.waiters += 1;
+                let (ready, class) = (e.fill_at.max(port_start + self.module_access), e.class);
+                self.stats.mshr_mut().on_merge();
+                self.stats.record(class, true, false);
+                return AccessOutcome {
+                    ready_at: ready,
+                    class,
+                    combined: true,
+                    ab_hit: false,
+                    mshr_delay: 0,
+                };
+            }
             let hit = self.tags[req.cluster].probe(block);
-            let (ready, class) = if hit {
-                (port_start + self.module_access, AccessClass::LocalHit)
-            } else {
-                let nl_start = self.nl_ports.acquire(port_start, 1);
-                self.tags[req.cluster].insert(block);
-                (nl_start + self.nl_latency, AccessClass::LocalMiss)
-            };
-            self.stats.record(class, false, false);
+            if hit {
+                self.stats.record(AccessClass::LocalHit, false, false);
+                return AccessOutcome {
+                    ready_at: port_start + self.module_access,
+                    class: AccessClass::LocalHit,
+                    combined: false,
+                    ab_hit: false,
+                    mshr_delay: 0,
+                };
+            }
+            let (start, delay) = self.mshr_gate(req.cluster, port_start);
+            let nl_start = self.nl_ports.acquire(start, 1);
+            self.tags[req.cluster].insert(block);
+            let fill = nl_start + self.nl_latency;
+            let occ = self.mshrs.allocate(
+                req.cluster,
+                start,
+                MshrEntry {
+                    key,
+                    fill_at: fill,
+                    class: AccessClass::LocalMiss,
+                    waiters: 0,
+                    attract: false,
+                },
+            );
+            self.stats.mshr_mut().on_fill_issued(occ);
+            self.stats.record(AccessClass::LocalMiss, false, false);
             return AccessOutcome {
-                ready_at: ready,
-                class,
+                ready_at: fill,
+                class: AccessClass::LocalMiss,
                 combined: false,
                 ab_hit: false,
+                mshr_delay: delay,
             };
         }
 
-        // remote load: Attraction Buffer first
+        // remote loads: Attraction Buffer first — it can only hold
+        // subblocks whose fill has completed, so a hit is always real data
         if !oversized {
             if let Some(bufs) = &mut self.buffers {
                 if bufs[req.cluster].probe(key) {
@@ -210,39 +371,58 @@ impl DataCache for InterleavedCache {
                         class: AccessClass::LocalHit,
                         combined: false,
                         ab_hit: true,
+                        mshr_delay: 0,
                     };
                 }
             }
         }
 
-        // request combining: a second access to a subblock with a pending
-        // request does not issue
-        if let Some(&(ready, class)) = self.pending.get(&(req.cluster, key)) {
-            if ready > req.now {
-                self.stats.record(class, true, false);
-                return AccessOutcome {
-                    ready_at: ready,
-                    class,
-                    combined: true,
-                    ab_hit: false,
-                };
+        // one part per spanning module (exactly one unless oversized, so
+        // the common case stays allocation-free); parts already in flight
+        // merge into their transaction, the rest issue — the whole load
+        // retires when the last part arrives
+        let parts = self.parts_of(req.addr, req.size, home, block, oversized);
+        let mut ready = 0u64;
+        let mut class = AccessClass::RemoteHit;
+        let mut issued = false;
+        let mut delay = 0u64;
+        for &(p_home, p_block) in parts.as_slice() {
+            let p_key = self.subblock_key(p_block, p_home);
+            if let Some(e) = self.mshrs.lookup(req.cluster, p_key) {
+                e.waiters += 1;
+                ready = ready.max(e.fill_at);
+                class = class.max(e.class);
+                self.stats.mshr_mut().on_merge();
+            } else {
+                let (start, d) = self.mshr_gate(req.cluster, req.now);
+                delay = delay.max(d);
+                let (p_ready, p_class) = self.fetch_remote(start, p_home, p_block);
+                let attract = !oversized && req.attractable && self.buffers.is_some();
+                let occ = self.mshrs.allocate(
+                    req.cluster,
+                    start,
+                    MshrEntry {
+                        key: p_key,
+                        fill_at: p_ready,
+                        class: p_class,
+                        waiters: 0,
+                        attract,
+                    },
+                );
+                self.stats.mshr_mut().on_fill_issued(occ);
+                ready = ready.max(p_ready);
+                class = class.max(p_class);
+                issued = true;
             }
         }
-
-        let (ready, class) = self.remote_fetch(&req, home, block);
-        self.pending.insert((req.cluster, key), (ready, class));
-        if !oversized && req.attractable {
-            if let Some(bufs) = &mut self.buffers {
-                // the whole subblock is attracted into the local buffer
-                bufs[req.cluster].insert(key);
-            }
-        }
-        self.stats.record(class, false, false);
+        let combined = !issued;
+        self.stats.record(class, combined, false);
         AccessOutcome {
             ready_at: ready,
             class,
-            combined: false,
+            combined,
             ab_hit: false,
+            mshr_delay: delay,
         }
     }
 
@@ -252,7 +432,11 @@ impl DataCache for InterleavedCache {
                 b.clear();
             }
         }
-        self.pending.clear();
+        // a finished loop's in-flight fills must not allocate buffer
+        // entries for the next loop — but the transactions stay tracked:
+        // dropping them would let an access right after the boundary hit
+        // on a tag whose data has not arrived
+        self.mshrs.strip_attract();
     }
 
     fn stats(&self) -> &MemStats {
@@ -337,6 +521,41 @@ mod tests {
         );
     }
 
+    /// Regression: the pre-MSHR model inserted the Attraction-Buffer entry
+    /// at *request* time, so a load issued 1 cycle after a remote miss
+    /// AB-hit at `now + module_access` (= cycle 2) — 13 cycles before the
+    /// data arrived. With fill-time allocation the second load combines
+    /// with the in-flight transaction and retires no earlier than the
+    /// first fill.
+    #[test]
+    fn second_load_to_inflight_remote_subblock_waits_for_fill() {
+        let mut c = InterleavedCache::new(&machine_ab());
+        let a = c.access(AccessRequest::load(1, 0, 4, 0));
+        assert_eq!((a.class, a.ready_at), (AccessClass::RemoteMiss, 15));
+        let b = c.access(AccessRequest::load(1, 16, 4, 1)); // same subblock
+        assert!(!b.ab_hit, "data has not arrived yet");
+        assert!(b.combined, "merges into the in-flight transaction");
+        assert!(b.ready_at >= a.ready_at, "cannot be served before the fill");
+        assert_eq!(b.ready_at, a.ready_at);
+        assert_eq!(c.stats().mshr().merged_waiters, 1);
+    }
+
+    #[test]
+    fn attraction_buffer_allocates_at_fill_time() {
+        let mut c = InterleavedCache::new(&machine_ab());
+        let _ = c.access(AccessRequest::load(0, 0, 4, 0)); // warm module 0
+        let a = c.access(AccessRequest::load(1, 0, 4, 50));
+        assert_eq!((a.class, a.ready_at), (AccessClass::RemoteHit, 55));
+        // 2 cycles before the fill: still in flight, not an AB hit
+        let b = c.access(AccessRequest::load(1, 16, 4, 53));
+        assert!(!b.ab_hit && b.combined);
+        assert_eq!(b.ready_at, 55);
+        // after the fill: the buffer entry exists
+        let d = c.access(AccessRequest::load(1, 16, 4, 60));
+        assert!(d.ab_hit);
+        assert_eq!((d.class, d.ready_at), (AccessClass::LocalHit, 61));
+    }
+
     #[test]
     fn flush_empties_buffers() {
         let mut c = InterleavedCache::new(&machine_ab());
@@ -366,6 +585,20 @@ mod tests {
     }
 
     #[test]
+    fn stores_strip_attraction_from_inflight_fills() {
+        let mut c = InterleavedCache::new(&machine_ab());
+        let _ = c.access(AccessRequest::load(0, 0, 4, 0)); // warm module 0
+        let _ = c.access(AccessRequest::load(1, 0, 4, 50)); // fill lands at 55
+        let _ = c.access(AccessRequest::store(2, 0, 4, 52)); // store before the fill
+        let o = c.access(AccessRequest::load(1, 0, 4, 100));
+        assert_eq!(
+            o.class,
+            AccessClass::RemoteHit,
+            "the stale in-flight fill must not allocate a buffer entry"
+        );
+    }
+
+    #[test]
     fn non_attractable_requests_bypass_buffer() {
         let mut c = InterleavedCache::new(&machine_ab());
         let _ = c.access(AccessRequest::load(0, 0, 4, 0));
@@ -389,9 +622,11 @@ mod tests {
         assert!(b.combined);
         assert_eq!(b.ready_at, a.ready_at);
         assert_eq!(c.stats().combined(), 1);
+        assert_eq!(c.stats().mshr().merged_waiters, 1);
         // after completion, no combining
         let d = c.access(AccessRequest::load(1, 0, 4, 40));
         assert!(!d.combined);
+        assert_eq!(c.stats().mshr().fills, 2);
     }
 
     #[test]
@@ -402,6 +637,159 @@ mod tests {
         assert!(!o.class.is_local());
         let o = c.access(AccessRequest::load(0, 0, 8, 100));
         assert!(!o.class.is_local());
+    }
+
+    /// Regression: the pre-split model fetched an oversized element from
+    /// its first word's home module only, leaving the second spanning
+    /// module untouched and its bus/port resources uncharged.
+    #[test]
+    fn oversized_fetch_fills_both_spanning_modules() {
+        let mut c = InterleavedCache::new(&machine());
+        let o = c.access(AccessRequest::load(2, 0, 8, 0)); // spans modules 0 and 1
+        assert_eq!(o.class, AccessClass::RemoteMiss);
+        assert_eq!(o.ready_at, 15, "halves fetch in parallel on separate buses");
+        assert_eq!(c.stats().mshr().fills, 2, "one transaction per module");
+        // the second module was really filled: its word is now a remote hit
+        let o = c.access(AccessRequest::load(2, 4, 4, 100));
+        assert_eq!(o.class, AccessClass::RemoteHit, "module 1 holds the block");
+        let o = c.access(AccessRequest::load(2, 0, 4, 200));
+        assert_eq!(o.class, AccessClass::RemoteHit, "module 0 holds the block");
+    }
+
+    #[test]
+    fn unaligned_oversized_access_spans_all_touched_modules() {
+        // bytes 2..10 touch words 0, 4 and 8 — modules 0, 1 AND 2; sampling
+        // only addr+k*I would have missed module 2
+        let mut c = InterleavedCache::new(&machine());
+        let o = c.access(AccessRequest::load(3, 2, 8, 0));
+        assert_eq!(o.class, AccessClass::RemoteMiss);
+        assert_eq!(c.stats().mshr().fills, 3, "one transaction per module");
+        let o = c.access(AccessRequest::load(3, 8, 4, 100));
+        assert_eq!(o.class, AccessClass::RemoteHit, "last module was filled");
+    }
+
+    /// Regression: a local miss whose tag was evicted while its fill was
+    /// still in flight used to issue a *second* transaction for the same
+    /// subblock (double fill, double register, duplicate MSHR key).
+    #[test]
+    fn local_miss_after_tag_eviction_combines_with_inflight_fill() {
+        let mut c = InterleavedCache::new(&machine());
+        // blocks 0, 128 and 256 map to the same 2-way set of module 0
+        let a = c.access(AccessRequest::load(0, 0, 4, 0)); // fill at 10
+        let _ = c.access(AccessRequest::load(0, 4096, 4, 1));
+        let _ = c.access(AccessRequest::load(0, 8192, 4, 2)); // evicts block 0's tag
+        let b = c.access(AccessRequest::load(0, 0, 4, 3)); // fill still in flight
+        assert!(b.combined, "must merge, not re-fetch");
+        assert_eq!(b.ready_at, a.ready_at);
+        assert_eq!(c.stats().mshr().fills, 3, "no duplicate transaction");
+    }
+
+    #[test]
+    fn flush_keeps_inflight_fills_tracked() {
+        // a loop boundary right after a miss: the tag is installed but the
+        // data is still in the air — the next loop's first access must not
+        // be served early (flush only strips the attraction flags)
+        let mut c = InterleavedCache::new(&machine_ab());
+        let a = c.access(AccessRequest::load(1, 0, 4, 0)); // remote miss, fill 15
+        c.flush_loop_boundary();
+        let b = c.access(AccessRequest::load(1, 0, 4, 2));
+        assert!(b.combined);
+        assert_eq!(b.ready_at, a.ready_at, "still waits for the fill");
+        // …and the stripped attract flag means no buffer entry at the fill
+        let d = c.access(AccessRequest::load(1, 0, 4, 50));
+        assert_eq!(d.class, AccessClass::RemoteHit, "no stale AB allocation");
+    }
+
+    /// Regression: a local store's write-allocate fill used to claim no
+    /// register, so a load to another word of the same subblock hit at
+    /// the 1-cycle latency while the fill was still in the air.
+    #[test]
+    fn load_after_store_miss_waits_for_write_allocate_fill() {
+        let mut c = InterleavedCache::new(&machine());
+        let s = c.access(AccessRequest::store(0, 0, 4, 0)); // miss, fill at 10
+        assert_eq!((s.class, s.ready_at), (AccessClass::LocalMiss, 1));
+        let b = c.access(AccessRequest::load(0, 16, 4, 1)); // same subblock
+        assert!(b.combined, "merges with the write-allocate fill");
+        assert_eq!(b.ready_at, 10, "waits for the fill, not tag-hit at 2");
+    }
+
+    /// Regression: an oversized store used to invalidate only its first
+    /// word's subblock key, leaving other clusters' Attraction-Buffer
+    /// copies of the second spanning subblock alive with stale data.
+    #[test]
+    fn oversized_store_invalidates_every_spanning_subblock() {
+        let mut c = InterleavedCache::new(&machine_ab());
+        // cluster 3 attracts both subblocks of block 0 (modules 0 and 1)
+        let _ = c.access(AccessRequest::load(3, 0, 4, 0));
+        let _ = c.access(AccessRequest::load(3, 4, 4, 20));
+        let o = c.access(AccessRequest::load(3, 4, 4, 60));
+        assert!(o.ab_hit, "warmed: subblock (block 0, module 1) attracted");
+        // an 8-byte store from cluster 2 touches both subblocks
+        let _ = c.access(AccessRequest::store(2, 0, 8, 100));
+        let a = c.access(AccessRequest::load(3, 0, 4, 150));
+        assert_eq!(a.class, AccessClass::RemoteHit, "module-0 copy died");
+        let b = c.access(AccessRequest::load(3, 4, 4, 200));
+        assert_eq!(b.class, AccessClass::RemoteHit, "module-1 copy died too");
+    }
+
+    #[test]
+    fn oversized_fetch_charges_both_bus_transfers() {
+        let mut m = machine();
+        m.buses.mem_buses = 1; // a single bus serializes the two halves
+        let mut c = InterleavedCache::new(&m);
+        let o = c.access(AccessRequest::load(2, 0, 8, 0));
+        assert_eq!(o.class, AccessClass::RemoteMiss);
+        assert_eq!(
+            o.ready_at, 30,
+            "the halves serialize on the single bus (requests book in \
+             issue order), instead of the second riding along for free"
+        );
+    }
+
+    /// Regression: the local-store write-allocate path used to book the
+    /// next-level port at `req.now` even when the local port (and the tag
+    /// probe behind it) was not free until later — the fill traffic
+    /// occupied the next level before the miss was even detected.
+    #[test]
+    fn store_miss_books_nl_port_after_local_port_and_probe() {
+        let mut m = machine();
+        m.next_level.ports = 1; // make next-level bookings observable
+        let mut c = InterleavedCache::new(&m);
+        // uncontended store miss: the booking lands exactly at req.now
+        // (port granted immediately, probe overlapped) …
+        let o = c.access(AccessRequest::store(0, 0, 4, 7));
+        assert_eq!((o.class, o.ready_at), (AccessClass::LocalMiss, 8));
+        let o = c.access(AccessRequest::load(1, 4, 4, 7)); // local miss, needs the NL port
+        assert_eq!(
+            o.ready_at, 18,
+            "NL port busy at 7: the store booked it at its port grant"
+        );
+
+        // … but a store whose local port is contended reaches the next
+        // level only at its port grant (cycle 21), not at req.now (20)
+        let mut c = InterleavedCache::new(&m);
+        let _ = c.access(AccessRequest::load(0, 0, 4, 0)); // warm block 0 (NL busy 0..1)
+        let _ = c.access(AccessRequest::store(0, 0, 4, 20)); // hit: occupies port 20..21
+        let _ = c.access(AccessRequest::store(0, 128, 4, 20)); // miss: port granted at 21
+        let o = c.access(AccessRequest::load(1, 4, 4, 20)); // next NL user in queue order
+        assert_eq!(
+            o.ready_at, 32,
+            "the store occupies the NL port 21..22, so the load fills 22..32 \
+             (the old req.now booking at 20..21 would have given 31)"
+        );
+    }
+
+    #[test]
+    fn mshr_capacity_backpressures_new_requests() {
+        let m = machine().with_mshrs(1);
+        let mut c = InterleavedCache::new(&m);
+        let a = c.access(AccessRequest::load(1, 0, 4, 0)); // occupies the only register
+        assert_eq!(a.ready_at, 15);
+        let b = c.access(AccessRequest::load(1, 64, 4, 1)); // different subblock
+        assert_eq!(b.mshr_delay, 14, "no free register until the first fill");
+        assert_eq!(b.ready_at, 30, "issues at 15: bus 15-17, probe, miss, fill");
+        assert_eq!(c.stats().mshr().full_stall_cycles, 14);
+        assert_eq!(c.stats().mshr().peak_occupancy, 1);
     }
 
     #[test]

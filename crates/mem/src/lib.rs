@@ -11,7 +11,12 @@
 //! All three implement [`DataCache`], a *deterministic queueing* timing
 //! model: each request immediately receives its completion time, computed
 //! from per-resource next-free counters (bus slots, cache ports, next-level
-//! ports). With the default configuration and no contention, the four
+//! ports). Outstanding transactions are tracked in per-cluster miss-status
+//! registers ([`MshrFile`]): a second access to an in-flight subblock
+//! combines with the transaction and retires at its fill (it is never
+//! served before the data arrives), Attraction-Buffer entries allocate at
+//! fill time, and a cluster whose registers are all busy delays its next
+//! request. With the default configuration and no contention, the four
 //! access classes complete in exactly the 1 / 5 / 10 / 15 cycles of the
 //! paper's worked example:
 //!
@@ -52,6 +57,7 @@ mod coherent;
 mod functional;
 mod interleaved;
 mod lru;
+mod mshr;
 mod pool;
 mod stats;
 mod unified;
@@ -60,8 +66,9 @@ pub use coherent::CoherentCache;
 pub use functional::FunctionalCache;
 pub use interleaved::InterleavedCache;
 pub use lru::SetAssoc;
+pub use mshr::{MshrEntry, MshrFile};
 pub use pool::ResourcePool;
-pub use stats::MemStats;
+pub use stats::{MemStats, MshrStats};
 pub use unified::UnifiedCache;
 
 use vliw_machine::{AccessClass, ArchKind, MachineConfig};
@@ -124,6 +131,10 @@ pub struct AccessOutcome {
     /// The access was served by the cluster's Attraction Buffer
     /// (a subset of the local hits).
     pub ab_hit: bool,
+    /// Cycles the request waited for a free miss-status register before it
+    /// could issue (MSHR capacity back-pressure; 0 = none). The magnitude
+    /// lets stall attribution split back-pressure from class latency.
+    pub mshr_delay: u64,
 }
 
 /// Common interface of the three cache-organization timing models.

@@ -4,12 +4,68 @@ use std::fmt;
 
 use vliw_machine::AccessClass;
 
+/// Counters for the in-flight request tracking (MSHR) subsystem.
+///
+/// All fields are additive across [`MemStats::merge`] except
+/// `peak_occupancy`, which merges by maximum and survives
+/// [`MemStats::diff`] unchanged (a peak cannot be attributed to one
+/// measurement interval).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MshrStats {
+    /// Transactions that claimed a miss-status register (fills issued).
+    pub fills: u64,
+    /// Requests merged into an already-in-flight transaction (waiters).
+    pub merged_waiters: u64,
+    /// Cycles requests waited because every register of their cluster was
+    /// busy (capacity back-pressure).
+    pub full_stall_cycles: u64,
+    /// Highest per-cluster register occupancy observed.
+    pub peak_occupancy: u64,
+}
+
+impl MshrStats {
+    fn merge(&mut self, other: &MshrStats) {
+        self.fills += other.fills;
+        self.merged_waiters += other.merged_waiters;
+        self.full_stall_cycles += other.full_stall_cycles;
+        self.peak_occupancy = self.peak_occupancy.max(other.peak_occupancy);
+    }
+
+    fn diff(&self, before: &MshrStats) -> MshrStats {
+        MshrStats {
+            fills: self.fills.saturating_sub(before.fills),
+            merged_waiters: self.merged_waiters.saturating_sub(before.merged_waiters),
+            full_stall_cycles: self
+                .full_stall_cycles
+                .saturating_sub(before.full_stall_cycles),
+            peak_occupancy: self.peak_occupancy,
+        }
+    }
+
+    /// Records an allocation that left `occupancy` registers busy.
+    pub fn on_fill_issued(&mut self, occupancy: usize) {
+        self.fills += 1;
+        self.peak_occupancy = self.peak_occupancy.max(occupancy as u64);
+    }
+
+    /// Records one request attaching to an in-flight transaction.
+    pub fn on_merge(&mut self) {
+        self.merged_waiters += 1;
+    }
+
+    /// Records a request delayed `cycles` waiting for a free register.
+    pub fn on_full_stall(&mut self, cycles: u64) {
+        self.full_stall_cycles += cycles;
+    }
+}
+
 /// Counters for every access class plus the combined/AB special cases.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
     counts: [u64; 4],
     combined: u64,
     ab_hits: u64,
+    mshr: MshrStats,
 }
 
 fn class_index(class: AccessClass) -> usize {
@@ -54,6 +110,16 @@ impl MemStats {
     /// Accesses served by Attraction Buffers (subset of local hits).
     pub fn ab_hits(&self) -> u64 {
         self.ab_hits
+    }
+
+    /// In-flight request tracking (MSHR) counters.
+    pub fn mshr(&self) -> &MshrStats {
+        &self.mshr
+    }
+
+    /// Mutable access to the MSHR counters (cache models only).
+    pub(crate) fn mshr_mut(&mut self) -> &mut MshrStats {
+        &mut self.mshr
     }
 
     /// Total accesses including combined ones.
@@ -107,6 +173,7 @@ impl MemStats {
         }
         out.combined = self.combined.saturating_sub(before.combined);
         out.ab_hits = self.ab_hits.saturating_sub(before.ab_hits);
+        out.mshr = self.mshr.diff(&before.mshr);
         out
     }
 
@@ -117,6 +184,7 @@ impl MemStats {
         }
         self.combined += other.combined;
         self.ab_hits += other.ab_hits;
+        self.mshr.merge(&other.mshr);
     }
 
     /// Resets every counter.
@@ -129,13 +197,16 @@ impl fmt::Display for MemStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "LH {} RH {} LM {} RM {} combined {} (AB hits {})",
+            "LH {} RH {} LM {} RM {} combined {} (AB hits {}, MSHR fills {} merges {} peak {})",
             self.counts[0],
             self.counts[1],
             self.counts[2],
             self.counts[3],
             self.combined,
-            self.ab_hits
+            self.ab_hits,
+            self.mshr.fills,
+            self.mshr.merged_waiters,
+            self.mshr.peak_occupancy
         )
     }
 }
@@ -196,6 +267,25 @@ mod tests {
         assert_eq!(a.total(), 3);
         assert_eq!(a.ab_hits(), 1);
         assert_eq!(a.combined(), 1);
+    }
+
+    #[test]
+    fn mshr_counters_merge_and_diff() {
+        let mut a = MemStats::new();
+        a.mshr_mut().on_fill_issued(3);
+        a.mshr_mut().on_merge();
+        a.mshr_mut().on_full_stall(5);
+        let mut b = MemStats::new();
+        b.mshr_mut().on_fill_issued(2);
+        b.mshr_mut().on_fill_issued(1);
+        a.merge(&b);
+        assert_eq!(a.mshr().fills, 3);
+        assert_eq!(a.mshr().merged_waiters, 1);
+        assert_eq!(a.mshr().full_stall_cycles, 5);
+        assert_eq!(a.mshr().peak_occupancy, 3, "peak merges by max");
+        let d = a.diff(&b);
+        assert_eq!(d.mshr().fills, 1);
+        assert_eq!(d.mshr().peak_occupancy, 3, "peak survives diff");
     }
 
     #[test]

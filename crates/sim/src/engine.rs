@@ -37,6 +37,9 @@ pub struct StallBreakdown {
     by_class: [f64; 4],
     /// Stall caused by combined (merged in-flight) accesses.
     pub combined: f64,
+    /// Stall caused by accesses that waited for a free miss-status
+    /// register (MSHR capacity back-pressure).
+    pub mshr_full: f64,
 }
 
 fn class_index(c: AccessClass) -> usize {
@@ -56,7 +59,7 @@ impl StallBreakdown {
 
     /// Total stall cycles.
     pub fn total(&self) -> f64 {
-        self.by_class.iter().sum::<f64>() + self.combined
+        self.by_class.iter().sum::<f64>() + self.combined + self.mshr_full
     }
 
     /// Scales every component (used when extrapolating capped runs).
@@ -64,6 +67,7 @@ impl StallBreakdown {
         StallBreakdown {
             by_class: self.by_class.map(|x| x * factor),
             combined: self.combined * factor,
+            mshr_full: self.mshr_full * factor,
         }
     }
 
@@ -73,6 +77,7 @@ impl StallBreakdown {
             self.by_class[i] += other.by_class[i];
         }
         self.combined += other.combined;
+        self.mshr_full += other.mshr_full;
     }
 }
 
@@ -103,7 +108,18 @@ impl LoopSimResult {
     pub fn total_cycles(&self) -> f64 {
         self.compute_cycles + self.stall_cycles
     }
+
+    /// In-flight request tracking (MSHR) counters of the measured pass
+    /// (unscaled counts, like [`LoopSimResult::mem`]).
+    pub fn mshr(&self) -> &vliw_mem::MshrStats {
+        self.mem.mshr()
+    }
 }
+
+/// Why a producer ran late: access class, combined flag, and the cycles
+/// it waited for a miss-status register (`None` for non-memory
+/// producers).
+type LateCause = Option<(AccessClass, bool, u64)>;
 
 struct Rings {
     size: u64,
@@ -111,8 +127,8 @@ struct Rings {
     ready: Vec<Vec<u64>>,
     /// absolute issue time of each op's recent instances
     issued: Vec<Vec<u64>>,
-    /// cause of lateness: access class + combined flag (loads only)
-    cause: Vec<Vec<Option<(AccessClass, bool)>>>,
+    /// cause of lateness of each op's recent instances (loads only)
+    cause: Vec<Vec<LateCause>>,
 }
 
 impl Rings {
@@ -237,7 +253,7 @@ pub fn simulate_loop(
             // phase 1: the group's issue time is gated by its least-ready operand
             let scheduled_issue = nominal + delay;
             let mut required = scheduled_issue;
-            let mut cause: Option<(usize, Option<(AccessClass, bool)>)> = None;
+            let mut cause: Option<(usize, LateCause)> = None;
             for &(op, iter) in &group {
                 for operand in &operands[op] {
                     if operand.distance > iter {
@@ -266,11 +282,19 @@ pub fn simulate_loop(
                     } else {
                         stall_by_op[p] += stall as f64;
                         match klass {
-                            Some((c, true)) => {
-                                let _ = c;
-                                stall_by.combined += stall as f64;
+                            Some((c, combined, mshr_delay)) => {
+                                // back-pressure contributed at most its own
+                                // waiting time to this stall; the rest is
+                                // the access class (or the merged request)
+                                let d = (mshr_delay as f64).min(stall as f64);
+                                stall_by.mshr_full += d;
+                                let rest = stall as f64 - d;
+                                if combined {
+                                    stall_by.combined += rest;
+                                } else {
+                                    stall_by.by_class[class_index(c)] += rest;
+                                }
                             }
-                            Some((c, false)) => stall_by.by_class[class_index(c)] += stall as f64,
                             // non-memory producers only run late through copy
                             // timing; book those rare cycles as local hits
                             None => stall_by.by_class[0] += stall as f64,
@@ -298,7 +322,7 @@ pub fn simulate_loop(
                     };
                     let out = cache.access(req);
                     rings.ready[op][slot] = out.ready_at;
-                    rings.cause[op][slot] = Some((out.class, out.combined));
+                    rings.cause[op][slot] = Some((out.class, out.combined, out.mshr_delay));
                 } else {
                     rings.ready[op][slot] = issue_abs + s.assumed_latency as u64;
                     rings.cause[op][slot] = None;

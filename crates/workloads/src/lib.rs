@@ -24,7 +24,8 @@
 //! differ unless **variable alignment** (§4.3.4 padding to `N×I`) is on.
 //! Global arrays keep the same base in both runs, as in the paper.
 //!
-//! The [`profiling`] pass replays the profile input's address streams
+//! The profiling pass ([`profile_kernel`]) replays the profile input's
+//! address streams
 //! through the timeless [`FunctionalCache`](vliw_mem::FunctionalCache) and
 //! attaches hit rates and preferred-cluster histograms to each memory
 //! operation — the exact inputs the scheduling techniques consume.

@@ -95,6 +95,32 @@ fn combining_counts_separately_and_totals_conserve() {
     assert_eq!(classified + s.combined(), 2);
 }
 
+/// The in-flight tracking contract, uniform across all three
+/// organizations: a second access issued while the first miss's fill is
+/// still in the air can never complete before that fill — it combines
+/// with the in-flight transaction instead of being served phantom data.
+#[test]
+fn no_organization_serves_data_before_it_arrives() {
+    let machines = [
+        MachineConfig::word_interleaved_4().with_attraction_buffers(16, 2),
+        MachineConfig::multi_vliw_4(),
+        MachineConfig::unified_4(1),
+    ];
+    for m in machines {
+        let arch = m.arch;
+        let mut c = build_cache(&m);
+        let a = c.access(AccessRequest::load(1, 0, 4, 0)); // cold miss
+        let b = c.access(AccessRequest::load(1, 0, 4, 1)); // fill in flight
+        assert!(
+            b.ready_at >= a.ready_at,
+            "{arch}: served at {} before the fill at {}",
+            b.ready_at,
+            a.ready_at
+        );
+        assert!(b.combined, "{arch}: must merge into the in-flight miss");
+    }
+}
+
 #[test]
 fn unified_ports_bound_throughput() {
     let m = MachineConfig::unified_4(1);

@@ -13,6 +13,9 @@ fn tiny_ctx() -> ExperimentContext {
     ctx.sim.iteration_cap = 48;
     ctx.sim.warmup_iterations = 48;
     ctx.profile.iteration_cap = 48;
+    // a tight MSHR budget so in-flight tracking (combining, fill-time
+    // retirement, capacity back-pressure) is live in every cell
+    ctx.machine.mshrs.per_cluster = 2;
     ctx
 }
 
