@@ -1,0 +1,45 @@
+//! Scheduling-throughput bench: modulo-schedules every loop of the full
+//! workload suite under all four cluster-assignment policies and reports
+//! schedules/sec plus trial-cycles/sec (candidate `(cluster, cycle)` slots
+//! examined per second — the scheduler's innermost unit of work).
+//!
+//! This is the tracked perf trajectory for the scheduler core: the `sched`
+//! target of the `repro` binary records the same counters (via the shared
+//! [`vliw_bench::sched_pass`]) into `BENCH_repro.json`.
+
+use vliw_bench::{harness::Bench, sched_pass, sched_workload};
+use vliw_sched::{ClusterPolicy, SchedStats};
+
+fn main() {
+    let (kernels, machine) = sched_workload();
+    println!(
+        "sched workload: {} kernels (suite loops at factor 1 and OUF-unrolled)",
+        kernels.len()
+    );
+    let mut b = Bench::new("sched").min_iters(5);
+    let mut total_schedules = 0u64;
+    let mut total_seconds = 0.0f64;
+    for policy in ClusterPolicy::ALL {
+        let name = policy.assigner().name();
+        let mut stats = SchedStats::default();
+        let r = b.run(name, || {
+            let (st, _) = sched_pass(&kernels, &machine, policy);
+            stats = st;
+        });
+        let secs = r.median.as_secs_f64();
+        println!(
+            "bench sched/{name}: {:.1} schedules/sec, {:.3e} trial-cycles/sec ({} trial cycles, {} rollbacks)",
+            kernels.len() as f64 / secs,
+            stats.trial_cycles as f64 / secs,
+            stats.trial_cycles,
+            stats.rollbacks,
+        );
+        total_schedules += kernels.len() as u64;
+        total_seconds += secs;
+    }
+    println!(
+        "bench sched/all-policies: {:.1} schedules/sec overall",
+        total_schedules as f64 / total_seconds
+    );
+    b.finish();
+}

@@ -1,6 +1,6 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|all]`
+//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|sched|all]`
 //!
 //! Results print to stdout and are also written as CSV under `results/`.
 //! Every run additionally emits `BENCH_repro.json` — a machine-readable
@@ -14,8 +14,76 @@ use std::time::Instant;
 
 use vliw_experiments::{
     chains_exp, example433, fig4, fig5, fig6, fig7, fig8, hints_exp, interleave_study, report,
-    tables, ExperimentContext,
+    tables, ExperimentContext, RunConfig, ScheduleMemo, UnrollMode,
 };
+use vliw_sched::{ClusterPolicy, SchedStats};
+
+/// The scheduler-throughput record: schedules the suite under every policy
+/// (wall time + work counters from [`SchedStats`]) and probes the schedule
+/// memo, returning `BENCH_repro.json` metrics and a CSV table.
+fn sched_record(ctx: &ExperimentContext) -> (Vec<(String, f64)>, String) {
+    let (kernels, machine) = vliw_bench::sched_workload_for(ctx);
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut csv = String::from("policy,kernels,seconds,schedules_per_sec,trial_cycles\n");
+    let mut total = SchedStats::default();
+    let mut total_secs = 0.0;
+    let mut total_schedules = 0u64;
+    for policy in ClusterPolicy::ALL {
+        let label = policy.assigner().name();
+        let (stats, elapsed) = vliw_bench::sched_pass(&kernels, &machine, policy);
+        let secs = elapsed.as_secs_f64();
+        let per_sec = kernels.len() as f64 / secs;
+        println!(
+            "sched {label}: {} kernels in {secs:.3}s = {per_sec:.1} schedules/sec, \
+             {} trial cycles",
+            kernels.len(),
+            stats.trial_cycles
+        );
+        let _ = writeln!(
+            csv,
+            "{label},{},{secs},{per_sec},{}",
+            kernels.len(),
+            stats.trial_cycles
+        );
+        metrics.push((format!("schedules_per_sec/{label}"), per_sec));
+        metrics.push((format!("trial_cycles/{label}"), stats.trial_cycles as f64));
+        total.merge(&stats);
+        total_secs += secs;
+        total_schedules += kernels.len() as u64;
+    }
+    metrics.push(("schedules".into(), total_schedules as f64));
+    metrics.push((
+        "schedules_per_sec".into(),
+        total_schedules as f64 / total_secs,
+    ));
+    metrics.push(("trial_cycles".into(), total.trial_cycles as f64));
+    metrics.push((
+        "trial_cycles_per_sec".into(),
+        total.trial_cycles as f64 / total_secs,
+    ));
+    metrics.push(("rollbacks".into(), total.rollbacks as f64));
+    metrics.push(("placements".into(), total.placements as f64));
+
+    // memo probe: two configs differing only in a non-preparation axis
+    // share every preparation, so the second sweep is all memo hits
+    let memo = ScheduleMemo::new();
+    let base = RunConfig {
+        unroll: UnrollMode::NoUnroll,
+        ..RunConfig::ipbc()
+    };
+    for cfg in [base, base.with_buffers()] {
+        let machine = ctx.machine_for(&cfg);
+        for model in ctx.models() {
+            for lw in &model.loops {
+                let _ = memo.prepare(&lw.kernel, &machine, &cfg, ctx);
+            }
+        }
+    }
+    println!("sched memo: {} prepared, {} hits", memo.len(), memo.hits());
+    metrics.push(("memo_prepared".into(), memo.len() as f64));
+    metrics.push(("memo_hits".into(), memo.hits() as f64));
+    (metrics, csv)
+}
 
 fn save(name: &str, csv: String) {
     let dir = Path::new("results");
@@ -120,7 +188,7 @@ fn main() {
     if targets.is_empty() {
         targets.push("all");
     }
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 14] = [
         "all",
         "table1",
         "table2",
@@ -134,6 +202,7 @@ fn main() {
         "chains",
         "interleave",
         "mshr",
+        "sched",
     ];
     if let Some(bad) = targets.iter().find(|t| !KNOWN.contains(t)) {
         eprintln!(
@@ -310,6 +379,15 @@ fn main() {
             ));
         }
         record("mshr", t0, m);
+    }
+    if want("sched") {
+        // scheduler-throughput record: modulo-schedule the whole workload
+        // suite under every policy, plus a memo-effectiveness probe — the
+        // tracked perf trajectory of the scheduler core
+        let t0 = Instant::now();
+        let (s, csv) = sched_record(&ctx);
+        save("sched", csv);
+        record("sched", t0, s);
     }
     if want("chains") {
         let t0 = Instant::now();

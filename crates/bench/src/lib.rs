@@ -8,7 +8,13 @@
 
 pub mod harness;
 
+use std::time::{Duration, Instant};
+
 use vliw_experiments::ExperimentContext;
+use vliw_ir::LoopKernel;
+use vliw_machine::MachineConfig;
+use vliw_sched::{schedule_kernel_with_stats, ClusterPolicy, SchedStats, ScheduleOptions};
+use vliw_workloads::{profile_kernel, ArrayLayout};
 
 /// A deliberately small context for the benches: two benchmarks, short
 /// simulations — large enough to exercise every pipeline stage, small
@@ -27,4 +33,74 @@ pub fn micro_context(bench: &str) -> ExperimentContext {
     let mut ctx = bench_context();
     ctx.benchmarks = vec![bench.into()];
     ctx
+}
+
+/// The scheduling-throughput workload over the full 14-benchmark suite —
+/// the population the `sched` bench measures.
+pub fn sched_workload() -> (Vec<LoopKernel>, MachineConfig) {
+    sched_workload_for(&ExperimentContext::full())
+}
+
+/// The scheduling-throughput workload for one context: every loop of the
+/// context's benchmarks, profiled, at factor 1 plus an OUF-unrolled
+/// variant when the OUF exceeds 1. Kernels any policy fails to schedule
+/// are dropped so every policy measures the same population (the
+/// `repro … sched` target shares this builder).
+pub fn sched_workload_for(ctx: &ExperimentContext) -> (Vec<LoopKernel>, MachineConfig) {
+    let mut profile = ctx.profile;
+    profile.iteration_cap = 64;
+    let mut kernels = Vec::new();
+    for model in ctx.models() {
+        for lw in &model.loops {
+            let ouf = vliw_sched::optimal_unroll_factor(&lw.kernel, &ctx.machine);
+            let mut factors = vec![1u32];
+            if ouf > 1 {
+                factors.push(ouf);
+            }
+            for f in factors {
+                let mut k = vliw_ir::unroll(&lw.kernel, f);
+                let layout = ArrayLayout::new(&k, &ctx.machine, true, ctx.workloads.profile_input);
+                profile_kernel(&mut k, &ctx.machine, &layout, &profile);
+                // deep unrolling can defeat the no-backtracking scheduler
+                // under pinned-chain policies; keep only kernels every
+                // policy can schedule so each bench case runs the same set
+                let all_schedulable = ClusterPolicy::ALL.iter().all(|&p| {
+                    vliw_sched::schedule_kernel(&k, &ctx.machine, ScheduleOptions::new(p)).is_ok()
+                });
+                if all_schedulable {
+                    kernels.push(k);
+                }
+            }
+        }
+    }
+    (kernels, ctx.machine.clone())
+}
+
+/// One timed scheduling pass: every workload kernel under `policy`, with
+/// the work counters summed. Shared by `benches/sched.rs` and the
+/// `repro … sched` target so the bench printout and the tracked
+/// `BENCH_repro.json` trajectory measure exactly the same thing.
+///
+/// # Panics
+///
+/// Panics if a kernel fails to schedule — the workload is pre-filtered to
+/// kernels every policy can schedule, so a failure is a scheduler bug.
+pub fn sched_pass(
+    kernels: &[LoopKernel],
+    machine: &MachineConfig,
+    policy: ClusterPolicy,
+) -> (SchedStats, Duration) {
+    let mut stats = SchedStats::default();
+    let t = Instant::now();
+    for k in kernels {
+        let (s, st) = schedule_kernel_with_stats(
+            std::hint::black_box(k),
+            std::hint::black_box(machine),
+            ScheduleOptions::new(policy),
+        )
+        .expect("workload kernels are pre-filtered to schedule");
+        std::hint::black_box(&s);
+        stats.merge(&st);
+    }
+    (stats, t.elapsed())
 }

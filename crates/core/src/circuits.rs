@@ -62,7 +62,7 @@ impl Default for EnumLimits {
 /// the edge multigraph). Circuits whose total distance is zero would make
 /// the loop unschedulable; they are reported by panicking in debug builds
 /// and skipped in release builds.
-pub fn elementary_circuits(ddg: &Ddg, limits: EnumLimits) -> Vec<Circuit> {
+pub fn elementary_circuits(ddg: &Ddg<'_>, limits: EnumLimits) -> Vec<Circuit> {
     let n = ddg.n_ops();
     let mut result = Vec::new();
     // adjacency as (edge index, target) pairs
@@ -93,7 +93,7 @@ pub fn elementary_circuits(ddg: &Ddg, limits: EnumLimits) -> Vec<Circuit> {
         v: usize,
         s: usize,
         adj: &[Vec<(usize, usize)>],
-        ddg: &Ddg,
+        ddg: &Ddg<'_>,
         blocked: &mut Vec<bool>,
         block_list: &mut Vec<Vec<usize>>,
         stack_nodes: &mut Vec<usize>,

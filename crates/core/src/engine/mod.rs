@@ -7,6 +7,18 @@
 //! ([`base`], [`ibc`], [`ipbc`], [`no_chains`]). [`ClusterPolicy`] is the
 //! thin enum mapping the paper's names onto those implementations; adding a
 //! heuristic is one new module plus one enum arm.
+//!
+//! # Hot-loop data layout
+//!
+//! The II loop restarts the whole placement pipeline on every bump, so the
+//! engine is built for zero steady-state allocation: every trial
+//! reservation goes through the [`Mrt`] transaction journal (no table
+//! clones), candidate cycles are iterated lazily (no materialized range),
+//! and all per-attempt / per-op vectors live in one private `Scratch`
+//! workspace that is cleared — never reallocated — across attempts. A
+//! clone-based reference trial path is retained behind
+//! [`TrialMode::CloneBased`] so equivalence tests can prove the journaled
+//! path produces bit-identical schedules.
 
 pub mod base;
 pub mod ibc;
@@ -69,6 +81,49 @@ impl ClusterPolicy {
     ];
 }
 
+/// How trial reservations are isolated while a candidate slot is probed.
+///
+/// Both modes make identical placement decisions; they differ only in how
+/// a failed probe's reservations are discarded. The clone-based mode is
+/// retained as the reference implementation the equivalence tests compare
+/// the journal against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrialMode {
+    /// Journal reservations in the [`Mrt`] and unwind on failure
+    /// (the default: O(reservations) per failed probe, no allocation).
+    Journaled,
+    /// Snapshot the whole table before the probe and restore it on failure
+    /// (O(table) per probe — the pre-journal behavior).
+    CloneBased,
+}
+
+/// Counters describing how much work one [`schedule_kernel`] call did —
+/// the scheduler's throughput denominators (see the `sched` bench and the
+/// `repro … sched` target).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Candidate `(cluster, cycle)` slots examined across all attempts —
+    /// the innermost unit of scheduling work.
+    pub trial_cycles: u64,
+    /// Placement attempts run (II bumps × retry reorderings).
+    pub attempts: u64,
+    /// Trial probes that failed and were unwound.
+    pub rollbacks: u64,
+    /// Operations successfully placed (committed probes), summed over all
+    /// attempts including abandoned ones.
+    pub placements: u64,
+}
+
+impl SchedStats {
+    /// Accumulates another call's counters.
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.trial_cycles += other.trial_cycles;
+        self.attempts += other.attempts;
+        self.rollbacks += other.rollbacks;
+        self.placements += other.placements;
+    }
+}
+
 /// Options for [`schedule_kernel`].
 #[derive(Debug, Clone, Copy)]
 pub struct ScheduleOptions {
@@ -78,6 +133,10 @@ pub struct ScheduleOptions {
     pub max_ii: Option<u32>,
     /// Circuit-enumeration safety caps.
     pub enum_limits: EnumLimits,
+    /// Trial-reservation isolation (default [`TrialMode::Journaled`];
+    /// [`TrialMode::CloneBased`] is the reference path for equivalence
+    /// testing).
+    pub trial: TrialMode,
 }
 
 impl ScheduleOptions {
@@ -87,6 +146,7 @@ impl ScheduleOptions {
             policy,
             max_ii: None,
             enum_limits: EnumLimits::default(),
+            trial: TrialMode::Journaled,
         }
     }
 }
@@ -116,6 +176,20 @@ pub fn schedule_kernel(
     machine: &MachineConfig,
     options: ScheduleOptions,
 ) -> Result<Schedule, ScheduleError> {
+    schedule_kernel_with_stats(kernel, machine, options).map(|(s, _)| s)
+}
+
+/// [`schedule_kernel`] returning the work counters alongside the schedule.
+///
+/// # Errors
+///
+/// Same as [`schedule_kernel`].
+pub fn schedule_kernel_with_stats(
+    kernel: &LoopKernel,
+    machine: &MachineConfig,
+    options: ScheduleOptions,
+) -> Result<(Schedule, SchedStats), ScheduleError> {
+    let mut stats = SchedStats::default();
     if kernel.ops.is_empty() {
         return Err(ScheduleError::EmptyKernel);
     }
@@ -139,6 +213,8 @@ pub fn schedule_kernel(
 
     let order = sms_order(&ddg, &circuits, |op| latencies.latency_of(op));
 
+    let mut scratch = Scratch::new(kernel.ops.len(), machine);
+    let mut attempt_order: Vec<OpId> = Vec::with_capacity(order.len());
     for ii in mii0..=max_ii {
         // Up to six placement attempts per II: when an op cannot be
         // placed (its window was squeezed shut by loosely-connected
@@ -147,8 +223,10 @@ pub fn schedule_kernel(
         // loop-carried edges leave II-wide slack. This keeps the scheduler
         // backtracking-free per attempt while avoiding the pathological
         // II inflation of a single rigid order.
-        let mut attempt_order = order.clone();
+        attempt_order.clear();
+        attempt_order.extend_from_slice(&order);
         for _retry in 0..6 {
+            stats.attempts += 1;
             let attempt = TryState {
                 kernel,
                 ddg: &ddg,
@@ -159,17 +237,20 @@ pub fn schedule_kernel(
                 pins: &pins,
                 order: &attempt_order,
             };
-            match attempt.run(ii) {
+            match attempt.run(ii, options.trial, &mut scratch, &mut stats) {
                 Ok((ops, copies)) => {
-                    return Ok(Schedule {
-                        ii,
-                        ops,
-                        copies,
-                        mii: mii0,
-                        res_mii: res,
-                        rec_mii: rec,
-                        latencies,
-                    });
+                    return Ok((
+                        Schedule {
+                            ii,
+                            ops,
+                            copies,
+                            mii: mii0,
+                            res_mii: res,
+                            rec_mii: rec,
+                            latencies,
+                        },
+                        stats,
+                    ));
                 }
                 Err(failed) => {
                     let pos = attempt_order
@@ -193,7 +274,7 @@ pub fn schedule_kernel(
 
 struct TryState<'a> {
     kernel: &'a LoopKernel,
-    ddg: &'a Ddg,
+    ddg: &'a Ddg<'a>,
     machine: &'a MachineConfig,
     latencies: &'a LatencyAssignment,
     chains: &'a MemChains,
@@ -208,22 +289,97 @@ struct Placement {
     cycle: i64,
 }
 
+/// An already-placed dependence neighbor of the op being placed, with the
+/// timing fields the window computation needs.
+struct Nbr {
+    other_cluster: usize,
+    other_cycle: i64,
+    lat: i64,
+    dist: i64,
+    regflow: bool,
+    other: OpId,
+}
+
+/// The engine's reusable workspace: every vector the placement loop needs,
+/// owned across attempts and II bumps. Buffers are cleared (`clear`) but
+/// never shrunk, so after the first attempt the steady state allocates
+/// nothing.
+struct Scratch {
+    /// The live reservation table, reset per attempt.
+    mrt: Mrt,
+    /// Whole-table snapshot used by [`TrialMode::CloneBased`] only.
+    mrt_backup: Option<Mrt>,
+    placed: Vec<Option<Placement>>,
+    copies: Vec<ScheduledCopy>,
+    /// Parallel to `copies`: raw (pre-normalization) cycles.
+    copy_cycles: Vec<i64>,
+    copy_map: HashMap<(OpId, usize), usize>,
+    assign_state: AssignState,
+    load_count: Vec<usize>,
+    // per-op buffers
+    preds: Vec<Nbr>,
+    succs: Vec<Nbr>,
+    nbr_preds: Vec<Neighbor>,
+    nbr_succs: Vec<Neighbor>,
+    candidates: Vec<usize>,
+    // per-trial buffers
+    new_copies: Vec<(OpId, usize, usize, i64, usize)>,
+    seen_pred: Vec<OpId>,
+    dest_bounds: Vec<(usize, i64)>,
+}
+
+impl Scratch {
+    fn new(n_ops: usize, machine: &MachineConfig) -> Self {
+        Scratch {
+            mrt: Mrt::new(1, machine),
+            mrt_backup: None,
+            placed: Vec::with_capacity(n_ops),
+            copies: Vec::new(),
+            copy_cycles: Vec::new(),
+            copy_map: HashMap::new(),
+            assign_state: AssignState::default(),
+            load_count: Vec::new(),
+            preds: Vec::new(),
+            succs: Vec::new(),
+            nbr_preds: Vec::new(),
+            nbr_succs: Vec::new(),
+            candidates: Vec::new(),
+            new_copies: Vec::new(),
+            seen_pred: Vec::new(),
+            dest_bounds: Vec::new(),
+        }
+    }
+
+    /// Resets the attempt-lifetime state for a fresh placement attempt.
+    fn reset_attempt(&mut self, ii: u32, n_ops: usize, machine: &MachineConfig) {
+        self.mrt.reset(ii, machine);
+        self.placed.clear();
+        self.placed.resize(n_ops, None);
+        self.copies.clear();
+        self.copy_cycles.clear();
+        self.copy_map.clear();
+        self.assign_state.chain_pin.clear();
+        self.load_count.clear();
+        self.load_count.resize(machine.clusters.n_clusters, 0);
+    }
+}
+
 impl TryState<'_> {
     /// One no-backtracking placement attempt; `Err` carries the op that
     /// could not be placed.
-    fn run(&self, ii: u32) -> Result<(Vec<ScheduledOp>, Vec<ScheduledCopy>), OpId> {
+    fn run(
+        &self,
+        ii: u32,
+        trial_mode: TrialMode,
+        scratch: &mut Scratch,
+        stats: &mut SchedStats,
+    ) -> Result<(Vec<ScheduledOp>, Vec<ScheduledCopy>), OpId> {
         let n_ops = self.kernel.ops.len();
         let n = self.machine.clusters.n_clusters;
         let transfer = self.machine.buses.transfer_cycles as i64;
         let iii = ii as i64;
 
-        let mut mrt = Mrt::new(ii, self.machine);
-        let mut placed: Vec<Option<Placement>> = vec![None; n_ops];
-        let mut copies: Vec<ScheduledCopy> = Vec::new();
-        let mut copy_cycles: Vec<i64> = Vec::new(); // parallel to `copies`
-        let mut copy_map: HashMap<(OpId, usize), usize> = HashMap::new();
-        let mut assign_state = AssignState::default();
-        let mut load_count = vec![0usize; n];
+        scratch.reset_attempt(ii, n_ops, self.machine);
 
         for &op_id in self.order {
             let op = self.kernel.op(op_id);
@@ -231,22 +387,14 @@ impl TryState<'_> {
             let lat_self = self.latencies.latency_of(op_id) as i64;
 
             // gather placed neighbors
-            struct Nbr {
-                other_cluster: usize,
-                other_cycle: i64,
-                lat: i64,
-                dist: i64,
-                regflow: bool,
-                other: OpId,
-            }
-            let mut preds: Vec<Nbr> = Vec::new();
-            let mut succs: Vec<Nbr> = Vec::new();
+            scratch.preds.clear();
+            scratch.succs.clear();
             for e in self.ddg.pred_edges(op_id) {
                 if e.from == op_id {
                     continue; // self-edge constrains nothing within an II
                 }
-                if let Some(p) = placed[e.from.index()] {
-                    preds.push(Nbr {
+                if let Some(p) = scratch.placed[e.from.index()] {
+                    scratch.preds.push(Nbr {
                         other_cluster: p.cluster,
                         other_cycle: p.cycle,
                         lat: self.latencies.edge_latency(e, self.kernel) as i64,
@@ -260,8 +408,8 @@ impl TryState<'_> {
                 if e.to == op_id {
                     continue;
                 }
-                if let Some(s) = placed[e.to.index()] {
-                    succs.push(Nbr {
+                if let Some(s) = scratch.placed[e.to.index()] {
+                    scratch.succs.push(Nbr {
                         other_cluster: s.cluster,
                         other_cycle: s.cycle,
                         lat: self.latencies.edge_latency(e, self.kernel) as i64,
@@ -273,22 +421,22 @@ impl TryState<'_> {
             }
 
             // candidate clusters, chosen by the policy
-            let nbr_preds: Vec<Neighbor> = preds
-                .iter()
-                .map(|p| Neighbor {
+            scratch.nbr_preds.clear();
+            scratch
+                .nbr_preds
+                .extend(scratch.preds.iter().map(|p| Neighbor {
                     other: p.other,
                     cluster: p.other_cluster,
                     regflow: p.regflow,
-                })
-                .collect();
-            let nbr_succs: Vec<Neighbor> = succs
-                .iter()
-                .map(|s| Neighbor {
+                }));
+            scratch.nbr_succs.clear();
+            scratch
+                .nbr_succs
+                .extend(scratch.succs.iter().map(|s| Neighbor {
                     other: s.other,
                     cluster: s.other_cluster,
                     regflow: s.regflow,
-                })
-                .collect();
+                }));
             // the context borrows the mutable bookkeeping immutably, so it
             // is rebuilt at each policy call site instead of held across
             // the placement scan
@@ -298,26 +446,33 @@ impl TryState<'_> {
                         kernel: self.kernel,
                         chains: self.chains,
                         n_clusters: n,
-                        preds: &nbr_preds,
-                        succs: &nbr_succs,
+                        preds: &scratch.nbr_preds,
+                        succs: &scratch.nbr_succs,
                         has_copy: &$has_copy,
-                        load_count: &load_count,
+                        load_count: &scratch.load_count,
                     }
                 };
             }
-            let candidates = {
+            {
+                let copy_map = &scratch.copy_map;
                 let has_copy =
                     |producer: OpId, cluster: usize| copy_map.contains_key(&(producer, cluster));
                 let ctx = assign_ctx!(has_copy);
-                self.assigner
-                    .candidates(op_id, &ctx, self.pins, &assign_state)
-            };
+                self.assigner.candidates_into(
+                    op_id,
+                    &ctx,
+                    self.pins,
+                    &scratch.assign_state,
+                    &mut scratch.candidates,
+                );
+            }
 
             // compute placement window per cluster and scan
             let mut done = false;
-            for &cluster in &candidates {
+            for ci in 0..scratch.candidates.len() {
+                let cluster = scratch.candidates[ci];
                 let mut estart: Option<i64> = None;
-                for p in &preds {
+                for p in &scratch.preds {
                     let extra = if p.regflow && p.other_cluster != cluster {
                         transfer
                     } else {
@@ -327,7 +482,7 @@ impl TryState<'_> {
                     estart = Some(estart.map_or(e, |x: i64| x.max(e)));
                 }
                 let mut lstart: Option<i64> = None;
-                for s in &succs {
+                for s in &scratch.succs {
                     let extra = if s.regflow && s.other_cluster != cluster {
                         transfer
                     } else {
@@ -339,7 +494,9 @@ impl TryState<'_> {
                     lstart = Some(lstart.map_or(l, |x: i64| x.min(l)));
                 }
 
-                let range: Vec<i64> = match (estart, lstart) {
+                // The candidate window, iterated lazily (no materialized
+                // range). `descending` scans from `hi` down to `lo`.
+                let (lo, hi, descending) = match (estart, lstart) {
                     (Some(e), Some(l)) => {
                         if e > l {
                             continue;
@@ -351,92 +508,123 @@ impl TryState<'_> {
                         // stretch the value's lifetime by up to a whole II
                         // and starve the (pred-side) ops ordered after this
                         // one of their windows.
-                        let top = l.min(e + iii - 1);
-                        (e..=top).rev().collect()
+                        (e, l.min(e + iii - 1), true)
                     }
-                    (Some(e), None) => (e..=(e + iii - 1)).collect(),
-                    (None, Some(l)) => ((l - iii + 1)..=l).rev().collect(),
-                    (None, None) => (0..iii).collect(),
+                    (Some(e), None) => (e, e + iii - 1, false),
+                    (None, Some(l)) => (l - iii + 1, l, true),
+                    (None, None) => (0, iii - 1, false),
                 };
 
-                'cycle: for cycle in range {
-                    if !mrt.fu_free(cluster, kind, cycle) {
+                'cycle: for step in 0..=(hi - lo) {
+                    let cycle = if descending { hi - step } else { lo + step };
+                    stats.trial_cycles += 1;
+                    if !scratch.mrt.fu_free(cluster, kind, cycle) {
                         continue;
                     }
-                    // trial resource state
-                    let mut trial = mrt.clone();
-                    trial.fu_reserve(cluster, kind, cycle);
-                    let mut new_copies: Vec<(OpId, usize, usize, i64, usize)> = Vec::new();
+                    // open a trial: reservations are provisional until the
+                    // whole op (slot + every needed copy) fits
+                    match trial_mode {
+                        TrialMode::Journaled => scratch.mrt.begin(),
+                        TrialMode::CloneBased => match &mut scratch.mrt_backup {
+                            Some(b) => b.clone_from(&scratch.mrt),
+                            none => *none = Some(scratch.mrt.clone()),
+                        },
+                    }
+                    macro_rules! trial_fail {
+                        () => {{
+                            stats.rollbacks += 1;
+                            match trial_mode {
+                                TrialMode::Journaled => scratch.mrt.rollback(),
+                                TrialMode::CloneBased => scratch
+                                    .mrt
+                                    .clone_from(scratch.mrt_backup.as_ref().expect("backup")),
+                            }
+                            continue 'cycle;
+                        }};
+                    }
+                    scratch.mrt.fu_reserve(cluster, kind, cycle);
+                    scratch.new_copies.clear();
 
                     // copies for cross-cluster flow predecessors
-                    let mut seen_pred: Vec<OpId> = Vec::new();
-                    for p in preds
-                        .iter()
-                        .filter(|p| p.regflow && p.other_cluster != cluster)
-                    {
-                        if seen_pred.contains(&p.other) {
+                    scratch.seen_pred.clear();
+                    for pi in 0..scratch.preds.len() {
+                        let p = &scratch.preds[pi];
+                        if !(p.regflow && p.other_cluster != cluster) {
                             continue;
                         }
-                        seen_pred.push(p.other);
+                        if scratch.seen_pred.contains(&p.other) {
+                            continue;
+                        }
+                        scratch.seen_pred.push(p.other);
                         // all edges from this producer to op in this cluster:
                         // bound = min over them
-                        let bound = preds
+                        let bound = scratch
+                            .preds
                             .iter()
                             .filter(|q| q.regflow && q.other == p.other)
                             .map(|q| cycle + iii * q.dist - transfer)
                             .min()
                             .unwrap();
-                        if let Some(&idx) = copy_map.get(&(p.other, cluster)) {
-                            if copy_cycles[idx] <= bound {
+                        if let Some(&idx) = scratch.copy_map.get(&(p.other, cluster)) {
+                            if scratch.copy_cycles[idx] <= bound {
                                 continue; // reuse existing copy
                             }
-                            continue 'cycle; // existing copy too late
+                            trial_fail!(); // existing copy too late
                         }
                         let ready = p.other_cycle + p.lat; // producer completion
+                        let (other, other_cluster) = (p.other, p.other_cluster);
                         let mut found = false;
                         let mut tc = ready;
                         while tc <= bound {
-                            if let Some(bus) = trial.bus_find(tc) {
-                                trial.bus_reserve(bus, tc);
-                                new_copies.push((p.other, p.other_cluster, cluster, tc, bus));
+                            if let Some(bus) = scratch.mrt.bus_find(tc) {
+                                scratch.mrt.bus_reserve(bus, tc);
+                                scratch
+                                    .new_copies
+                                    .push((other, other_cluster, cluster, tc, bus));
                                 found = true;
                                 break;
                             }
                             tc += 1;
                         }
                         if !found {
-                            continue 'cycle;
+                            trial_fail!();
                         }
                     }
 
                     // copies for cross-cluster flow successors (op is the
                     // producer): one copy per destination cluster
-                    let mut dest_bounds: Vec<(usize, i64)> = Vec::new();
-                    for s in succs
+                    scratch.dest_bounds.clear();
+                    for s in scratch
+                        .succs
                         .iter()
                         .filter(|s| s.regflow && s.other_cluster != cluster)
                     {
                         let b = s.other_cycle + iii * s.dist - transfer;
-                        match dest_bounds.iter_mut().find(|(c, _)| *c == s.other_cluster) {
+                        match scratch
+                            .dest_bounds
+                            .iter_mut()
+                            .find(|(c, _)| *c == s.other_cluster)
+                        {
                             Some((_, bound)) => *bound = (*bound).min(b),
-                            None => dest_bounds.push((s.other_cluster, b)),
+                            None => scratch.dest_bounds.push((s.other_cluster, b)),
                         }
                     }
-                    for (dest, bound) in dest_bounds {
+                    for di in 0..scratch.dest_bounds.len() {
+                        let (dest, bound) = scratch.dest_bounds[di];
                         let ready = cycle + lat_self;
                         let mut found = false;
                         let mut tc = ready;
                         while tc <= bound {
-                            if let Some(bus) = trial.bus_find(tc) {
-                                trial.bus_reserve(bus, tc);
-                                new_copies.push((op_id, cluster, dest, tc, bus));
+                            if let Some(bus) = scratch.mrt.bus_find(tc) {
+                                scratch.mrt.bus_reserve(bus, tc);
+                                scratch.new_copies.push((op_id, cluster, dest, tc, bus));
                                 found = true;
                                 break;
                             }
                             tc += 1;
                         }
                         if !found {
-                            continue 'cycle;
+                            trial_fail!();
                         }
                     }
 
@@ -447,14 +635,18 @@ impl TryState<'_> {
                             op.name
                         );
                     }
-                    mrt = trial;
-                    placed[op_id.index()] = Some(Placement { cluster, cycle });
-                    load_count[cluster] += 1;
-                    for (prod, from, to, tc, bus) in new_copies {
-                        copy_map.insert((prod, to), copies.len());
-                        copy_cycles.push(tc);
+                    match trial_mode {
+                        TrialMode::Journaled => scratch.mrt.commit(),
+                        TrialMode::CloneBased => {} // mutations already live
+                    }
+                    stats.placements += 1;
+                    scratch.placed[op_id.index()] = Some(Placement { cluster, cycle });
+                    scratch.load_count[cluster] += 1;
+                    for (prod, from, to, tc, bus) in scratch.new_copies.drain(..) {
+                        scratch.copy_map.insert((prod, to), scratch.copies.len());
+                        scratch.copy_cycles.push(tc);
                         // real cycle is fixed after normalization below
-                        copies.push(ScheduledCopy {
+                        scratch.copies.push(ScheduledCopy {
                             producer: prod,
                             from,
                             to,
@@ -463,12 +655,13 @@ impl TryState<'_> {
                         });
                     }
                     {
+                        let copy_map = &scratch.copy_map;
                         let has_copy = |producer: OpId, cluster: usize| {
                             copy_map.contains_key(&(producer, cluster))
                         };
                         let ctx = assign_ctx!(has_copy);
                         self.assigner
-                            .commit(op_id, cluster, &ctx, &mut assign_state);
+                            .commit(op_id, cluster, &ctx, &mut scratch.assign_state);
                     }
                     done = true;
                     break;
@@ -479,31 +672,35 @@ impl TryState<'_> {
             }
             if !done {
                 if std::env::var_os("VLIW_SCHED_DEBUG").is_some() {
+                    let copy_map = &scratch.copy_map;
                     let has_copy = |producer: OpId, cluster: usize| {
                         copy_map.contains_key(&(producer, cluster))
                     };
                     let ctx = assign_ctx!(has_copy);
-                    let pin = self.assigner.pin(op_id, &ctx, self.pins, &assign_state);
+                    let pin = self
+                        .assigner
+                        .pin(op_id, &ctx, self.pins, &scratch.assign_state);
                     eprintln!(
                         "II {ii}: failed to place {op_id} ({}) pin {pin:?} preds {} succs {}",
                         op.name,
-                        preds.len(),
-                        succs.len()
+                        scratch.preds.len(),
+                        scratch.succs.len()
                     );
-                    for p in &preds {
+                    for p in &scratch.preds {
                         eprintln!(
                             "  pred {} cl {} cyc {} lat {} d {}",
                             p.other, p.other_cluster, p.other_cycle, p.lat, p.dist
                         );
                     }
-                    for s in &succs {
+                    for s in &scratch.succs {
                         eprintln!(
                             "  succ {} cl {} cyc {} lat {} d {}",
                             s.other, s.other_cluster, s.other_cycle, s.lat, s.dist
                         );
                     }
-                    for &cluster in &candidates {
-                        let e = preds
+                    for &cluster in &scratch.candidates {
+                        let e = scratch
+                            .preds
                             .iter()
                             .map(|p| {
                                 let x = if p.regflow && p.other_cluster != cluster {
@@ -514,7 +711,8 @@ impl TryState<'_> {
                                 p.other_cycle + p.lat + x - iii * p.dist
                             })
                             .max();
-                        let l = succs
+                        let l = scratch
+                            .succs
                             .iter()
                             .map(|s| {
                                 let x = if s.regflow && s.other_cluster != cluster {
@@ -533,13 +731,15 @@ impl TryState<'_> {
         }
 
         // normalize cycles to start at 0
-        let min_cycle = placed
+        let min_cycle = scratch
+            .placed
             .iter()
             .map(|p| p.unwrap().cycle)
-            .chain(copy_cycles.iter().copied())
+            .chain(scratch.copy_cycles.iter().copied())
             .min()
             .unwrap_or(0);
-        let ops: Vec<ScheduledOp> = placed
+        let ops: Vec<ScheduledOp> = scratch
+            .placed
             .iter()
             .enumerate()
             .map(|(i, p)| {
@@ -551,9 +751,10 @@ impl TryState<'_> {
                 }
             })
             .collect();
-        let copies: Vec<ScheduledCopy> = copies
-            .into_iter()
-            .zip(copy_cycles)
+        let copies: Vec<ScheduledCopy> = scratch
+            .copies
+            .drain(..)
+            .zip(scratch.copy_cycles.drain(..))
             .map(|(mut c, raw)| {
                 c.cycle = (raw - min_cycle) as u32;
                 c

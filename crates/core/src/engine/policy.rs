@@ -68,8 +68,9 @@ pub struct AssignState {
 ///    estimates stall against the pinned cluster.
 /// 2. [`pin`](ClusterAssign::pin) — a hard pin discovered *during*
 ///    scheduling (IBC's first-member chain pins).
-/// 3. [`candidates`](ClusterAssign::candidates) — candidate clusters in
-///    preference order; the default defers to the pin, then to the shared
+/// 3. [`candidates_into`](ClusterAssign::candidates_into) — candidate
+///    clusters in preference order, written into an engine-owned buffer;
+///    the default defers to the pin, then to the shared
 ///    communication/balance ranking.
 /// 4. [`commit`](ClusterAssign::commit) — observes a successful placement.
 ///
@@ -104,18 +105,26 @@ pub trait ClusterAssign: std::fmt::Debug + Sync {
         pins[op.index()]
     }
 
-    /// Candidate clusters for `op`, best first. The engine tries them in
-    /// order and keeps the first with a feasible slot and bus schedule.
-    fn candidates(
+    /// Writes the candidate clusters for `op`, best first, into `out`
+    /// (cleared first); the engine tries them in order and keeps the first
+    /// with a feasible slot and bus schedule. The engine calls this once
+    /// per operation with a scratch buffer it owns, so the hot path
+    /// allocates nothing. (This replaces the former allocating
+    /// `candidates` hook — removed rather than kept alongside, so a
+    /// policy customizing enumeration cannot silently override the wrong
+    /// method.)
+    fn candidates_into(
         &self,
         op: OpId,
         ctx: &AssignContext<'_>,
         pins: &[Option<usize>],
         state: &AssignState,
-    ) -> Vec<usize> {
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
         match self.pin(op, ctx, pins, state) {
-            Some(c) => vec![c],
-            None => rank_by_communication_balance(ctx),
+            Some(c) => out.push(c),
+            None => rank_by_communication_balance_into(ctx, out),
         }
     }
 
@@ -130,7 +139,16 @@ pub trait ClusterAssign: std::fmt::Debug + Sync {
 /// neighbors (affinity), then (3) has the lightest workload, then (4) the
 /// lowest index.
 pub fn rank_by_communication_balance(ctx: &AssignContext<'_>) -> Vec<usize> {
-    let mut cs: Vec<usize> = (0..ctx.n_clusters).collect();
+    let mut out = Vec::new();
+    rank_by_communication_balance_into(ctx, &mut out);
+    out
+}
+
+/// [`rank_by_communication_balance`] writing into a caller-owned buffer
+/// (cleared first) — the engine's allocation-free form.
+pub fn rank_by_communication_balance_into(ctx: &AssignContext<'_>, cs: &mut Vec<usize>) {
+    cs.clear();
+    cs.extend(0..ctx.n_clusters);
     let score = |c: usize| -> (usize, isize, usize) {
         // copies needed now if placed in c
         let mut need = 0usize;
@@ -161,8 +179,9 @@ pub fn rank_by_communication_balance(ctx: &AssignContext<'_>) -> Vec<usize> {
         }
         (need, -affinity, ctx.load_count[c])
     };
+    // n_clusters is tiny (≤ 8 in every paper machine), so the stable sort
+    // stays on its allocation-free insertion path
     cs.sort_by_key(|&c| (score(c), c));
-    cs
 }
 
 #[cfg(test)]

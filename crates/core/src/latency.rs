@@ -154,7 +154,7 @@ pub fn available_classes(machine: &MachineConfig) -> Vec<AccessClass> {
 /// returned assignment also stores the MII target and the reduction log.
 pub fn assign_latencies(
     kernel: &LoopKernel,
-    ddg: &Ddg,
+    ddg: &Ddg<'_>,
     machine: &MachineConfig,
     circuits: &[Circuit],
 ) -> LatencyAssignment {
@@ -165,7 +165,7 @@ pub fn assign_latencies(
 /// chains / per-op preferences), which sharpen the stall estimates.
 pub fn assign_latencies_with_pins(
     kernel: &LoopKernel,
-    ddg: &Ddg,
+    ddg: &Ddg<'_>,
     machine: &MachineConfig,
     circuits: &[Circuit],
     pins: &[Option<usize>],

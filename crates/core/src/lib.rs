@@ -73,8 +73,8 @@ pub use balance::weighted_workload_balance;
 pub use chains::MemChains;
 pub use circuits::{elementary_circuits, Circuit, EnumLimits};
 pub use engine::{
-    schedule_kernel, AssignContext, AssignState, ClusterAssign, ClusterPolicy, Neighbor,
-    ScheduleOptions,
+    schedule_kernel, schedule_kernel_with_stats, AssignContext, AssignState, ClusterAssign,
+    ClusterPolicy, Neighbor, SchedStats, ScheduleOptions, TrialMode,
 };
 pub use hints::{attraction_hints, AttractionHints};
 pub use latency::{

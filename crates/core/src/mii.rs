@@ -48,7 +48,7 @@ pub fn res_mii(kernel: &LoopKernel, machine: &MachineConfig) -> u32 {
 /// `Σ latency > II × Σ distance`. Computed by binary search over II with
 /// Bellman-Ford positive-cycle detection, so it is exact even when circuit
 /// enumeration is capped.
-pub fn rec_mii(ddg: &Ddg, mut lat_of: impl FnMut(OpId) -> u32) -> u32 {
+pub fn rec_mii(ddg: &Ddg<'_>, mut lat_of: impl FnMut(OpId) -> u32) -> u32 {
     let edges: Vec<(usize, usize, i64, i64)> = ddg
         .edges()
         .iter()

@@ -9,6 +9,18 @@ use vliw_machine::MachineConfig;
 /// buses are per-(bus, modulo-slot) flags, and a transfer occupies
 /// [`transfer_cycles`](vliw_machine::BusConfig::transfer_cycles) consecutive
 /// slots on the same bus (the buses run at half the core frequency).
+///
+/// # Transactions
+///
+/// The scheduler probes thousands of candidate `(cluster, cycle)` slots per
+/// placement, most of which fail on bus availability. Instead of cloning
+/// the whole table per probe, open a transaction with [`Mrt::begin`]: every
+/// [`Mrt::fu_reserve`] / [`Mrt::bus_reserve`] then appends an undo entry to
+/// an internal journal, [`Mrt::rollback`] unwinds exactly those
+/// reservations (O(reservations made), not O(table)), and [`Mrt::commit`]
+/// makes them permanent. Transactions do not nest — one probe at a time —
+/// and `commit`/`rollback` outside a transaction are no-ops, so a commit is
+/// idempotent.
 #[derive(Debug, Clone)]
 pub struct Mrt {
     ii: u32,
@@ -20,6 +32,19 @@ pub struct Mrt {
     bus: Vec<bool>,
     n_buses: usize,
     transfer: u32,
+    // undo log of the open transaction (empty when none is open)
+    journal: Vec<Undo>,
+    in_txn: bool,
+}
+
+/// One journal entry: the flat index a reservation touched.
+#[derive(Debug, Clone, Copy)]
+enum Undo {
+    /// `fu[idx] += 1` happened; undo decrements.
+    Fu(u32),
+    /// `bus[idx] = true` happened (one entry per occupied slot); undo
+    /// clears.
+    BusSlot(u32),
 }
 
 fn kind_index(kind: FuKind) -> usize {
@@ -51,7 +76,74 @@ impl Mrt {
             bus: vec![false; machine.buses.reg_buses * ii as usize],
             n_buses: machine.buses.reg_buses,
             transfer: machine.buses.transfer_cycles,
+            journal: Vec::new(),
+            in_txn: false,
         }
+    }
+
+    /// Re-initializes the table for a (possibly different) II and machine,
+    /// reusing the existing allocations — the scheduler resets one table
+    /// per placement attempt instead of building a fresh one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn reset(&mut self, ii: u32, machine: &MachineConfig) {
+        assert!(ii > 0, "II must be positive");
+        let n = machine.clusters.n_clusters;
+        self.ii = ii;
+        self.n_clusters = n;
+        self.fu_cap = [
+            machine.clusters.int_units,
+            machine.clusters.fp_units,
+            machine.clusters.mem_units,
+        ];
+        self.fu.clear();
+        self.fu.resize(n * 3 * ii as usize, 0);
+        self.bus.clear();
+        self.bus
+            .resize(machine.buses.reg_buses * ii as usize, false);
+        self.n_buses = machine.buses.reg_buses;
+        self.transfer = machine.buses.transfer_cycles;
+        self.journal.clear();
+        self.in_txn = false;
+    }
+
+    /// Opens a transaction: subsequent reservations are journaled until
+    /// [`Mrt::commit`] or [`Mrt::rollback`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already open (transactions do not nest).
+    pub fn begin(&mut self) {
+        assert!(!self.in_txn, "MRT transactions do not nest");
+        debug_assert!(self.journal.is_empty());
+        self.in_txn = true;
+    }
+
+    /// Makes the open transaction's reservations permanent. A no-op when
+    /// no transaction is open, so committing twice is harmless.
+    pub fn commit(&mut self) {
+        self.journal.clear();
+        self.in_txn = false;
+    }
+
+    /// Unwinds every reservation made since [`Mrt::begin`], restoring the
+    /// exact functional-unit counters and bus flags. A no-op when no
+    /// transaction is open.
+    pub fn rollback(&mut self) {
+        while let Some(entry) = self.journal.pop() {
+            match entry {
+                Undo::Fu(idx) => self.fu[idx as usize] -= 1,
+                Undo::BusSlot(idx) => self.bus[idx as usize] = false,
+            }
+        }
+        self.in_txn = false;
+    }
+
+    /// Whether a transaction is currently open.
+    pub fn in_transaction(&self) -> bool {
+        self.in_txn
     }
 
     /// The II this table was built for.
@@ -84,6 +176,9 @@ impl Mrt {
         );
         let idx = self.fu_idx(cluster, kind, cycle);
         self.fu[idx] += 1;
+        if self.in_txn {
+            self.journal.push(Undo::Fu(idx as u32));
+        }
     }
 
     /// Finds a register bus free for a whole transfer starting at `cycle`.
@@ -112,13 +207,22 @@ impl Mrt {
         assert!(self.bus_free(bus, cycle), "register bus oversubscribed");
         for k in 0..self.transfer as i64 {
             let s = self.slot(cycle + k);
-            self.bus[bus * self.ii as usize + s] = true;
+            let idx = bus * self.ii as usize + s;
+            self.bus[idx] = true;
+            if self.in_txn {
+                self.journal.push(Undo::BusSlot(idx as u32));
+            }
         }
     }
 
     /// Number of clusters this table covers.
     pub fn n_clusters(&self) -> usize {
         self.n_clusters
+    }
+
+    #[cfg(test)]
+    fn raw_state(&self) -> (Vec<u16>, Vec<bool>) {
+        (self.fu.clone(), self.bus.clone())
     }
 }
 
@@ -190,5 +294,79 @@ mod tests {
     #[should_panic(expected = "II must be positive")]
     fn zero_ii_rejected() {
         let _ = mrt(0);
+    }
+
+    #[test]
+    fn rollback_restores_exact_fu_and_bus_state() {
+        let mut t = mrt(4);
+        // committed baseline: one FU, one transfer
+        t.fu_reserve(0, FuKind::Int, 1);
+        t.bus_reserve(0, 3); // slots 3 and 0
+        let before = t.raw_state();
+        t.begin();
+        t.fu_reserve(1, FuKind::Mem, 2);
+        t.fu_reserve(1, FuKind::Int, 2);
+        let b = t.bus_find(1).expect("bus free");
+        t.bus_reserve(b, 1);
+        assert_ne!(t.raw_state(), before, "reservations visible in-flight");
+        t.rollback();
+        assert_eq!(t.raw_state(), before, "rollback restores exact counters");
+        assert!(!t.in_transaction());
+        // the unwound resources are reservable again
+        assert!(t.fu_free(1, FuKind::Mem, 2));
+        assert!(t.bus_free(b, 1));
+    }
+
+    #[test]
+    fn rollback_after_partial_multi_slot_bus_reservation() {
+        // II 3, transfer 2: a transfer starting at slot 2 wraps to slot 0.
+        // Roll back a transaction whose bus reservation spans the wrap plus
+        // an earlier whole transfer: every individual slot flag must clear.
+        let mut t = mrt(3);
+        t.begin();
+        t.bus_reserve(0, 2); // slots 2 and (wrapping) 0 of bus 0
+        t.bus_reserve(1, 1); // slots 1 and 2 of bus 1
+        t.rollback();
+        let (_, bus) = t.raw_state();
+        assert!(bus.iter().all(|&b| !b), "all bus slots cleared");
+        assert!(t.bus_free(0, 0) && t.bus_free(0, 1) && t.bus_free(0, 2));
+    }
+
+    #[test]
+    fn commit_is_idempotent_and_keeps_reservations() {
+        let mut t = mrt(4);
+        t.begin();
+        t.fu_reserve(0, FuKind::Int, 0);
+        t.bus_reserve(0, 0);
+        t.commit();
+        let committed = t.raw_state();
+        t.commit(); // no open transaction: harmless
+        assert_eq!(t.raw_state(), committed);
+        // a later rollback must not unwind committed reservations
+        t.rollback();
+        assert_eq!(t.raw_state(), committed);
+        assert!(!t.fu_free(0, FuKind::Int, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not nest")]
+    fn nested_begin_panics() {
+        let mut t = mrt(4);
+        t.begin();
+        t.begin();
+    }
+
+    #[test]
+    fn reset_reuses_table_for_new_ii() {
+        let mut t = mrt(3);
+        t.fu_reserve(0, FuKind::Int, 1);
+        t.begin();
+        t.fu_reserve(0, FuKind::Int, 2);
+        let m = MachineConfig::word_interleaved_4();
+        t.reset(5, &m);
+        assert_eq!(t.ii(), 5);
+        assert!(!t.in_transaction());
+        let fresh = Mrt::new(5, &m);
+        assert_eq!(t.raw_state(), fresh.raw_state(), "reset == fresh table");
     }
 }

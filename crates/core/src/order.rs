@@ -35,42 +35,41 @@ struct DagInfo {
     succs0: Vec<Vec<usize>>,
 }
 
-fn dag_info(ddg: &Ddg, lat_of: &dyn Fn(OpId) -> u32) -> DagInfo {
+fn dag_info(ddg: &Ddg<'_>, lat_of: &dyn Fn(OpId) -> u32) -> DagInfo {
     let n = ddg.n_ops();
     let mut preds0 = vec![Vec::new(); n];
     let mut succs0 = vec![Vec::new(); n];
-    for e in ddg.edges() {
+    // First distance-0 edge (in edge-list order) per (from, to) pair: the
+    // depth/height recurrences below charge every duplicate adjacency entry
+    // the latency of that *first* edge, which is what the old linear
+    // `find` over the edge list computed — but in O(E) total instead of
+    // O(E) per adjacency entry.
+    let mut first_d0: std::collections::HashMap<(usize, usize), usize> = Default::default();
+    for (i, e) in ddg.edges().iter().enumerate() {
         // distance-0 edges always point forward in construction order (the
         // builder creates defs before uses), so this subgraph is acyclic;
         // guard against hand-built graphs violating it.
         if e.distance == 0 && e.from.index() < e.to.index() {
             preds0[e.to.index()].push(e.from.index());
             succs0[e.from.index()].push(e.to.index());
+            first_d0.entry((e.from.index(), e.to.index())).or_insert(i);
         }
     }
+    let lat_d0 = |from: usize, to: usize| -> i64 {
+        let i = first_d0[&(from, to)];
+        mii::edge_latency(&ddg.edges()[i], lat_of) as i64
+    };
     let mut depth = vec![0i64; n];
     for v in 0..n {
         for &p in &preds0[v] {
-            let l = mii::edge_latency(
-                ddg.edges()
-                    .iter()
-                    .find(|e| e.from.index() == p && e.to.index() == v && e.distance == 0)
-                    .expect("edge exists"),
-                lat_of,
-            ) as i64;
+            let l = lat_d0(p, v);
             depth[v] = depth[v].max(depth[p] + l.max(1));
         }
     }
     let mut height = vec![0i64; n];
     for v in (0..n).rev() {
         for &s in &succs0[v] {
-            let l = mii::edge_latency(
-                ddg.edges()
-                    .iter()
-                    .find(|e| e.from.index() == v && e.to.index() == s && e.distance == 0)
-                    .expect("edge exists"),
-                lat_of,
-            ) as i64;
+            let l = lat_d0(v, s);
             height[v] = height[v].max(height[s] + l.max(1));
         }
     }
@@ -100,7 +99,7 @@ fn reachable(from: &HashSet<usize>, succs: &[Vec<usize>]) -> HashSet<usize> {
 ///
 /// `circuits` are the kernel's recurrences and `lat_of` the (assigned)
 /// per-op latencies; both feed the recurrence priorities.
-pub fn sms_order(ddg: &Ddg, circuits: &[Circuit], lat_of: impl Fn(OpId) -> u32) -> Vec<OpId> {
+pub fn sms_order(ddg: &Ddg<'_>, circuits: &[Circuit], lat_of: impl Fn(OpId) -> u32) -> Vec<OpId> {
     let n = ddg.n_ops();
     if n == 0 {
         return Vec::new();
@@ -118,14 +117,19 @@ pub fn sms_order(ddg: &Ddg, circuits: &[Circuit], lat_of: impl Fn(OpId) -> u32) 
         }
         p[x]
     }
-    for i in 0..circuits.len() {
-        for j in (i + 1)..circuits.len() {
-            if circuits[i]
-                .nodes
-                .iter()
-                .any(|x| circuits[j].nodes.contains(x))
-            {
-                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+    // Union via per-node incidence (first circuit seen per node), linear in
+    // Σ|circuit| instead of quadratic pairwise overlap tests. The resulting
+    // partition — the transitive closure of "shares a node" — is identical,
+    // and everything downstream is sorted by (priority, size, min node), so
+    // the different union-find tree shapes cannot change the order.
+    let mut node_first: Vec<usize> = vec![usize::MAX; n];
+    for (i, c) in circuits.iter().enumerate() {
+        for o in &c.nodes {
+            let v = o.index();
+            if node_first[v] == usize::MAX {
+                node_first[v] = i;
+            } else {
+                let (a, b) = (find(&mut parent, node_first[v]), find(&mut parent, i));
                 if a != b {
                     parent[a] = b;
                 }
@@ -361,7 +365,7 @@ pub fn sms_order(ddg: &Ddg, circuits: &[Circuit], lat_of: impl Fn(OpId) -> u32) 
 /// most) one per recurrence has, at the moment of its placement in the
 /// order, only predecessors or only successors among the earlier nodes
 /// (intra-iteration edges). Returns the number of violating nodes.
-pub fn order_violations(ddg: &Ddg, order: &[OpId]) -> usize {
+pub fn order_violations(ddg: &Ddg<'_>, order: &[OpId]) -> usize {
     let mut placed = HashSet::new();
     let mut bad = 0;
     for &v in order {
@@ -391,7 +395,7 @@ mod tests {
     use crate::circuits::{elementary_circuits, EnumLimits};
     use vliw_ir::{DepKind, KernelBuilder, Opcode};
 
-    fn order_of(k: &vliw_ir::LoopKernel) -> (Vec<OpId>, Ddg) {
+    fn order_of(k: &vliw_ir::LoopKernel) -> (Vec<OpId>, Ddg<'_>) {
         let g = Ddg::build(k);
         let cs = elementary_circuits(&g, EnumLimits::default());
         let o = sms_order(&g, &cs, |_| 1);

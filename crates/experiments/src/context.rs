@@ -215,9 +215,8 @@ pub fn prepare_loop(
     ctx: &ExperimentContext,
 ) -> Result<PreparedLoop, ScheduleError> {
     let opts = ScheduleOptions {
-        policy: cfg.policy,
-        max_ii: None,
         enum_limits: ctx.enum_limits,
+        ..ScheduleOptions::new(cfg.policy)
     };
     // hit rates steer the OUF analysis: profile the original first
     let original = profiled(original.clone(), machine, ctx, cfg.padding);
@@ -305,6 +304,9 @@ pub struct ScheduleMemo {
     // guard, so concurrent cells needing the same preparation block on the
     // first computer instead of duplicating the work
     map: Mutex<HashMap<PrepareKey, Arc<MemoSlot>>>,
+    // prepares served from an already-completed slot (the scheduler work
+    // the memo saved) — reported into the perf trajectory by the grid
+    hits: std::sync::atomic::AtomicUsize,
 }
 
 /// One key's entry: empty while the first preparation is in flight.
@@ -373,6 +375,12 @@ impl ScheduleMemo {
         self.len() == 0
     }
 
+    /// Number of [`ScheduleMemo::prepare`] calls served from an existing
+    /// entry instead of scheduling — the work the memo saved.
+    pub fn hits(&self) -> usize {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Looks up or computes the prepared loop for `(original, cfg)`.
     ///
     /// # Errors
@@ -395,6 +403,7 @@ impl ScheduleMemo {
         // while cells with other keys proceed untouched
         let mut guard = slot.lock().expect("memo slot");
         if let Some(hit) = guard.as_ref() {
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
         // scheduling failures are not cached: they are deterministic, and

@@ -314,6 +314,7 @@ impl RunGrid {
             configs: self.configs.clone(),
             cells,
             memoized_schedules: memo.len(),
+            memo_hits: memo.hits(),
         }
     }
 }
@@ -327,6 +328,7 @@ pub struct GridResult {
     configs: Vec<(String, RunConfig)>,
     cells: Vec<BenchRun>,
     memoized_schedules: usize,
+    memo_hits: usize,
 }
 
 impl GridResult {
@@ -344,6 +346,12 @@ impl GridResult {
     /// were memo hits across cells).
     pub fn memoized_schedules(&self) -> usize {
         self.memoized_schedules
+    }
+
+    /// Number of loop preparations served from the schedule memo instead
+    /// of being recomputed — the scheduling work the grid skipped.
+    pub fn memo_hits(&self) -> usize {
+        self.memo_hits
     }
 
     /// The cell for benchmark index `b` under config index `c`.
@@ -483,6 +491,8 @@ mod tests {
         let n_loops = res.cell(0, 0).loops.len();
         // both configs share one preparation per loop
         assert_eq!(res.memoized_schedules(), n_loops);
+        // ...so exactly one prepare per loop was a memo hit
+        assert_eq!(res.memo_hits(), n_loops);
         // ...and the shared schedule is literally the same allocation
         for (a, b) in res.cell(0, 0).loops.iter().zip(&res.cell(0, 1).loops) {
             assert!(std::sync::Arc::ptr_eq(&a.prepared, &b.prepared));

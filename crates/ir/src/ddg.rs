@@ -94,39 +94,79 @@ impl fmt::Display for DepEdge {
 
 /// Adjacency view of a kernel's dependence graph.
 ///
-/// Holds, for every operation, the indices (into
-/// [`LoopKernel::edges`](crate::LoopKernel::edges)) of its outgoing and
-/// incoming edges. Built once per kernel and shared by the MII computation,
-/// the node ordering and the scheduling engine.
+/// The view *borrows* the kernel's edge list (no copy) and stores the
+/// per-operation adjacency in compressed sparse row (CSR) form: one flat
+/// index array per direction plus `n_ops + 1` offsets, instead of a
+/// `Vec<Vec<_>>` of per-node heap allocations. Built once per kernel and
+/// shared by the MII computation, the node ordering and the scheduling
+/// engine — all of which are on the scheduler's restart path, so building
+/// must be cheap and allocation-light.
+///
+/// For each operation the edge indices (into
+/// [`LoopKernel::edges`](crate::LoopKernel::edges)) appear in edge-list
+/// order, exactly as the old nested-`Vec` layout produced them.
 #[derive(Debug, Clone)]
-pub struct Ddg {
+pub struct Ddg<'k> {
     n_ops: usize,
-    edges: Vec<DepEdge>,
-    succs: Vec<Vec<usize>>,
-    preds: Vec<Vec<usize>>,
+    edges: &'k [DepEdge],
+    // CSR adjacency: node v's outgoing edge indices are
+    // succ_idx[succ_off[v]..succ_off[v+1]] (incoming: pred_*).
+    succ_off: Vec<u32>,
+    succ_idx: Vec<u32>,
+    pred_off: Vec<u32>,
+    pred_idx: Vec<u32>,
 }
 
-impl Ddg {
-    /// Builds the adjacency view for `kernel`.
+/// Builds one CSR direction: `key(edge)` is the node an edge is filed
+/// under. Counting sort over nodes keeps edge indices in edge-list order.
+fn csr(n_ops: usize, edges: &[DepEdge], key: impl Fn(&DepEdge) -> usize) -> (Vec<u32>, Vec<u32>) {
+    let mut off = vec![0u32; n_ops + 1];
+    for e in edges {
+        off[key(e) + 1] += 1;
+    }
+    for v in 0..n_ops {
+        off[v + 1] += off[v];
+    }
+    let mut idx = vec![0u32; edges.len()];
+    let mut cursor = off.clone();
+    for (i, e) in edges.iter().enumerate() {
+        let k = key(e);
+        idx[cursor[k] as usize] = i as u32;
+        cursor[k] += 1;
+    }
+    (off, idx)
+}
+
+impl<'k> Ddg<'k> {
+    /// Builds the adjacency view for `kernel`, borrowing its edge list.
     ///
     /// # Panics
     ///
     /// Panics if an edge references an operation id outside the kernel.
-    pub fn build(kernel: &LoopKernel) -> Self {
-        let n_ops = kernel.ops.len();
-        let mut succs = vec![Vec::new(); n_ops];
-        let mut preds = vec![Vec::new(); n_ops];
-        for (i, e) in kernel.edges.iter().enumerate() {
+    pub fn build(kernel: &'k LoopKernel) -> Self {
+        Self::from_edges(kernel.ops.len(), &kernel.edges)
+    }
+
+    /// Builds the adjacency view over an explicit edge slice (`n_ops`
+    /// operations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references an operation id `>= n_ops`.
+    pub fn from_edges(n_ops: usize, edges: &'k [DepEdge]) -> Self {
+        for e in edges {
             assert!(e.from.index() < n_ops, "edge {e} references unknown source");
             assert!(e.to.index() < n_ops, "edge {e} references unknown target");
-            succs[e.from.index()].push(i);
-            preds[e.to.index()].push(i);
         }
+        let (succ_off, succ_idx) = csr(n_ops, edges, |e| e.from.index());
+        let (pred_off, pred_idx) = csr(n_ops, edges, |e| e.to.index());
         Ddg {
             n_ops,
-            edges: kernel.edges.clone(),
-            succs,
-            preds,
+            edges,
+            succ_off,
+            succ_idx,
+            pred_off,
+            pred_idx,
         }
     }
 
@@ -136,18 +176,24 @@ impl Ddg {
     }
 
     /// All edges.
-    pub fn edges(&self) -> &[DepEdge] {
-        &self.edges
+    pub fn edges(&self) -> &'k [DepEdge] {
+        self.edges
     }
 
     /// Outgoing edges of `op`.
-    pub fn succ_edges(&self, op: OpId) -> impl Iterator<Item = &DepEdge> + '_ {
-        self.succs[op.index()].iter().map(move |&i| &self.edges[i])
+    pub fn succ_edges(&self, op: OpId) -> impl Iterator<Item = &'k DepEdge> + '_ {
+        let v = op.index();
+        self.succ_idx[self.succ_off[v] as usize..self.succ_off[v + 1] as usize]
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
     }
 
     /// Incoming edges of `op`.
-    pub fn pred_edges(&self, op: OpId) -> impl Iterator<Item = &DepEdge> + '_ {
-        self.preds[op.index()].iter().map(move |&i| &self.edges[i])
+    pub fn pred_edges(&self, op: OpId) -> impl Iterator<Item = &'k DepEdge> + '_ {
+        let v = op.index();
+        self.pred_idx[self.pred_off[v] as usize..self.pred_off[v + 1] as usize]
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
     }
 
     /// Successor operations of `op` (with repetitions if multiple edges).
@@ -191,6 +237,26 @@ mod tests {
         let p3: Vec<_> = g.preds(o3).collect();
         assert_eq!(p3.len(), 2);
         assert!(g.succ_edges(o2).all(|e| e.kind == DepKind::RegFlow));
+    }
+
+    #[test]
+    fn csr_preserves_edge_list_order() {
+        // two edges out of one node, plus a loop-carried back edge: the
+        // succ/pred iterators must yield edges in edge-list order
+        let mut b = KernelBuilder::new("t");
+        let (o1, r1) = b.int_op("a", Opcode::Add, &[]);
+        let (_o2, r2) = b.int_op("b", Opcode::Sub, &[r1.into()]);
+        let (o3, _) = b.int_op("c", Opcode::Mul, &[r1.into(), r2.into()]);
+        let mut k = b.finish(1.0);
+        k.edges.push(DepEdge::new(o3, o1, DepKind::RegFlow, 1));
+        let g = Ddg::build(&k);
+        let out1: Vec<_> = g.succ_edges(o1).collect();
+        let expect: Vec<_> = k.edges.iter().filter(|e| e.from == o1).collect();
+        assert_eq!(out1, expect, "succ edges keep edge-list order");
+        let in1: Vec<_> = g.pred_edges(o1).map(|e| (e.from, e.distance)).collect();
+        assert_eq!(in1, [(o3, 1)]);
+        // edge slice is borrowed, not copied
+        assert_eq!(g.edges().as_ptr(), k.edges.as_ptr());
     }
 
     #[test]

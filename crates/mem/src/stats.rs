@@ -60,7 +60,12 @@ impl MshrStats {
 }
 
 /// Counters for every access class plus the combined/AB special cases.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// The struct is `Copy` (fixed-size counters, no heap), so opening an
+/// accounting window over a live cache is a register-level snapshot —
+/// `let window = *cache.stats();` … `cache.stats().diff(&window)` — not a
+/// structure clone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     counts: [u64; 4],
     combined: u64,
@@ -164,8 +169,10 @@ impl MemStats {
     }
 
     /// Counter-wise difference `self − before` (saturating) — used to
-    /// isolate the accesses of one simulated loop from a shared cache's
-    /// running totals.
+    /// isolate the accesses of one simulated loop (an accounting window
+    /// opened by copying the stats) from a shared cache's running totals.
+    /// `peak_occupancy` survives unchanged — a peak cannot be attributed
+    /// to one window.
     pub fn diff(&self, before: &MemStats) -> MemStats {
         let mut out = MemStats::new();
         for i in 0..4 {
@@ -286,6 +293,26 @@ mod tests {
         let d = a.diff(&b);
         assert_eq!(d.mshr().fills, 1);
         assert_eq!(d.mshr().peak_occupancy, 3, "peak survives diff");
+    }
+
+    #[test]
+    fn copy_window_isolates_one_accounting_interval() {
+        let mut s = MemStats::new();
+        s.record(AccessClass::LocalHit, false, true);
+        s.mshr_mut().on_fill_issued(2);
+        let window = s; // Copy: the window marker is a register snapshot
+        s.record(AccessClass::RemoteMiss, false, false);
+        s.record(AccessClass::LocalHit, true, false);
+        s.mshr_mut().on_fill_issued(3);
+        s.mshr_mut().on_full_stall(4);
+        let delta = s.diff(&window);
+        assert_eq!(delta.count(AccessClass::RemoteMiss), 1);
+        assert_eq!(delta.count(AccessClass::LocalHit), 0);
+        assert_eq!(delta.combined(), 1);
+        assert_eq!(delta.ab_hits(), 0);
+        assert_eq!(delta.mshr().fills, 1);
+        assert_eq!(delta.mshr().full_stall_cycles, 4);
+        assert_eq!(delta.mshr().peak_occupancy, 3, "peak survives the window");
     }
 
     #[test]

@@ -215,7 +215,9 @@ pub fn simulate_loop(
     // dependence distance
     let mut rings = Rings::new(n_ops, sc + max_dist + 2);
 
-    let mut base_stats = cache.stats().clone();
+    // per-window counter marker (MemStats is Copy: a register snapshot,
+    // not a structure clone)
+    let mut window = *cache.stats();
     let mut delay: u64 = 0;
     let mut stall_by = StallBreakdown::default();
     let mut stall_by_op = vec![0.0f64; n_ops];
@@ -335,12 +337,12 @@ pub fn simulate_loop(
         time_base += (iters + sc) * ii + delay + 1;
         cache.flush_loop_boundary();
         if !measured {
-            base_stats = cache.stats().clone();
+            window = *cache.stats();
         }
     }
 
     // isolate the measured pass's accesses from the running totals
-    let mem = cache.stats().diff(&base_stats);
+    let mem = cache.stats().diff(&window);
 
     let compute = ((sim_iters + sc - 1) * ii) as f64 * scale;
     let stall = delay as f64 * scale;

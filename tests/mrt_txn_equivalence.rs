@@ -1,0 +1,101 @@
+//! The journaled-MRT contract: schedules produced through the transaction
+//! journal are bit-identical to the retained clone-based reference path
+//! (`TrialMode::CloneBased`), across every cluster-assignment policy and
+//! every machine configuration of the paper. If a rollback ever failed to
+//! restore the exact reservation state, some later placement would see a
+//! phantom (or missing) reservation and the schedules would diverge.
+
+use interleaved_vliw::experiments::ExperimentContext;
+use interleaved_vliw::machine::MachineConfig;
+use interleaved_vliw::sched::{
+    schedule_kernel, schedule_kernel_with_stats, ClusterPolicy, ScheduleOptions, TrialMode,
+};
+use interleaved_vliw::workloads::{profile_kernel, spec_by_name, synthesize, ArrayLayout};
+
+/// The paper's machine configurations (§5): 4-cluster word-interleaved,
+/// 2-cluster word-interleaved, multiVLIW, and both unified latencies.
+fn machines() -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("word4", MachineConfig::word_interleaved_4()),
+        ("word2", MachineConfig::word_interleaved(2)),
+        ("multivliw", MachineConfig::multi_vliw_4()),
+        ("unified1", MachineConfig::unified_4(1)),
+        ("unified5", MachineConfig::unified_4(5)),
+    ]
+}
+
+/// Profiled factor-1 and ×4-unrolled kernels of two suite benchmarks —
+/// enough chains, recurrences and bus pressure to exercise every rollback
+/// path.
+fn kernels(machine: &MachineConfig) -> Vec<interleaved_vliw::ir::LoopKernel> {
+    let ctx = ExperimentContext::quick();
+    let mut out = Vec::new();
+    for bench in ["gsmdec", "epicdec"] {
+        let spec = spec_by_name(bench).unwrap();
+        let model = synthesize(&spec, &ctx.workloads, machine);
+        for lw in &model.loops {
+            for factor in [1u32, 4] {
+                let mut k = interleaved_vliw::ir::unroll(&lw.kernel, factor);
+                let layout = ArrayLayout::new(&k, machine, true, ctx.workloads.profile_input);
+                profile_kernel(&mut k, machine, &layout, &ctx.profile);
+                out.push(k);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn journaled_schedules_are_bit_identical_to_clone_based() {
+    let mut compared = 0usize;
+    for (mname, machine) in machines() {
+        for kernel in kernels(&machine) {
+            for policy in ClusterPolicy::ALL {
+                let mut opts = ScheduleOptions::new(policy);
+                assert_eq!(opts.trial, TrialMode::Journaled, "journal is the default");
+                let journaled = schedule_kernel(&kernel, &machine, opts);
+                opts.trial = TrialMode::CloneBased;
+                let reference = schedule_kernel(&kernel, &machine, opts);
+                match (journaled, reference) {
+                    (Ok(j), Ok(r)) => {
+                        assert_eq!(
+                            j, r,
+                            "schedule diverged: {policy:?} on {mname}/{}",
+                            kernel.name
+                        );
+                        compared += 1;
+                    }
+                    (j, r) => {
+                        // unschedulable kernels must fail identically
+                        assert_eq!(
+                            j.is_err(),
+                            r.is_err(),
+                            "feasibility diverged: {policy:?} on {mname}/{}",
+                            kernel.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(compared > 50, "comparison set too small: {compared}");
+}
+
+#[test]
+fn both_trial_modes_do_identical_placement_work() {
+    // same decisions ⇒ same work counters (rollbacks included): the
+    // journal only changes how a failed probe is discarded
+    let machine = MachineConfig::word_interleaved_4();
+    for kernel in kernels(&machine) {
+        for policy in ClusterPolicy::ALL {
+            let mut opts = ScheduleOptions::new(policy);
+            let j = schedule_kernel_with_stats(&kernel, &machine, opts);
+            opts.trial = TrialMode::CloneBased;
+            let r = schedule_kernel_with_stats(&kernel, &machine, opts);
+            if let (Ok((_, js)), Ok((_, rs))) = (j, r) {
+                assert_eq!(js, rs, "{policy:?} on {}", kernel.name);
+                assert!(js.trial_cycles > 0 && js.placements > 0);
+            }
+        }
+    }
+}
