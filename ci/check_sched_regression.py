@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Guard the scheduler-throughput trajectory.
+
+Compares the `sched` section of a freshly generated BENCH_repro.json
+against the committed baseline (ci/sched_baseline.json) and fails when:
+
+* `trial_cycles` — a deterministic work counter, immune to machine
+  speed — grew by more than the threshold (an algorithmic regression:
+  the scheduler does more work for the same schedules), or
+* `schedules_per_sec` regressed by more than the threshold. This is
+  wall-clock, so it inherits the variance of whatever runner executes
+  it; treat a failure here as a prompt to re-measure (and, if the
+  slowdown is real, to either fix it or update the baseline with a
+  justification in the PR).
+
+Usage: check_sched_regression.py BASELINE.json FRESH.json [threshold]
+"""
+
+import json
+import sys
+
+
+def sched_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    try:
+        return doc["figures"]["sched"]["metrics"]
+    except KeyError:
+        return None
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    baseline, fresh = sched_metrics(sys.argv[1]), sched_metrics(sys.argv[2])
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.20
+    if baseline is None:
+        print("baseline has no sched section; nothing to compare, skipping")
+        return 0
+    if fresh is None:
+        print("FAIL: fresh record has no sched section")
+        return 1
+
+    failed = False
+
+    b_work, f_work = baseline.get("trial_cycles"), fresh.get("trial_cycles")
+    if b_work and f_work:
+        ratio = f_work / b_work
+        print(
+            f"trial cycles (deterministic): baseline {b_work:.0f} -> "
+            f"current {f_work:.0f} ({ratio:.2f}x)"
+        )
+        if ratio > 1 + threshold:
+            print(f"FAIL: scheduling work grew more than {threshold:.0%}")
+            failed = True
+
+    b_rate, f_rate = baseline.get("schedules_per_sec"), fresh.get("schedules_per_sec")
+    if b_rate and f_rate:
+        ratio = f_rate / b_rate
+        print(
+            f"schedules/sec (wall-clock): baseline {b_rate:.1f} -> "
+            f"current {f_rate:.1f} ({ratio:.2f}x, threshold {1 - threshold:.2f}x)"
+        )
+        if ratio < 1 - threshold:
+            print(f"FAIL: scheduling throughput regressed more than {threshold:.0%}")
+            failed = True
+
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|sched|all]`
+//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|sched|optgap|all]`
 //!
 //! Results print to stdout and are also written as CSV under `results/`.
 //! Every run additionally emits `BENCH_repro.json` — a machine-readable
@@ -13,10 +13,10 @@ use std::path::Path;
 use std::time::Instant;
 
 use vliw_experiments::{
-    chains_exp, example433, fig4, fig5, fig6, fig7, fig8, hints_exp, interleave_study, report,
-    tables, ExperimentContext, RunConfig, ScheduleMemo, UnrollMode,
+    chains_exp, example433, fig4, fig5, fig6, fig7, fig8, hints_exp, interleave_study, optgap,
+    report, tables, ExperimentContext, RunConfig, RunGrid, ScheduleMemo, UnrollMode,
 };
-use vliw_sched::{ClusterPolicy, SchedStats};
+use vliw_sched::{ClusterPolicy, SchedBackend, SchedStats};
 
 /// The scheduler-throughput record: schedules the suite under every policy
 /// (wall time + work counters from [`SchedStats`]) and probes the schedule
@@ -188,7 +188,7 @@ fn main() {
     if targets.is_empty() {
         targets.push("all");
     }
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 15] = [
         "all",
         "table1",
         "table2",
@@ -203,6 +203,7 @@ fn main() {
         "interleave",
         "mshr",
         "sched",
+        "optgap",
     ];
     if let Some(bad) = targets.iter().find(|t| !KNOWN.contains(t)) {
         eprintln!(
@@ -388,6 +389,51 @@ fn main() {
         let (s, csv) = sched_record(&ctx);
         save("sched", csv);
         record("sched", t0, s);
+    }
+    if want("optgap") {
+        // optimality-gap study: heuristic II vs the exact branch-and-bound
+        // backend under the same front-end, per policy, with cutoffs as a
+        // first-class column
+        let t0 = Instant::now();
+        let g = optgap::optgap(&ctx);
+        println!("{g}");
+        save("optgap", g.table().to_csv());
+        let mut m = vec![
+            ("kernels".into(), g.n_kernels as f64),
+            ("node_budget".into(), g.node_budget as f64),
+            ("proven_optimal_fraction".into(), g.proven_fraction()),
+        ];
+        for r in &g.rows {
+            m.push((format!("ii_ratio/{}", r.policy), r.mean_ratio));
+            m.push((format!("proven_fraction/{}", r.policy), r.proven_fraction()));
+            m.push((format!("matched/{}", r.policy), r.matched as f64));
+            m.push((format!("better/{}", r.policy), r.better as f64));
+            m.push((format!("cutoff/{}", r.policy), r.cutoff as f64));
+            m.push((format!("cutoff_iis/{}", r.policy), r.cutoff_iis as f64));
+        }
+        // the backend axis end-to-end through the grid: one benchmark,
+        // both backends, with the per-config quality summary rendered
+        let base = RunConfig {
+            unroll: UnrollMode::NoUnroll,
+            ..RunConfig::ipbc()
+        };
+        let bench = ctx
+            .benchmarks
+            .first()
+            .map(String::as_str)
+            .unwrap_or("gsmdec");
+        let res = RunGrid::new("backend-quality")
+            .benchmarks(&[bench])
+            .config("IPBC/swing", base)
+            .config("IPBC/bnb", base.with_backend(SchedBackend::ExactBnB))
+            .run(&ctx);
+        let qt = report::backend_quality_table(&res);
+        print!("{}", qt.render());
+        save("backend_quality", qt.to_csv());
+        let q = res.quality_by_config();
+        m.push(("grid_proven/bnb".into(), q[1][1] as f64));
+        m.push(("grid_cutoff/bnb".into(), q[1][2] as f64));
+        record("optgap", t0, m);
     }
     if want("chains") {
         let t0 = Instant::now();

@@ -1,0 +1,199 @@
+//! The scheduler-backend extension seam.
+//!
+//! [`SchedulerBackend`] abstracts the *entire* kernel → [`Schedule`]
+//! transformation — front-end included — so whole alternative pipeliners
+//! (not just cluster-assignment heuristics, which plug in one level lower
+//! via [`ClusterAssign`](super::ClusterAssign)) are a single trait
+//! implementation plus one [`SchedBackend`] arm. Two backends ship:
+//!
+//! * [`SwingModulo`] — the paper's §4.3.1 pipeline (latency assignment →
+//!   SMS ordering → no-backtracking cluster assignment + slot placement),
+//!   extracted verbatim from the historical `schedule_kernel` body; its
+//!   output is bit-identical to the pre-seam scheduler.
+//! * [`ExactBnB`] — an exact branch-and-bound modulo scheduler used as
+//!   the optimality yardstick for the `optgap` study (see the
+//!   [`bnb`](super::bnb) module).
+//!
+//! Backends return a [`ScheduleOutcome`] whose [`SchedQuality`] records
+//! what the result *claims*: a heuristic makes no claim, an exact search
+//! either proves optimality or reports that a node-budget cutoff limited
+//! the proof. Cutoffs are first-class, counted outcomes
+//! ([`SchedStats::cutoffs`](super::SchedStats)) — never a silent fallback.
+
+use vliw_ir::LoopKernel;
+use vliw_machine::MachineConfig;
+
+use super::{ExactBnB, SchedStats, ScheduleOptions};
+use crate::schedule::{Schedule, ScheduleError};
+
+/// A complete modulo-scheduling pipeline: everything between a profiled
+/// kernel and a verified [`Schedule`].
+///
+/// Implementations must be stateless (`Sync`) — one static instance per
+/// backend is handed out by [`SchedBackend::backend`], exactly like the
+/// [`ClusterAssign`](super::ClusterAssign) policy objects one seam below.
+pub trait SchedulerBackend: std::fmt::Debug + Sync {
+    /// Short backend name (reports, memo diagnostics, bench labels).
+    fn name(&self) -> &'static str;
+
+    /// Schedules `kernel` for `machine`, discarding counters and quality.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SchedulerBackend::schedule_with_stats`].
+    fn schedule(
+        &self,
+        kernel: &LoopKernel,
+        machine: &MachineConfig,
+        options: &ScheduleOptions,
+    ) -> Result<Schedule, ScheduleError> {
+        self.schedule_with_stats(kernel, machine, options)
+            .map(|o| o.schedule)
+    }
+
+    /// Schedules `kernel` for `machine`, returning the schedule together
+    /// with the work counters and the backend's quality claim.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::EmptyKernel`] for empty kernels;
+    /// [`ScheduleError::NoSchedule`] when the search space is exhausted up
+    /// to the II limit; [`ScheduleError::SearchCutoff`] when an exact
+    /// backend ran out of node budget before finding any schedule.
+    fn schedule_with_stats(
+        &self,
+        kernel: &LoopKernel,
+        machine: &MachineConfig,
+        options: &ScheduleOptions,
+    ) -> Result<ScheduleOutcome, ScheduleError>;
+}
+
+/// What a backend's result claims about schedule quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedQuality {
+    /// Produced by a heuristic pipeline; no optimality claim.
+    Heuristic,
+    /// The II is proven minimal: every smaller II ≥ MII was exhaustively
+    /// refuted (or the II already equals the MII lower bound).
+    ProvenOptimal,
+    /// A feasible schedule, but the exact search hit its node budget at
+    /// some smaller II, so optimality is unproven. The cutoff count is in
+    /// [`SchedStats::cutoffs`](super::SchedStats).
+    CutoffFeasible,
+}
+
+impl SchedQuality {
+    /// Whether this result carries an optimality proof.
+    pub fn is_proven(self) -> bool {
+        matches!(self, SchedQuality::ProvenOptimal)
+    }
+}
+
+/// A backend's full result: the schedule, the work counters, and the
+/// quality claim.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// The schedule produced.
+    pub schedule: Schedule,
+    /// Work counters (trial cycles, attempts, rollbacks, placements,
+    /// cutoffs).
+    pub stats: SchedStats,
+    /// What the backend claims about the result.
+    pub quality: SchedQuality,
+}
+
+/// The scheduler backends, as a value the experiment grid can sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedBackend {
+    /// The paper's heuristic pipeline ([`SwingModulo`]).
+    SwingModulo,
+    /// The exact branch-and-bound pipeliner ([`ExactBnB`]).
+    ExactBnB,
+}
+
+impl SchedBackend {
+    /// The [`SchedulerBackend`] implementation behind this value.
+    pub fn backend(&self) -> &'static dyn SchedulerBackend {
+        match self {
+            SchedBackend::SwingModulo => &SwingModulo,
+            SchedBackend::ExactBnB => &ExactBnB,
+        }
+    }
+
+    /// Short name (same as the backend object's).
+    pub fn name(&self) -> &'static str {
+        self.backend().name()
+    }
+
+    /// Both backends, heuristic first.
+    pub const ALL: [SchedBackend; 2] = [SchedBackend::SwingModulo, SchedBackend::ExactBnB];
+}
+
+/// The paper's §4.3.1 pipeline as a [`SchedulerBackend`]: the historical
+/// `schedule_kernel` body, extracted behind the seam with bit-identical
+/// output (guarded by the MRT-equivalence and grid-determinism tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwingModulo;
+
+impl SchedulerBackend for SwingModulo {
+    fn name(&self) -> &'static str {
+        "swing"
+    }
+
+    fn schedule_with_stats(
+        &self,
+        kernel: &LoopKernel,
+        machine: &MachineConfig,
+        options: &ScheduleOptions,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        super::swing_schedule_with_stats(kernel, machine, options).map(|(schedule, stats)| {
+            ScheduleOutcome {
+                schedule,
+                stats,
+                quality: SchedQuality::Heuristic,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{schedule_outcome, ClusterPolicy};
+    use vliw_ir::{ArrayKind, KernelBuilder};
+
+    fn kernel() -> LoopKernel {
+        let mut b = KernelBuilder::new("t");
+        let a = b.array("a", 1024, ArrayKind::Heap);
+        let (_, v) = b.load("ld", a, 0, 4, 4);
+        b.store("st", a, 512, 4, 4, v);
+        b.finish(16.0)
+    }
+
+    #[test]
+    fn swing_backend_is_bit_identical_to_direct_entry_point() {
+        let k = kernel();
+        let m = MachineConfig::word_interleaved_4();
+        let opts = ScheduleOptions::new(ClusterPolicy::PreBuildChains);
+        let direct = crate::engine::schedule_kernel(&k, &m, opts).unwrap();
+        let via_trait = SwingModulo.schedule(&k, &m, &opts).unwrap();
+        assert_eq!(direct, via_trait);
+    }
+
+    #[test]
+    fn heuristic_outcome_makes_no_optimality_claim() {
+        let k = kernel();
+        let m = MachineConfig::word_interleaved_4();
+        let o = schedule_outcome(&k, &m, ScheduleOptions::new(ClusterPolicy::Free)).unwrap();
+        assert_eq!(o.quality, SchedQuality::Heuristic);
+        assert!(!o.quality.is_proven());
+        assert_eq!(o.stats.cutoffs, 0, "heuristics never cut off");
+    }
+
+    #[test]
+    fn backend_enum_resolves_names() {
+        assert_eq!(SchedBackend::SwingModulo.name(), "swing");
+        assert_eq!(SchedBackend::ExactBnB.name(), "bnb");
+        assert_eq!(SchedBackend::ALL.len(), 2);
+    }
+}

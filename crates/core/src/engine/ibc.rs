@@ -19,6 +19,10 @@ impl ClusterAssign for Ibc {
         "IBC"
     }
 
+    fn constrains_chains_dynamically(&self) -> bool {
+        true
+    }
+
     fn pin(
         &self,
         op: OpId,

@@ -20,7 +20,9 @@
 //! [`TrialMode::CloneBased`] so equivalence tests can prove the journaled
 //! path produces bit-identical schedules.
 
+pub mod backend;
 pub mod base;
+pub mod bnb;
 pub mod ibc;
 pub mod ipbc;
 pub mod no_chains;
@@ -39,6 +41,8 @@ use crate::mrt::Mrt;
 use crate::order::sms_order;
 use crate::schedule::{Schedule, ScheduleError, ScheduledCopy, ScheduledOp};
 
+pub use backend::{SchedBackend, SchedQuality, ScheduleOutcome, SchedulerBackend, SwingModulo};
+pub use bnb::{ExactBnB, DEFAULT_NODE_BUDGET};
 pub use policy::{AssignContext, AssignState, ClusterAssign, Neighbor};
 
 /// How memory instructions are assigned to clusters.
@@ -112,6 +116,12 @@ pub struct SchedStats {
     /// Operations successfully placed (committed probes), summed over all
     /// attempts including abandoned ones.
     pub placements: u64,
+    /// II levels at which an exact search hit its node budget and stopped
+    /// without an infeasibility proof. Always 0 for heuristic backends;
+    /// nonzero means the result's [`SchedQuality`] cannot claim
+    /// optimality. Surfaced (never silently absorbed) by the `optgap`
+    /// report.
+    pub cutoffs: u64,
 }
 
 impl SchedStats {
@@ -121,6 +131,7 @@ impl SchedStats {
         self.attempts += other.attempts;
         self.rollbacks += other.rollbacks;
         self.placements += other.placements;
+        self.cutoffs += other.cutoffs;
     }
 }
 
@@ -137,6 +148,14 @@ pub struct ScheduleOptions {
     /// [`TrialMode::CloneBased`] is the reference path for equivalence
     /// testing).
     pub trial: TrialMode,
+    /// Which [`SchedulerBackend`] runs the kernel → [`Schedule`]
+    /// transformation (default [`SchedBackend::SwingModulo`], the paper's
+    /// pipeline).
+    pub backend: SchedBackend,
+    /// Total node budget for the exact backend: candidate placements it
+    /// may explore across all II levels of one call before reporting a
+    /// cutoff. Ignored by heuristic backends.
+    pub node_budget: u64,
 }
 
 impl ScheduleOptions {
@@ -147,7 +166,15 @@ impl ScheduleOptions {
             max_ii: None,
             enum_limits: EnumLimits::default(),
             trial: TrialMode::Journaled,
+            backend: SchedBackend::SwingModulo,
+            node_budget: DEFAULT_NODE_BUDGET,
         }
+    }
+
+    /// The same options routed through a different backend.
+    pub fn with_backend(mut self, backend: SchedBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -159,18 +186,20 @@ impl Default for ScheduleOptions {
 
 /// Modulo-schedules `kernel` for `machine`.
 ///
-/// Runs the full pipeline of §4.3.1 (except unrolling, which is a kernel
-/// transformation — see `unroll_select`): latency assignment, node
-/// ordering, then cluster assignment + scheduling at increasing II. The
-/// cluster-assignment policy is resolved through
-/// [`ClusterPolicy::assigner`] — see [`ClusterAssign`] for the extension
-/// seam.
+/// Dispatches to the backend selected by [`ScheduleOptions::backend`]
+/// (default: [`SwingModulo`], the paper's §4.3.1 pipeline of latency
+/// assignment, SMS node ordering, then cluster assignment + scheduling at
+/// increasing II). The cluster-assignment policy is resolved through
+/// [`ClusterPolicy::assigner`] — see [`ClusterAssign`] for that extension
+/// seam, and [`SchedulerBackend`] for the whole-pipeline seam.
 ///
 /// # Errors
 ///
-/// [`ScheduleError::EmptyKernel`] for empty kernels and
+/// [`ScheduleError::EmptyKernel`] for empty kernels,
 /// [`ScheduleError::NoSchedule`] if no legal schedule exists up to the II
-/// limit (pathological resource pressure).
+/// limit (pathological resource pressure), and
+/// [`ScheduleError::SearchCutoff`] when an exact backend exhausts its node
+/// budget with no schedule at all.
 pub fn schedule_kernel(
     kernel: &LoopKernel,
     machine: &MachineConfig,
@@ -189,10 +218,67 @@ pub fn schedule_kernel_with_stats(
     machine: &MachineConfig,
     options: ScheduleOptions,
 ) -> Result<(Schedule, SchedStats), ScheduleError> {
-    let mut stats = SchedStats::default();
+    schedule_outcome(kernel, machine, options).map(|o| (o.schedule, o.stats))
+}
+
+/// [`schedule_kernel`] returning the full [`ScheduleOutcome`] — schedule,
+/// work counters and the backend's quality claim (heuristic / proven
+/// optimal / cutoff). This is the entry point callers use when the
+/// distinction matters; the tuple-returning wrappers discard the claim.
+///
+/// # Errors
+///
+/// Same as [`schedule_kernel`].
+pub fn schedule_outcome(
+    kernel: &LoopKernel,
+    machine: &MachineConfig,
+    options: ScheduleOptions,
+) -> Result<ScheduleOutcome, ScheduleError> {
+    // checked at the dispatch point so every backend — current and
+    // future — honors the EmptyKernel contract structurally
     if kernel.ops.is_empty() {
         return Err(ScheduleError::EmptyKernel);
     }
+    options
+        .backend
+        .backend()
+        .schedule_with_stats(kernel, machine, &options)
+}
+
+/// The shared §4.3.1 front-end every backend runs before placement:
+/// circuits → policy pins → latency assignment → MII bounds → SMS node
+/// ordering. Extracted so [`SwingModulo`] and [`ExactBnB`] prepare
+/// bit-identically (same latencies, same MII, same order) and differ only
+/// in how they search the placement space. `Clone` so the exact backend
+/// runs its heuristic incumbent off the same preparation instead of
+/// recomputing it.
+#[derive(Clone)]
+pub(crate) struct Prep {
+    /// Memory dependent chains (§4.3.2).
+    pub chains: MemChains,
+    /// Per-op cluster pins known before scheduling (IPBC / NoChains).
+    pub pins: Vec<Option<usize>>,
+    /// The latency assignment (§4.3.3) computed against those pins.
+    pub latencies: LatencyAssignment,
+    /// Resource-constrained MII component.
+    pub res: u32,
+    /// Recurrence-constrained MII component.
+    pub rec: u32,
+    /// `max(res, rec, 1)` — the II search floor.
+    pub mii0: u32,
+    /// The II search ceiling (`options.max_ii` or `2 × MII + 96`).
+    pub max_ii: u32,
+    /// SMS placement order.
+    pub order: Vec<OpId>,
+}
+
+/// Runs the front-end for `kernel`. The returned [`Ddg`] borrows the
+/// kernel's edge list.
+pub(crate) fn prepare<'k>(
+    kernel: &'k LoopKernel,
+    machine: &MachineConfig,
+    options: &ScheduleOptions,
+) -> (Ddg<'k>, Prep) {
     let ddg = Ddg::build(kernel);
     let circuits = elementary_circuits(&ddg, options.enum_limits);
     let chains = MemChains::build(kernel);
@@ -212,6 +298,62 @@ pub fn schedule_kernel_with_stats(
     let max_ii = options.max_ii.unwrap_or(2 * mii0 + 96);
 
     let order = sms_order(&ddg, &circuits, |op| latencies.latency_of(op));
+    (
+        ddg,
+        Prep {
+            chains,
+            pins,
+            latencies,
+            res,
+            rec,
+            mii0,
+            max_ii,
+            order,
+        },
+    )
+}
+
+/// The Swing-Modulo-Scheduling pipeline body behind the [`SwingModulo`]
+/// backend: front-end, then one no-backtracking placement pass per II,
+/// with up to six hoist-and-retry reorderings per II.
+///
+/// # Errors
+///
+/// Same as [`schedule_kernel`].
+pub(crate) fn swing_schedule_with_stats(
+    kernel: &LoopKernel,
+    machine: &MachineConfig,
+    options: &ScheduleOptions,
+) -> Result<(Schedule, SchedStats), ScheduleError> {
+    if kernel.ops.is_empty() {
+        return Err(ScheduleError::EmptyKernel);
+    }
+    let (ddg, prep) = prepare(kernel, machine, options);
+    swing_with_prep(kernel, machine, options, &ddg, prep)
+}
+
+/// [`swing_schedule_with_stats`] over an already-computed front-end —
+/// the entry the exact backend uses for its incumbent, so preparation
+/// runs once per call, not once per backend.
+pub(crate) fn swing_with_prep(
+    kernel: &LoopKernel,
+    machine: &MachineConfig,
+    options: &ScheduleOptions,
+    ddg: &Ddg<'_>,
+    prep: Prep,
+) -> Result<(Schedule, SchedStats), ScheduleError> {
+    let mut stats = SchedStats::default();
+    let Prep {
+        chains,
+        pins,
+        latencies,
+        res,
+        rec,
+        mii0,
+        max_ii,
+        order,
+    } = prep;
+    let assigner = options.policy.assigner();
 
     let mut scratch = Scratch::new(kernel.ops.len(), machine);
     let mut attempt_order: Vec<OpId> = Vec::with_capacity(order.len());
@@ -229,7 +371,7 @@ pub fn schedule_kernel_with_stats(
             stats.attempts += 1;
             let attempt = TryState {
                 kernel,
-                ddg: &ddg,
+                ddg,
                 machine,
                 latencies: &latencies,
                 chains: &chains,

@@ -132,6 +132,17 @@ pub trait ClusterAssign: std::fmt::Debug + Sync {
     fn commit(&self, op: OpId, cluster: usize, ctx: &AssignContext<'_>, state: &mut AssignState) {
         let _ = (op, cluster, ctx, state);
     }
+
+    /// Whether the policy forces every memory-chain member onto the
+    /// cluster of the chain's first-placed member *during* scheduling
+    /// (IBC). Policies whose chain constraints are known up front (IPBC,
+    /// the ablation) express them through
+    /// [`precompute_pins`](ClusterAssign::precompute_pins) instead. Exact
+    /// backends mirror this as a hard search constraint so their optimal
+    /// II is optimal *for the policy's problem*, not for a relaxation.
+    fn constrains_chains_dynamically(&self) -> bool {
+        false
+    }
 }
 
 /// The shared BASE ranking (§4.2): prefer the cluster that (1) needs the

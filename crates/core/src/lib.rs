@@ -17,7 +17,10 @@
 //! 4. **Cluster assignment + scheduling** ([`engine`]) in a single
 //!    no-backtracking pass with explicit inter-cluster copies on
 //!    half-frequency register buses, under four policies: BASE (unified /
-//!    multiVLIW), IBC, IPBC and the chain-less ablation.
+//!    multiVLIW), IBC, IPBC and the chain-less ablation. The whole
+//!    pipeline sits behind the [`SchedulerBackend`] seam: [`SwingModulo`]
+//!    is the paper's heuristic, [`ExactBnB`] an exact branch-and-bound
+//!    reference that measures its optimality gap.
 //! 5. **Memory dependent chains** ([`chains`]) for memory correctness, and
 //!    **Attraction-Buffer hints** ([`hints`]) for the §5.2 overflow fix.
 //!
@@ -73,8 +76,10 @@ pub use balance::weighted_workload_balance;
 pub use chains::MemChains;
 pub use circuits::{elementary_circuits, Circuit, EnumLimits};
 pub use engine::{
-    schedule_kernel, schedule_kernel_with_stats, AssignContext, AssignState, ClusterAssign,
-    ClusterPolicy, Neighbor, SchedStats, ScheduleOptions, TrialMode,
+    schedule_kernel, schedule_kernel_with_stats, schedule_outcome, AssignContext, AssignState,
+    ClusterAssign, ClusterPolicy, ExactBnB, Neighbor, SchedBackend, SchedQuality, SchedStats,
+    ScheduleOptions, ScheduleOutcome, SchedulerBackend, SwingModulo, TrialMode,
+    DEFAULT_NODE_BUDGET,
 };
 pub use hints::{attraction_hints, AttractionHints};
 pub use latency::{

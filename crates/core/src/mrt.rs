@@ -21,6 +21,12 @@ use vliw_machine::MachineConfig;
 /// makes them permanent. Transactions do not nest — one probe at a time —
 /// and `commit`/`rollback` outside a transaction are no-ops, so a commit is
 /// idempotent.
+///
+/// Backtracking searchers (the exact branch-and-bound backend) need more
+/// than one probe of undo depth: [`Mrt::savepoint`] marks a position in
+/// the open transaction's journal and [`Mrt::rollback_to`] unwinds back to
+/// it while keeping the transaction open, so the journal doubles as the
+/// search's undo stack — one savepoint per decision level.
 #[derive(Debug, Clone)]
 pub struct Mrt {
     ii: u32,
@@ -36,6 +42,11 @@ pub struct Mrt {
     journal: Vec<Undo>,
     in_txn: bool,
 }
+
+/// A position in an open transaction's journal, taken with
+/// [`Mrt::savepoint`] and released (LIFO) with [`Mrt::rollback_to`].
+#[derive(Debug, Clone, Copy)]
+pub struct MrtSavepoint(usize);
 
 /// One journal entry: the flat index a reservation touched.
 #[derive(Debug, Clone, Copy)]
@@ -144,6 +155,44 @@ impl Mrt {
     /// Whether a transaction is currently open.
     pub fn in_transaction(&self) -> bool {
         self.in_txn
+    }
+
+    /// Marks the current position in the open transaction's journal.
+    /// [`Mrt::rollback_to`] unwinds back to the mark while leaving the
+    /// transaction (and every reservation made before the mark) intact —
+    /// the nested undo stack a backtracking searcher layers on top of the
+    /// flat begin/commit/rollback probe protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn savepoint(&self) -> MrtSavepoint {
+        assert!(self.in_txn, "savepoint requires an open transaction");
+        MrtSavepoint(self.journal.len())
+    }
+
+    /// Unwinds every reservation made since `sp`, restoring the exact
+    /// functional-unit counters and bus flags at the mark. The transaction
+    /// stays open; earlier savepoints of the same transaction remain
+    /// valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open, or if the journal has already
+    /// been unwound past `sp` (a savepoint must be released in LIFO
+    /// order).
+    pub fn rollback_to(&mut self, sp: MrtSavepoint) {
+        assert!(self.in_txn, "rollback_to requires an open transaction");
+        assert!(
+            sp.0 <= self.journal.len(),
+            "savepoint already unwound (LIFO order violated)"
+        );
+        while self.journal.len() > sp.0 {
+            match self.journal.pop().expect("journal entry") {
+                Undo::Fu(idx) => self.fu[idx as usize] -= 1,
+                Undo::BusSlot(idx) => self.bus[idx as usize] = false,
+            }
+        }
     }
 
     /// The II this table was built for.
@@ -354,6 +403,69 @@ mod tests {
         let mut t = mrt(4);
         t.begin();
         t.begin();
+    }
+
+    #[test]
+    fn savepoints_unwind_in_lifo_order() {
+        let mut t = mrt(4);
+        t.begin();
+        t.fu_reserve(0, FuKind::Int, 0);
+        let after_first = t.raw_state();
+        let sp1 = t.savepoint();
+        t.fu_reserve(0, FuKind::Mem, 1);
+        t.bus_reserve(0, 2);
+        let sp2 = t.savepoint();
+        t.fu_reserve(1, FuKind::Fp, 3);
+        // inner level unwinds only its own reservations
+        t.rollback_to(sp2);
+        assert!(t.fu_free(1, FuKind::Fp, 3));
+        assert!(!t.fu_free(0, FuKind::Mem, 1), "outer level intact");
+        assert!(t.in_transaction(), "transaction stays open");
+        // outer level unwinds back to the first reservation
+        t.rollback_to(sp1);
+        assert_eq!(t.raw_state(), after_first);
+        // a full rollback still unwinds everything before the savepoints
+        t.rollback();
+        assert!(t.fu_free(0, FuKind::Int, 0));
+    }
+
+    #[test]
+    fn savepoint_rollback_restores_wrapped_bus_slots() {
+        // II 3, transfer 2: reservation at slot 2 wraps to slot 0
+        let mut t = mrt(3);
+        t.begin();
+        t.bus_reserve(1, 1);
+        let sp = t.savepoint();
+        t.bus_reserve(0, 2);
+        t.rollback_to(sp);
+        assert!(
+            t.bus_free(0, 0) && t.bus_free(0, 2),
+            "wrapped slots cleared"
+        );
+        assert!(!t.bus_free(1, 1), "pre-savepoint transfer intact");
+    }
+
+    #[test]
+    #[should_panic(expected = "open transaction")]
+    fn savepoint_outside_transaction_panics() {
+        let t = mrt(4);
+        let _ = t.savepoint();
+    }
+
+    #[test]
+    #[should_panic(expected = "LIFO")]
+    fn stale_savepoint_panics() {
+        let mut t = mrt(4);
+        t.begin();
+        t.fu_reserve(0, FuKind::Int, 0);
+        let sp_inner = {
+            let sp_outer = t.savepoint();
+            t.fu_reserve(0, FuKind::Int, 1);
+            let inner = t.savepoint();
+            t.rollback_to(sp_outer);
+            inner
+        };
+        t.rollback_to(sp_inner); // journal is shorter than the mark now
     }
 
     #[test]

@@ -259,6 +259,15 @@ pub enum ScheduleError {
     },
     /// The kernel was empty.
     EmptyKernel,
+    /// An exact backend exhausted its node budget before finding any
+    /// schedule — a counted cutoff, distinct from a proof of
+    /// infeasibility ([`ScheduleError::NoSchedule`]).
+    SearchCutoff {
+        /// The loop that cut off.
+        loop_name: String,
+        /// The node budget that ran out.
+        node_budget: u64,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -271,6 +280,16 @@ impl fmt::Display for ScheduleError {
                 )
             }
             ScheduleError::EmptyKernel => write!(f, "cannot schedule an empty kernel"),
+            ScheduleError::SearchCutoff {
+                loop_name,
+                node_budget,
+            } => {
+                write!(
+                    f,
+                    "exact search for loop `{loop_name}` cut off after {node_budget} nodes \
+                     with no schedule found"
+                )
+            }
         }
     }
 }

@@ -7,8 +7,8 @@ use vliw_ir::{unroll, LoopKernel, OpId};
 use vliw_machine::MachineConfig;
 use vliw_mem::build_cache;
 use vliw_sched::{
-    attraction_hints, schedule_kernel, unroll_candidates, AttractionHints, ClusterPolicy,
-    EnumLimits, Schedule, ScheduleError, ScheduleOptions, UnrollChoice,
+    attraction_hints, schedule_outcome, unroll_candidates, AttractionHints, ClusterPolicy,
+    EnumLimits, SchedBackend, SchedQuality, Schedule, ScheduleError, ScheduleOptions, UnrollChoice,
 };
 use vliw_sim::{simulate_loop, LoopSimResult, SimOptions};
 use vliw_workloads::{
@@ -46,6 +46,9 @@ pub struct RunConfig {
     pub arch: ArchVariant,
     /// Cluster-assignment policy (IPBC / IBC / no-chains / BASE).
     pub policy: ClusterPolicy,
+    /// Scheduler backend (the paper's heuristic pipeline or the exact
+    /// branch-and-bound reference).
+    pub backend: SchedBackend,
     /// Unrolling mode.
     pub unroll: UnrollMode,
     /// Variable alignment (§4.3.4 padding) on or off.
@@ -63,6 +66,7 @@ impl RunConfig {
         RunConfig {
             arch: ArchVariant::WordInterleaved,
             policy: ClusterPolicy::PreBuildChains,
+            backend: SchedBackend::SwingModulo,
             unroll: UnrollMode::Selective,
             padding: true,
             attraction_buffers: None,
@@ -99,6 +103,13 @@ impl RunConfig {
     /// Adds 16-entry 2-way Attraction Buffers.
     pub fn with_buffers(mut self) -> Self {
         self.attraction_buffers = Some((16, 2));
+        self
+    }
+
+    /// The same configuration routed through a different scheduler
+    /// backend.
+    pub fn with_backend(mut self, backend: SchedBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -184,6 +195,11 @@ pub struct PreparedLoop {
     pub kernel: LoopKernel,
     /// Its schedule.
     pub schedule: Schedule,
+    /// The backend's quality claim for that schedule
+    /// ([`SchedQuality::Heuristic`] for the paper pipeline; proven-optimal
+    /// or counted-cutoff for the exact backend — never a silent
+    /// fallback).
+    pub quality: SchedQuality,
     /// Which unrolling variant won.
     pub choice: UnrollChoice,
     /// The unroll factor applied.
@@ -216,6 +232,7 @@ pub fn prepare_loop(
 ) -> Result<PreparedLoop, ScheduleError> {
     let opts = ScheduleOptions {
         enum_limits: ctx.enum_limits,
+        backend: cfg.backend,
         ..ScheduleOptions::new(cfg.policy)
     };
     // hit rates steer the OUF analysis: profile the original first
@@ -233,8 +250,8 @@ pub fn prepare_loop(
         // an unschedulable variant is simply not a candidate (giant pinned
         // chains after deep unrolling can defeat the no-backtracking
         // scheduler); factor 1 virtually always schedules
-        let schedule = match schedule_kernel(&kernel, machine, opts) {
-            Ok(s) => s,
+        let (schedule, quality) = match schedule_outcome(&kernel, machine, opts) {
+            Ok(o) => (o.schedule, o.quality),
             Err(e) => {
                 last_err = Some(e);
                 continue;
@@ -257,6 +274,7 @@ pub fn prepare_loop(
             best = Some(PreparedLoop {
                 kernel,
                 schedule,
+                quality,
                 choice,
                 factor,
             });
@@ -268,11 +286,12 @@ pub fn prepare_loop(
             // no variant scheduled: retry factor 1 explicitly (covers the
             // Ouf-only mode whose single candidate failed)
             let kernel = profiled(unroll(&original, 1), machine, ctx, cfg.padding);
-            let schedule = schedule_kernel(&kernel, machine, opts)
+            let outcome = schedule_outcome(&kernel, machine, opts)
                 .map_err(|_| last_err.expect("at least one failure recorded"))?;
             Ok(PreparedLoop {
                 kernel,
-                schedule,
+                schedule: outcome.schedule,
+                quality: outcome.quality,
                 choice: UnrollChoice::None,
                 factor: 1,
             })
@@ -283,8 +302,9 @@ pub fn prepare_loop(
 /// Memoizes prepared loops across run configurations.
 ///
 /// Preparation (profile → unroll → schedule) depends on the loop, the
-/// machine, the profiling knobs, the policy, the unroll mode and the
-/// padding flag — *not* on Attraction Buffers or MSHR capacity (both
+/// machine, the profiling knobs, the policy, the scheduler backend, the
+/// unroll mode and the padding flag — *not* on Attraction Buffers or MSHR
+/// capacity (both
 /// consumed by the cache timing model, downstream of scheduling) and not
 /// on `use_hints`. A grid that sweeps buffer sizes, MSHR limits or hints
 /// therefore schedules each loop once per distinct key and reuses the
@@ -316,13 +336,17 @@ type MemoSlot = Mutex<Option<Arc<PreparedLoop>>>;
 /// the kernel's name plus a content hash (same-named kernels with different
 /// bodies must not collide), a machine/context fingerprint (Attraction
 /// Buffers and MSHRs masked out — they do not affect preparation), and
-/// the preparation-relevant `RunConfig` axes.
+/// the preparation-relevant `RunConfig` axes. The scheduler backend is
+/// part of the key: two backends on the same cell produce different
+/// schedules, so they must never share a memo slot
+/// (`backends_never_share_a_memo_slot` pins this).
 type PrepareKey = (
     String,
     u64,
     String,
     ArchVariant,
     ClusterPolicy,
+    SchedBackend,
     UnrollMode,
     bool,
 );
@@ -357,6 +381,7 @@ impl ScheduleMemo {
             fingerprint,
             cfg.arch,
             cfg.policy,
+            cfg.backend,
             cfg.unroll,
             cfg.padding,
         )
@@ -502,6 +527,22 @@ impl BenchRun {
         out
     }
 
+    /// Per-quality loop counts `[heuristic, proven optimal, cutoff]` —
+    /// how many of this run's schedules carry which backend claim. The
+    /// cutoff column is how exact-backend budget exhaustion surfaces in
+    /// aggregated reports (never a silent fallback).
+    pub fn quality_counts(&self) -> [usize; 3] {
+        let mut out = [0usize; 3];
+        for l in &self.loops {
+            match l.prepared.quality {
+                SchedQuality::Heuristic => out[0] += 1,
+                SchedQuality::ProvenOptimal => out[1] += 1,
+                SchedQuality::CutoffFeasible => out[2] += 1,
+            }
+        }
+        out
+    }
+
     /// Weighted workload balance over loops.
     pub fn workload_balance(&self, n_clusters: usize) -> f64 {
         vliw_sched::weighted_workload_balance(
@@ -605,6 +646,37 @@ mod tests {
                 .verify(&l.prepared.kernel, &m)
                 .is_empty());
         }
+    }
+
+    #[test]
+    fn backends_never_share_a_memo_slot() {
+        // same loop, same cell, two backends: the memo must keep two
+        // entries and serve zero cross-backend hits
+        let mut ctx = ExperimentContext::quick();
+        ctx.profile.iteration_cap = 32;
+        let models = ctx.models();
+        let gsm = models.iter().find(|m| m.name == "gsmdec").unwrap();
+        let kernel = &gsm.loops[0].kernel;
+        let swing = RunConfig {
+            unroll: UnrollMode::NoUnroll,
+            ..RunConfig::ipbc()
+        };
+        let bnb = swing.with_backend(SchedBackend::ExactBnB);
+        let machine = ctx.machine_for(&swing);
+        let memo = ScheduleMemo::new();
+        let a = memo.prepare(kernel, &machine, &swing, &ctx).unwrap();
+        let b = memo.prepare(kernel, &machine, &bnb, &ctx).unwrap();
+        assert_eq!(memo.len(), 2, "one slot per backend");
+        assert_eq!(memo.hits(), 0, "no cross-backend sharing");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.quality, SchedQuality::Heuristic);
+        assert_ne!(b.quality, SchedQuality::Heuristic);
+        // the exact backend never reports a worse II
+        assert!(b.schedule.ii <= a.schedule.ii);
+        // a repeat on either key is a hit on its own slot
+        let a2 = memo.prepare(kernel, &machine, &swing, &ctx).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(memo.hits(), 1);
     }
 
     #[test]

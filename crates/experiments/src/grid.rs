@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-use vliw_sched::ClusterPolicy;
+use vliw_sched::{ClusterPolicy, SchedBackend};
 use vliw_workloads::{spec_by_name, synthesize, BenchmarkModel};
 
 use crate::context::{
@@ -52,6 +52,7 @@ use crate::report::amean;
 pub struct GridAxes {
     arches: Vec<ArchVariant>,
     policies: Vec<ClusterPolicy>,
+    backends: Vec<SchedBackend>,
     unrolls: Vec<UnrollMode>,
     paddings: Vec<bool>,
     buffers: Vec<Option<(usize, usize)>>,
@@ -64,6 +65,7 @@ impl GridAxes {
         GridAxes {
             arches: vec![base.arch],
             policies: vec![base.policy],
+            backends: vec![base.backend],
             unrolls: vec![base.unroll],
             paddings: vec![base.padding],
             buffers: vec![base.attraction_buffers],
@@ -80,6 +82,12 @@ impl GridAxes {
     /// Sweeps the cluster-assignment policy axis.
     pub fn policies(mut self, values: &[ClusterPolicy]) -> Self {
         self.policies = values.to_vec();
+        self
+    }
+
+    /// Sweeps the scheduler-backend axis.
+    pub fn backends(mut self, values: &[SchedBackend]) -> Self {
+        self.backends = values.to_vec();
         self
     }
 
@@ -108,23 +116,27 @@ impl GridAxes {
     }
 
     /// Enumerates the full cross-product, architecture-major, in axis
-    /// order (arch × policy × unroll × padding × buffers × hints).
+    /// order (arch × policy × backend × unroll × padding × buffers ×
+    /// hints).
     pub fn enumerate(&self) -> Vec<RunConfig> {
         let mut out = Vec::new();
         for &arch in &self.arches {
             for &policy in &self.policies {
-                for &unroll in &self.unrolls {
-                    for &padding in &self.paddings {
-                        for &attraction_buffers in &self.buffers {
-                            for &use_hints in &self.hints {
-                                out.push(RunConfig {
-                                    arch,
-                                    policy,
-                                    unroll,
-                                    padding,
-                                    attraction_buffers,
-                                    use_hints,
-                                });
+                for &backend in &self.backends {
+                    for &unroll in &self.unrolls {
+                        for &padding in &self.paddings {
+                            for &attraction_buffers in &self.buffers {
+                                for &use_hints in &self.hints {
+                                    out.push(RunConfig {
+                                        arch,
+                                        policy,
+                                        backend,
+                                        unroll,
+                                        padding,
+                                        attraction_buffers,
+                                        use_hints,
+                                    });
+                                }
                             }
                         }
                     }
@@ -196,9 +208,10 @@ impl RunGrid {
     pub fn cross(mut self, axes: &GridAxes) -> Self {
         for cfg in axes.enumerate() {
             let label = format!(
-                "{:?}/{:?}/{:?}/pad={}/ab={:?}/hints={}",
+                "{:?}/{:?}/{}/{:?}/pad={}/ab={:?}/hints={}",
                 cfg.arch,
                 cfg.policy,
+                cfg.backend.name(),
                 cfg.unroll,
                 cfg.padding,
                 cfg.attraction_buffers,
@@ -407,6 +420,25 @@ impl GridResult {
             .unwrap_or(0)
     }
 
+    /// Per-configuration schedule-quality counts
+    /// `[heuristic, proven optimal, cutoff]`, summed over benchmarks —
+    /// how the backend axis surfaces in aggregation. A nonzero cutoff
+    /// column is the visible record of exact-search budget exhaustion.
+    pub fn quality_by_config(&self) -> Vec<[usize; 3]> {
+        (0..self.configs.len())
+            .map(|c| {
+                let mut out = [0usize; 3];
+                for run in self.by_config(c) {
+                    let q = run.quality_counts();
+                    for (o, v) in out.iter_mut().zip(q) {
+                        *o += v;
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
     /// A canonical, bit-exact digest of every cell: per loop, the II, the
     /// cluster of every operation, and the exact bits of the cycle
     /// counters. Two runs produce equal fingerprints iff their reports are
@@ -456,6 +488,46 @@ mod tests {
         assert_eq!(configs[2].policy, ClusterPolicy::BuildChains);
         // untouched axes keep the base value everywhere
         assert!(configs.iter().all(|c| c.unroll == UnrollMode::Selective));
+    }
+
+    #[test]
+    fn backend_axis_multiplies_and_reaches_cells() {
+        let configs = GridAxes::from(RunConfig::ipbc())
+            .backends(&[SchedBackend::SwingModulo, SchedBackend::ExactBnB])
+            .paddings(&[true, false])
+            .enumerate();
+        assert_eq!(configs.len(), 4);
+        assert_eq!(configs[0].backend, SchedBackend::SwingModulo);
+        assert_eq!(configs[2].backend, SchedBackend::ExactBnB);
+        // untouched axes keep the base value everywhere
+        assert!(configs.iter().all(|c| c.policy == RunConfig::ipbc().policy));
+    }
+
+    #[test]
+    fn quality_aggregation_distinguishes_backends() {
+        let mut ctx = ExperimentContext::quick();
+        ctx.sim.iteration_cap = 32;
+        ctx.sim.warmup_iterations = 32;
+        ctx.profile.iteration_cap = 32;
+        let base = RunConfig {
+            unroll: crate::UnrollMode::NoUnroll,
+            ..RunConfig::ipbc()
+        };
+        let grid = RunGrid::new("t")
+            .benchmarks(&["gsmdec"])
+            .config("swing", base)
+            .config("bnb", base.with_backend(SchedBackend::ExactBnB));
+        let res = grid.run_serial(&ctx);
+        let q = res.quality_by_config();
+        let n_loops = res.cell(0, 0).loops.len();
+        assert_eq!(q[0], [n_loops, 0, 0], "heuristic cells claim nothing");
+        assert_eq!(q[1][0], 0, "exact cells never claim Heuristic");
+        assert_eq!(q[1][1] + q[1][2], n_loops, "proven + cutoff covers all");
+        // distinct backends must not have shared a memo slot
+        for (a, b) in res.cell(0, 0).loops.iter().zip(&res.cell(0, 1).loops) {
+            assert!(!std::sync::Arc::ptr_eq(&a.prepared, &b.prepared));
+            assert!(b.prepared.schedule.ii <= a.prepared.schedule.ii);
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`hints_exp`] | §5.2 — attractable hints on the epicdec overflow loop |
 //! | [`chains_exp`] | §5.4 — chain-breaking study |
 //! | [`interleave_study`] | §5.1 — 2-byte vs 4-byte interleaving for gsm |
+//! | [`optgap`] | heuristic II vs the exact branch-and-bound pipeliner |
 //!
 //! All drivers run the same pipeline ([`context`]): synthesize the
 //! benchmark models, profile each loop on the *profile* input, unroll
@@ -46,6 +47,7 @@ pub mod fig8;
 pub mod grid;
 pub mod hints_exp;
 pub mod interleave_study;
+pub mod optgap;
 pub mod report;
 pub mod tables;
 
@@ -54,4 +56,5 @@ pub use context::{
     LoopRun, PreparedLoop, RunConfig, ScheduleMemo, UnrollMode,
 };
 pub use grid::{GridAxes, GridResult, Parallelism, RunGrid};
-pub use report::{mshr_table, Table};
+pub use optgap::{OptGapResult, OptGapRow};
+pub use report::{backend_quality_table, mshr_table, Table};

@@ -120,6 +120,30 @@ pub fn mshr_table(result: &GridResult) -> Table {
     t
 }
 
+/// Renders the schedule-quality summary of a grid run: per configuration,
+/// how many loop schedules are heuristic, proven optimal, or limited by
+/// an exact-search cutoff. The cutoff column is the report-level surface
+/// of `SchedStats::cutoffs` — budget exhaustion is always visible, never
+/// a silent fallback to the heuristic result.
+pub fn backend_quality_table(result: &GridResult) -> Table {
+    let mut t = Table::new(
+        "Scheduler-backend quality summary",
+        &["config", "loops", "heuristic", "proven", "cutoff"],
+    );
+    let quality = result.quality_by_config();
+    for (c, (label, _)) in result.configs().iter().enumerate() {
+        let [heuristic, proven, cutoff] = quality[c];
+        t.row(vec![
+            label.clone(),
+            (heuristic + proven + cutoff).to_string(),
+            heuristic.to_string(),
+            proven.to_string(),
+            cutoff.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Arithmetic mean of an iterator (NaN on empty).
 pub fn amean(values: impl IntoIterator<Item = f64>) -> f64 {
     let (mut sum, mut n) = (0.0, 0usize);

@@ -196,6 +196,23 @@ impl<'k> Ddg<'k> {
             .map(move |&i| &self.edges[i as usize])
     }
 
+    /// Every edge incident to `op`: incoming edges first (in edge-list
+    /// order), then outgoing. Self-edges appear once in each half. This is
+    /// the view a placement searcher walks when it computes `op`'s
+    /// feasible window against already-placed neighbors.
+    pub fn incident_edges(&self, op: OpId) -> impl Iterator<Item = &'k DepEdge> + '_ {
+        self.pred_edges(op).chain(self.succ_edges(op))
+    }
+
+    /// Number of edges incident to `op` (in-degree + out-degree; a
+    /// self-edge counts twice). Cheap — two offset subtractions — so
+    /// callers can size neighbor buffers before walking the edges.
+    pub fn degree(&self, op: OpId) -> usize {
+        let v = op.index();
+        (self.pred_off[v + 1] - self.pred_off[v]) as usize
+            + (self.succ_off[v + 1] - self.succ_off[v]) as usize
+    }
+
     /// Successor operations of `op` (with repetitions if multiple edges).
     pub fn succs(&self, op: OpId) -> impl Iterator<Item = OpId> + '_ {
         self.succ_edges(op).map(|e| e.to)
@@ -257,6 +274,24 @@ mod tests {
         assert_eq!(in1, [(o3, 1)]);
         // edge slice is borrowed, not copied
         assert_eq!(g.edges().as_ptr(), k.edges.as_ptr());
+    }
+
+    #[test]
+    fn incident_view_and_degree() {
+        let mut b = KernelBuilder::new("t");
+        let (o1, r1) = b.int_op("a", Opcode::Add, &[]);
+        let (o2, r2) = b.int_op("b", Opcode::Sub, &[r1.into()]);
+        let (o3, _) = b.int_op("c", Opcode::Mul, &[r1.into(), r2.into()]);
+        let mut k = b.finish(1.0);
+        k.edges.push(DepEdge::new(o3, o1, DepKind::RegFlow, 2));
+        let g = Ddg::build(&k);
+        assert_eq!(g.degree(o1), 3); // in: o3; out: o2, o3
+        assert_eq!(g.degree(o2), 2);
+        let inc: Vec<_> = g.incident_edges(o1).map(|e| (e.from, e.to)).collect();
+        assert_eq!(inc, [(o3, o1), (o1, o2), (o1, o3)], "preds then succs");
+        // degrees sum to twice the edge count
+        let total: usize = (0..g.n_ops()).map(|i| g.degree(OpId::new(i))).sum();
+        assert_eq!(total, 2 * k.edges.len());
     }
 
     #[test]
