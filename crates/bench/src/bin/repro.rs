@@ -1,6 +1,6 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|sched|optgap|all]`
+//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|sched|optgap|profile|all]`
 //!
 //! Results print to stdout and are also written as CSV under `results/`.
 //! Every run additionally emits `BENCH_repro.json` — a machine-readable
@@ -14,7 +14,8 @@ use std::time::Instant;
 
 use vliw_experiments::{
     chains_exp, example433, fig4, fig5, fig6, fig7, fig8, hints_exp, interleave_study, optgap,
-    report, tables, ExperimentContext, RunConfig, RunGrid, ScheduleMemo, UnrollMode,
+    profile_fidelity, report, tables, ExperimentContext, RunConfig, RunGrid, ScheduleMemo,
+    UnrollMode,
 };
 use vliw_sched::{ClusterPolicy, SchedBackend, SchedStats};
 
@@ -188,7 +189,7 @@ fn main() {
     if targets.is_empty() {
         targets.push("all");
     }
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "all",
         "table1",
         "table2",
@@ -204,6 +205,7 @@ fn main() {
         "mshr",
         "sched",
         "optgap",
+        "profile",
     ];
     if let Some(bad) = targets.iter().find(|t| !KNOWN.contains(t)) {
         eprintln!(
@@ -401,15 +403,23 @@ fn main() {
         let mut m = vec![
             ("kernels".into(), g.n_kernels as f64),
             ("node_budget".into(), g.node_budget as f64),
+            // the adaptive-budget policy in force: base budget scaled by
+            // ops × II range (tracked so budget-policy changes show up
+            // next to the proven-optimal fraction they move)
+            (
+                "adaptive_budget".into(),
+                f64::from(vliw_sched::ScheduleOptions::new(ClusterPolicy::Free).adaptive_budget),
+            ),
             ("proven_optimal_fraction".into(), g.proven_fraction()),
         ];
         for r in &g.rows {
-            m.push((format!("ii_ratio/{}", r.policy), r.mean_ratio));
-            m.push((format!("proven_fraction/{}", r.policy), r.proven_fraction()));
-            m.push((format!("matched/{}", r.policy), r.matched as f64));
-            m.push((format!("better/{}", r.policy), r.better as f64));
-            m.push((format!("cutoff/{}", r.policy), r.cutoff as f64));
-            m.push((format!("cutoff_iis/{}", r.policy), r.cutoff_iis as f64));
+            let key = format!("{}/{}", r.policy, r.backend);
+            m.push((format!("ii_ratio/{key}"), r.mean_ratio));
+            m.push((format!("proven_fraction/{key}"), r.proven_fraction()));
+            m.push((format!("matched/{key}"), r.matched as f64));
+            m.push((format!("better/{key}"), r.better as f64));
+            m.push((format!("cutoff/{key}"), r.cutoff as f64));
+            m.push((format!("cutoff_iis/{key}"), r.cutoff_iis as f64));
         }
         // the backend axis end-to-end through the grid: one benchmark,
         // both backends, with the per-config quality summary rendered
@@ -434,6 +444,66 @@ fn main() {
         m.push(("grid_proven/bnb".into(), q[1][1] as f64));
         m.push(("grid_cutoff/bnb".into(), q[1][2] as f64));
         record("optgap", t0, m);
+    }
+    if want("profile") {
+        // the measured-profile subsystem end to end: collect profiles
+        // from the timing simulator, persist the versioned store, report
+        // synthetic-vs-measured divergence and per-policy cycle deltas,
+        // and run the delay-tracking backend over the measured suite
+        let t0 = Instant::now();
+        let p = profile_fidelity::profile_fidelity(&ctx);
+        println!("{p}");
+        save("profile_fidelity", p.table().to_csv());
+        save("profile_divergence", p.divergence_table().to_csv());
+        let store_path = Path::new("results")
+            .join("profiles")
+            .join(format!("factor1-{scale}.profile"));
+        match p.store.save(&store_path) {
+            Ok(()) => println!("[saved {}]", store_path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", store_path.display()),
+        }
+        let mut m = vec![
+            ("store_loops".into(), p.store.len() as f64),
+            (
+                "store_roundtrip_ok".into(),
+                if p.roundtrip_ok { 1.0 } else { 0.0 },
+            ),
+            ("skipped".into(), p.skipped as f64),
+            ("delay_kernels".into(), p.delay.kernels as f64),
+            (
+                "delay_verify_failures".into(),
+                p.delay.verify_failures as f64,
+            ),
+            ("delay_better".into(), p.delay.better as f64),
+            ("delay_skipped".into(), p.delay.skipped as f64),
+            ("delay_worse".into(), p.delay.worse as f64),
+            ("delay_mean_ii_ratio".into(), p.delay.mean_ii_ratio),
+        ];
+        for r in &p.divergence {
+            m.push((format!("hit_delta/{}", r.bench), r.mean_hit_delta));
+            m.push((format!("pref_agreement/{}", r.bench), r.pref_agreement));
+            m.push((
+                format!("expected_latency/{}", r.bench),
+                r.mean_expected_latency,
+            ));
+        }
+        for pd in &p.policies {
+            m.push((
+                format!("cycles_synthetic/{}", pd.policy),
+                pd.synthetic_cycles,
+            ));
+            m.push((format!("cycles_measured/{}", pd.policy), pd.measured_cycles));
+            m.push((format!("cycles_delay/{}", pd.policy), pd.delay_cycles));
+            m.push((
+                format!("measured_delta_pct/{}", pd.policy),
+                pd.measured_delta_pct(),
+            ));
+            m.push((
+                format!("delay_delta_pct/{}", pd.policy),
+                pd.delay_delta_pct(),
+            ));
+        }
+        record("profile", t0, m);
     }
     if want("chains") {
         let t0 = Instant::now();

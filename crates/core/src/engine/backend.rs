@@ -109,6 +109,11 @@ pub enum SchedBackend {
     SwingModulo,
     /// The exact branch-and-bound pipeliner ([`ExactBnB`]).
     ExactBnB,
+    /// The load-delay-tracking pipeliner
+    /// ([`DelayTracking`](super::DelayTracking)): swing placement over
+    /// measured expected/percentile load latencies instead of the §4.3.3
+    /// class latencies.
+    DelayTracking,
 }
 
 impl SchedBackend {
@@ -117,6 +122,7 @@ impl SchedBackend {
         match self {
             SchedBackend::SwingModulo => &SwingModulo,
             SchedBackend::ExactBnB => &ExactBnB,
+            SchedBackend::DelayTracking => &super::DelayTracking,
         }
     }
 
@@ -125,8 +131,25 @@ impl SchedBackend {
         self.backend().name()
     }
 
-    /// Both backends, heuristic first.
-    pub const ALL: [SchedBackend; 2] = [SchedBackend::SwingModulo, SchedBackend::ExactBnB];
+    /// Relative per-cell cost rank, used by the experiment grid to shard
+    /// its work queue: heavier backends are dispatched first so their
+    /// long-running cells do not become the parallel sweep's tail while
+    /// cheap heuristic cells back-fill the workers. Only the order
+    /// matters, not the magnitudes.
+    pub fn cost_rank(&self) -> u8 {
+        match self {
+            SchedBackend::SwingModulo => 0,
+            SchedBackend::DelayTracking => 1,
+            SchedBackend::ExactBnB => 2,
+        }
+    }
+
+    /// Every backend, the heuristic pipeline first.
+    pub const ALL: [SchedBackend; 3] = [
+        SchedBackend::SwingModulo,
+        SchedBackend::ExactBnB,
+        SchedBackend::DelayTracking,
+    ];
 }
 
 /// The paper's §4.3.1 pipeline as a [`SchedulerBackend`]: the historical
@@ -194,6 +217,10 @@ mod tests {
     fn backend_enum_resolves_names() {
         assert_eq!(SchedBackend::SwingModulo.name(), "swing");
         assert_eq!(SchedBackend::ExactBnB.name(), "bnb");
-        assert_eq!(SchedBackend::ALL.len(), 2);
+        assert_eq!(SchedBackend::DelayTracking.name(), "delay");
+        assert_eq!(SchedBackend::ALL.len(), 3);
+        // the exact search outranks both heuristics in the shard order
+        assert!(SchedBackend::ExactBnB.cost_rank() > SchedBackend::DelayTracking.cost_rank());
+        assert!(SchedBackend::DelayTracking.cost_rank() > SchedBackend::SwingModulo.cost_rank());
     }
 }

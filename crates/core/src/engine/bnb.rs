@@ -76,9 +76,39 @@ use crate::schedule::{Schedule, ScheduleError, ScheduledCopy, ScheduledOp};
 /// milliseconds rather than minutes.
 pub const DEFAULT_NODE_BUDGET: u64 = 200_000;
 
+/// Reference problem size of the adaptive node budget: a kernel of
+/// `ops × II levels ≤ ADAPTIVE_REF_CELLS` runs under the base budget
+/// unchanged (the whole factor-1 suite sits below this), larger kernels
+/// scale linearly.
+pub const ADAPTIVE_REF_CELLS: u64 = 512;
+
+/// Upper bound on the adaptive scale factor, so pathological unrolled
+/// kernels cut off in bounded time instead of searching for minutes.
+pub const ADAPTIVE_MAX_SCALE: u64 = 16;
+
 /// The exact branch-and-bound pipeliner (see the module docs).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExactBnB;
+
+impl ExactBnB {
+    /// The node budget one call actually runs under.
+    ///
+    /// With [`ScheduleOptions::adaptive_budget`] unset this is the flat
+    /// [`ScheduleOptions::node_budget`]. With it set (the default), the
+    /// base is scaled by the problem size `n_ops × ii_levels` relative to
+    /// [`ADAPTIVE_REF_CELLS`] — big unrolled kernels get proportionally
+    /// more search effort, small kernels keep the base exactly — capped
+    /// at [`ADAPTIVE_MAX_SCALE`]× the base. A zero base stays zero under
+    /// either policy (budget exhaustion stays testable).
+    pub fn resolved_node_budget(options: &ScheduleOptions, n_ops: usize, ii_levels: u32) -> u64 {
+        if !options.adaptive_budget {
+            return options.node_budget;
+        }
+        let cells = (n_ops as u64).saturating_mul(u64::from(ii_levels.max(1)));
+        let scale = (cells / ADAPTIVE_REF_CELLS).clamp(1, ADAPTIVE_MAX_SCALE);
+        options.node_budget.saturating_mul(scale)
+    }
+}
 
 impl SchedulerBackend for ExactBnB {
     fn name(&self) -> &'static str {
@@ -110,15 +140,16 @@ impl SchedulerBackend for ExactBnB {
         };
         let upper = incumbent.as_ref().map_or(prep.max_ii + 1, |s| s.ii);
 
-        let colocate_chains = options.policy.assigner().constrains_chains_dynamically();
-        let mut search = Search::new(
-            kernel,
-            &ddg,
-            machine,
-            &prep,
-            options.node_budget,
-            colocate_chains,
+        // the budget policy resolves here, where the real problem size
+        // (ops × II levels left to decide) is known
+        let node_budget = ExactBnB::resolved_node_budget(
+            options,
+            kernel.ops.len(),
+            upper.saturating_sub(prep.mii0),
         );
+
+        let colocate_chains = options.policy.assigner().constrains_chains_dynamically();
+        let mut search = Search::new(kernel, &ddg, machine, &prep, node_budget, colocate_chains);
         let mut cutoff = false;
         let mut found: Option<Schedule> = None;
         for ii in prep.mii0..upper {
@@ -152,7 +183,7 @@ impl SchedulerBackend for ExactBnB {
             }),
             None if cutoff => Err(ScheduleError::SearchCutoff {
                 loop_name: kernel.name.clone(),
-                node_budget: options.node_budget,
+                node_budget,
             }),
             None => Err(ScheduleError::NoSchedule {
                 loop_name: kernel.name.clone(),
@@ -658,6 +689,43 @@ mod tests {
             let _ = b.int_op(format!("c{j}"), Opcode::Add, &srcs);
         }
         b.finish(64.0)
+    }
+
+    #[test]
+    fn adaptive_budget_scales_with_problem_size() {
+        let o = opts(ClusterPolicy::Free);
+        assert!(o.adaptive_budget, "adaptive is the default policy");
+        // at or below the reference size the base budget is untouched
+        assert_eq!(
+            ExactBnB::resolved_node_budget(&o, 16, 4),
+            DEFAULT_NODE_BUDGET
+        );
+        assert_eq!(
+            ExactBnB::resolved_node_budget(&o, 128, 4),
+            DEFAULT_NODE_BUDGET
+        );
+        // beyond it the budget scales linearly…
+        assert_eq!(
+            ExactBnB::resolved_node_budget(&o, 256, 8),
+            4 * DEFAULT_NODE_BUDGET
+        );
+        // …up to the cap
+        assert_eq!(
+            ExactBnB::resolved_node_budget(&o, 4096, 64),
+            ADAPTIVE_MAX_SCALE * DEFAULT_NODE_BUDGET
+        );
+        // zero II levels still count as one (the proof at the MII)
+        assert_eq!(
+            ExactBnB::resolved_node_budget(&o, 64, 0),
+            DEFAULT_NODE_BUDGET
+        );
+        // a zero base stays zero, and the flat policy ignores size
+        let mut flat = o;
+        flat.node_budget = 0;
+        assert_eq!(ExactBnB::resolved_node_budget(&flat, 4096, 64), 0);
+        flat.node_budget = 7;
+        flat.adaptive_budget = false;
+        assert_eq!(ExactBnB::resolved_node_budget(&flat, 4096, 64), 7);
     }
 
     #[test]

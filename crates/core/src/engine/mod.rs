@@ -23,6 +23,7 @@
 pub mod backend;
 pub mod base;
 pub mod bnb;
+pub mod delay;
 pub mod ibc;
 pub mod ipbc;
 pub mod no_chains;
@@ -43,6 +44,7 @@ use crate::schedule::{Schedule, ScheduleError, ScheduledCopy, ScheduledOp};
 
 pub use backend::{SchedBackend, SchedQuality, ScheduleOutcome, SchedulerBackend, SwingModulo};
 pub use bnb::{ExactBnB, DEFAULT_NODE_BUDGET};
+pub use delay::DelayTracking;
 pub use policy::{AssignContext, AssignState, ClusterAssign, Neighbor};
 
 /// How memory instructions are assigned to clusters.
@@ -152,10 +154,24 @@ pub struct ScheduleOptions {
     /// transformation (default [`SchedBackend::SwingModulo`], the paper's
     /// pipeline).
     pub backend: SchedBackend,
-    /// Total node budget for the exact backend: candidate placements it
+    /// Base node budget for the exact backend: candidate placements it
     /// may explore across all II levels of one call before reporting a
-    /// cutoff. Ignored by heuristic backends.
+    /// cutoff. With [`ScheduleOptions::adaptive_budget`] set (the
+    /// default) this base is scaled by kernel size; see
+    /// [`ExactBnB::resolved_node_budget`]. Ignored by heuristic backends.
     pub node_budget: u64,
+    /// Scale [`ScheduleOptions::node_budget`] by kernel size
+    /// (`ops × II search range`, the ROADMAP's adaptive-budget item) so
+    /// big unrolled kernels get proportional search effort instead of the
+    /// flat default. Kernels at or below the reference size keep the base
+    /// budget exactly, so small-suite results are unchanged.
+    pub adaptive_budget: bool,
+    /// The [`DelayTracking`] backend's latency knob: `None` schedules
+    /// each load at the *expectation* of its measured latency
+    /// distribution, `Some(p)` at the p-th percentile (`p ∈ [0, 1]`;
+    /// higher = more conservative, fewer broken promises, larger II).
+    /// Ignored by the other backends.
+    pub delay_percentile: Option<f64>,
 }
 
 impl ScheduleOptions {
@@ -168,6 +184,8 @@ impl ScheduleOptions {
             trial: TrialMode::Journaled,
             backend: SchedBackend::SwingModulo,
             node_budget: DEFAULT_NODE_BUDGET,
+            adaptive_budget: true,
+            delay_percentile: None,
         }
     }
 
@@ -289,8 +307,19 @@ pub(crate) fn prepare<'k>(
     let n = machine.clusters.n_clusters;
     let pins = assigner.precompute_pins(kernel, &chains, n);
 
-    let latencies =
-        crate::latency::assign_latencies_with_pins(kernel, &ddg, machine, &circuits, &pins);
+    // the latency model is the one front-end stage backends may replace:
+    // the delay-tracking backend schedules loads at measured expected /
+    // percentile latencies instead of running the §4.3.3 class reduction
+    let latencies = match options.backend {
+        SchedBackend::DelayTracking => crate::latency::assign_profiled_latencies(
+            kernel,
+            &ddg,
+            machine,
+            &pins,
+            options.delay_percentile,
+        ),
+        _ => crate::latency::assign_latencies_with_pins(kernel, &ddg, machine, &circuits, &pins),
+    };
 
     let res = mii::res_mii(kernel, machine);
     let rec = mii::rec_mii(&ddg, |op| latencies.latency_of(op));

@@ -77,13 +77,14 @@ pub use chains::MemChains;
 pub use circuits::{elementary_circuits, Circuit, EnumLimits};
 pub use engine::{
     schedule_kernel, schedule_kernel_with_stats, schedule_outcome, AssignContext, AssignState,
-    ClusterAssign, ClusterPolicy, ExactBnB, Neighbor, SchedBackend, SchedQuality, SchedStats,
-    ScheduleOptions, ScheduleOutcome, SchedulerBackend, SwingModulo, TrialMode,
+    ClusterAssign, ClusterPolicy, DelayTracking, ExactBnB, Neighbor, SchedBackend, SchedQuality,
+    SchedStats, ScheduleOptions, ScheduleOutcome, SchedulerBackend, SwingModulo, TrialMode,
     DEFAULT_NODE_BUDGET,
 };
 pub use hints::{attraction_hints, AttractionHints};
 pub use latency::{
-    assign_latencies, assign_latencies_with_pins, BenefitStep, CandidateEval, LatencyAssignment,
+    assign_latencies, assign_latencies_with_pins, assign_profiled_latencies,
+    delay_tracking_latency, BenefitStep, CandidateEval, LatencyAssignment,
 };
 pub use mii::{edge_latency, rec_mii, res_mii};
 pub use order::sms_order;

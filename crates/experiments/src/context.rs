@@ -38,6 +38,26 @@ pub enum ArchVariant {
     Unified(u32),
 }
 
+/// Where the per-load profiles the scheduler consumes come from — the
+/// feedback-directed axis of the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfileSource {
+    /// No profile information at all: loads carry no hit rates, no
+    /// preferred clusters. The ablation measuring what profiling buys.
+    None,
+    /// The functional-cache profiling pass (`vliw-workloads`): timeless
+    /// hit/miss replay of the profile input. The historical default —
+    /// selecting it keeps every schedule bit-identical to the
+    /// pre-measurement pipeline.
+    Synthetic,
+    /// Measured profiles (`vliw-profile`): the synthetic pipeline's
+    /// schedule is executed in the *timing* simulator on the profile
+    /// input, per-load class mixes / home-cluster histograms / latency
+    /// distributions are collected, and the scheduler re-runs against the
+    /// measurements — the closed feedback loop.
+    Measured,
+}
+
 /// One experiment configuration: architecture, scheduling policy,
 /// unrolling, alignment and Attraction Buffers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,6 +69,8 @@ pub struct RunConfig {
     /// Scheduler backend (the paper's heuristic pipeline or the exact
     /// branch-and-bound reference).
     pub backend: SchedBackend,
+    /// Where the per-load profiles the scheduler consumes come from.
+    pub source: ProfileSource,
     /// Unrolling mode.
     pub unroll: UnrollMode,
     /// Variable alignment (§4.3.4 padding) on or off.
@@ -67,6 +89,7 @@ impl RunConfig {
             arch: ArchVariant::WordInterleaved,
             policy: ClusterPolicy::PreBuildChains,
             backend: SchedBackend::SwingModulo,
+            source: ProfileSource::Synthetic,
             unroll: UnrollMode::Selective,
             padding: true,
             attraction_buffers: None,
@@ -110,6 +133,12 @@ impl RunConfig {
     /// backend.
     pub fn with_backend(mut self, backend: SchedBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// The same configuration fed from a different profile source.
+    pub fn with_source(mut self, source: ProfileSource) -> Self {
+        self.source = source;
         self
     }
 }
@@ -218,6 +247,39 @@ fn profiled(
     kernel
 }
 
+/// Replaces `kernel`'s synthetic profiles with *measured* ones: runs the
+/// synthetic pipeline's schedule through the timing simulator on the
+/// profile input (`vliw-profile`) and attaches the derived measurements.
+/// The bootstrap schedule uses the configuration's own policy, so the
+/// measurements describe the code the policy would actually run.
+///
+/// # Errors
+///
+/// Propagates bootstrap scheduling failures (the measurement run needs a
+/// schedule; a kernel the policy cannot schedule has no measurement).
+fn measured(
+    mut kernel: LoopKernel,
+    machine: &MachineConfig,
+    cfg: &RunConfig,
+    ctx: &ExperimentContext,
+) -> Result<LoopKernel, ScheduleError> {
+    let opts = vliw_profile::MeasureOptions {
+        policy: cfg.policy,
+        enum_limits: ctx.enum_limits,
+        sim: ctx.sim,
+    };
+    let profile = vliw_profile::measure_kernel_on_input(
+        &kernel,
+        machine,
+        cfg.padding,
+        ctx.workloads.profile_input,
+        &opts,
+    )?;
+    vliw_profile::attach_measurements(&mut kernel, &profile)
+        .expect("a fresh measurement always matches its kernel");
+    Ok(kernel)
+}
+
 /// Runs unrolling (per `cfg.unroll`), profiling and scheduling for one
 /// original kernel.
 ///
@@ -235,18 +297,45 @@ pub fn prepare_loop(
         backend: cfg.backend,
         ..ScheduleOptions::new(cfg.policy)
     };
-    // hit rates steer the OUF analysis: profile the original first
-    let original = profiled(original.clone(), machine, ctx, cfg.padding);
+    // hit rates steer the OUF analysis: profile the original first (the
+    // OUF analysis always runs on synthetic profiles — measurement needs
+    // a per-variant schedule, which does not exist yet at this point)
+    let original = match cfg.source {
+        ProfileSource::None => original.clone(),
+        _ => profiled(original.clone(), machine, ctx, cfg.padding),
+    };
     let ouf = vliw_sched::optimal_unroll_factor(&original, machine);
     let candidates: Vec<(UnrollChoice, u32)> = match cfg.unroll {
         UnrollMode::NoUnroll => vec![(UnrollChoice::None, 1)],
         UnrollMode::Ouf => vec![(UnrollChoice::Ouf, ouf)],
         UnrollMode::Selective => unroll_candidates(&original, machine),
     };
+    // one unrolled variant's kernel, profiled per the source axis
+    let build = |factor: u32| -> Result<LoopKernel, ScheduleError> {
+        match cfg.source {
+            ProfileSource::None => Ok(unroll(&original, factor)),
+            ProfileSource::Synthetic => Ok(profiled(
+                unroll(&original, factor),
+                machine,
+                ctx,
+                cfg.padding,
+            )),
+            ProfileSource::Measured => {
+                let kernel = profiled(unroll(&original, factor), machine, ctx, cfg.padding);
+                measured(kernel, machine, cfg, ctx)
+            }
+        }
+    };
     let mut best: Option<PreparedLoop> = None;
     let mut last_err = None;
     for (choice, factor) in candidates {
-        let kernel = profiled(unroll(&original, factor), machine, ctx, cfg.padding);
+        let kernel = match build(factor) {
+            Ok(k) => k,
+            Err(e) => {
+                last_err = Some(e);
+                continue;
+            }
+        };
         // an unschedulable variant is simply not a candidate (giant pinned
         // chains after deep unrolling can defeat the no-backtracking
         // scheduler); factor 1 virtually always schedules
@@ -285,7 +374,7 @@ pub fn prepare_loop(
         None => {
             // no variant scheduled: retry factor 1 explicitly (covers the
             // Ouf-only mode whose single candidate failed)
-            let kernel = profiled(unroll(&original, 1), machine, ctx, cfg.padding);
+            let kernel = build(1).map_err(|e| last_err.take().unwrap_or(e))?;
             let outcome = schedule_outcome(&kernel, machine, opts)
                 .map_err(|_| last_err.expect("at least one failure recorded"))?;
             Ok(PreparedLoop {
@@ -303,7 +392,7 @@ pub fn prepare_loop(
 ///
 /// Preparation (profile → unroll → schedule) depends on the loop, the
 /// machine, the profiling knobs, the policy, the scheduler backend, the
-/// unroll mode and the padding flag — *not* on Attraction Buffers or MSHR
+/// profile source, the unroll mode and the padding flag — *not* on Attraction Buffers or MSHR
 /// capacity (both
 /// consumed by the cache timing model, downstream of scheduling) and not
 /// on `use_hints`. A grid that sweeps buffer sizes, MSHR limits or hints
@@ -336,8 +425,8 @@ type MemoSlot = Mutex<Option<Arc<PreparedLoop>>>;
 /// the kernel's name plus a content hash (same-named kernels with different
 /// bodies must not collide), a machine/context fingerprint (Attraction
 /// Buffers and MSHRs masked out — they do not affect preparation), and
-/// the preparation-relevant `RunConfig` axes. The scheduler backend is
-/// part of the key: two backends on the same cell produce different
+/// the preparation-relevant `RunConfig` axes. The scheduler backend and
+/// the profile source are part of the key: two backends on the same cell produce different
 /// schedules, so they must never share a memo slot
 /// (`backends_never_share_a_memo_slot` pins this).
 type PrepareKey = (
@@ -347,6 +436,7 @@ type PrepareKey = (
     ArchVariant,
     ClusterPolicy,
     SchedBackend,
+    ProfileSource,
     UnrollMode,
     bool,
 );
@@ -382,6 +472,7 @@ impl ScheduleMemo {
             cfg.arch,
             cfg.policy,
             cfg.backend,
+            cfg.source,
             cfg.unroll,
             cfg.padding,
         )

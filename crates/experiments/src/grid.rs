@@ -31,8 +31,8 @@ use vliw_sched::{ClusterPolicy, SchedBackend};
 use vliw_workloads::{spec_by_name, synthesize, BenchmarkModel};
 
 use crate::context::{
-    run_benchmark_memo, ArchVariant, BenchRun, ExperimentContext, RunConfig, ScheduleMemo,
-    UnrollMode,
+    run_benchmark_memo, ArchVariant, BenchRun, ExperimentContext, ProfileSource, RunConfig,
+    ScheduleMemo, UnrollMode,
 };
 use crate::report::amean;
 
@@ -53,6 +53,7 @@ pub struct GridAxes {
     arches: Vec<ArchVariant>,
     policies: Vec<ClusterPolicy>,
     backends: Vec<SchedBackend>,
+    sources: Vec<ProfileSource>,
     unrolls: Vec<UnrollMode>,
     paddings: Vec<bool>,
     buffers: Vec<Option<(usize, usize)>>,
@@ -66,6 +67,7 @@ impl GridAxes {
             arches: vec![base.arch],
             policies: vec![base.policy],
             backends: vec![base.backend],
+            sources: vec![base.source],
             unrolls: vec![base.unroll],
             paddings: vec![base.padding],
             buffers: vec![base.attraction_buffers],
@@ -88,6 +90,12 @@ impl GridAxes {
     /// Sweeps the scheduler-backend axis.
     pub fn backends(mut self, values: &[SchedBackend]) -> Self {
         self.backends = values.to_vec();
+        self
+    }
+
+    /// Sweeps the profile-source axis (none / synthetic / measured).
+    pub fn sources(mut self, values: &[ProfileSource]) -> Self {
+        self.sources = values.to_vec();
         self
     }
 
@@ -116,26 +124,29 @@ impl GridAxes {
     }
 
     /// Enumerates the full cross-product, architecture-major, in axis
-    /// order (arch × policy × backend × unroll × padding × buffers ×
-    /// hints).
+    /// order (arch × policy × backend × source × unroll × padding ×
+    /// buffers × hints).
     pub fn enumerate(&self) -> Vec<RunConfig> {
         let mut out = Vec::new();
         for &arch in &self.arches {
             for &policy in &self.policies {
                 for &backend in &self.backends {
-                    for &unroll in &self.unrolls {
-                        for &padding in &self.paddings {
-                            for &attraction_buffers in &self.buffers {
-                                for &use_hints in &self.hints {
-                                    out.push(RunConfig {
-                                        arch,
-                                        policy,
-                                        backend,
-                                        unroll,
-                                        padding,
-                                        attraction_buffers,
-                                        use_hints,
-                                    });
+                    for &source in &self.sources {
+                        for &unroll in &self.unrolls {
+                            for &padding in &self.paddings {
+                                for &attraction_buffers in &self.buffers {
+                                    for &use_hints in &self.hints {
+                                        out.push(RunConfig {
+                                            arch,
+                                            policy,
+                                            backend,
+                                            source,
+                                            unroll,
+                                            padding,
+                                            attraction_buffers,
+                                            use_hints,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -208,10 +219,11 @@ impl RunGrid {
     pub fn cross(mut self, axes: &GridAxes) -> Self {
         for cfg in axes.enumerate() {
             let label = format!(
-                "{:?}/{:?}/{}/{:?}/pad={}/ab={:?}/hints={}",
+                "{:?}/{:?}/{}/{:?}/{:?}/pad={}/ab={:?}/hints={}",
                 cfg.arch,
                 cfg.policy,
                 cfg.backend.name(),
+                cfg.source,
                 cfg.unroll,
                 cfg.padding,
                 cfg.attraction_buffers,
@@ -294,15 +306,35 @@ impl RunGrid {
         let next = AtomicUsize::new(0);
         let workers = par.workers().min(cells_total.max(1));
 
+        // The work queue, sharded by per-cell cost: heavy cells (the
+        // exact search, and any cell whose measured profile source runs
+        // a whole profiling simulation per loop) are dispatched first
+        // and cheap heuristic cells back-fill the workers, so a sweep
+        // over `SchedBackend::ALL` does not end on a long tail of one
+        // worker grinding exact cells while the rest sit idle. The sort
+        // is stable, so within a shard the claim order stays
+        // config-major: concurrent workers start on *different*
+        // benchmarks, rarely contending on a memo slot, and a benchmark's
+        // later configs hit warm entries (or block on the in-flight
+        // computation instead of repeating it). Cells are independent and
+        // land in their own slots, so the dispatch order cannot change
+        // any result — serial and parallel runs stay bit-identical.
+        let cell_cost = |cfg: &RunConfig| {
+            let measure = match cfg.source {
+                ProfileSource::Measured => 3,
+                ProfileSource::Synthetic | ProfileSource::None => 0,
+            };
+            cfg.backend.cost_rank() + measure
+        };
+        let mut queue: Vec<usize> = (0..cells_total).collect();
+        queue.sort_by_key(|&i| std::cmp::Reverse(cell_cost(&self.configs[i / n_models].1)));
+
         let work = |_worker: usize| loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= cells_total {
+            let q = next.fetch_add(1, Ordering::Relaxed);
+            if q >= cells_total {
                 break;
             }
-            // config-major claim order: concurrent workers start on
-            // *different* benchmarks, so they rarely contend on a memo
-            // slot; a benchmark's later configs then hit warm entries (or
-            // block on the in-flight computation instead of repeating it)
+            let i = queue[q];
             let (b, c) = (i % n_models, i / n_models);
             let run = run_benchmark_memo(&models[b], &self.configs[c].1, ctx, Some(&memo));
             *slots[b * n_cfg + c].lock().expect("cell slot") = Some(run);

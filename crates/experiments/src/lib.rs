@@ -48,13 +48,15 @@ pub mod grid;
 pub mod hints_exp;
 pub mod interleave_study;
 pub mod optgap;
+pub mod profile_fidelity;
 pub mod report;
 pub mod tables;
 
 pub use context::{
     prepare_loop, run_benchmark, run_benchmark_memo, ArchVariant, BenchRun, ExperimentContext,
-    LoopRun, PreparedLoop, RunConfig, ScheduleMemo, UnrollMode,
+    LoopRun, PreparedLoop, ProfileSource, RunConfig, ScheduleMemo, UnrollMode,
 };
 pub use grid::{GridAxes, GridResult, Parallelism, RunGrid};
 pub use optgap::{OptGapResult, OptGapRow};
+pub use profile_fidelity::{CollectedSuite, ProfileFidelityResult};
 pub use report::{backend_quality_table, mshr_table, Table};

@@ -18,6 +18,16 @@
 //! own column — a cell that cut off contributes no ratio and no proof,
 //! visibly.
 //!
+//! The table also carries a second backend: per policy, the
+//! [`DelayTracking`](vliw_sched::DelayTracking) pipeliner scheduling the
+//! *measured* factor-1 kernels (profiles collected by `vliw-profile`),
+//! compared against the same exact reference on the same kernels. Because
+//! delay-tracking schedules loads at measured expected latencies —
+//! usually far below the class model's worst case — its recurrence MII
+//! can undercut the class-latency optimum: a ratio *below 1* in a delay
+//! row is the measured latency model buying II the class model provably
+//! cannot reach.
+//!
 //! `repro [quick|full] optgap` prints the table, writes
 //! `results/optgap.csv` and records the per-policy ratios and
 //! proven-optimal fractions into the `optgap` section of
@@ -39,6 +49,9 @@ use crate::report::{f3, Table};
 pub struct OptGapRow {
     /// Policy name (`IPBC`, `IBC`, `BASE`, `no-chains`).
     pub policy: &'static str,
+    /// The backend in the ratio's numerator (`swing` on synthetic
+    /// profiles, `delay` on measured profiles).
+    pub backend: &'static str,
     /// Kernels the heuristic scheduled (the cell population).
     pub kernels: usize,
     /// Cells where the exact backend proved the optimal II.
@@ -101,12 +114,14 @@ impl OptGapResult {
                 self.n_kernels, self.node_budget
             ),
             &[
-                "policy", "kernels", "proven", "proven%", "matched", "better", "cutoff", "II ratio",
+                "policy", "backend", "kernels", "proven", "proven%", "matched", "better", "cutoff",
+                "II ratio",
             ],
         );
         for r in &self.rows {
             t.row(vec![
                 r.policy.to_string(),
+                r.backend.to_string(),
                 r.kernels.to_string(),
                 r.proven.to_string(),
                 f3(r.proven_fraction()),
@@ -142,64 +157,88 @@ pub fn factor1_kernels(ctx: &ExperimentContext) -> Vec<LoopKernel> {
     out
 }
 
-/// Runs the study over the context's suite.
-pub fn optgap(ctx: &ExperimentContext) -> OptGapResult {
-    let kernels = factor1_kernels(ctx);
+/// One `(policy, numerator backend)` aggregate over `kernels`.
+fn policy_row(
+    policy: ClusterPolicy,
+    numerator: SchedBackend,
+    kernels: &[LoopKernel],
+    ctx: &ExperimentContext,
+) -> OptGapRow {
     let machine = &ctx.machine;
-    let mut rows = Vec::new();
-    for policy in ClusterPolicy::ALL {
-        let heuristic_opts = ScheduleOptions {
-            enum_limits: ctx.enum_limits,
-            ..ScheduleOptions::new(policy)
+    let heuristic_opts = ScheduleOptions {
+        enum_limits: ctx.enum_limits,
+        ..ScheduleOptions::new(policy)
+    }
+    .with_backend(numerator);
+    let exact_opts = heuristic_opts.with_backend(SchedBackend::ExactBnB);
+    let mut row = OptGapRow {
+        policy: policy.assigner().name(),
+        backend: numerator.name(),
+        kernels: 0,
+        proven: 0,
+        cutoff: 0,
+        better: 0,
+        matched: 0,
+        mean_ratio: f64::NAN,
+        cutoff_iis: 0,
+    };
+    let mut ratio_sum = 0.0;
+    for kernel in kernels {
+        // the heuristic II is the numerator; a (pathological) heuristic
+        // failure leaves no cell to compare
+        let Ok(heuristic) = schedule_kernel(kernel, machine, heuristic_opts) else {
+            continue;
         };
-        let exact_opts = heuristic_opts.with_backend(SchedBackend::ExactBnB);
-        let mut row = OptGapRow {
-            policy: policy.assigner().name(),
-            kernels: 0,
-            proven: 0,
-            cutoff: 0,
-            better: 0,
-            matched: 0,
-            mean_ratio: f64::NAN,
-            cutoff_iis: 0,
-        };
-        let mut ratio_sum = 0.0;
-        for kernel in &kernels {
-            // the heuristic II is the numerator; a (pathological) heuristic
-            // failure leaves no cell to compare
-            let Ok(heuristic) = schedule_kernel(kernel, machine, heuristic_opts) else {
-                continue;
-            };
-            row.kernels += 1;
-            match schedule_outcome(kernel, machine, exact_opts) {
-                Ok(o) => {
-                    row.cutoff_iis += o.stats.cutoffs;
-                    if o.schedule.ii < heuristic.ii {
-                        row.better += 1;
+        row.kernels += 1;
+        match schedule_outcome(kernel, machine, exact_opts) {
+            Ok(o) => {
+                row.cutoff_iis += o.stats.cutoffs;
+                if o.schedule.ii < heuristic.ii {
+                    row.better += 1;
+                }
+                match o.quality {
+                    SchedQuality::ProvenOptimal => {
+                        row.proven += 1;
+                        if heuristic.ii == o.schedule.ii {
+                            row.matched += 1;
+                        }
+                        ratio_sum += heuristic.ii as f64 / o.schedule.ii as f64;
                     }
-                    match o.quality {
-                        SchedQuality::ProvenOptimal => {
-                            row.proven += 1;
-                            if heuristic.ii == o.schedule.ii {
-                                row.matched += 1;
-                            }
-                            ratio_sum += heuristic.ii as f64 / o.schedule.ii as f64;
-                        }
-                        SchedQuality::CutoffFeasible => row.cutoff += 1,
-                        SchedQuality::Heuristic => {
-                            unreachable!("exact backend cannot claim Heuristic")
-                        }
+                    SchedQuality::CutoffFeasible => row.cutoff += 1,
+                    SchedQuality::Heuristic => {
+                        unreachable!("exact backend cannot claim Heuristic")
                     }
                 }
-                // a cutoff with no schedule at all still counts — the
-                // exact column must never silently shrink the population
-                Err(_) => row.cutoff += 1,
             }
+            // a cutoff with no schedule at all still counts — the
+            // exact column must never silently shrink the population
+            Err(_) => row.cutoff += 1,
         }
-        if row.proven > 0 {
-            row.mean_ratio = ratio_sum / row.proven as f64;
-        }
-        rows.push(row);
+    }
+    if row.proven > 0 {
+        row.mean_ratio = ratio_sum / row.proven as f64;
+    }
+    row
+}
+
+/// Runs the study over the context's suite: per policy, the swing
+/// pipeline on synthetic profiles and the delay-tracking pipeline on
+/// measured profiles, each against the exact reference on its own kernel
+/// population.
+pub fn optgap(ctx: &ExperimentContext) -> OptGapResult {
+    let kernels = factor1_kernels(ctx);
+    let measured = crate::profile_fidelity::measured_factor1_kernels(ctx);
+    let mut rows = Vec::new();
+    for policy in ClusterPolicy::ALL {
+        rows.push(policy_row(policy, SchedBackend::SwingModulo, &kernels, ctx));
+    }
+    for policy in ClusterPolicy::ALL {
+        rows.push(policy_row(
+            policy,
+            SchedBackend::DelayTracking,
+            &measured,
+            ctx,
+        ));
     }
     OptGapResult {
         rows,
@@ -217,20 +256,26 @@ mod tests {
         let mut ctx = ExperimentContext::quick();
         ctx.benchmarks = vec!["gsmdec".into()];
         ctx.profile.iteration_cap = 32;
+        ctx.sim.iteration_cap = 32;
+        ctx.sim.warmup_iterations = 32;
         let g = optgap(&ctx);
-        assert_eq!(g.rows.len(), 4, "one row per policy");
+        assert_eq!(g.rows.len(), 8, "one row per policy per backend");
         assert!(g.n_kernels > 0);
         for r in &g.rows {
             assert_eq!(r.kernels, g.n_kernels, "factor-1 always schedules");
             assert_eq!(r.proven + r.cutoff, r.kernels, "every cell is decided");
-            if r.proven > 0 {
-                // the exact search never returns a worse II, so the mean
-                // ratio is at least 1
+            if r.backend == "swing" && r.proven > 0 {
+                // the exact search never returns a worse II than the
+                // incumbent it was seeded with, so swing rows sit at ≥ 1;
+                // delay rows may legitimately drop below 1 (the measured
+                // latency model can beat the class-latency optimum)
                 assert!(r.mean_ratio >= 1.0, "{}: {}", r.policy, r.mean_ratio);
             }
         }
-        // the table renders with one line per policy plus headers
+        assert!(g.rows[..4].iter().all(|r| r.backend == "swing"));
+        assert!(g.rows[4..].iter().all(|r| r.backend == "delay"));
+        // the table renders with one line per row plus headers
         let rendered = g.table().render();
-        assert_eq!(rendered.lines().count(), 3 + 4);
+        assert_eq!(rendered.lines().count(), 3 + 8);
     }
 }

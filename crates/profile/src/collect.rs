@@ -1,0 +1,271 @@
+//! Measurement collection: the [`AccessObserver`] that turns a timed
+//! simulation into per-operation measurements, and the drivers that run a
+//! kernel in profiling mode.
+
+use vliw_ir::{LoopKernel, OpId};
+use vliw_machine::MachineConfig;
+use vliw_mem::{build_cache, AccessObserver, AccessOutcome, AccessRequest, ObservedCache};
+use vliw_sched::{
+    schedule_kernel, AttractionHints, ClusterPolicy, EnumLimits, SchedBackend, ScheduleError,
+    ScheduleOptions,
+};
+use vliw_sim::{simulate_loop, SimOptions};
+use vliw_workloads::{address_for, ArrayLayout};
+
+use crate::store::{class_index, kernel_fingerprint, LoopProfile, OpProfile};
+
+/// The measurement sink: accumulates one [`OpProfile`] per operation from
+/// the observation stream of an [`ObservedCache`].
+///
+/// The simulator runs a warm-up pass before the measured pass and calls
+/// [`AccessObserver::loop_boundary`] at the end of each; the collector
+/// keeps the segment closed by the *last* boundary, which is always the
+/// measured pass (with a warm-up the first boundary closes the warm-up
+/// segment and the second closes the measurement; without one, the single
+/// boundary closes the measurement directly).
+#[derive(Debug)]
+pub struct Collector {
+    n_clusters: usize,
+    interleave: u64,
+    current: Vec<OpProfile>,
+    finished: Option<Vec<OpProfile>>,
+}
+
+impl Collector {
+    /// A collector for `n_ops` operations on `machine`'s geometry.
+    pub fn new(n_ops: usize, machine: &MachineConfig) -> Self {
+        Collector {
+            n_clusters: machine.n_clusters(),
+            interleave: machine.cache.interleave_bytes as u64,
+            current: (0..n_ops)
+                .map(|_| OpProfile::new(machine.n_clusters()))
+                .collect(),
+            finished: None,
+        }
+    }
+
+    /// The home cluster of `addr` under the collector's geometry.
+    fn home_cluster(&self, addr: u64) -> usize {
+        ((addr / self.interleave) % self.n_clusters as u64) as usize
+    }
+
+    /// The measured segment: the one closed by the last loop boundary, or
+    /// the running segment if no boundary was seen yet.
+    pub fn measurements(&self) -> &[OpProfile] {
+        self.finished.as_deref().unwrap_or(&self.current)
+    }
+}
+
+impl AccessObserver for Collector {
+    fn observe(&mut self, req: &AccessRequest, out: &AccessOutcome) {
+        if req.tag == AccessRequest::UNTAGGED {
+            return;
+        }
+        let home = self.home_cluster(req.addr);
+        let Some(p) = self.current.get_mut(req.tag as usize) else {
+            return;
+        };
+        let class = class_index(out.class);
+        p.classes[class] = p.classes[class].saturating_add(1);
+        p.cluster_hist[home] = p.cluster_hist[home].saturating_add(1);
+        if out.combined {
+            p.combined = p.combined.saturating_add(1);
+        }
+        if out.ab_hit {
+            p.ab_hits = p.ab_hits.saturating_add(1);
+        }
+        let latency = (out.ready_at - req.now).min(u64::from(u32::MAX)) as u32;
+        p.latency.record(latency);
+    }
+
+    fn loop_boundary(&mut self) {
+        let fresh = (0..self.current.len())
+            .map(|_| OpProfile::new(self.n_clusters))
+            .collect();
+        self.finished = Some(std::mem::replace(&mut self.current, fresh));
+    }
+}
+
+/// Knobs of one measurement run.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOptions {
+    /// Cluster-assignment policy of the bootstrap schedule (the schedule
+    /// the kernel executes under while being measured).
+    pub policy: ClusterPolicy,
+    /// Circuit-enumeration caps for the bootstrap schedule.
+    pub enum_limits: EnumLimits,
+    /// Simulation caps of the measurement run.
+    pub sim: SimOptions,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        MeasureOptions {
+            policy: ClusterPolicy::PreBuildChains,
+            enum_limits: EnumLimits::default(),
+            sim: SimOptions::default(),
+        }
+    }
+}
+
+/// Runs `kernel` in profiling mode: schedules it with the paper's
+/// heuristic pipeline (the bootstrap — measurement needs *a* schedule,
+/// and before any measurement exists the class-based pipeline is the only
+/// one available), simulates it against an observed cache with
+/// `addresses` supplying each operation's address stream, and returns the
+/// per-operation measurements of the measured pass.
+///
+/// The kernel should carry its synthetic (functional) profiles, so the
+/// bootstrap schedule is exactly the one the synthetic pipeline would
+/// execute — the measurements then describe the feedback-directed loop's
+/// real starting point.
+///
+/// # Errors
+///
+/// Propagates bootstrap scheduling failures.
+pub fn measure_kernel(
+    kernel: &LoopKernel,
+    machine: &MachineConfig,
+    addresses: &mut dyn FnMut(OpId, u64) -> u64,
+    options: &MeasureOptions,
+) -> Result<LoopProfile, ScheduleError> {
+    let sched_opts = ScheduleOptions {
+        enum_limits: options.enum_limits,
+        backend: SchedBackend::SwingModulo,
+        ..ScheduleOptions::new(options.policy)
+    };
+    let schedule = schedule_kernel(kernel, machine, sched_opts)?;
+    let hints = AttractionHints::allow_all(kernel);
+    let mut cache = ObservedCache::new(
+        build_cache(machine),
+        Collector::new(kernel.ops.len(), machine),
+    );
+    simulate_loop(
+        kernel,
+        &schedule,
+        machine,
+        &mut cache,
+        addresses,
+        &hints,
+        &options.sim,
+    );
+    let (_, collector) = cache.into_parts();
+    let measured = collector.measurements();
+    let ops = kernel
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_mem())
+        .map(|(i, _)| (i, measured[i].clone()))
+        .collect();
+    Ok(LoopProfile {
+        name: kernel.name.clone(),
+        fingerprint: kernel_fingerprint(kernel),
+        n_ops: kernel.ops.len(),
+        ops,
+    })
+}
+
+/// [`measure_kernel`] with the workload crate's address streams: lays the
+/// kernel's arrays out for `input` (with or without §4.3.4 padding) and
+/// measures against those addresses — the profile-input measurement run
+/// of the feedback loop.
+///
+/// # Errors
+///
+/// Propagates bootstrap scheduling failures.
+pub fn measure_kernel_on_input(
+    kernel: &LoopKernel,
+    machine: &MachineConfig,
+    padding: bool,
+    input: u64,
+    options: &MeasureOptions,
+) -> Result<LoopProfile, ScheduleError> {
+    let layout = ArrayLayout::new(kernel, machine, padding, input);
+    let mut addresses = |op: OpId, iter: u64| address_for(kernel, &layout, op, iter);
+    measure_kernel(kernel, machine, &mut addresses, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::attach_measurements;
+    use vliw_ir::{ArrayKind, KernelBuilder, MemProfile};
+
+    fn machine() -> MachineConfig {
+        MachineConfig::word_interleaved_4()
+    }
+
+    /// A streaming kernel with an N×I stride: every access lands in the
+    /// home cluster of its first address (a padded heap array, so that
+    /// home is cluster 0 — globals are never padded, §4.3.4).
+    fn kernel() -> LoopKernel {
+        let mut b = KernelBuilder::new("probe");
+        let a = b.array("a", 8192, ArrayKind::Heap);
+        let (ld, v) = b.load("ld", a, 0, 16, 4);
+        let (st, _) = b.store("st", a, 4096, 16, 4, v);
+        b.set_profile(ld, MemProfile::concentrated(1.0, 0, 4));
+        b.set_profile(st, MemProfile::concentrated(1.0, 0, 4));
+        b.finish(128.0)
+    }
+
+    fn opts() -> MeasureOptions {
+        MeasureOptions {
+            sim: SimOptions {
+                iteration_cap: 128,
+                warmup_iterations: 128,
+            },
+            ..MeasureOptions::default()
+        }
+    }
+
+    #[test]
+    fn measurement_counts_the_measured_pass_only() {
+        let k = kernel();
+        let m = machine();
+        let lp = measure_kernel_on_input(&k, &m, true, 1, &opts()).unwrap();
+        assert_eq!(lp.n_ops, 2);
+        assert_eq!(lp.ops.len(), 2, "both memory ops measured");
+        let (idx, ld) = &lp.ops[0];
+        assert_eq!(*idx, 0);
+        // exactly the 128 measured iterations, not warm-up + measured
+        assert_eq!(ld.total(), 128);
+        // N×I stride: every access in one cluster
+        assert_eq!(ld.cluster_hist.iter().filter(|&&c| c > 0).count(), 1);
+        // the warm-up already touched the whole (small) working set, so
+        // the measured pass hits locally every time…
+        assert!(ld.hit_rate() > 0.9, "hit rate {}", ld.hit_rate());
+        assert_eq!(ld.classes[0], ld.total(), "all local hits");
+        // …but the observed latency folds in real port contention with
+        // the co-located store, which is exactly what measurement adds
+        // over the 1-cycle class latency
+        let median = ld.latency.percentile(0.5).unwrap();
+        assert!((1..=5).contains(&median), "median latency {median}");
+    }
+
+    #[test]
+    fn attach_feeds_measurements_back_into_the_kernel() {
+        let mut k = kernel();
+        let m = machine();
+        let lp = measure_kernel_on_input(&k, &m, true, 1, &opts()).unwrap();
+        attach_measurements(&mut k, &lp).unwrap();
+        let p = k.ops[0].mem.as_ref().unwrap().profile.as_ref().unwrap();
+        assert!(p.latency.as_ref().is_some_and(|l| !l.is_empty()));
+        // attaching is idempotent: the fingerprint ignores profiles
+        attach_measurements(&mut k, &lp).unwrap();
+        // a different kernel body is rejected
+        let mut other = kernel();
+        other.ops[0].mem.as_mut().unwrap().offset = 4;
+        let err = attach_measurements(&mut other, &lp).unwrap_err();
+        assert!(err.contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let k = kernel();
+        let m = machine();
+        let a = measure_kernel_on_input(&k, &m, true, 1, &opts()).unwrap();
+        let b = measure_kernel_on_input(&k, &m, true, 1, &opts()).unwrap();
+        assert_eq!(a, b);
+    }
+}

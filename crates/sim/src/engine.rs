@@ -321,6 +321,8 @@ pub fn simulate_loop(
                         is_store: o.is_store(),
                         attractable: hints.is_attractable(OpId::new(op)),
                         now: issue_abs,
+                        // per-op attribution for observers (profiling mode)
+                        tag: op as u32,
                     };
                     let out = cache.access(req);
                     rings.ready[op][slot] = out.ready_at;

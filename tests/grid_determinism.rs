@@ -78,6 +78,33 @@ fn grid_equals_direct_pipeline_calls() {
     }
 }
 
+/// The backend-sharded work queue (heavy exact / delay-tracking cells
+/// dispatched first, heuristic cells back-filled) must not change a
+/// single bit: a sweep over every backend and profile source is
+/// bit-identical between the serial queue and four parallel workers.
+#[test]
+fn backend_sharded_queue_stays_bit_identical() {
+    use interleaved_vliw::experiments::ProfileSource;
+    use interleaved_vliw::sched::SchedBackend;
+    let mut ctx = tiny_ctx();
+    ctx.benchmarks = vec!["gsmdec".into()];
+    let axes = GridAxes::from(RunConfig::ipbc())
+        .backends(&SchedBackend::ALL)
+        .sources(&[ProfileSource::Synthetic, ProfileSource::Measured])
+        .unrolls(&[UnrollMode::NoUnroll]);
+    let grid = RunGrid::new("sharded").cross(&axes);
+    let serial = grid.run_serial(&ctx);
+    let parallel = grid.run_with(&ctx, Parallelism::Threads(4));
+    assert_eq!(
+        serial.fingerprint(),
+        parallel.fingerprint(),
+        "sharded parallel grid must be bit-identical to serial"
+    );
+    // every (backend, source) cell is a distinct preparation key
+    let n_loops: usize = grid.models(&ctx).iter().map(|m| m.loops.len()).sum();
+    assert_eq!(serial.memoized_schedules(), 6 * n_loops);
+}
+
 #[test]
 fn memoization_prunes_redundant_schedules() {
     let ctx = tiny_ctx();
