@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Guard the scheduler-throughput trajectory.
+"""Guard the scheduler- and schedule-cache-throughput trajectory.
 
 Compares the `sched` section of a freshly generated BENCH_repro.json
 against the committed baseline (ci/sched_baseline.json) and fails when:
@@ -13,6 +13,16 @@ against the committed baseline (ci/sched_baseline.json) and fails when:
   slowdown is real, to either fix it or update the baseline with a
   justification in the PR).
 
+Also guards the `batch` section (the schedule-cache service):
+
+* `warm_over_cold` — warm-pass over cold-pass throughput, a ratio of
+  two wall-clock rates on the same machine, so machine speed cancels —
+  must stay at or above the hard floor (5x): a warm cache that is not
+  at least 5x a cold run means cache hits are doing scheduling work;
+* `warm_schedules_per_sec` must not regress more than the threshold
+  against the baseline (wall-clock; same caveat as above);
+* `deterministic` and `warm_hit_rate` must be exactly 1.
+
 Usage: check_sched_regression.py BASELINE.json FRESH.json [threshold]
 """
 
@@ -20,29 +30,33 @@ import json
 import sys
 
 
-def sched_metrics(path):
+def figure_metrics(path, figure):
     with open(path) as f:
         doc = json.load(f)
     try:
-        return doc["figures"]["sched"]["metrics"]
+        return doc["figures"][figure]["metrics"]
     except KeyError:
         return None
+
+
+WARM_OVER_COLD_FLOOR = 5.0
 
 
 def main():
     if len(sys.argv) < 3:
         print(__doc__)
         return 2
-    baseline, fresh = sched_metrics(sys.argv[1]), sched_metrics(sys.argv[2])
     threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.20
+    failed = False
+
+    baseline = figure_metrics(sys.argv[1], "sched")
+    fresh = figure_metrics(sys.argv[2], "sched")
     if baseline is None:
         print("baseline has no sched section; nothing to compare, skipping")
         return 0
     if fresh is None:
         print("FAIL: fresh record has no sched section")
         return 1
-
-    failed = False
 
     b_work, f_work = baseline.get("trial_cycles"), fresh.get("trial_cycles")
     if b_work and f_work:
@@ -66,10 +80,56 @@ def main():
             print(f"FAIL: scheduling throughput regressed more than {threshold:.0%}")
             failed = True
 
+    failed |= check_batch(
+        figure_metrics(sys.argv[1], "batch"),
+        figure_metrics(sys.argv[2], "batch"),
+        threshold,
+    )
+
     if failed:
         return 1
     print("OK")
     return 0
+
+
+def check_batch(baseline, fresh, threshold):
+    if fresh is None:
+        if baseline is not None:
+            print("FAIL: baseline has a batch section but the fresh record does not")
+            return True
+        print("no batch section; skipping cache guard")
+        return False
+    failed = False
+
+    for key in ("deterministic", "warm_hit_rate", "store_roundtrip_ok"):
+        if fresh.get(key) != 1:
+            print(f"FAIL: batch {key} is {fresh.get(key)!r}, expected 1")
+            failed = True
+
+    ratio = fresh.get("warm_over_cold")
+    if ratio is not None:
+        print(
+            f"warm/cold throughput (machine-speed-free): {ratio:.1f}x "
+            f"(floor {WARM_OVER_COLD_FLOOR:.0f}x)"
+        )
+        if ratio < WARM_OVER_COLD_FLOOR:
+            print("FAIL: warm cache passes must be at least 5x cold throughput")
+            failed = True
+
+    if baseline is not None:
+        b_rate, f_rate = baseline.get("warm_schedules_per_sec"), fresh.get(
+            "warm_schedules_per_sec"
+        )
+        if b_rate and f_rate:
+            r = f_rate / b_rate
+            print(
+                f"warm schedules/sec (wall-clock): baseline {b_rate:.1f} -> "
+                f"current {f_rate:.1f} ({r:.2f}x, threshold {1 - threshold:.2f}x)"
+            )
+            if r < 1 - threshold:
+                print(f"FAIL: warm cache throughput regressed more than {threshold:.0%}")
+                failed = True
+    return failed
 
 
 if __name__ == "__main__":

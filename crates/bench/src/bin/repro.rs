@@ -1,6 +1,6 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|sched|optgap|profile|all]`
+//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|sched|optgap|profile|batch|all]`
 //!
 //! Results print to stdout and are also written as CSV under `results/`.
 //! Every run additionally emits `BENCH_repro.json` — a machine-readable
@@ -13,8 +13,8 @@ use std::path::Path;
 use std::time::Instant;
 
 use vliw_experiments::{
-    chains_exp, example433, fig4, fig5, fig6, fig7, fig8, hints_exp, interleave_study, optgap,
-    profile_fidelity, report, tables, ExperimentContext, RunConfig, RunGrid, ScheduleMemo,
+    batch, chains_exp, example433, fig4, fig5, fig6, fig7, fig8, hints_exp, interleave_study,
+    optgap, profile_fidelity, report, tables, ExperimentContext, RunConfig, RunGrid, ScheduleMemo,
     UnrollMode,
 };
 use vliw_sched::{ClusterPolicy, SchedBackend, SchedStats};
@@ -189,8 +189,9 @@ fn main() {
     if targets.is_empty() {
         targets.push("all");
     }
-    const KNOWN: [&str; 16] = [
+    const KNOWN: [&str; 17] = [
         "all",
+        "batch",
         "table1",
         "table2",
         "example433",
@@ -455,6 +456,7 @@ fn main() {
         println!("{p}");
         save("profile_fidelity", p.table().to_csv());
         save("profile_divergence", p.divergence_table().to_csv());
+        save("profile_percentiles", p.percentile_table().to_csv());
         let store_path = Path::new("results")
             .join("profiles")
             .join(format!("factor1-{scale}.profile"));
@@ -479,6 +481,9 @@ fn main() {
             ("delay_worse".into(), p.delay.worse as f64),
             ("delay_mean_ii_ratio".into(), p.delay.mean_ii_ratio),
         ];
+        for row in &p.percentiles {
+            m.push((format!("cycles_delay_p{}", row.p), row.cycles));
+        }
         for r in &p.divergence {
             m.push((format!("hit_delta/{}", r.bench), r.mean_hit_delta));
             m.push((format!("pref_agreement/{}", r.bench), r.pref_agreement));
@@ -504,6 +509,24 @@ fn main() {
             ));
         }
         record("profile", t0, m);
+    }
+    if want("batch") {
+        // the scheduling-as-a-service study: drain a replicated suite
+        // queue through the sharded schedule cache cold, warm and from
+        // the round-tripped on-disk store, with work-stealing workers
+        let t0 = Instant::now();
+        let mut opts = if scale == "quick" {
+            batch::BatchOptions::quick()
+        } else {
+            batch::BatchOptions::full()
+        };
+        if serial {
+            opts.workers = 1;
+        }
+        let b = batch::run_batch(&ctx, &opts);
+        print!("{b}");
+        save("batch_shards", b.shard_csv());
+        record("batch", t0, b.metrics());
     }
     if want("chains") {
         let t0 = Instant::now();

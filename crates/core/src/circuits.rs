@@ -41,7 +41,7 @@ impl Circuit {
 }
 
 /// Limits for circuit enumeration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EnumLimits {
     /// Maximum number of circuits returned.
     pub max_circuits: usize,

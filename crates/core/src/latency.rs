@@ -49,6 +49,23 @@ impl LatencyAssignment {
     fn set(&mut self, op: OpId, lat: u32) {
         self.lat[op.index()] = lat;
     }
+
+    /// Rebuilds an assignment from its persisted parts. The reduction log
+    /// (`steps`) is not persisted — it exists for inspection of a live
+    /// reduction, and nothing downstream of a finished schedule reads it —
+    /// so a rebuilt assignment carries an empty log.
+    pub fn from_raw(lat: Vec<u32>, target_mii: u32) -> Self {
+        LatencyAssignment {
+            lat,
+            target_mii,
+            steps: Vec::new(),
+        }
+    }
+
+    /// The raw per-operation latency vector (the persisted form).
+    pub fn raw(&self) -> &[u32] {
+        &self.lat
+    }
 }
 
 /// One candidate evaluation inside a reduction step (a row of the paper's

@@ -212,6 +212,150 @@ impl Schedule {
 
         errs
     }
+
+    /// Serializes the schedule into the repo's integers-only text
+    /// discipline (same rules as the profile store: whitespace-separated
+    /// integers under named tokens, no floats, no Debug formatting), for
+    /// persistence in the schedule cache.
+    ///
+    /// The latency-assignment reduction log (`latencies.steps`) is not
+    /// serialized — see [`LatencyAssignment::from_raw`]. Two schedules are
+    /// behaviourally identical iff their compact texts are byte-identical,
+    /// which is the equality the cache's determinism contracts check.
+    pub fn to_compact_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "sched ii {} mii {} res {} rec {} tmii {} nops {} ncopies {}",
+            self.ii,
+            self.mii,
+            self.res_mii,
+            self.rec_mii,
+            self.latencies.target_mii,
+            self.ops.len(),
+            self.copies.len()
+        );
+        s.push_str("ops");
+        for op in &self.ops {
+            let _ = write!(s, " {} {} {}", op.cluster, op.cycle, op.assumed_latency);
+        }
+        s.push('\n');
+        s.push_str("lats");
+        for l in self.latencies.raw() {
+            let _ = write!(s, " {l}");
+        }
+        s.push('\n');
+        s.push_str("copies");
+        for c in &self.copies {
+            let _ = write!(
+                s,
+                " {} {} {} {} {}",
+                c.producer.index(),
+                c.from,
+                c.to,
+                c.cycle,
+                c.bus
+            );
+        }
+        s.push('\n');
+        s
+    }
+
+    /// Parses a schedule serialized by [`Schedule::to_compact_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token or framing
+    /// violation; never panics on corrupt input.
+    pub fn from_compact_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty schedule text")?;
+        let h: Vec<&str> = header.split_whitespace().collect();
+        let expect = |idx: usize, tok: &str| -> Result<(), String> {
+            if h.get(idx) != Some(&tok) {
+                return Err(format!("schedule header: expected `{tok}` at {idx}"));
+            }
+            Ok(())
+        };
+        expect(0, "sched")?;
+        expect(1, "ii")?;
+        expect(3, "mii")?;
+        expect(5, "res")?;
+        expect(7, "rec")?;
+        expect(9, "tmii")?;
+        expect(11, "nops")?;
+        expect(13, "ncopies")?;
+        let int = |idx: usize| -> Result<u64, String> {
+            h.get(idx)
+                .ok_or_else(|| format!("schedule header: missing field {idx}"))?
+                .parse::<u64>()
+                .map_err(|e| format!("schedule header field {idx}: {e}"))
+        };
+        let ii = int(2)? as u32;
+        let mii = int(4)? as u32;
+        let res_mii = int(6)? as u32;
+        let rec_mii = int(8)? as u32;
+        let target_mii = int(10)? as u32;
+        let nops = int(12)? as usize;
+        let ncopies = int(14)? as usize;
+        if ii == 0 {
+            return Err("schedule header: ii must be positive".into());
+        }
+
+        let mut ints_line = |tag: &str, count: usize| -> Result<Vec<u64>, String> {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("missing `{tag}` line"))?;
+            let mut it = line.split_whitespace();
+            if it.next() != Some(tag) {
+                return Err(format!("expected `{tag}` line"));
+            }
+            let vals: Result<Vec<u64>, _> = it.map(str::parse::<u64>).collect();
+            let vals = vals.map_err(|e| format!("`{tag}` line: {e}"))?;
+            if vals.len() != count {
+                return Err(format!(
+                    "`{tag}` line: expected {count} integers, found {}",
+                    vals.len()
+                ));
+            }
+            Ok(vals)
+        };
+
+        let op_ints = ints_line("ops", nops * 3)?;
+        let lat_ints = ints_line("lats", nops)?;
+        let copy_ints = ints_line("copies", ncopies * 5)?;
+
+        let ops = op_ints
+            .chunks_exact(3)
+            .map(|c| ScheduledOp {
+                cluster: c[0] as usize,
+                cycle: c[1] as u32,
+                assumed_latency: c[2] as u32,
+            })
+            .collect();
+        let lat = lat_ints.into_iter().map(|l| l as u32).collect();
+        let copies = copy_ints
+            .chunks_exact(5)
+            .map(|c| ScheduledCopy {
+                producer: OpId::new(c[0] as usize),
+                from: c[1] as usize,
+                to: c[2] as usize,
+                cycle: c[3] as u32,
+                bus: c[4] as usize,
+            })
+            .collect();
+
+        Ok(Schedule {
+            ii,
+            ops,
+            copies,
+            mii,
+            res_mii,
+            rec_mii,
+            latencies: LatencyAssignment::from_raw(lat, target_mii),
+        })
+    }
 }
 
 impl fmt::Display for Schedule {
@@ -295,3 +439,55 @@ impl fmt::Display for ScheduleError {
 }
 
 impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyAssignment;
+
+    fn schedule() -> Schedule {
+        Schedule {
+            ii: 2,
+            ops: vec![
+                ScheduledOp {
+                    cluster: 0,
+                    cycle: 0,
+                    assumed_latency: 2,
+                },
+                ScheduledOp {
+                    cluster: 1,
+                    cycle: 3,
+                    assumed_latency: 1,
+                },
+            ],
+            copies: vec![ScheduledCopy {
+                producer: OpId::new(0),
+                from: 0,
+                to: 1,
+                cycle: 2,
+                bus: 1,
+            }],
+            mii: 2,
+            res_mii: 1,
+            rec_mii: 2,
+            latencies: LatencyAssignment::from_raw(vec![2, 1], 2),
+        }
+    }
+
+    #[test]
+    fn compact_text_round_trips() {
+        let s = schedule();
+        let text = s.to_compact_text();
+        let back = Schedule::from_compact_text(&text).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(text, back.to_compact_text());
+    }
+
+    #[test]
+    fn compact_text_rejects_corruption() {
+        let s = schedule().to_compact_text();
+        assert!(Schedule::from_compact_text("").is_err());
+        assert!(Schedule::from_compact_text(&s.replace("ncopies 1", "ncopies 2")).is_err());
+        assert!(Schedule::from_compact_text(&s.replace("sched ii", "sched xx")).is_err());
+    }
+}

@@ -1,0 +1,580 @@
+//! The batch scheduling service: drain a large kernel×config request
+//! queue through the sharded schedule cache ([`crate::schedcache`]) with
+//! work-stealing workers, and prove the answers identical cold, warm and
+//! reloaded-from-disk.
+//!
+//! The workload replicates the suite: every factor-1 loop of the context
+//! is cloned into perturbed variants (fresh name → fresh array placement
+//! and fingerprint; jittered trip count), and each variant is requested
+//! under every §4 cluster policy × unroll mode — the shape of a
+//! compiler-server clientele, thousands of near-duplicate jobs with a
+//! long cost tail.
+//!
+//! Four passes over the *same* request list:
+//!
+//! 1. **cold serial** — fresh cache, one thread, request order: the
+//!    reference answers and the throughput floor;
+//! 2. **cold parallel** — fresh cache, work-stealing drain: requests are
+//!    sorted most-expensive-first (backend
+//!    [`cost_rank`](vliw_sched::SchedBackend::cost_rank),
+//!    then dynamic size) and dealt round-robin to per-worker deques;
+//!    idle workers steal the *back half* of a victim's deque, so the
+//!    expensive head jobs spread out and the cheap tail amortizes;
+//! 3. **warm memory** — the pass-2 cache drained again: every request is
+//!    an in-memory hit (hit rate exactly 1.0);
+//! 4. **warm disk** — the cache is exported to a [`ScheduleStore`],
+//!    reloaded through its text form, and a *fresh* cache backed by it
+//!    drains the queue: no candidate scheduling, only rebuild+verify.
+//!
+//! Every pass folds its per-request schedule digests (in request order)
+//! into one fingerprint; all four must be bit-identical. Per-shard
+//! hit/contention counters from the cold parallel pass expose how the
+//! lock striping behaved under real load.
+
+use std::collections::VecDeque;
+use std::hash::Hasher as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use vliw_ir::{kernel_fingerprint, LoopKernel, StableHasher};
+use vliw_sched::ClusterPolicy;
+
+use crate::context::{ExperimentContext, RunConfig, UnrollMode};
+use crate::schedcache::{SchedCache, ScheduleStore, ShardCounters};
+
+/// One job: schedule `kernel` under `cfg`.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// The (possibly perturbed) original kernel.
+    pub kernel: LoopKernel,
+    /// The configuration to prepare it under.
+    pub cfg: RunConfig,
+}
+
+/// Knobs of the batch run.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Minimum request count; the suite is replicated into perturbed
+    /// variants until the queue is at least this long.
+    pub target_requests: usize,
+    /// Worker threads of the parallel passes.
+    pub workers: usize,
+    /// Shard count of the caches.
+    pub shards: usize,
+}
+
+impl BatchOptions {
+    /// Paper-scale defaults: 10k+ requests, one worker per core.
+    pub fn full() -> Self {
+        BatchOptions {
+            target_requests: 10_000,
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            shards: 16,
+        }
+    }
+
+    /// CI-scale defaults: a few hundred requests, bounded workers.
+    pub fn quick() -> Self {
+        BatchOptions {
+            target_requests: 256,
+            workers: std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(8),
+            shards: 16,
+        }
+    }
+}
+
+/// One timed drain of the queue.
+#[derive(Debug, Clone)]
+pub struct PassReport {
+    /// Wall time of the drain.
+    pub seconds: f64,
+    /// Requests per second.
+    pub per_sec: f64,
+    /// The order-sensitive fold of all request digests.
+    pub fingerprint: u64,
+    /// Deque steals performed (0 for the serial pass).
+    pub steals: u64,
+}
+
+/// The whole batch study.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Requests drained per pass.
+    pub requests: usize,
+    /// Distinct cache keys the queue resolves to.
+    pub unique_keys: usize,
+    /// Perturbed variants per suite loop.
+    pub variants: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Cache shards used.
+    pub shards: usize,
+    /// Pass 1: cold, one thread, request order.
+    pub cold_serial: PassReport,
+    /// Pass 2: cold, work-stealing drain.
+    pub cold_parallel: PassReport,
+    /// Pass 3: pass-2 cache drained again (all in-memory hits).
+    pub warm_mem: PassReport,
+    /// Pass 4: fresh cache fed by the round-tripped store.
+    pub warm_disk: PassReport,
+    /// In-memory hit rate of the warm-memory pass (must be 1.0).
+    pub warm_hit_rate: f64,
+    /// Fraction of warm-disk requests served by store rebuilds.
+    pub store_hit_rate: f64,
+    /// Store entries rejected as stale in the warm-disk pass.
+    pub store_stale: u64,
+    /// Entries in the exported store.
+    pub store_entries: usize,
+    /// Whether the store's text form survived serialize → parse intact.
+    pub store_roundtrip_ok: bool,
+    /// Whether all four pass fingerprints agree.
+    pub deterministic: bool,
+    /// Requests whose preparation failed (hashed into the fingerprint;
+    /// 0 on the shipped suite).
+    pub failures: u64,
+    /// Per-shard counters captured after the cold parallel pass.
+    pub cold_shards: Vec<ShardCounters>,
+}
+
+impl BatchReport {
+    /// Warm-memory throughput over cold parallel throughput — the
+    /// headline "what does the cache buy a batch server" ratio.
+    pub fn warm_over_cold(&self) -> f64 {
+        self.warm_mem.per_sec / self.cold_parallel.per_sec
+    }
+
+    /// The per-shard counter CSV (`results/batch_shards.csv`).
+    pub fn shard_csv(&self) -> String {
+        let mut out = String::from(
+            "shard,entries,hits,store_hits,prepares,stale,inflight_waits,map_contended\n",
+        );
+        for (i, s) in self.cold_shards.iter().enumerate() {
+            out.push_str(&format!(
+                "{i},{},{},{},{},{},{},{}\n",
+                s.entries,
+                s.hits,
+                s.store_hits,
+                s.prepares,
+                s.stale,
+                s.inflight_waits,
+                s.map_contended
+            ));
+        }
+        out
+    }
+
+    /// The `batch` metrics of `BENCH_repro.json`.
+    pub fn metrics(&self) -> Vec<(String, f64)> {
+        let b = |x: bool| if x { 1.0 } else { 0.0 };
+        vec![
+            ("requests".into(), self.requests as f64),
+            ("unique_keys".into(), self.unique_keys as f64),
+            ("variants".into(), self.variants as f64),
+            ("workers".into(), self.workers as f64),
+            ("shards".into(), self.shards as f64),
+            ("cold_serial_seconds".into(), self.cold_serial.seconds),
+            ("cold_serial_per_sec".into(), self.cold_serial.per_sec),
+            ("cold_seconds".into(), self.cold_parallel.seconds),
+            ("cold_schedules_per_sec".into(), self.cold_parallel.per_sec),
+            ("cold_steals".into(), self.cold_parallel.steals as f64),
+            ("warm_seconds".into(), self.warm_mem.seconds),
+            ("warm_schedules_per_sec".into(), self.warm_mem.per_sec),
+            ("warm_hit_rate".into(), self.warm_hit_rate),
+            ("warm_over_cold".into(), self.warm_over_cold()),
+            ("disk_seconds".into(), self.warm_disk.seconds),
+            ("disk_schedules_per_sec".into(), self.warm_disk.per_sec),
+            ("store_hit_rate".into(), self.store_hit_rate),
+            ("store_stale".into(), self.store_stale as f64),
+            ("store_entries".into(), self.store_entries as f64),
+            ("store_roundtrip_ok".into(), b(self.store_roundtrip_ok)),
+            ("deterministic".into(), b(self.deterministic)),
+            ("failures".into(), self.failures as f64),
+            (
+                "inflight_waits".into(),
+                self.cold_shards
+                    .iter()
+                    .map(|s| s.inflight_waits)
+                    .sum::<u64>() as f64,
+            ),
+            (
+                "map_contended".into(),
+                self.cold_shards
+                    .iter()
+                    .map(|s| s.map_contended)
+                    .sum::<u64>() as f64,
+            ),
+        ]
+    }
+}
+
+impl std::fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "batch: {} requests ({} unique keys, {} variants/loop), \
+             {} workers x {} shards",
+            self.requests, self.unique_keys, self.variants, self.workers, self.shards
+        )?;
+        writeln!(
+            f,
+            "  cold serial   {:>9.1} req/s ({:.3}s)",
+            self.cold_serial.per_sec, self.cold_serial.seconds
+        )?;
+        writeln!(
+            f,
+            "  cold parallel {:>9.1} req/s ({:.3}s, {} steals)",
+            self.cold_parallel.per_sec, self.cold_parallel.seconds, self.cold_parallel.steals
+        )?;
+        writeln!(
+            f,
+            "  warm memory   {:>9.1} req/s ({:.3}s, hit rate {:.3}, {:.1}x cold)",
+            self.warm_mem.per_sec,
+            self.warm_mem.seconds,
+            self.warm_hit_rate,
+            self.warm_over_cold()
+        )?;
+        writeln!(
+            f,
+            "  warm disk     {:>9.1} req/s ({:.3}s, store hit rate {:.3}, {} stale)",
+            self.warm_disk.per_sec, self.warm_disk.seconds, self.store_hit_rate, self.store_stale
+        )?;
+        writeln!(
+            f,
+            "  store: {} entries, round-trip {}; determinism {}; {} failures",
+            self.store_entries,
+            if self.store_roundtrip_ok {
+                "exact"
+            } else {
+                "BROKEN"
+            },
+            if self.deterministic { "ok" } else { "BROKEN" },
+            self.failures
+        )
+    }
+}
+
+/// Builds the request queue: every suite loop × perturbed variant ×
+/// (policy × unroll) configuration, at least `target` requests long.
+pub fn build_requests(ctx: &ExperimentContext, target: usize) -> (Vec<BatchRequest>, usize) {
+    let configs: Vec<RunConfig> = ClusterPolicy::ALL
+        .iter()
+        .flat_map(|&policy| {
+            [UnrollMode::NoUnroll, UnrollMode::Selective].map(|unroll| RunConfig {
+                policy,
+                unroll,
+                ..RunConfig::ipbc()
+            })
+        })
+        .collect();
+    let loops: Vec<LoopKernel> = ctx
+        .models()
+        .into_iter()
+        .flat_map(|m| m.loops.into_iter().map(|l| l.kernel))
+        .collect();
+    let per_variant = loops.len() * configs.len();
+    let variants = target.div_ceil(per_variant.max(1)).max(1);
+    let mut requests = Vec::with_capacity(per_variant * variants);
+    for v in 0..variants {
+        for kernel in &loops {
+            let kernel = perturb(kernel, v);
+            for cfg in &configs {
+                requests.push(BatchRequest {
+                    kernel: kernel.clone(),
+                    cfg: *cfg,
+                });
+            }
+        }
+    }
+    (requests, variants)
+}
+
+/// Variant `v` of a suite kernel: `v == 0` is the kernel itself; later
+/// variants get a fresh name (fresh array placement, fresh fingerprint)
+/// and a jittered trip count — distinct cache keys doing comparable work,
+/// like near-duplicate loops across a program population.
+fn perturb(kernel: &LoopKernel, v: usize) -> LoopKernel {
+    if v == 0 {
+        return kernel.clone();
+    }
+    let mut k = kernel.clone();
+    k.name = format!("{}_v{v}", kernel.name);
+    k.avg_trip = (kernel.avg_trip * (1.0 + 0.03 * ((v % 7) as f64))).max(8.0);
+    k
+}
+
+/// The deterministic digest of one answered request.
+fn digest(
+    result: &Result<std::sync::Arc<crate::context::PreparedLoop>, vliw_sched::ScheduleError>,
+) -> u64 {
+    let mut h = StableHasher::new();
+    match result {
+        Ok(p) => {
+            h.write_str(&p.schedule.to_compact_text());
+            h.write_u64(kernel_fingerprint(&p.kernel));
+        }
+        Err(e) => h.write_str(&format!("err {e}")),
+    }
+    h.finish()
+}
+
+/// Most-expensive-first drain order: backend cost rank, then dynamic
+/// size. Ties keep queue order, so the order is deterministic.
+fn cost_order(requests: &[BatchRequest]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by_key(|&i| {
+        let r = &requests[i];
+        let size = (r.kernel.ops.len() as u64) * (r.kernel.avg_trip as u64).max(1);
+        (
+            std::cmp::Reverse(r.cfg.backend.cost_rank()),
+            std::cmp::Reverse(size),
+            i,
+        )
+    });
+    order
+}
+
+struct Drain {
+    digests: Vec<u64>,
+    seconds: f64,
+    steals: u64,
+    failures: u64,
+}
+
+/// One work-stealing drain of the whole queue through `cache`.
+fn drain(
+    cache: &SchedCache,
+    requests: &[BatchRequest],
+    ctx: &ExperimentContext,
+    workers: usize,
+) -> Drain {
+    let workers = workers.max(1).min(requests.len().max(1));
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, idx) in cost_order(requests).into_iter().enumerate() {
+        deques[i % workers]
+            .lock()
+            .expect("deque lock")
+            .push_back(idx);
+    }
+    let slots: Vec<OnceLock<u64>> = (0..requests.len()).map(|_| OnceLock::new()).collect();
+    let steals = AtomicU64::new(0);
+    let failures = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let steals = &steals;
+            let failures = &failures;
+            s.spawn(move || loop {
+                let job = deques[w].lock().expect("deque lock").pop_front();
+                let job = match job {
+                    Some(j) => Some(j),
+                    None => {
+                        // steal the back half of the first non-empty victim:
+                        // the head (expensive) jobs stay with their owner,
+                        // the tail spreads out
+                        let mut found = None;
+                        for off in 1..workers {
+                            let v = (w + off) % workers;
+                            let mut victim = deques[v].lock().expect("deque lock");
+                            let len = victim.len();
+                            if len == 0 {
+                                continue;
+                            }
+                            let mut stolen = victim.split_off(len - len.div_ceil(2));
+                            drop(victim);
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            let first = stolen.pop_front();
+                            if !stolen.is_empty() {
+                                deques[w].lock().expect("deque lock").append(&mut stolen);
+                            }
+                            found = first;
+                            break;
+                        }
+                        found
+                    }
+                };
+                let Some(i) = job else { break };
+                let req = &requests[i];
+                let machine = ctx.machine_for(&req.cfg);
+                let result = cache.prepare(&req.kernel, &machine, &req.cfg, ctx);
+                if result.is_err() {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+                slots[i]
+                    .set(digest(&result))
+                    .expect("each request answered once");
+            });
+        }
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+    Drain {
+        digests: slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("request drained"))
+            .collect(),
+        seconds,
+        steals: steals.load(Ordering::Relaxed),
+        failures: failures.load(Ordering::Relaxed),
+    }
+}
+
+/// The strictly serial reference drain, in request order.
+fn drain_serial(cache: &SchedCache, requests: &[BatchRequest], ctx: &ExperimentContext) -> Drain {
+    let t0 = Instant::now();
+    let mut failures = 0;
+    let digests = requests
+        .iter()
+        .map(|req| {
+            let machine = ctx.machine_for(&req.cfg);
+            let result = cache.prepare(&req.kernel, &machine, &req.cfg, ctx);
+            if result.is_err() {
+                failures += 1;
+            }
+            digest(&result)
+        })
+        .collect();
+    Drain {
+        digests,
+        seconds: t0.elapsed().as_secs_f64(),
+        steals: 0,
+        failures,
+    }
+}
+
+fn fold(digests: &[u64]) -> u64 {
+    let mut h = StableHasher::new();
+    for &d in digests {
+        h.write_u64(d);
+    }
+    h.finish()
+}
+
+fn pass(d: &Drain, n: usize) -> PassReport {
+    PassReport {
+        seconds: d.seconds,
+        per_sec: n as f64 / d.seconds.max(1e-9),
+        fingerprint: fold(&d.digests),
+        steals: d.steals,
+    }
+}
+
+/// Runs the whole batch study. See the module docs for the four passes.
+pub fn run_batch(ctx: &ExperimentContext, opts: &BatchOptions) -> BatchReport {
+    let (requests, variants) = build_requests(ctx, opts.target_requests);
+    let n = requests.len();
+
+    // pass 1: cold serial (the reference answers)
+    let serial_cache = SchedCache::with_shards(opts.shards);
+    let serial = drain_serial(&serial_cache, &requests, ctx);
+
+    // pass 2: cold parallel (work-stealing)
+    let cache = SchedCache::with_shards(opts.shards);
+    let cold = drain(&cache, &requests, ctx, opts.workers);
+    let cold_shards = cache.shard_counters();
+    let unique_keys = cache.len();
+
+    // pass 3: warm memory (same cache; every request hits)
+    let hits_before = cache.hits();
+    let warm = drain(&cache, &requests, ctx, opts.workers);
+    let warm_hit_rate = (cache.hits() - hits_before) as f64 / n as f64;
+
+    // pass 4: warm disk (export -> text round-trip -> fresh cache)
+    let store = cache.export_store();
+    let reloaded = ScheduleStore::from_text(&store.to_text());
+    let store_roundtrip_ok = reloaded
+        .as_ref()
+        .map(|r| r.to_text() == store.to_text())
+        .unwrap_or(false);
+    let disk_cache = SchedCache::with_shards(opts.shards)
+        .into_stored(reloaded.unwrap_or_else(|_| store.clone()));
+    let disk = drain(&disk_cache, &requests, ctx, opts.workers);
+    let store_hit_rate = disk_cache.store_hits() as f64 / n as f64;
+    let store_stale = disk_cache.stale();
+
+    let fps = [
+        fold(&serial.digests),
+        fold(&cold.digests),
+        fold(&warm.digests),
+        fold(&disk.digests),
+    ];
+    BatchReport {
+        requests: n,
+        unique_keys,
+        variants,
+        workers: opts.workers,
+        shards: opts.shards,
+        cold_serial: pass(&serial, n),
+        cold_parallel: pass(&cold, n),
+        warm_mem: pass(&warm, n),
+        warm_disk: pass(&disk, n),
+        warm_hit_rate,
+        store_hit_rate,
+        store_stale,
+        store_entries: store.len(),
+        store_roundtrip_ok,
+        deterministic: fps.iter().all(|&f| f == fps[0]),
+        failures: serial.failures.max(cold.failures),
+        cold_shards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ExperimentContext {
+        let mut ctx = ExperimentContext::quick();
+        ctx.benchmarks = vec!["gsmdec".into()];
+        ctx.sim.iteration_cap = 48;
+        ctx.profile.iteration_cap = 48;
+        ctx
+    }
+
+    #[test]
+    fn batch_is_deterministic_and_fully_warm() {
+        let ctx = tiny_ctx();
+        let opts = BatchOptions {
+            target_requests: 64,
+            workers: 4,
+            shards: 8,
+        };
+        let r = run_batch(&ctx, &opts);
+        assert!(r.requests >= 64);
+        assert!(r.deterministic, "pass fingerprints diverged");
+        assert_eq!(r.failures, 0);
+        assert!(
+            (r.warm_hit_rate - 1.0).abs() < 1e-12,
+            "warm pass must hit every request"
+        );
+        assert!(r.store_roundtrip_ok);
+        assert_eq!(r.store_entries, r.unique_keys);
+        assert!(
+            r.store_hit_rate > 0.9,
+            "disk pass should rebuild from the store (rate {})",
+            r.store_hit_rate
+        );
+        assert_eq!(r.store_stale, 0, "fresh store entries must never be stale");
+        // every request answered exactly once across shards
+        let total: u64 = r.cold_shards.iter().map(|s| s.hits + s.prepares).sum();
+        assert_eq!(total, r.requests as u64);
+    }
+
+    #[test]
+    fn request_queue_reaches_target_and_perturbs_fingerprints() {
+        let ctx = tiny_ctx();
+        let (reqs, variants) = build_requests(&ctx, 100);
+        assert!(reqs.len() >= 100);
+        assert!(variants >= 2);
+        let fp0 = kernel_fingerprint(&reqs[0].kernel);
+        let other = reqs
+            .iter()
+            .find(|r| r.kernel.name != reqs[0].kernel.name)
+            .expect("multiple kernels");
+        assert_ne!(fp0, kernel_fingerprint(&other.kernel));
+    }
+}

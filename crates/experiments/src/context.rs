@@ -1,7 +1,6 @@
 //! The experiment pipeline: profile → unroll → schedule → simulate.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use vliw_ir::{unroll, LoopKernel, OpId};
 use vliw_machine::MachineConfig;
@@ -158,6 +157,11 @@ pub struct ExperimentContext {
     pub benchmarks: Vec<String>,
     /// Circuit-enumeration caps passed to the scheduler.
     pub enum_limits: EnumLimits,
+    /// The `DelayTracking` backend's latency knob (see
+    /// [`ScheduleOptions::delay_percentile`]): `None` schedules at the
+    /// expectation of each measured latency distribution, `Some(p)` at
+    /// the p-th percentile. Part of the schedule-cache key.
+    pub delay_percentile: Option<f64>,
 }
 
 impl ExperimentContext {
@@ -176,6 +180,7 @@ impl ExperimentContext {
                 max_circuits: 4000,
                 max_len: 64,
             },
+            delay_percentile: None,
         }
     }
 
@@ -236,7 +241,7 @@ pub struct PreparedLoop {
 }
 
 /// Profiles `kernel` in place on the *profile* input and returns it.
-fn profiled(
+pub(crate) fn profiled(
     mut kernel: LoopKernel,
     machine: &MachineConfig,
     ctx: &ExperimentContext,
@@ -280,6 +285,117 @@ fn measured(
     Ok(kernel)
 }
 
+/// Builds the unroll variants of one original kernel per a
+/// configuration's profile source.
+///
+/// For the `Measured` source, factor 1 is measured **once** (on first
+/// use) and kept as a [`StreamProfile`]; the measurements of every
+/// unrolled variant are then *derived* by residue-slicing that stream
+/// ([`StreamProfile::derive_unrolled`]) instead of paying another
+/// bootstrap schedule + timing simulation per variant. A stream the
+/// derivation rejects (mis-aligned sample counts) falls back to direct
+/// re-measurement of that variant.
+pub(crate) struct VariantBuilder<'a> {
+    original: LoopKernel,
+    stream: Option<vliw_profile::StreamProfile>,
+    machine: &'a MachineConfig,
+    cfg: &'a RunConfig,
+    ctx: &'a ExperimentContext,
+}
+
+use vliw_profile::StreamProfile;
+
+impl<'a> VariantBuilder<'a> {
+    /// Profiles `original` per the source axis and wraps it for variant
+    /// building.
+    pub(crate) fn new(
+        original: &LoopKernel,
+        machine: &'a MachineConfig,
+        cfg: &'a RunConfig,
+        ctx: &'a ExperimentContext,
+    ) -> Self {
+        // hit rates steer the OUF analysis: profile the original first
+        // (the OUF analysis always runs on synthetic profiles —
+        // measurement needs a per-variant schedule, which does not exist
+        // yet at this point)
+        let original = match cfg.source {
+            ProfileSource::None => original.clone(),
+            _ => profiled(original.clone(), machine, ctx, cfg.padding),
+        };
+        VariantBuilder {
+            original,
+            stream: None,
+            machine,
+            cfg,
+            ctx,
+        }
+    }
+
+    /// The (synthetically profiled) factor-1 kernel.
+    pub(crate) fn original(&self) -> &LoopKernel {
+        &self.original
+    }
+
+    /// The factor-1 measurement stream, taken on first use.
+    fn stream(&mut self) -> Result<&StreamProfile, ScheduleError> {
+        if self.stream.is_none() {
+            let opts = vliw_profile::MeasureOptions {
+                policy: self.cfg.policy,
+                enum_limits: self.ctx.enum_limits,
+                sim: self.ctx.sim,
+            };
+            self.stream = Some(vliw_profile::measure_kernel_stream_on_input(
+                &self.original,
+                self.machine,
+                self.cfg.padding,
+                self.ctx.workloads.profile_input,
+                &opts,
+            )?);
+        }
+        Ok(self.stream.as_ref().expect("stream just taken"))
+    }
+
+    /// One unrolled variant's kernel, profiled per the source axis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bootstrap scheduling failures of the measurement run.
+    pub(crate) fn build(&mut self, factor: u32) -> Result<LoopKernel, ScheduleError> {
+        let (machine, ctx, cfg) = (self.machine, self.ctx, self.cfg);
+        match cfg.source {
+            ProfileSource::None => Ok(unroll(&self.original, factor)),
+            ProfileSource::Synthetic => Ok(profiled(
+                unroll(&self.original, factor),
+                machine,
+                ctx,
+                cfg.padding,
+            )),
+            ProfileSource::Measured => {
+                let mut kernel =
+                    profiled(unroll(&self.original, factor), machine, ctx, cfg.padding);
+                match self.stream()?.derive_unrolled(&kernel, factor, machine) {
+                    Ok(lp) => {
+                        vliw_profile::attach_measurements(&mut kernel, &lp)
+                            .expect("a derived measurement matches the kernel it was derived for");
+                        Ok(kernel)
+                    }
+                    Err(_) => measured(kernel, machine, cfg, ctx),
+                }
+            }
+        }
+    }
+}
+
+/// The scheduler options a configuration resolves to.
+pub(crate) fn schedule_options(cfg: &RunConfig, ctx: &ExperimentContext) -> ScheduleOptions {
+    ScheduleOptions {
+        enum_limits: ctx.enum_limits,
+        backend: cfg.backend,
+        delay_percentile: ctx.delay_percentile,
+        ..ScheduleOptions::new(cfg.policy)
+    }
+}
+
 /// Runs unrolling (per `cfg.unroll`), profiling and scheduling for one
 /// original kernel.
 ///
@@ -292,44 +408,18 @@ pub fn prepare_loop(
     cfg: &RunConfig,
     ctx: &ExperimentContext,
 ) -> Result<PreparedLoop, ScheduleError> {
-    let opts = ScheduleOptions {
-        enum_limits: ctx.enum_limits,
-        backend: cfg.backend,
-        ..ScheduleOptions::new(cfg.policy)
-    };
-    // hit rates steer the OUF analysis: profile the original first (the
-    // OUF analysis always runs on synthetic profiles — measurement needs
-    // a per-variant schedule, which does not exist yet at this point)
-    let original = match cfg.source {
-        ProfileSource::None => original.clone(),
-        _ => profiled(original.clone(), machine, ctx, cfg.padding),
-    };
-    let ouf = vliw_sched::optimal_unroll_factor(&original, machine);
+    let opts = schedule_options(cfg, ctx);
+    let mut builder = VariantBuilder::new(original, machine, cfg, ctx);
+    let ouf = vliw_sched::optimal_unroll_factor(builder.original(), machine);
     let candidates: Vec<(UnrollChoice, u32)> = match cfg.unroll {
         UnrollMode::NoUnroll => vec![(UnrollChoice::None, 1)],
         UnrollMode::Ouf => vec![(UnrollChoice::Ouf, ouf)],
-        UnrollMode::Selective => unroll_candidates(&original, machine),
-    };
-    // one unrolled variant's kernel, profiled per the source axis
-    let build = |factor: u32| -> Result<LoopKernel, ScheduleError> {
-        match cfg.source {
-            ProfileSource::None => Ok(unroll(&original, factor)),
-            ProfileSource::Synthetic => Ok(profiled(
-                unroll(&original, factor),
-                machine,
-                ctx,
-                cfg.padding,
-            )),
-            ProfileSource::Measured => {
-                let kernel = profiled(unroll(&original, factor), machine, ctx, cfg.padding);
-                measured(kernel, machine, cfg, ctx)
-            }
-        }
+        UnrollMode::Selective => unroll_candidates(builder.original(), machine),
     };
     let mut best: Option<PreparedLoop> = None;
     let mut last_err = None;
     for (choice, factor) in candidates {
-        let kernel = match build(factor) {
+        let kernel = match builder.build(factor) {
             Ok(k) => k,
             Err(e) => {
                 last_err = Some(e);
@@ -374,7 +464,7 @@ pub fn prepare_loop(
         None => {
             // no variant scheduled: retry factor 1 explicitly (covers the
             // Ouf-only mode whose single candidate failed)
-            let kernel = build(1).map_err(|e| last_err.take().unwrap_or(e))?;
+            let kernel = builder.build(1).map_err(|e| last_err.take().unwrap_or(e))?;
             let outcome = schedule_outcome(&kernel, machine, opts)
                 .map_err(|_| last_err.expect("at least one failure recorded"))?;
             Ok(PreparedLoop {
@@ -388,148 +478,11 @@ pub fn prepare_loop(
     }
 }
 
-/// Memoizes prepared loops across run configurations.
-///
-/// Preparation (profile → unroll → schedule) depends on the loop, the
-/// machine, the profiling knobs, the policy, the scheduler backend, the
-/// profile source, the unroll mode and the padding flag — *not* on Attraction Buffers or MSHR
-/// capacity (both
-/// consumed by the cache timing model, downstream of scheduling) and not
-/// on `use_hints`. A grid that sweeps buffer sizes, MSHR limits or hints
-/// therefore schedules each loop once per distinct key and reuses the
-/// result, which is where most of the full-suite wall time goes.
-///
-/// The key includes a machine/context fingerprint (with buffers and
-/// MSHRs masked out), so one memo can safely outlive a single context —
-/// e.g. be shared across the machine variants of the interleaving study —
-/// and same-named loops under different geometry never collide.
-///
-/// The memo is safe to share across worker threads; results are identical
-/// whether a cell computes or reuses an entry, because preparation is
-/// deterministic in the key.
-#[derive(Debug, Default)]
-pub struct ScheduleMemo {
-    // each key owns a slot; the slot's own mutex doubles as an in-flight
-    // guard, so concurrent cells needing the same preparation block on the
-    // first computer instead of duplicating the work
-    map: Mutex<HashMap<PrepareKey, Arc<MemoSlot>>>,
-    // prepares served from an already-completed slot (the scheduler work
-    // the memo saved) — reported into the perf trajectory by the grid
-    hits: std::sync::atomic::AtomicUsize,
-}
-
-/// One key's entry: empty while the first preparation is in flight.
-type MemoSlot = Mutex<Option<Arc<PreparedLoop>>>;
-
-/// The preparation-relevant slice of `(loop, machine, context, RunConfig)`:
-/// the kernel's name plus a content hash (same-named kernels with different
-/// bodies must not collide), a machine/context fingerprint (Attraction
-/// Buffers and MSHRs masked out — they do not affect preparation), and
-/// the preparation-relevant `RunConfig` axes. The scheduler backend and
-/// the profile source are part of the key: two backends on the same cell produce different
-/// schedules, so they must never share a memo slot
-/// (`backends_never_share_a_memo_slot` pins this).
-type PrepareKey = (
-    String,
-    u64,
-    String,
-    ArchVariant,
-    ClusterPolicy,
-    SchedBackend,
-    ProfileSource,
-    UnrollMode,
-    bool,
-);
-
-impl ScheduleMemo {
-    /// An empty memo.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn key(
-        kernel: &LoopKernel,
-        machine: &MachineConfig,
-        cfg: &RunConfig,
-        ctx: &ExperimentContext,
-    ) -> PrepareKey {
-        use std::hash::{Hash, Hasher};
-        let mut schedule_relevant = machine.clone();
-        schedule_relevant.attraction_buffers = None;
-        schedule_relevant.mshrs = Default::default();
-        let fingerprint = format!(
-            "{schedule_relevant:?}|{:?}|{:?}|{:?}",
-            ctx.workloads, ctx.profile, ctx.enum_limits
-        );
-        // structural hash over the kernel body: the name alone is not an
-        // identity for hand-built models
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        format!("{kernel:?}").hash(&mut h);
-        (
-            kernel.name.clone(),
-            h.finish(),
-            fingerprint,
-            cfg.arch,
-            cfg.policy,
-            cfg.backend,
-            cfg.source,
-            cfg.unroll,
-            cfg.padding,
-        )
-    }
-
-    /// Number of memoized schedules (completed preparations).
-    pub fn len(&self) -> usize {
-        let map = self.map.lock().expect("memo lock");
-        map.values()
-            .filter(|s| s.lock().expect("memo slot").is_some())
-            .count()
-    }
-
-    /// Whether nothing has been memoized yet.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Number of [`ScheduleMemo::prepare`] calls served from an existing
-    /// entry instead of scheduling — the work the memo saved.
-    pub fn hits(&self) -> usize {
-        self.hits.load(std::sync::atomic::Ordering::Relaxed)
-    }
-
-    /// Looks up or computes the prepared loop for `(original, cfg)`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates scheduling failures (pathological kernels only).
-    pub fn prepare(
-        &self,
-        original: &LoopKernel,
-        machine: &MachineConfig,
-        cfg: &RunConfig,
-        ctx: &ExperimentContext,
-    ) -> Result<Arc<PreparedLoop>, ScheduleError> {
-        let key = Self::key(original, machine, cfg, ctx);
-        let slot = {
-            let mut map = self.map.lock().expect("memo lock");
-            Arc::clone(map.entry(key).or_default())
-        };
-        // the slot lock is held across the computation: waiters for the
-        // same key block here (instead of duplicating the dominant cost),
-        // while cells with other keys proceed untouched
-        let mut guard = slot.lock().expect("memo slot");
-        if let Some(hit) = guard.as_ref() {
-            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
-        }
-        // scheduling failures are not cached: they are deterministic, and
-        // the pipeline's error path (skip + warn) is rare enough that a
-        // retry by a later waiter is harmless
-        let prepared = Arc::new(prepare_loop(original, machine, cfg, ctx)?);
-        *guard = Some(Arc::clone(&prepared));
-        Ok(prepared)
-    }
-}
+/// The schedule cache, re-exported under its historical name: every
+/// grid/driver that used the single-map `ScheduleMemo` now runs on the
+/// sharded, persistable [`SchedCache`](crate::schedcache::SchedCache)
+/// with identical results.
+pub use crate::schedcache::SchedCache as ScheduleMemo;
 
 /// The outcome of one loop under one configuration.
 #[derive(Debug, Clone)]

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod chains_exp;
 pub mod context;
 pub mod example433;
@@ -50,8 +51,10 @@ pub mod interleave_study;
 pub mod optgap;
 pub mod profile_fidelity;
 pub mod report;
+pub mod schedcache;
 pub mod tables;
 
+pub use batch::{run_batch, BatchOptions, BatchReport, BatchRequest};
 pub use context::{
     prepare_loop, run_benchmark, run_benchmark_memo, ArchVariant, BenchRun, ExperimentContext,
     LoopRun, PreparedLoop, ProfileSource, RunConfig, ScheduleMemo, UnrollMode,
@@ -60,3 +63,4 @@ pub use grid::{GridAxes, GridResult, Parallelism, RunGrid};
 pub use optgap::{OptGapResult, OptGapRow};
 pub use profile_fidelity::{CollectedSuite, ProfileFidelityResult};
 pub use report::{backend_quality_table, mshr_table, Table};
+pub use schedcache::{CacheKey, SchedCache, ScheduleStore, ShardCounters, StoreEntry};

@@ -163,6 +163,21 @@ impl PolicyDelta {
     }
 }
 
+/// The percentiles the delay-tracking sweep schedules at.
+pub const DELAY_PERCENTILES: [f64; 5] = [0.5, 0.75, 0.9, 0.95, 0.99];
+
+/// One point of the delay-percentile sweep: the `DelayTracking` backend
+/// re-schedules the measured factor-1 suite (IPBC) promising each load
+/// its *p*-th observed-latency percentile instead of the expectation —
+/// the knob trading stall risk against II.
+#[derive(Debug, Clone)]
+pub struct PercentileRow {
+    /// The percentile fed to [`ScheduleOptions::delay_percentile`].
+    pub p: f64,
+    /// Arithmetic-mean simulated total cycles at that percentile.
+    pub cycles: f64,
+}
+
 /// The delay-tracking backend over the whole measured factor-1 suite.
 #[derive(Debug, Clone)]
 pub struct DelaySuiteSummary {
@@ -190,6 +205,11 @@ pub struct ProfileFidelityResult {
     pub divergence: Vec<DivergenceRow>,
     /// Per-policy cycle deltas.
     pub policies: Vec<PolicyDelta>,
+    /// Delay-percentile sweep, one row per [`DELAY_PERCENTILES`] entry.
+    pub percentiles: Vec<PercentileRow>,
+    /// The expectation-based delay-tracking cycles the sweep compares
+    /// against (the IPBC `delay-tracking` cell of the policy table).
+    pub percentile_baseline: f64,
     /// Delay-tracking suite summary.
     pub delay: DelaySuiteSummary,
     /// The collected store (persisted by the repro driver).
@@ -227,6 +247,19 @@ impl ProfileFidelityResult {
         t
     }
 
+    /// The delay-percentile sweep table (`profile_percentiles.csv`).
+    pub fn percentile_table(&self) -> Table {
+        let mut t = Table::new(
+            "Delay-tracking latency percentile sweep (IPBC, measured, factor-1, amean)",
+            &["percentile", "cycles", "d vs E[lat] %"],
+        );
+        for r in &self.percentiles {
+            let delta = 100.0 * (r.cycles - self.percentile_baseline) / self.percentile_baseline;
+            t.row(vec![f3(r.p), fcycles(r.cycles), f3(delta)]);
+        }
+        t
+    }
+
     /// The per-policy cycle table (the headline `profile_fidelity.csv`).
     pub fn table(&self) -> Table {
         let mut t = Table::new(
@@ -258,6 +291,7 @@ impl fmt::Display for ProfileFidelityResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.divergence_table().render())?;
         f.write_str(&self.table().render())?;
+        f.write_str(&self.percentile_table().render())?;
         writeln!(
             f,
             "store: {} loops ({} skipped), round-trip {}",
@@ -372,6 +406,33 @@ fn delay_suite(suite: &CollectedSuite, ctx: &ExperimentContext) -> DelaySuiteSum
     out
 }
 
+/// Schedules the restricted delay-tracking cell (IPBC, measured
+/// profiles, factor 1) once per sweep percentile. The percentile lives on
+/// the *context* (not [`RunConfig`], which stays `Copy + Hash` for the
+/// schedule cache), so each point clones the context.
+fn percentile_sweep(ctx: &ExperimentContext) -> Vec<PercentileRow> {
+    let cfg = RunConfig {
+        unroll: UnrollMode::NoUnroll,
+        ..RunConfig::ipbc()
+    }
+    .with_source(ProfileSource::Measured)
+    .with_backend(SchedBackend::DelayTracking);
+    DELAY_PERCENTILES
+        .iter()
+        .map(|&p| {
+            let mut pctx = ctx.clone();
+            pctx.delay_percentile = Some(p);
+            let res = RunGrid::new("delay-percentile")
+                .config(format!("p{p}"), cfg)
+                .run(&pctx);
+            PercentileRow {
+                p,
+                cycles: res.amean_by_config(|r| r.total_cycles())[0],
+            }
+        })
+        .collect()
+}
+
 /// Runs the whole study on the context's suite.
 pub fn profile_fidelity(ctx: &ExperimentContext) -> ProfileFidelityResult {
     let suite = collect_suite(ctx);
@@ -412,8 +473,15 @@ pub fn profile_fidelity(ctx: &ExperimentContext) -> ProfileFidelityResult {
         })
         .collect();
 
+    let ipbc = ClusterPolicy::ALL
+        .iter()
+        .position(|p| *p == ClusterPolicy::PreBuildChains)
+        .expect("IPBC is a suite policy");
+
     ProfileFidelityResult {
         divergence: divergence_rows(&suite),
+        percentiles: percentile_sweep(ctx),
+        percentile_baseline: means[3 * ipbc + 2],
         policies,
         delay: delay_suite(&suite, ctx),
         roundtrip_ok,
@@ -447,6 +515,11 @@ mod tests {
             assert!(p.synthetic_cycles > 0.0);
             assert!(p.measured_cycles > 0.0);
             assert!(p.delay_cycles > 0.0);
+        }
+        assert_eq!(r.percentiles.len(), DELAY_PERCENTILES.len());
+        assert!(r.percentile_baseline > 0.0);
+        for row in &r.percentiles {
+            assert!(row.cycles > 0.0, "p={} produced no cycles", row.p);
         }
         assert_eq!(r.delay.verify_failures, 0, "delay schedules must verify");
         assert_eq!(r.delay.kernels, r.store.len());

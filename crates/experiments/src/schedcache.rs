@@ -1,0 +1,789 @@
+//! The schedule cache: sharded in memory, versioned on disk.
+//!
+//! This is the orchestration layer of "scheduling as a service": the
+//! single-map `ScheduleMemo` of earlier revisions, promoted to a
+//! content-addressed cache that (a) scales across worker threads by lock
+//! striping, and (b) outlives a process via a persistent store in the
+//! same integers-only text discipline as the measured-profile store.
+//!
+//! * **Key** ([`CacheKey`]): `kernel_fingerprint × env fingerprint ×
+//!   (arch, policy, backend, profile source, unroll, padding)`. Both
+//!   fingerprints are structural FNV-1a digests
+//!   ([`vliw_ir::StableHasher`]) — no `Debug`-string hashing, no
+//!   per-lookup formatting allocation, stable across toolchains. The env
+//!   fingerprint masks Attraction Buffers and MSHRs (consumed by the
+//!   cache timing model, downstream of scheduling), so buffer/hint/MSHR
+//!   sweeps share preparations exactly as before.
+//! * **Shards** ([`SchedCache`]): the key's stable hash picks one of N
+//!   independently locked shards; a shard's map lock is held only to
+//!   resolve the key to a slot. Each slot's own mutex doubles as the
+//!   in-flight guard: concurrent requests for the *same* cell block on
+//!   the first computer (one preparation per key, ever), while requests
+//!   for other cells — even in the same shard — proceed as soon as the
+//!   map lock is released. `try_lock` front-ends count real contention
+//!   per shard.
+//! * **Store** ([`ScheduleStore`]): completed cells can be exported to a
+//!   versioned text form and fed back into a fresh cache. A warm hit
+//!   rebuilds the prepared kernel (unroll + profile — no candidate
+//!   scheduling) and accepts the stored schedule only if the rebuilt
+//!   kernel's fingerprint matches the stored one *and* the schedule
+//!   verifies against it; anything else counts as stale and falls
+//!   through to a cold preparation. Schedules therefore survive across
+//!   runs, and a stale store can only cost time, never correctness.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, TryLockError};
+
+use vliw_ir::{kernel_fingerprint, LoopKernel, StableHasher};
+use vliw_machine::MachineConfig;
+use vliw_sched::{
+    ClusterPolicy, SchedBackend, SchedQuality, Schedule, ScheduleError, UnrollChoice,
+};
+
+use crate::context::{
+    prepare_loop, ArchVariant, ExperimentContext, PreparedLoop, ProfileSource, RunConfig,
+    UnrollMode, VariantBuilder,
+};
+
+/// On-disk format version of [`ScheduleStore`].
+pub const SCHED_STORE_VERSION: u32 = 1;
+
+/// Default shard count of a [`SchedCache`].
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// The preparation-relevant identity of one cache cell.
+///
+/// `kernel_fp` is the structural fingerprint of the *original* (factor-1,
+/// profile-blind) kernel; `env_fp` digests the masked machine and every
+/// context knob preparation reads (workload seeds/inputs, profiling and
+/// simulation caps, enumeration limits, the delay percentile). The
+/// remaining axes are the `RunConfig` fields preparation depends on —
+/// not Attraction Buffers, MSHRs or hints, which act downstream of
+/// scheduling. Backend and source are part of the key: two backends on
+/// the same cell produce different schedules and must never share a slot
+/// (`backends_never_share_a_memo_slot` pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`kernel_fingerprint`] of the original kernel.
+    pub kernel_fp: u64,
+    /// Stable digest of the masked machine + context knobs.
+    pub env_fp: u64,
+    /// Target cache organization.
+    pub arch: ArchVariant,
+    /// Cluster-assignment policy.
+    pub policy: ClusterPolicy,
+    /// Scheduler backend.
+    pub backend: SchedBackend,
+    /// Profile source.
+    pub source: ProfileSource,
+    /// Unrolling mode.
+    pub unroll: UnrollMode,
+    /// §4.3.4 padding flag.
+    pub padding: bool,
+}
+
+/// The environment fingerprint: masked machine (buffers and MSHRs zeroed
+/// — they do not affect preparation) plus every context knob the
+/// preparation pipeline reads. Computed with the derived `Hash` of
+/// `MachineConfig` fed into a [`StableHasher`], so it is structural and
+/// toolchain-stable.
+fn env_fingerprint(machine: &MachineConfig, ctx: &ExperimentContext) -> u64 {
+    let mut masked = machine.clone();
+    masked.attraction_buffers = None;
+    masked.mshrs = Default::default();
+    let mut h = StableHasher::new();
+    masked.hash(&mut h);
+    ctx.workloads.hash(&mut h);
+    ctx.profile.hash(&mut h);
+    ctx.sim.hash(&mut h);
+    ctx.enum_limits.hash(&mut h);
+    h.write_opt_u64(ctx.delay_percentile.map(f64::to_bits));
+    h.finish()
+}
+
+fn arch_token(arch: ArchVariant) -> String {
+    match arch {
+        ArchVariant::WordInterleaved => "wi".into(),
+        ArchVariant::MultiVliw => "mv".into(),
+        ArchVariant::Unified(lat) => format!("uni{lat}"),
+    }
+}
+
+fn parse_arch(tok: &str) -> Result<ArchVariant, String> {
+    match tok {
+        "wi" => Ok(ArchVariant::WordInterleaved),
+        "mv" => Ok(ArchVariant::MultiVliw),
+        _ => tok
+            .strip_prefix("uni")
+            .and_then(|l| l.parse().ok())
+            .map(ArchVariant::Unified)
+            .ok_or_else(|| format!("unknown arch token `{tok}`")),
+    }
+}
+
+fn policy_token(policy: ClusterPolicy) -> &'static str {
+    match policy {
+        ClusterPolicy::Free => "base",
+        ClusterPolicy::BuildChains => "ibc",
+        ClusterPolicy::PreBuildChains => "ipbc",
+        ClusterPolicy::NoChains => "nochains",
+    }
+}
+
+fn parse_policy(tok: &str) -> Result<ClusterPolicy, String> {
+    match tok {
+        "base" => Ok(ClusterPolicy::Free),
+        "ibc" => Ok(ClusterPolicy::BuildChains),
+        "ipbc" => Ok(ClusterPolicy::PreBuildChains),
+        "nochains" => Ok(ClusterPolicy::NoChains),
+        _ => Err(format!("unknown policy token `{tok}`")),
+    }
+}
+
+fn backend_token(backend: SchedBackend) -> &'static str {
+    match backend {
+        SchedBackend::SwingModulo => "swing",
+        SchedBackend::ExactBnB => "bnb",
+        SchedBackend::DelayTracking => "delay",
+    }
+}
+
+fn parse_backend(tok: &str) -> Result<SchedBackend, String> {
+    match tok {
+        "swing" => Ok(SchedBackend::SwingModulo),
+        "bnb" => Ok(SchedBackend::ExactBnB),
+        "delay" => Ok(SchedBackend::DelayTracking),
+        _ => Err(format!("unknown backend token `{tok}`")),
+    }
+}
+
+fn source_token(source: ProfileSource) -> &'static str {
+    match source {
+        ProfileSource::None => "none",
+        ProfileSource::Synthetic => "syn",
+        ProfileSource::Measured => "meas",
+    }
+}
+
+fn parse_source(tok: &str) -> Result<ProfileSource, String> {
+    match tok {
+        "none" => Ok(ProfileSource::None),
+        "syn" => Ok(ProfileSource::Synthetic),
+        "meas" => Ok(ProfileSource::Measured),
+        _ => Err(format!("unknown source token `{tok}`")),
+    }
+}
+
+fn unroll_token(unroll: UnrollMode) -> &'static str {
+    match unroll {
+        UnrollMode::NoUnroll => "no",
+        UnrollMode::Ouf => "ouf",
+        UnrollMode::Selective => "sel",
+    }
+}
+
+fn parse_unroll(tok: &str) -> Result<UnrollMode, String> {
+    match tok {
+        "no" => Ok(UnrollMode::NoUnroll),
+        "ouf" => Ok(UnrollMode::Ouf),
+        "sel" => Ok(UnrollMode::Selective),
+        _ => Err(format!("unknown unroll token `{tok}`")),
+    }
+}
+
+fn choice_token(choice: UnrollChoice) -> &'static str {
+    match choice {
+        UnrollChoice::None => "none",
+        UnrollChoice::TimesN => "xn",
+        UnrollChoice::Ouf => "ouf",
+    }
+}
+
+fn parse_choice(tok: &str) -> Result<UnrollChoice, String> {
+    match tok {
+        "none" => Ok(UnrollChoice::None),
+        "xn" => Ok(UnrollChoice::TimesN),
+        "ouf" => Ok(UnrollChoice::Ouf),
+        _ => Err(format!("unknown choice token `{tok}`")),
+    }
+}
+
+fn quality_token(quality: SchedQuality) -> &'static str {
+    match quality {
+        SchedQuality::Heuristic => "heur",
+        SchedQuality::ProvenOptimal => "opt",
+        SchedQuality::CutoffFeasible => "cutoff",
+    }
+}
+
+fn parse_quality(tok: &str) -> Result<SchedQuality, String> {
+    match tok {
+        "heur" => Ok(SchedQuality::Heuristic),
+        "opt" => Ok(SchedQuality::ProvenOptimal),
+        "cutoff" => Ok(SchedQuality::CutoffFeasible),
+        _ => Err(format!("unknown quality token `{tok}`")),
+    }
+}
+
+impl CacheKey {
+    /// The key of `(original, machine, cfg, ctx)`.
+    pub fn of(
+        original: &LoopKernel,
+        machine: &MachineConfig,
+        cfg: &RunConfig,
+        ctx: &ExperimentContext,
+    ) -> Self {
+        CacheKey {
+            kernel_fp: kernel_fingerprint(original),
+            env_fp: env_fingerprint(machine, ctx),
+            arch: cfg.arch,
+            policy: cfg.policy,
+            backend: cfg.backend,
+            source: cfg.source,
+            unroll: cfg.unroll,
+            padding: cfg.padding,
+        }
+    }
+
+    /// A toolchain-stable hash of the key (used for shard selection, so
+    /// shard assignment — and with it the per-shard counters — is
+    /// reproducible across runs).
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.kernel_fp);
+        h.write_u64(self.env_fp);
+        h.write_str(&arch_token(self.arch));
+        h.write_str(policy_token(self.policy));
+        h.write_str(backend_token(self.backend));
+        h.write_str(source_token(self.source));
+        h.write_str(unroll_token(self.unroll));
+        h.write_u8(u8::from(self.padding));
+        h.finish()
+    }
+}
+
+use std::hash::Hasher as _;
+
+/// One key's entry: empty while the first preparation is in flight. The
+/// slot's own mutex is the in-flight guard.
+type Slot = Mutex<Option<Arc<PreparedLoop>>>;
+
+#[derive(Debug, Default)]
+struct ShardStats {
+    hits: AtomicU64,
+    store_hits: AtomicU64,
+    prepares: AtomicU64,
+    stale: AtomicU64,
+    inflight_waits: AtomicU64,
+    map_contended: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<HashMap<CacheKey, Arc<Slot>>>,
+    stats: ShardStats,
+}
+
+/// A per-shard counter snapshot (see [`SchedCache::shard_counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Completed cells resident in the shard.
+    pub entries: u64,
+    /// Prepares served from a completed in-memory slot.
+    pub hits: u64,
+    /// Prepares served by rebuilding a persistent-store entry.
+    pub store_hits: u64,
+    /// Cold preparations computed.
+    pub prepares: u64,
+    /// Store entries rejected as stale (fingerprint/verify mismatch).
+    pub stale: u64,
+    /// Times a thread blocked on another's in-flight preparation of the
+    /// same cell (work deduplicated, not duplicated).
+    pub inflight_waits: u64,
+    /// Times the shard's map lock was busy on arrival (real lock-striping
+    /// contention; the map lock is only held to resolve key → slot).
+    pub map_contended: u64,
+}
+
+/// The sharded, persistable schedule cache. See the module docs.
+#[derive(Debug)]
+pub struct SchedCache {
+    shards: Vec<Shard>,
+    store: Option<ScheduleStore>,
+}
+
+impl Default for SchedCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedCache {
+    /// An empty cache with [`DEFAULT_SHARDS`] shards and no backing
+    /// store.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty cache with `n` shards (`n ≥ 1`).
+    pub fn with_shards(n: usize) -> Self {
+        SchedCache {
+            shards: (0..n.max(1)).map(|_| Shard::default()).collect(),
+            store: None,
+        }
+    }
+
+    /// A cache warmed by `store`: lookups that miss in memory consult the
+    /// store and rebuild its schedules instead of re-scheduling.
+    pub fn with_store(store: ScheduleStore) -> Self {
+        Self::new().into_stored(store)
+    }
+
+    /// This cache, backed by `store` (keeps the shard layout).
+    pub fn into_stored(mut self, store: ScheduleStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Shard {
+        let idx = (key.stable_hash() % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Number of cached schedules (completed preparations).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let map = s.map.lock().expect("shard map lock");
+                map.values()
+                    .filter(|slot| slot.lock().expect("cache slot").is_some())
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn sum(&self, f: impl Fn(&ShardStats) -> &AtomicU64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| f(&s.stats).load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Prepares served from a completed in-memory slot — the scheduler
+    /// work the cache saved within this run.
+    pub fn hits(&self) -> usize {
+        self.sum(|s| &s.hits) as usize
+    }
+
+    /// Prepares served by rebuilding persistent-store entries — the
+    /// scheduler work a previous run saved this one.
+    pub fn store_hits(&self) -> u64 {
+        self.sum(|s| &s.store_hits)
+    }
+
+    /// Cold preparations computed.
+    pub fn prepares(&self) -> u64 {
+        self.sum(|s| &s.prepares)
+    }
+
+    /// Persistent-store entries rejected as stale.
+    pub fn stale(&self) -> u64 {
+        self.sum(|s| &s.stale)
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    pub fn shard_counters(&self) -> Vec<ShardCounters> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let entries = {
+                    let map = s.map.lock().expect("shard map lock");
+                    map.values()
+                        .filter(|slot| slot.lock().expect("cache slot").is_some())
+                        .count() as u64
+                };
+                ShardCounters {
+                    entries,
+                    hits: s.stats.hits.load(Ordering::Relaxed),
+                    store_hits: s.stats.store_hits.load(Ordering::Relaxed),
+                    prepares: s.stats.prepares.load(Ordering::Relaxed),
+                    stale: s.stats.stale.load(Ordering::Relaxed),
+                    inflight_waits: s.stats.inflight_waits.load(Ordering::Relaxed),
+                    map_contended: s.stats.map_contended.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+
+    /// Looks up or computes the prepared loop for `(original, cfg)` —
+    /// the service entry point. Same-key requests dedupe onto one
+    /// preparation; different keys never serialize against each other
+    /// beyond their shard's key→slot resolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures (pathological kernels only).
+    /// Failures are not cached: they are deterministic and rare, so a
+    /// retry by a later waiter is harmless.
+    pub fn prepare(
+        &self,
+        original: &LoopKernel,
+        machine: &MachineConfig,
+        cfg: &RunConfig,
+        ctx: &ExperimentContext,
+    ) -> Result<Arc<PreparedLoop>, ScheduleError> {
+        let key = CacheKey::of(original, machine, cfg, ctx);
+        let shard = self.shard_of(&key);
+        let slot = {
+            let mut map = match shard.map.try_lock() {
+                Ok(g) => g,
+                Err(TryLockError::WouldBlock) => {
+                    shard.stats.map_contended.fetch_add(1, Ordering::Relaxed);
+                    shard.map.lock().expect("shard map lock")
+                }
+                Err(TryLockError::Poisoned(e)) => panic!("shard map lock poisoned: {e}"),
+            };
+            Arc::clone(map.entry(key).or_default())
+        };
+        // the slot lock is held across the computation: waiters for the
+        // same key block here (instead of duplicating the dominant cost),
+        // while cells with other keys proceed untouched
+        let mut guard = match slot.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => {
+                shard.stats.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                slot.lock().expect("cache slot lock")
+            }
+            Err(TryLockError::Poisoned(e)) => panic!("cache slot poisoned: {e}"),
+        };
+        if let Some(hit) = guard.as_ref() {
+            shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        if let Some(entry) = self.store.as_ref().and_then(|s| s.get(&key)) {
+            match rebuild(entry, original, machine, cfg, ctx) {
+                Ok(p) => {
+                    shard.stats.store_hits.fetch_add(1, Ordering::Relaxed);
+                    let p = Arc::new(p);
+                    *guard = Some(Arc::clone(&p));
+                    return Ok(p);
+                }
+                Err(_) => {
+                    shard.stats.stale.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        shard.stats.prepares.fetch_add(1, Ordering::Relaxed);
+        let prepared = Arc::new(prepare_loop(original, machine, cfg, ctx)?);
+        *guard = Some(Arc::clone(&prepared));
+        Ok(prepared)
+    }
+
+    /// Exports every completed cell into a [`ScheduleStore`].
+    pub fn export_store(&self) -> ScheduleStore {
+        let mut store = ScheduleStore::new();
+        for shard in &self.shards {
+            let map = shard.map.lock().expect("shard map lock");
+            for (key, slot) in map.iter() {
+                if let Some(p) = slot.lock().expect("cache slot").as_ref() {
+                    store.insert(StoreEntry {
+                        name: p.kernel.name.clone(),
+                        key: *key,
+                        choice: p.choice,
+                        factor: p.factor,
+                        prepared_fp: kernel_fingerprint(&p.kernel),
+                        quality: p.quality,
+                        schedule: p.schedule.clone(),
+                    });
+                }
+            }
+        }
+        store
+    }
+}
+
+/// Rebuilds a [`PreparedLoop`] from a store entry: re-derives the
+/// prepared kernel (unroll + profile at the stored factor — no candidate
+/// scheduling), then accepts the stored schedule only if the rebuilt
+/// kernel's fingerprint matches and the schedule verifies against it.
+fn rebuild(
+    entry: &StoreEntry,
+    original: &LoopKernel,
+    machine: &MachineConfig,
+    cfg: &RunConfig,
+    ctx: &ExperimentContext,
+) -> Result<PreparedLoop, String> {
+    let mut builder = VariantBuilder::new(original, machine, cfg, ctx);
+    let kernel = builder.build(entry.factor).map_err(|e| e.to_string())?;
+    let fp = kernel_fingerprint(&kernel);
+    if fp != entry.prepared_fp {
+        return Err(format!(
+            "stale: rebuilt kernel fingerprint {fp} != stored {}",
+            entry.prepared_fp
+        ));
+    }
+    if !entry.schedule.verify(&kernel, machine).is_empty() {
+        return Err("stale: stored schedule fails verification".into());
+    }
+    Ok(PreparedLoop {
+        kernel,
+        schedule: entry.schedule.clone(),
+        quality: entry.quality,
+        choice: entry.choice,
+        factor: entry.factor,
+    })
+}
+
+/// One persisted cell: its key, the unrolling decision, the fingerprint
+/// of the prepared (unrolled) kernel the schedule belongs to, and the
+/// schedule itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntry {
+    /// Original kernel name (readability + sort key; no whitespace).
+    pub name: String,
+    /// The cache key.
+    pub key: CacheKey,
+    /// Which unrolling variant won.
+    pub choice: UnrollChoice,
+    /// The unroll factor applied.
+    pub factor: u32,
+    /// [`kernel_fingerprint`] of the prepared (unrolled) kernel — the
+    /// staleness gate: a rebuilt kernel must hash to this before the
+    /// stored schedule is trusted.
+    pub prepared_fp: u64,
+    /// The backend's quality claim.
+    pub quality: SchedQuality,
+    /// The schedule.
+    pub schedule: Schedule,
+}
+
+impl StoreEntry {
+    fn header_line(&self) -> String {
+        format!(
+            "entry {} kfp {} efp {} arch {} policy {} backend {} source {} unroll {} pad {} \
+             choice {} factor {} pfp {} quality {}",
+            self.name,
+            self.key.kernel_fp,
+            self.key.env_fp,
+            arch_token(self.key.arch),
+            policy_token(self.key.policy),
+            backend_token(self.key.backend),
+            source_token(self.key.source),
+            unroll_token(self.key.unroll),
+            u8::from(self.key.padding),
+            choice_token(self.choice),
+            self.factor,
+            self.prepared_fp,
+            quality_token(self.quality),
+        )
+    }
+
+    fn parse_header(line: &str) -> Result<Self, String> {
+        let t: Vec<&str> = line.split_whitespace().collect();
+        if t.len() != 26 || t[0] != "entry" {
+            return Err(format!("bad entry header: `{line}`"));
+        }
+        let field = |tag: usize, name: &str| -> Result<&str, String> {
+            if t[tag] != name {
+                return Err(format!(
+                    "entry header: expected `{name}`, found `{}`",
+                    t[tag]
+                ));
+            }
+            Ok(t[tag + 1])
+        };
+        let int = |s: &str| s.parse::<u64>().map_err(|e| format!("entry header: {e}"));
+        let key = CacheKey {
+            kernel_fp: int(field(2, "kfp")?)?,
+            env_fp: int(field(4, "efp")?)?,
+            arch: parse_arch(field(6, "arch")?)?,
+            policy: parse_policy(field(8, "policy")?)?,
+            backend: parse_backend(field(10, "backend")?)?,
+            source: parse_source(field(12, "source")?)?,
+            unroll: parse_unroll(field(14, "unroll")?)?,
+            padding: match field(16, "pad")? {
+                "0" => false,
+                "1" => true,
+                other => return Err(format!("bad pad flag `{other}`")),
+            },
+        };
+        Ok(StoreEntry {
+            name: t[1].to_string(),
+            key,
+            choice: parse_choice(field(18, "choice")?)?,
+            factor: int(field(20, "factor")?)? as u32,
+            prepared_fp: int(field(22, "pfp")?)?,
+            quality: parse_quality(field(24, "quality")?)?,
+            // placeholder; the caller parses the schedule block next
+            schedule: Schedule::from_compact_text(
+                "sched ii 1 mii 1 res 1 rec 1 tmii 1 nops 0 ncopies 0\nops\nlats\ncopies\n",
+            )
+            .expect("placeholder schedule parses"),
+        })
+    }
+}
+
+/// The versioned on-disk form of a [`SchedCache`] — same discipline as
+/// the measured-profile store: plain text, integers only, deterministic
+/// (entries sorted), byte-exact round-trips, committed-file diffable.
+///
+/// Format:
+///
+/// ```text
+/// vliw-sched-store 1
+/// entries <N>
+/// entry <name> kfp <u64> efp <u64> arch <tok> policy <tok> backend <tok>
+///       source <tok> unroll <tok> pad <0|1> choice <tok> factor <k>
+///       pfp <u64> quality <tok>          (one line)
+/// sched ii … (4 lines, `Schedule::to_compact_text`)
+/// endentry
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleStore {
+    entries: Vec<StoreEntry>,
+    index: HashMap<CacheKey, usize>,
+}
+
+impl ScheduleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry under `key`, if present.
+    pub fn get(&self, key: &CacheKey) -> Option<&StoreEntry> {
+        self.index.get(key).map(|&i| &self.entries[i])
+    }
+
+    /// Inserts (or replaces) an entry.
+    pub fn insert(&mut self, entry: StoreEntry) {
+        match self.index.get(&entry.key) {
+            Some(&i) => self.entries[i] = entry,
+            None => {
+                self.index.insert(entry.key, self.entries.len());
+                self.entries.push(entry);
+            }
+        }
+    }
+
+    /// Serializes the store (entries sorted by header line, so the text
+    /// is deterministic regardless of insertion or shard order).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut sorted: Vec<&StoreEntry> = self.entries.iter().collect();
+        sorted.sort_by_key(|e| e.header_line());
+        let mut out = String::new();
+        let _ = writeln!(out, "vliw-sched-store {SCHED_STORE_VERSION}");
+        let _ = writeln!(out, "entries {}", sorted.len());
+        for e in sorted {
+            assert!(
+                !e.name.chars().any(char::is_whitespace),
+                "kernel names must not contain whitespace"
+            );
+            out.push_str(&e.header_line());
+            out.push('\n');
+            out.push_str(&e.schedule.to_compact_text());
+            out.push_str("endentry\n");
+        }
+        out
+    }
+
+    /// Parses a store serialized by [`ScheduleStore::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first framing or token error; a
+    /// version mismatch is an error (stale major format, not silently
+    /// reinterpreted).
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty store")?;
+        let mut it = header.split_whitespace();
+        if it.next() != Some("vliw-sched-store") {
+            return Err(format!("bad header: `{header}`"));
+        }
+        let version: u32 = it
+            .next()
+            .ok_or("missing version")?
+            .parse()
+            .map_err(|e| format!("bad version: {e}"))?;
+        if version != SCHED_STORE_VERSION {
+            return Err(format!(
+                "store version {version}, this build reads {SCHED_STORE_VERSION}"
+            ));
+        }
+        let counts = lines.next().ok_or("missing entry count")?;
+        let n: usize = counts
+            .strip_prefix("entries ")
+            .ok_or_else(|| format!("bad count line: `{counts}`"))?
+            .parse()
+            .map_err(|e| format!("bad count: {e}"))?;
+        let mut store = ScheduleStore::new();
+        for _ in 0..n {
+            let head = lines.next().ok_or("missing entry header")?;
+            let mut entry = StoreEntry::parse_header(head)?;
+            let sched_lines: Vec<&str> = (0..4)
+                .map(|_| lines.next().ok_or("truncated schedule block"))
+                .collect::<Result<_, _>>()?;
+            entry.schedule = Schedule::from_compact_text(&sched_lines.join("\n"))
+                .map_err(|e| format!("entry `{}`: {e}", entry.name))?;
+            if lines.next() != Some("endentry") {
+                return Err(format!("entry `{}`: missing endentry", entry.name));
+            }
+            store.insert(entry);
+        }
+        if store.len() != n {
+            return Err(format!(
+                "store declares {n} entries but {} distinct keys",
+                store.len()
+            ));
+        }
+        Ok(store)
+    }
+
+    /// Writes the store to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Reads a store from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and parse failures as strings.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_text(&text)
+    }
+}

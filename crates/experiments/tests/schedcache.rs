@@ -1,0 +1,273 @@
+//! Integration tests of the sharded schedule cache: concurrency safety
+//! (exactly one preparation per key under thread storms), persistence
+//! (byte-exact round-trips, rebuilds from disk, staleness rejection) and
+//! the structural key (same-name kernels with different bodies never
+//! collide — the failure mode of name-keyed memoization).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use vliw_experiments::{
+    ExperimentContext, PreparedLoop, RunConfig, SchedCache, ScheduleStore, UnrollMode,
+};
+use vliw_ir::{kernel_fingerprint, LoopKernel};
+use vliw_sched::ClusterPolicy;
+
+fn ctx() -> ExperimentContext {
+    let mut ctx = ExperimentContext::quick();
+    ctx.benchmarks = vec!["gsmdec".into()];
+    ctx.sim.iteration_cap = 48;
+    ctx.profile.iteration_cap = 48;
+    ctx
+}
+
+fn kernels(ctx: &ExperimentContext) -> Vec<LoopKernel> {
+    ctx.models()
+        .into_iter()
+        .flat_map(|m| m.loops.into_iter().map(|l| l.kernel))
+        .collect()
+}
+
+fn configs() -> Vec<RunConfig> {
+    vec![
+        RunConfig {
+            unroll: UnrollMode::NoUnroll,
+            ..RunConfig::ipbc()
+        },
+        RunConfig {
+            policy: ClusterPolicy::BuildChains,
+            unroll: UnrollMode::NoUnroll,
+            ..RunConfig::ipbc()
+        },
+    ]
+}
+
+fn identical(a: &PreparedLoop, b: &PreparedLoop) -> bool {
+    a.schedule.to_compact_text() == b.schedule.to_compact_text()
+        && kernel_fingerprint(&a.kernel) == kernel_fingerprint(&b.kernel)
+        && a.factor == b.factor
+        && a.choice == b.choice
+}
+
+/// M threads race on the same request list: each key is prepared exactly
+/// once, every other request is a hit, and every thread observes answers
+/// bit-identical to a serial reference.
+#[test]
+fn thread_storm_prepares_each_key_exactly_once() {
+    let ctx = ctx();
+    let kernels = kernels(&ctx);
+    let configs = configs();
+    let n_keys = kernels.len() * configs.len();
+    assert!(n_keys >= 4, "suite too small to stress");
+
+    // serial reference
+    let reference: Vec<Arc<PreparedLoop>> = {
+        let cache = SchedCache::new();
+        configs
+            .iter()
+            .flat_map(|cfg| {
+                let machine = ctx.machine_for(cfg);
+                kernels
+                    .iter()
+                    .map(|k| cache.prepare(k, &machine, cfg, &ctx).expect("schedules"))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+
+    const THREADS: usize = 8;
+    let cache = SchedCache::with_shards(4);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (cache, ctx, kernels, configs, reference) =
+                (&cache, &ctx, &kernels, &configs, &reference);
+            s.spawn(move || {
+                // every thread walks the requests in a different rotation
+                // so first-preparers vary per key
+                for i in 0..n_keys {
+                    let j = (i + t * 3) % n_keys;
+                    let cfg = &configs[j / kernels.len()];
+                    let kernel = &kernels[j % kernels.len()];
+                    let machine = ctx.machine_for(cfg);
+                    let got = cache
+                        .prepare(kernel, &machine, cfg, ctx)
+                        .expect("schedules");
+                    assert!(
+                        identical(&got, &reference[j]),
+                        "thread {t} got a non-reference answer for request {j}"
+                    );
+                }
+            });
+        }
+    });
+
+    assert_eq!(cache.len(), n_keys, "one completed cell per key");
+    assert_eq!(
+        cache.prepares(),
+        n_keys as u64,
+        "each key prepared exactly once"
+    );
+    assert_eq!(
+        cache.hits(),
+        THREADS * n_keys - n_keys,
+        "every non-first request is an in-memory hit"
+    );
+    assert_eq!(cache.store_hits(), 0);
+    assert_eq!(cache.stale(), 0);
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vliw-schedcache-{}-{name}", std::process::id()))
+}
+
+/// Persist → reload is byte-identical, and a fresh cache fed by the
+/// reloaded store answers every request by rebuild (no scheduling), with
+/// answers bit-identical to the cold ones.
+#[test]
+fn store_round_trips_and_serves_rebuilds() {
+    let ctx = ctx();
+    let kernels = kernels(&ctx);
+    let cfg = configs()[0];
+    let machine = ctx.machine_for(&cfg);
+
+    let cache = SchedCache::new();
+    let cold: Vec<Arc<PreparedLoop>> = kernels
+        .iter()
+        .map(|k| cache.prepare(k, &machine, &cfg, &ctx).expect("schedules"))
+        .collect();
+
+    let store = cache.export_store();
+    assert_eq!(store.len(), kernels.len());
+    let path = temp_path("roundtrip.store");
+    store.save(&path).expect("store saves");
+    let reloaded = ScheduleStore::load(&path).expect("store loads");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        store.to_text(),
+        reloaded.to_text(),
+        "byte-identical round-trip"
+    );
+
+    let warm_cache = SchedCache::with_store(reloaded);
+    for (k, cold_p) in kernels.iter().zip(&cold) {
+        let warm_p = warm_cache
+            .prepare(k, &machine, &cfg, &ctx)
+            .expect("rebuilds");
+        assert!(
+            identical(&warm_p, cold_p),
+            "{}: warm answer drifted",
+            k.name
+        );
+    }
+    assert_eq!(warm_cache.store_hits(), kernels.len() as u64);
+    assert_eq!(
+        warm_cache.prepares(),
+        0,
+        "no request fell back to scheduling"
+    );
+    assert_eq!(warm_cache.stale(), 0);
+}
+
+/// A store whose prepared-kernel fingerprints no longer match (the kernel
+/// changed since the store was written) is rejected entry by entry: the
+/// cache falls back to cold preparation, counts the staleness, and still
+/// produces correct answers.
+#[test]
+fn stale_fingerprints_are_rejected() {
+    let ctx = ctx();
+    let kernels = kernels(&ctx);
+    let cfg = configs()[0];
+    let machine = ctx.machine_for(&cfg);
+
+    let cache = SchedCache::new();
+    let cold: Vec<Arc<PreparedLoop>> = kernels
+        .iter()
+        .map(|k| cache.prepare(k, &machine, &cfg, &ctx).expect("schedules"))
+        .collect();
+
+    // corrupt every stored prepared-kernel fingerprint through the text
+    // form (the shape of a stale committed store after a kernel change)
+    let tampered = cache
+        .export_store()
+        .to_text()
+        .lines()
+        .map(|line| {
+            if let Some(tag) = line.find(" pfp ") {
+                let rest = &line[tag + 5..];
+                let end = rest.find(' ').unwrap_or(rest.len());
+                let fp: u64 = rest[..end].parse().expect("pfp is an integer");
+                format!(
+                    "{} pfp {}{}",
+                    &line[..tag],
+                    fp.wrapping_add(1),
+                    &rest[end..]
+                )
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    let stale_store = ScheduleStore::from_text(&tampered).expect("tampered store still parses");
+
+    let warm_cache = SchedCache::with_store(stale_store);
+    for (k, cold_p) in kernels.iter().zip(&cold) {
+        let p = warm_cache
+            .prepare(k, &machine, &cfg, &ctx)
+            .expect("schedules");
+        assert!(identical(&p, cold_p), "{}: stale fallback drifted", k.name);
+    }
+    assert_eq!(
+        warm_cache.stale(),
+        kernels.len() as u64,
+        "every entry rejected"
+    );
+    assert_eq!(warm_cache.store_hits(), 0);
+    assert_eq!(
+        warm_cache.prepares(),
+        kernels.len() as u64,
+        "all fell back cold"
+    );
+}
+
+/// A version bump is stale wholesale: the loader refuses the file rather
+/// than reinterpreting another format's framing.
+#[test]
+fn store_version_mismatch_is_an_error() {
+    let text = "vliw-sched-store 999\nentries 0\n";
+    let err = ScheduleStore::from_text(text).expect_err("future version must not parse");
+    assert!(err.contains("version"), "unhelpful error: {err}");
+}
+
+/// The key is structural, not nominal: two kernels sharing a name but
+/// differing in body get distinct cache cells — the collision a
+/// name-keyed (or `Debug`-string-keyed) memo would suffer.
+#[test]
+fn same_name_different_body_never_collides() {
+    let ctx = ctx();
+    let kernels = kernels(&ctx);
+    let cfg = configs()[0];
+    let machine = ctx.machine_for(&cfg);
+
+    let a = kernels[0].clone();
+    let mut b = a.clone();
+    b.avg_trip *= 2.0; // same name, different body
+    assert_eq!(a.name, b.name);
+    assert_ne!(kernel_fingerprint(&a), kernel_fingerprint(&b));
+
+    let cache = SchedCache::new();
+    let pa = cache.prepare(&a, &machine, &cfg, &ctx).expect("schedules");
+    let pb = cache.prepare(&b, &machine, &cfg, &ctx).expect("schedules");
+    assert_eq!(cache.len(), 2, "distinct bodies must occupy distinct cells");
+    assert_eq!(
+        cache.hits(),
+        0,
+        "the second kernel must not hit the first's cell"
+    );
+    assert_ne!(
+        kernel_fingerprint(&pa.kernel),
+        kernel_fingerprint(&pb.kernel),
+        "each cell serves its own kernel"
+    );
+}

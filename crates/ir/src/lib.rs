@@ -56,6 +56,7 @@
 
 mod builder;
 mod ddg;
+mod fingerprint;
 mod kernel;
 mod mem_access;
 mod op;
@@ -64,6 +65,7 @@ mod unroll;
 
 pub use builder::KernelBuilder;
 pub use ddg::{Ddg, DepEdge, DepKind};
+pub use fingerprint::{kernel_fingerprint, StableHasher};
 pub use kernel::LoopKernel;
 pub use mem_access::{ArrayId, ArrayInfo, ArrayKind, LatencyProfile, MemAccessInfo, MemProfile};
 pub use op::{FuKind, OpId, Opcode, Operation, SrcOperand};

@@ -29,7 +29,7 @@ impl fmt::Display for ArchKind {
 }
 
 /// Cluster resources.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClusterConfig {
     /// Number of clusters.
     pub n_clusters: usize,
@@ -64,7 +64,7 @@ impl Default for ClusterConfig {
 }
 
 /// First-level cache geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total L1 capacity in bytes (split across modules when distributed).
     pub total_bytes: usize,
@@ -106,7 +106,7 @@ impl Default for CacheConfig {
 /// Interconnect configuration. Both bus families run at half the core
 /// frequency (Table 2), so one transfer occupies its bus for
 /// [`BusConfig::transfer_cycles`] = 2 core cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BusConfig {
     /// Register-to-register communication buses.
     pub reg_buses: usize,
@@ -127,7 +127,7 @@ impl Default for BusConfig {
 }
 
 /// Next memory level: 4 ports, 10-cycle total latency, always hits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NextLevelConfig {
     /// Simultaneous requests serviced per cycle.
     pub ports: usize,
@@ -165,7 +165,7 @@ impl Default for MshrConfig {
 
 /// Attraction Buffer geometry (§3): a small per-cluster buffer holding
 /// remote *subblocks*; flushed at loop boundaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AttractionBufferConfig {
     /// Number of subblock entries.
     pub entries: usize,
@@ -183,7 +183,7 @@ impl Default for AttractionBufferConfig {
 }
 
 /// Complete machine description.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct MachineConfig {
     /// Architecture family.
     pub arch: ArchKind,

@@ -62,7 +62,7 @@ impl fmt::Display for AccessClass {
 /// 1 / 5 / 10 / 15 cycles. They are derivable from Table 2: a remote hit is
 /// a half-frequency bus request (2 cycles) + module access (1) + reply (2);
 /// a miss adds the 10-cycle next-level round trip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemLatencies {
     /// Local hit latency.
     pub local_hit: u32,
@@ -114,7 +114,7 @@ impl Default for MemLatencies {
 /// shows a 6-cycle divide and 1-cycle ALU operations, which the defaults
 /// here extend in the usual embedded-VLIW way (2-cycle multiplies and
 /// floating-point adds/multiplies).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OpLatencies {
     /// Simple integer ALU (add/sub/logic/shift/compare/select).
     pub int_alu: u32,

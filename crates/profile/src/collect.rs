@@ -29,6 +29,8 @@ pub struct Collector {
     interleave: u64,
     current: Vec<OpProfile>,
     finished: Option<Vec<OpProfile>>,
+    current_samples: Vec<Vec<AccessSample>>,
+    finished_samples: Option<Vec<Vec<AccessSample>>>,
 }
 
 impl Collector {
@@ -41,6 +43,8 @@ impl Collector {
                 .map(|_| OpProfile::new(machine.n_clusters()))
                 .collect(),
             finished: None,
+            current_samples: (0..n_ops).map(|_| Vec::new()).collect(),
+            finished_samples: None,
         }
     }
 
@@ -54,6 +58,14 @@ impl Collector {
     pub fn measurements(&self) -> &[OpProfile] {
         self.finished.as_deref().unwrap_or(&self.current)
     }
+
+    /// Per-operation, per-iteration samples of the measured segment (same
+    /// segment selection as [`Collector::measurements`]).
+    pub fn samples(&self) -> &[Vec<AccessSample>] {
+        self.finished_samples
+            .as_deref()
+            .unwrap_or(&self.current_samples)
+    }
 }
 
 impl AccessObserver for Collector {
@@ -66,6 +78,7 @@ impl AccessObserver for Collector {
             return;
         };
         let class = class_index(out.class);
+        let latency = (out.ready_at - req.now).min(u64::from(u32::MAX)) as u32;
         p.classes[class] = p.classes[class].saturating_add(1);
         p.cluster_hist[home] = p.cluster_hist[home].saturating_add(1);
         if out.combined {
@@ -74,8 +87,14 @@ impl AccessObserver for Collector {
         if out.ab_hit {
             p.ab_hits = p.ab_hits.saturating_add(1);
         }
-        let latency = (out.ready_at - req.now).min(u64::from(u32::MAX)) as u32;
         p.latency.record(latency);
+        self.current_samples[req.tag as usize].push(AccessSample {
+            class: class as u8,
+            home: home as u8,
+            combined: out.combined,
+            ab_hit: out.ab_hit,
+            latency,
+        });
     }
 
     fn loop_boundary(&mut self) {
@@ -83,6 +102,160 @@ impl AccessObserver for Collector {
             .map(|_| OpProfile::new(self.n_clusters))
             .collect();
         self.finished = Some(std::mem::replace(&mut self.current, fresh));
+        let fresh_samples = (0..self.current_samples.len())
+            .map(|_| Vec::new())
+            .collect();
+        self.finished_samples = Some(std::mem::replace(&mut self.current_samples, fresh_samples));
+    }
+}
+
+/// One observed access of one operation in one measured iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSample {
+    /// Access-class index (the `classes` slot order of [`OpProfile`](crate::OpProfile)).
+    pub class: u8,
+    /// Home cluster of the accessed address.
+    pub home: u8,
+    /// Whether the access was served by §5.2 combining.
+    pub combined: bool,
+    /// Whether an Attraction Buffer hit served it.
+    pub ab_hit: bool,
+    /// Observed latency (`ready_at − now`), contention included.
+    pub latency: u32,
+}
+
+/// A factor-1 measurement that keeps the per-iteration sample stream, so
+/// the measurements of *unrolled* variants can be **derived** instead of
+/// re-measured.
+///
+/// Copy `k` of an unroll-by-`U` kernel executes exactly the original
+/// iterations `≡ k (mod U)` (unrolling rewrites `offset += k·stride`,
+/// `stride ×= U`), and the simulator replays iterations `0..cap` from
+/// zero in the measured pass — so slicing the factor-1 stream by residue
+/// reproduces each copy's access stream without another bootstrap
+/// schedule + timing simulation per variant. What the derivation cannot
+/// reproduce is the *timing context* of a factor-`U` bootstrap run
+/// (contention under a different schedule); the samples carry the
+/// factor-1 run's timing, which is the defined semantics of a derived
+/// profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamProfile {
+    /// Kernel name (of the factor-1 kernel).
+    pub name: String,
+    /// [`kernel_fingerprint`] of the factor-1 kernel measured.
+    pub fingerprint: u64,
+    /// Operation count of the factor-1 kernel.
+    pub n_ops: usize,
+    /// Per-operation sample streams, indexed by op; sample `j` is measured
+    /// iteration `j`. Non-memory operations carry empty streams.
+    pub samples: Vec<Vec<AccessSample>>,
+}
+
+impl StreamProfile {
+    /// Aggregates one residue class of one op's stream into an
+    /// [`OpProfile`].
+    fn aggregate_residue(
+        &self,
+        op: usize,
+        factor: usize,
+        residue: usize,
+        n_clusters: usize,
+    ) -> OpProfile {
+        let mut p = OpProfile::new(n_clusters);
+        for s in self.samples[op]
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| j % factor == residue)
+            .map(|(_, s)| s)
+        {
+            p.classes[s.class as usize] = p.classes[s.class as usize].saturating_add(1);
+            p.cluster_hist[s.home as usize] = p.cluster_hist[s.home as usize].saturating_add(1);
+            if s.combined {
+                p.combined = p.combined.saturating_add(1);
+            }
+            if s.ab_hit {
+                p.ab_hits = p.ab_hits.saturating_add(1);
+            }
+            p.latency.record(s.latency);
+        }
+        p
+    }
+
+    /// The aggregate [`LoopProfile`] of the factor-1 kernel itself —
+    /// identical to what [`measure_kernel`] returns for the same run.
+    pub fn to_loop_profile(&self, kernel: &LoopKernel, machine: &MachineConfig) -> LoopProfile {
+        let n_clusters = machine.n_clusters();
+        LoopProfile {
+            name: self.name.clone(),
+            fingerprint: self.fingerprint,
+            n_ops: self.n_ops,
+            ops: kernel
+                .ops
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.is_mem())
+                .map(|(i, _)| (i, self.aggregate_residue(i, 1, 0, n_clusters)))
+                .collect(),
+        }
+    }
+
+    /// Derives the measurement of `unrolled` (the factor-`factor` variant
+    /// of the measured kernel) by residue-slicing the factor-1 streams:
+    /// copy `k` of original op `i` (unrolled index `k·n + i`) receives the
+    /// samples of iterations `≡ k (mod factor)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an `unrolled` kernel whose shape does not match
+    /// (`n_ops × factor`), or a stream in which some memory operation
+    /// recorded a different number of samples than its peers (which would
+    /// break the sample-index = iteration-index alignment the slicing
+    /// relies on). Callers fall back to direct measurement.
+    pub fn derive_unrolled(
+        &self,
+        unrolled: &LoopKernel,
+        factor: u32,
+        machine: &MachineConfig,
+    ) -> Result<LoopProfile, String> {
+        let n = self.n_ops;
+        let u = factor as usize;
+        if unrolled.ops.len() != n * u {
+            return Err(format!(
+                "unrolled kernel has {} ops, expected {} × {}",
+                unrolled.ops.len(),
+                n,
+                u
+            ));
+        }
+        let mut counts = self
+            .samples
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, s)| (i, s.len()));
+        if let Some((_, first)) = counts.next() {
+            if let Some((i, len)) = counts.find(|&(_, len)| len != first) {
+                return Err(format!(
+                    "op {i} recorded {len} samples where its peers recorded {first}; \
+                     streams are not iteration-aligned"
+                ));
+            }
+        }
+        let n_clusters = machine.n_clusters();
+        let mut ops = Vec::new();
+        for (idx, op) in unrolled.ops.iter().enumerate() {
+            if !op.is_mem() {
+                continue;
+            }
+            let (copy, orig) = (idx / n, idx % n);
+            ops.push((idx, self.aggregate_residue(orig, u, copy, n_clusters)));
+        }
+        Ok(LoopProfile {
+            name: unrolled.name.clone(),
+            fingerprint: kernel_fingerprint(unrolled),
+            n_ops: unrolled.ops.len(),
+            ops,
+        })
     }
 }
 
@@ -186,6 +359,66 @@ pub fn measure_kernel_on_input(
     measure_kernel(kernel, machine, &mut addresses, options)
 }
 
+/// [`measure_kernel`], but returning the full per-iteration sample stream
+/// ([`StreamProfile`]) instead of only the aggregate — one measurement run
+/// from which the profiles of every unroll variant can be derived.
+///
+/// # Errors
+///
+/// Propagates bootstrap scheduling failures.
+pub fn measure_kernel_stream(
+    kernel: &LoopKernel,
+    machine: &MachineConfig,
+    addresses: &mut dyn FnMut(OpId, u64) -> u64,
+    options: &MeasureOptions,
+) -> Result<StreamProfile, ScheduleError> {
+    let sched_opts = ScheduleOptions {
+        enum_limits: options.enum_limits,
+        backend: SchedBackend::SwingModulo,
+        ..ScheduleOptions::new(options.policy)
+    };
+    let schedule = schedule_kernel(kernel, machine, sched_opts)?;
+    let hints = AttractionHints::allow_all(kernel);
+    let mut cache = ObservedCache::new(
+        build_cache(machine),
+        Collector::new(kernel.ops.len(), machine),
+    );
+    simulate_loop(
+        kernel,
+        &schedule,
+        machine,
+        &mut cache,
+        addresses,
+        &hints,
+        &options.sim,
+    );
+    let (_, collector) = cache.into_parts();
+    Ok(StreamProfile {
+        name: kernel.name.clone(),
+        fingerprint: kernel_fingerprint(kernel),
+        n_ops: kernel.ops.len(),
+        samples: collector.samples().to_vec(),
+    })
+}
+
+/// [`measure_kernel_stream`] with the workload crate's address streams
+/// (mirrors [`measure_kernel_on_input`]).
+///
+/// # Errors
+///
+/// Propagates bootstrap scheduling failures.
+pub fn measure_kernel_stream_on_input(
+    kernel: &LoopKernel,
+    machine: &MachineConfig,
+    padding: bool,
+    input: u64,
+    options: &MeasureOptions,
+) -> Result<StreamProfile, ScheduleError> {
+    let layout = ArrayLayout::new(kernel, machine, padding, input);
+    let mut addresses = |op: OpId, iter: u64| address_for(kernel, &layout, op, iter);
+    measure_kernel_stream(kernel, machine, &mut addresses, options)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +491,43 @@ mod tests {
         other.ops[0].mem.as_mut().unwrap().offset = 4;
         let err = attach_measurements(&mut other, &lp).unwrap_err();
         assert!(err.contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn stream_aggregate_matches_direct_measurement() {
+        let k = kernel();
+        let m = machine();
+        let direct = measure_kernel_on_input(&k, &m, true, 1, &opts()).unwrap();
+        let stream = measure_kernel_stream_on_input(&k, &m, true, 1, &opts()).unwrap();
+        assert_eq!(stream.to_loop_profile(&k, &m), direct);
+        // deriving at factor 1 is the aggregate
+        assert_eq!(stream.derive_unrolled(&k, 1, &m).unwrap(), direct);
+    }
+
+    #[test]
+    fn derived_unroll_slices_by_residue() {
+        let k = kernel();
+        let m = machine();
+        let stream = measure_kernel_stream_on_input(&k, &m, true, 1, &opts()).unwrap();
+        let unrolled = vliw_ir::unroll(&k, 4);
+        let lp = stream.derive_unrolled(&unrolled, 4, &m).unwrap();
+        assert_eq!(lp.n_ops, k.ops.len() * 4);
+        assert_eq!(lp.fingerprint, kernel_fingerprint(&unrolled));
+        // each copy receives exactly a quarter of the 128 measured
+        // iterations, and the total reconstructs the factor-1 aggregate
+        let direct = stream.to_loop_profile(&k, &m);
+        let copies_total: u64 = lp
+            .ops
+            .iter()
+            .filter(|(idx, _)| idx % k.ops.len() == 0)
+            .map(|(_, p)| p.total())
+            .sum();
+        assert_eq!(copies_total, direct.ops[0].1.total());
+        for (_, p) in &lp.ops {
+            assert_eq!(p.total(), 32);
+        }
+        // a wrong-shape kernel is rejected
+        assert!(stream.derive_unrolled(&unrolled, 2, &m).is_err());
     }
 
     #[test]

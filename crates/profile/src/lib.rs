@@ -33,5 +33,8 @@
 mod collect;
 mod store;
 
-pub use collect::{measure_kernel, measure_kernel_on_input, Collector, MeasureOptions};
+pub use collect::{
+    measure_kernel, measure_kernel_on_input, measure_kernel_stream, measure_kernel_stream_on_input,
+    AccessSample, Collector, MeasureOptions, StreamProfile,
+};
 pub use store::{attach_measurements, kernel_fingerprint, LoopProfile, OpProfile, ProfileStore};

@@ -90,33 +90,12 @@ pub struct LoopProfile {
     pub ops: Vec<(usize, OpProfile)>,
 }
 
-/// A content fingerprint of a kernel *body*: profiles are stripped before
-/// hashing, so the fingerprint is stable across profiling passes (the
-/// whole point is to look measurements up for a kernel whose profiles are
-/// about to be replaced).
-///
-/// Fingerprints are persisted in committed store files, so the hash must
-/// be stable across runs, platforms *and toolchains* — std's
-/// `DefaultHasher` explicitly is not ("should not be relied upon over
-/// releases"), so this is a hand-rolled FNV-1a over the kernel's debug
-/// rendering. Changing this crate's own types still (correctly)
-/// invalidates stored fingerprints; upgrading the compiler does not.
-pub fn kernel_fingerprint(kernel: &LoopKernel) -> u64 {
-    let mut stripped = kernel.clone();
-    for op in &mut stripped.ops {
-        if let Some(mem) = &mut op.mem {
-            mem.profile = None;
-        }
-    }
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = FNV_OFFSET;
-    for b in format!("{stripped:?}").bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
+/// A content fingerprint of a kernel *body*: re-exported from
+/// [`vliw_ir::kernel_fingerprint`], which walks the kernel's structural
+/// fields (skipping attached profiles) and hashes them with a hand-rolled
+/// FNV-1a — stable across runs, platforms *and toolchains*, with no
+/// dependence on `Debug` formatting or std's `DefaultHasher`.
+pub use vliw_ir::kernel_fingerprint;
 
 /// Attaches a loop's measurements to its kernel: every measured memory
 /// operation's profile becomes the derived [`MemProfile`]

@@ -9,7 +9,7 @@ use vliw_mem::{AccessRequest, DataCache};
 use vliw_sched::{AttractionHints, Schedule};
 
 /// Simulation options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimOptions {
     /// Maximum kernel iterations actually simulated per loop; longer trip
     /// counts are scaled (the cache reaches steady state long before this).

@@ -7,7 +7,7 @@ use vliw_mem::FunctionalCache;
 use crate::address::{address_for, ArrayLayout};
 
 /// Profiling options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProfileOptions {
     /// Iterations replayed per loop (long loops converge quickly on the
     /// small caches of Table 2).

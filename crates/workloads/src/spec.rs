@@ -1,7 +1,7 @@
 //! Per-benchmark parameterization (the published characteristics).
 
 /// Global knobs of a workload build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkloadConfig {
     /// Master seed for loop synthesis (structure of the kernels).
     pub seed: u64,

@@ -1,6 +1,6 @@
 vliw-profile-store 1
 loops 108
-loop epicdec_l0 fp 323dc45ca4ca6183 ops 14 mem 7
+loop epicdec_l0 fp 6c3058494290d6e9 ops 14 mem 7
 op 0 classes 96 288 0 0 combined 288 ab 0 clusters 4 96 96 96 96 lat 1 1 384
 op 1 classes 96 288 0 0 combined 9 ab 0 clusters 4 96 96 96 96 lat 3 1 96 4 9 5 279
 op 2 classes 192 192 0 0 combined 0 ab 0 clusters 4 192 0 192 0 lat 2 1 192 5 192
@@ -9,12 +9,12 @@ op 4 classes 96 288 0 0 combined 0 ab 0 clusters 4 96 96 96 96 lat 2 1 96 5 288
 op 5 classes 96 288 0 0 combined 0 ab 0 clusters 4 96 96 96 96 lat 2 1 96 5 288
 op 13 classes 96 288 0 0 combined 0 ab 0 clusters 4 96 96 96 96 lat 1 1 384
 endloop
-loop epicdec_l1 fp 85f30653cb9ca89e ops 7 mem 3
+loop epicdec_l1 fp 1e4fdd325954d736 ops 7 mem 3
 op 0 classes 35 104 0 0 combined 0 ab 0 clusters 4 35 34 35 35 lat 2 1 35 5 104
 op 1 classes 35 104 0 0 combined 0 ab 0 clusters 4 35 35 35 34 lat 2 1 35 5 104
 op 6 classes 35 104 0 0 combined 0 ab 0 clusters 4 35 35 34 35 lat 1 1 139
 endloop
-loop epicdec_l19 fp c088416761c63993 ops 26 mem 20
+loop epicdec_l19 fp 8306505bb384e182 ops 26 mem 20
 op 0 classes 408 0 104 0 combined 0 ab 0 clusters 4 512 0 0 0 lat 2 1 408 10 104
 op 1 classes 0 512 0 0 combined 0 ab 0 clusters 4 0 512 0 0 lat 1 5 512
 op 2 classes 0 352 0 160 combined 0 ab 0 clusters 4 0 0 512 0 lat 3 5 336 6 16 15 160
@@ -36,31 +36,31 @@ op 17 classes 0 352 0 160 combined 0 ab 0 clusters 4 0 512 0 0 lat 2 5 352 15 16
 op 18 classes 0 512 0 0 combined 0 ab 0 clusters 4 0 0 512 0 lat 2 5 504 6 8
 op 25 classes 512 0 0 0 combined 0 ab 0 clusters 4 512 0 0 0 lat 1 1 512
 endloop
-loop epicdec_l2 fp d9ccfecf92364b57 ops 10 mem 5
+loop epicdec_l2 fp 1d2253b73c739a42 ops 10 mem 5
 op 0 classes 28 83 0 0 combined 0 ab 0 clusters 4 27 28 28 28 lat 2 1 28 5 83
 op 1 classes 28 83 0 0 combined 0 ab 0 clusters 4 27 28 28 28 lat 2 1 28 5 83
 op 2 classes 28 83 0 0 combined 0 ab 0 clusters 4 27 28 28 28 lat 2 1 28 5 83
 op 8 classes 27 84 0 0 combined 0 ab 0 clusters 4 28 27 28 28 lat 1 1 111
 op 9 classes 28 83 0 0 combined 0 ab 0 clusters 4 28 28 28 27 lat 1 1 111
 endloop
-loop epicdec_l3 fp 0c57f9413fdeda8d ops 9 mem 4
+loop epicdec_l3 fp ff0b7b8a1814ccd8 ops 9 mem 4
 op 0 classes 76 215 11 44 combined 11 ab 0 clusters 4 87 87 86 86 lat 8 1 82 3 5 5 215 10 11 15 10 16 11 17 6 19 6
 op 1 classes 75 225 12 34 combined 0 ab 0 clusters 4 87 87 86 86 lat 8 1 75 5 202 6 11 7 6 9 6 10 12 15 22 16 12
 op 2 classes 75 225 11 35 combined 0 ab 0 clusters 4 86 86 87 87 lat 8 1 75 5 197 6 10 7 18 10 11 15 23 16 6 17 6
 op 8 classes 87 259 0 0 combined 0 ab 0 clusters 4 87 86 86 87 lat 1 1 346
 endloop
-loop epicdec_l4 fp ba3d369cd8f65e28 ops 9 mem 4
+loop epicdec_l4 fp 998ef940b7efa27f ops 9 mem 4
 op 0 classes 42 123 0 0 combined 29 ab 0 clusters 4 41 42 41 41 lat 8 1 53 2 18 5 8 6 1 7 2 8 37 9 27 10 19
 op 1 classes 42 123 0 0 combined 45 ab 0 clusters 4 42 41 41 41 lat 9 1 84 2 1 3 2 5 9 7 3 8 18 9 45 10 1 11 2
 op 7 classes 42 123 0 0 combined 0 ab 0 clusters 4 41 41 42 41 lat 1 1 165
 op 8 classes 41 124 0 0 combined 0 ab 0 clusters 4 41 41 41 42 lat 1 1 165
 endloop
-loop epicdec_l5 fp 43c147f255c771dd ops 8 mem 3
+loop epicdec_l5 fp 9f3114344cbf960f ops 8 mem 3
 op 0 classes 233 233 12 12 combined 0 ab 0 clusters 4 245 0 245 0 lat 4 1 233 5 233 10 12 15 12
 op 1 classes 123 367 0 0 combined 0 ab 0 clusters 4 123 123 122 122 lat 2 1 123 5 367
 op 7 classes 107 323 15 45 combined 0 ab 0 clusters 4 122 122 123 123 lat 1 1 490
 endloop
-loop epicdec_l6 fp be47362585319e3d ops 12 mem 6
+loop epicdec_l6 fp 7fe1740c54694bb3 ops 12 mem 6
 op 0 classes 70 211 58 173 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 70 5 211 10 58 15 173
 op 1 classes 165 166 91 90 combined 0 ab 0 clusters 4 256 0 256 0 lat 4 1 165 5 166 10 91 15 90
 op 2 classes 64 198 64 186 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 64 5 198 10 64 15 186
@@ -68,32 +68,32 @@ op 3 classes 0 478 0 34 combined 0 ab 0 clusters 4 0 256 0 256 lat 2 5 478 15 34
 op 10 classes 123 371 5 13 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 11 classes 72 269 56 115 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop epicenc_l0 fp 3bf20cf5eb5cb1e7 ops 10 mem 4
+loop epicenc_l0 fp fdbb3209862e8653 ops 10 mem 4
 op 0 classes 256 256 0 0 combined 0 ab 0 clusters 4 256 0 256 0 lat 2 1 256 5 256
 op 1 classes 256 256 0 0 combined 0 ab 0 clusters 4 256 0 256 0 lat 2 1 256 5 256
 op 8 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 9 classes 256 256 0 0 combined 0 ab 0 clusters 4 256 0 256 0 lat 1 1 512
 endloop
-loop epicenc_l1 fp 348d40750c9ebece ops 9 mem 4
+loop epicenc_l1 fp d7db2ae1f59eb707 ops 9 mem 4
 op 0 classes 104 288 24 96 combined 232 ab 0 clusters 4 128 128 128 128 lat 9 1 248 2 8 3 24 5 144 6 8 7 24 10 8 11 24 15 24
 op 1 classes 64 192 64 192 combined 64 ab 0 clusters 4 128 128 128 128 lat 6 1 64 2 16 5 192 7 48 10 48 15 144
 op 2 classes 216 217 40 39 combined 39 ab 0 clusters 4 256 0 256 0 lat 6 1 216 2 20 5 217 7 19 10 20 15 20
 op 8 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop epicenc_l2 fp e56e301e6c003f97 ops 12 mem 5
+loop epicenc_l2 fp de942bfbca732fbb ops 12 mem 5
 op 0 classes 63 188 0 0 combined 0 ab 0 clusters 4 63 62 63 63 lat 2 1 63 5 188
 op 1 classes 63 188 0 0 combined 0 ab 0 clusters 4 63 63 62 63 lat 2 1 63 5 188
 op 2 classes 63 188 0 0 combined 0 ab 0 clusters 4 63 63 62 63 lat 2 1 63 5 188
 op 3 classes 126 125 0 0 combined 0 ab 0 clusters 4 126 0 125 0 lat 2 1 126 5 125
 op 11 classes 63 188 0 0 combined 0 ab 0 clusters 4 63 63 63 62 lat 1 1 251
 endloop
-loop epicenc_l3 fp 74f8ca9fd8e472ff ops 9 mem 4
+loop epicenc_l3 fp f0233ba0a7fb1113 ops 9 mem 4
 op 0 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 3 1 128 5 374 6 10
 op 1 classes 120 360 8 24 combined 9 ab 0 clusters 4 128 128 128 128 lat 7 1 120 2 9 5 334 6 16 7 1 10 8 15 24
 op 2 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 5 1 128 5 373 6 9 7 1 8 1
 op 8 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop epicenc_l4 fp e0e7037792eff2ed ops 15 mem 8
+loop epicenc_l4 fp 4fac9ce12835fcd7 ops 15 mem 8
 op 0 classes 82 245 0 0 combined 0 ab 0 clusters 4 82 82 82 81 lat 6 1 82 5 222 6 20 7 1 10 1 11 1
 op 1 classes 81 246 0 0 combined 15 ab 0 clusters 4 81 82 82 82 lat 6 1 92 4 4 5 213 6 16 7 1 10 1
 op 2 classes 164 163 0 0 combined 7 ab 0 clusters 4 164 0 163 0 lat 8 1 164 2 4 3 3 5 144 6 1 7 9 9 1 12 1
@@ -103,12 +103,12 @@ op 5 classes 76 227 6 18 combined 0 ab 0 clusters 4 82 81 82 82 lat 8 1 76 5 210
 op 13 classes 0 327 0 0 combined 0 ab 0 clusters 4 0 164 0 163 lat 1 1 327
 op 14 classes 82 245 0 0 combined 0 ab 0 clusters 4 82 81 82 82 lat 1 1 327
 endloop
-loop epicenc_l5 fp d731b249dcd66c25 ops 9 mem 3
+loop epicenc_l5 fp 8b1e9a5ed7ab2dc9 ops 9 mem 3
 op 0 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 5 384
 op 1 classes 96 291 32 93 combined 238 ab 0 clusters 4 128 128 128 128 lat 10 1 104 2 145 4 8 5 146 6 23 7 8 9 23 10 8 12 23 15 24
 op 8 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop epicenc_l6 fp d680be0d3ce31c6a ops 12 mem 6
+loop epicenc_l6 fp 816698bd119c11d8 ops 12 mem 6
 op 0 classes 127 382 1 2 combined 0 ab 0 clusters 4 128 128 128 128 lat 13 1 127 5 132 6 95 7 51 8 47 9 23 10 15 11 9 12 8 13 2 14 1 16 1 17 1
 op 1 classes 125 372 3 12 combined 0 ab 0 clusters 4 128 128 128 128 lat 13 1 125 5 188 6 97 7 48 8 17 9 7 10 11 11 5 12 2 15 7 17 3 18 1 19 1
 op 2 classes 105 264 37 106 combined 2 ab 0 clusters 4 117 123 142 130 lat 18 1 105 5 161 6 39 7 33 8 11 9 13 10 40 11 2 12 3 13 1 15 40 16 18 17 18 18 13 19 9 20 1 21 4 22 1
@@ -116,7 +116,7 @@ op 3 classes 106 316 22 68 combined 1 ab 0 clusters 4 128 128 128 128 lat 17 1 1
 op 10 classes 127 378 1 6 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 11 classes 128 383 0 1 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop epicenc_l7 fp 82ae3498167cf6f3 ops 18 mem 8
+loop epicenc_l7 fp 4656ad61f754d6a8 ops 18 mem 8
 op 0 classes 42 125 0 0 combined 0 ab 0 clusters 4 42 42 42 41 lat 2 1 42 5 125
 op 1 classes 42 125 0 0 combined 0 ab 0 clusters 4 42 42 42 41 lat 2 1 42 5 125
 op 2 classes 42 125 0 0 combined 0 ab 0 clusters 4 42 42 41 42 lat 2 1 42 5 125
@@ -126,7 +126,7 @@ op 5 classes 42 125 0 0 combined 0 ab 0 clusters 4 42 41 42 42 lat 2 1 42 5 125
 op 16 classes 41 126 0 0 combined 0 ab 0 clusters 4 41 42 42 42 lat 1 1 167
 op 17 classes 30 137 0 0 combined 0 ab 0 clusters 4 30 45 46 46 lat 1 1 167
 endloop
-loop g721dec_l0 fp 1d0336448fb21581 ops 15 mem 6
+loop g721dec_l0 fp e4b17ec082afa062 ops 15 mem 6
 op 0 classes 44 129 0 0 combined 0 ab 0 clusters 4 44 44 42 43 lat 2 1 44 5 129
 op 1 classes 42 131 0 0 combined 0 ab 0 clusters 4 42 43 44 44 lat 2 1 42 5 131
 op 2 classes 44 129 0 0 combined 0 ab 0 clusters 4 44 42 43 44 lat 2 1 44 5 129
@@ -134,19 +134,19 @@ op 3 classes 44 129 0 0 combined 0 ab 0 clusters 4 44 43 42 44 lat 2 1 44 5 129
 op 4 classes 44 129 0 0 combined 2 ab 0 clusters 4 44 43 43 43 lat 3 1 44 4 2 5 127
 op 14 classes 44 129 0 0 combined 0 ab 0 clusters 4 44 43 42 44 lat 1 1 173
 endloop
-loop g721dec_l1 fp e70e8a420e437530 ops 8 mem 3
+loop g721dec_l1 fp 205883819c0ea623 ops 8 mem 3
 op 0 classes 42 123 0 0 combined 65 ab 0 clusters 4 42 41 40 42 lat 4 1 46 2 57 4 4 5 58
 op 1 classes 42 123 0 0 combined 61 ab 0 clusters 4 42 43 40 40 lat 3 1 42 2 61 5 62
 op 7 classes 44 121 0 0 combined 0 ab 0 clusters 4 44 40 40 41 lat 1 1 165
 endloop
-loop g721dec_l2 fp e5210cd2d05a0d3e ops 13 mem 5
+loop g721dec_l2 fp 197f50fc2bbc78b5 ops 13 mem 5
 op 0 classes 36 102 0 0 combined 51 ab 0 clusters 4 34 36 34 34 lat 2 1 87 5 51
 op 1 classes 34 104 0 0 combined 52 ab 0 clusters 4 34 34 36 34 lat 2 1 86 5 52
 op 2 classes 36 102 0 0 combined 51 ab 0 clusters 4 36 34 34 34 lat 2 1 87 5 51
 op 3 classes 35 103 0 0 combined 51 ab 0 clusters 4 35 35 34 34 lat 2 1 86 5 52
 op 12 classes 36 102 0 0 combined 0 ab 0 clusters 4 34 36 34 34 lat 1 1 138
 endloop
-loop g721dec_l3 fp d77b5024c1afc79e ops 14 mem 7
+loop g721dec_l3 fp bbf44281fc435e4b ops 14 mem 7
 op 0 classes 32 93 0 0 combined 46 ab 0 clusters 4 32 30 31 32 lat 12 1 32 2 2 4 2 5 3 7 3 9 1 10 15 11 25 12 2 13 14 14 25 15 1
 op 1 classes 32 93 0 0 combined 14 ab 0 clusters 4 31 32 31 31 lat 11 1 45 3 1 5 4 6 2 7 1 9 2 10 1 12 2 13 27 14 26 15 14
 op 2 classes 32 93 0 0 combined 39 ab 0 clusters 4 32 31 31 31 lat 14 1 32 2 24 3 13 4 2 5 3 7 2 8 1 10 2 11 1 13 1 14 15 15 14 16 14 17 1
@@ -155,7 +155,7 @@ op 4 classes 32 93 0 0 combined 46 ab 0 clusters 4 30 31 32 32 lat 13 1 32 3 2 5
 op 5 classes 30 95 0 0 combined 47 ab 0 clusters 4 31 30 32 32 lat 15 1 30 3 1 5 1 6 3 7 1 8 1 9 2 10 14 11 2 12 14 13 1 14 15 15 27 17 12 18 1
 op 13 classes 32 93 0 0 combined 0 ab 0 clusters 4 30 32 32 31 lat 1 1 125
 endloop
-loop g721dec_l4 fp d486a786f99090dd ops 15 mem 8
+loop g721dec_l4 fp ca29c34ca4863986 ops 15 mem 8
 op 0 classes 44 130 0 0 combined 1 ab 0 clusters 4 44 44 42 44 lat 3 1 44 3 1 5 129
 op 1 classes 44 130 0 0 combined 2 ab 0 clusters 4 44 44 43 43 lat 3 1 44 4 2 5 128
 op 2 classes 44 130 0 0 combined 0 ab 0 clusters 4 44 44 42 44 lat 2 1 44 5 130
@@ -165,7 +165,7 @@ op 5 classes 56 118 0 0 combined 0 ab 0 clusters 4 56 39 32 47 lat 2 1 56 5 118
 op 13 classes 43 131 0 0 combined 0 ab 0 clusters 4 43 43 44 44 lat 1 1 174
 op 14 classes 44 130 0 0 combined 0 ab 0 clusters 4 43 44 44 43 lat 1 1 174
 endloop
-loop g721dec_l5 fp 58ef7dd967bb8a63 ops 14 mem 7
+loop g721dec_l5 fp 9ac0d4cc858fd6e6 ops 14 mem 7
 op 0 classes 30 85 0 0 combined 42 ab 0 clusters 4 29 30 28 28 lat 2 1 72 5 43
 op 1 classes 29 86 0 0 combined 43 ab 0 clusters 4 29 28 28 30 lat 2 1 72 5 43
 op 2 classes 29 86 0 0 combined 43 ab 0 clusters 4 28 29 30 28 lat 4 1 59 2 13 5 30 6 13
@@ -174,14 +174,14 @@ op 4 classes 30 85 0 0 combined 42 ab 0 clusters 4 29 30 28 28 lat 2 1 72 5 43
 op 5 classes 30 85 0 0 combined 42 ab 0 clusters 4 28 28 29 30 lat 3 1 72 5 42 6 1
 op 13 classes 30 85 0 0 combined 0 ab 0 clusters 4 30 28 28 29 lat 1 1 115
 endloop
-loop g721enc_l0 fp d954546c4815bc2c ops 10 mem 5
+loop g721enc_l0 fp 23600746efd1059a ops 10 mem 5
 op 0 classes 16 48 0 0 combined 0 ab 0 clusters 4 16 16 16 16 lat 2 1 16 5 48
 op 1 classes 16 48 0 0 combined 0 ab 0 clusters 4 16 16 16 16 lat 2 1 16 5 48
 op 2 classes 16 48 0 0 combined 0 ab 0 clusters 4 16 16 16 16 lat 2 1 16 5 48
 op 3 classes 16 48 0 0 combined 0 ab 0 clusters 4 16 16 16 16 lat 2 1 16 5 48
 op 9 classes 16 48 0 0 combined 0 ab 0 clusters 4 16 16 16 16 lat 1 1 64
 endloop
-loop g721enc_l1 fp 378b9b27c3dda420 ops 14 mem 6
+loop g721enc_l1 fp 9e1c92c5933ccb20 ops 14 mem 6
 op 0 classes 58 171 0 0 combined 1 ab 0 clusters 4 58 58 57 56 lat 3 1 59 5 141 6 29
 op 1 classes 56 173 0 0 combined 28 ab 0 clusters 4 56 57 58 58 lat 3 1 84 5 89 6 56
 op 2 classes 58 171 0 0 combined 27 ab 0 clusters 4 58 58 56 57 lat 5 1 58 2 27 5 87 6 30 7 27
@@ -189,7 +189,7 @@ op 3 classes 58 171 0 0 combined 0 ab 0 clusters 4 57 58 57 57 lat 3 1 58 5 170 
 op 4 classes 58 171 0 0 combined 28 ab 0 clusters 4 58 58 56 57 lat 3 1 86 5 86 6 57
 op 13 classes 57 172 0 0 combined 0 ab 0 clusters 4 57 57 57 58 lat 1 1 229
 endloop
-loop g721enc_l2 fp 54c48879b4206c91 ops 15 mem 8
+loop g721enc_l2 fp bf36c198d3c09d02 ops 15 mem 8
 op 0 classes 28 83 0 0 combined 26 ab 0 clusters 4 28 28 28 27 lat 3 1 54 5 31 6 26
 op 1 classes 28 83 0 0 combined 13 ab 0 clusters 4 28 27 28 28 lat 4 1 41 5 31 6 26 7 13
 op 2 classes 28 83 0 0 combined 26 ab 0 clusters 4 27 28 28 28 lat 5 1 41 3 13 5 18 6 26 8 13
@@ -199,7 +199,7 @@ op 5 classes 28 83 0 0 combined 13 ab 0 clusters 4 27 28 28 28 lat 3 1 41 5 57 6
 op 13 classes 28 83 0 0 combined 0 ab 0 clusters 4 27 28 28 28 lat 1 1 111
 op 14 classes 28 83 0 0 combined 0 ab 0 clusters 4 28 28 27 28 lat 1 1 111
 endloop
-loop g721enc_l3 fp 97ed3415f9dff963 ops 11 mem 6
+loop g721enc_l3 fp 61c2a21be8c6564c ops 11 mem 6
 op 0 classes 40 118 0 0 combined 0 ab 0 clusters 4 39 40 40 39 lat 2 1 40 5 118
 op 1 classes 39 119 0 0 combined 0 ab 0 clusters 4 39 40 40 39 lat 2 1 39 5 119
 op 2 classes 40 118 0 0 combined 0 ab 0 clusters 4 40 40 40 38 lat 3 1 40 5 80 6 38
@@ -207,7 +207,7 @@ op 3 classes 40 118 0 0 combined 0 ab 0 clusters 4 39 40 40 39 lat 2 1 40 5 118
 op 9 classes 40 118 0 0 combined 0 ab 0 clusters 4 39 39 40 40 lat 1 1 158
 op 10 classes 40 118 0 0 combined 0 ab 0 clusters 4 40 40 40 38 lat 1 1 158
 endloop
-loop g721enc_l4 fp 9150fb10b0cef273 ops 17 mem 8
+loop g721enc_l4 fp 5af6ff85fcb52bb1 ops 17 mem 8
 op 0 classes 44 126 0 0 combined 63 ab 0 clusters 4 42 42 42 44 lat 15 1 44 2 1 3 1 4 2 5 2 6 5 7 2 8 9 9 18 10 32 11 2 12 7 13 3 14 27 15 15
 op 1 classes 43 127 0 0 combined 4 ab 0 clusters 4 42 43 43 42 lat 15 1 43 2 2 5 1 6 2 7 1 8 4 9 5 10 8 11 7 12 6 13 6 14 33 15 27 16 24 17 1
 op 2 classes 43 127 0 0 combined 63 ab 0 clusters 4 43 42 42 43 lat 13 1 45 3 1 5 7 7 6 8 4 9 8 10 13 11 21 12 4 13 18 15 29 16 2 17 12
@@ -217,7 +217,7 @@ op 5 classes 44 126 0 0 combined 63 ab 0 clusters 4 42 42 44 42 lat 15 1 47 2 1 
 op 15 classes 44 126 0 0 combined 0 ab 0 clusters 4 42 42 42 44 lat 1 1 170
 op 16 classes 44 126 0 0 combined 0 ab 0 clusters 4 42 44 42 42 lat 1 1 170
 endloop
-loop g721enc_l5 fp 5b1a5e17982124ad ops 12 mem 6
+loop g721enc_l5 fp 27134760e659e8ce ops 12 mem 6
 op 0 classes 27 79 0 0 combined 39 ab 0 clusters 4 27 26 26 27 lat 2 1 66 5 40
 op 1 classes 27 79 0 0 combined 0 ab 0 clusters 4 26 27 27 26 lat 3 1 27 5 55 6 24
 op 2 classes 27 79 0 0 combined 0 ab 0 clusters 4 27 27 26 26 lat 2 1 27 5 79
@@ -225,19 +225,19 @@ op 3 classes 28 78 0 0 combined 39 ab 0 clusters 4 26 26 28 26 lat 4 1 55 2 12 5
 op 10 classes 27 79 0 0 combined 0 ab 0 clusters 4 27 27 26 26 lat 1 1 106
 op 11 classes 28 78 0 0 combined 0 ab 0 clusters 4 26 26 26 28 lat 1 1 106
 endloop
-loop gsmdec_l0 fp 57ccd765309b3776 ops 6 mem 3
+loop gsmdec_l0 fp b0e103b1b470e347 ops 6 mem 3
 op 0 classes 109 324 0 0 combined 81 ab 0 clusters 4 109 108 108 108 lat 3 1 109 2 81 5 243
 op 1 classes 94 289 14 36 combined 171 ab 0 clusters 4 108 108 109 108 lat 8 1 98 2 140 4 2 5 143 7 7 10 7 12 18 15 18
 op 5 classes 97 292 11 33 combined 0 ab 0 clusters 4 108 108 108 109 lat 1 1 433
 endloop
-loop gsmdec_l1 fp 9e1d880634539166 ops 9 mem 5
+loop gsmdec_l1 fp d1892cbd9908fc81 ops 9 mem 5
 op 0 classes 80 242 48 142 combined 99 ab 0 clusters 4 128 128 128 128 lat 10 1 83 2 1 5 257 6 4 7 1 9 4 10 85 11 6 15 64 16 7
 op 1 classes 78 240 50 144 combined 97 ab 0 clusters 4 128 128 128 128 lat 10 1 78 5 258 6 6 7 1 10 95 11 1 12 1 15 70 16 1 17 1
 op 2 classes 112 338 16 46 combined 0 ab 0 clusters 4 128 128 128 128 lat 6 1 112 5 338 10 16 15 43 16 2 17 1
 op 7 classes 112 336 16 48 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 8 classes 119 357 9 27 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop gsmdec_l2 fp a71418ba791b9750 ops 14 mem 7
+loop gsmdec_l2 fp 337bc0ba1bba2cb6 ops 14 mem 7
 op 0 classes 52 154 0 0 combined 54 ab 0 clusters 4 51 52 52 51 lat 14 1 74 2 15 3 17 5 3 6 2 9 3 11 20 12 2 13 30 14 22 15 9 16 7 17 1 18 1
 op 1 classes 52 154 0 0 combined 76 ab 0 clusters 4 51 51 52 52 lat 14 1 52 2 1 4 1 5 2 7 3 8 10 9 24 10 16 11 10 12 32 13 30 15 17 16 7 18 1
 op 2 classes 52 154 0 0 combined 76 ab 0 clusters 4 51 51 52 52 lat 16 1 52 2 2 3 2 5 3 6 2 7 1 8 16 9 24 10 15 11 16 12 33 13 22 14 8 15 1 16 8 18 1
@@ -246,7 +246,7 @@ op 4 classes 52 154 0 0 combined 76 ab 0 clusters 4 51 52 52 51 lat 17 1 52 2 3 
 op 12 classes 52 154 0 0 combined 0 ab 0 clusters 4 50 52 52 52 lat 1 1 206
 op 13 classes 52 154 0 0 combined 0 ab 0 clusters 4 52 52 50 52 lat 1 1 206
 endloop
-loop gsmdec_l3 fp 2cc1613b2c439179 ops 13 mem 7
+loop gsmdec_l3 fp 3b28b589c0af1cb5 ops 13 mem 7
 op 0 classes 126 374 2 10 combined 4 ab 0 clusters 4 128 128 128 128 lat 6 1 126 4 2 5 374 8 2 10 2 15 6
 op 1 classes 112 302 16 82 combined 34 ab 0 clusters 4 128 128 128 128 lat 6 1 112 4 18 5 302 8 16 10 16 15 48
 op 2 classes 124 358 4 26 combined 13 ab 0 clusters 4 128 128 128 128 lat 6 1 124 4 9 5 358 8 4 10 4 15 13
@@ -255,27 +255,27 @@ op 4 classes 123 354 5 30 combined 15 ab 0 clusters 4 128 128 128 128 lat 6 1 12
 op 11 classes 115 345 13 39 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 12 classes 112 336 16 48 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop gsmdec_l4 fp 210e469aa6f07347 ops 8 mem 4
+loop gsmdec_l4 fp 505beeef9766b42e ops 8 mem 4
 op 0 classes 96 289 32 95 combined 207 ab 0 clusters 4 128 128 128 128 lat 6 1 240 5 145 6 16 10 16 11 47 15 48
 op 1 classes 112 340 16 44 combined 199 ab 0 clusters 4 128 128 128 128 lat 6 1 281 5 171 6 8 10 8 11 22 15 22
 op 2 classes 96 288 32 96 combined 208 ab 0 clusters 4 128 128 128 128 lat 6 1 240 5 144 6 16 10 16 11 48 15 48
 op 7 classes 121 363 7 21 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop gsmdec_l5 fp ab9dee1e024ad6c3 ops 13 mem 5
+loop gsmdec_l5 fp 82bcb33dacd68ea2 ops 13 mem 5
 op 0 classes 86 258 22 63 combined 53 ab 0 clusters 4 108 108 107 106 lat 10 1 86 2 11 5 236 6 11 7 11 8 10 10 22 12 10 15 21 17 11
 op 1 classes 106 322 0 1 combined 21 ab 0 clusters 4 106 108 108 107 lat 4 1 127 5 280 6 21 16 1
 op 2 classes 87 256 20 66 combined 54 ab 0 clusters 4 107 108 108 106 lat 8 1 98 5 244 6 11 9 11 10 21 11 11 15 22 16 11
 op 3 classes 106 323 0 0 combined 22 ab 0 clusters 4 106 107 108 108 lat 3 1 128 5 279 6 22
 op 12 classes 104 309 4 12 combined 0 ab 0 clusters 4 108 107 106 108 lat 1 1 429
 endloop
-loop gsmdec_l6 fp 7b267e69190c7406 ops 13 mem 5
+loop gsmdec_l6 fp 84411c5adc4e4299 ops 13 mem 5
 op 0 classes 109 299 15 76 combined 30 ab 0 clusters 4 124 124 125 126 lat 6 1 109 4 7 5 299 8 23 10 15 15 46
 op 1 classes 107 324 17 51 combined 0 ab 0 clusters 4 124 125 125 125 lat 4 1 107 5 324 10 17 15 51
 op 2 classes 94 285 30 90 combined 0 ab 0 clusters 4 124 125 125 125 lat 4 1 94 5 285 10 30 15 90
 op 3 classes 109 299 15 76 combined 29 ab 0 clusters 4 124 124 126 125 lat 5 1 109 4 29 5 299 10 15 15 47
 op 12 classes 125 374 0 0 combined 0 ab 0 clusters 4 125 124 124 126 lat 1 1 499
 endloop
-loop gsmdec_l7 fp 80f28cca6ad09a7c ops 13 mem 7
+loop gsmdec_l7 fp f948e8900e656991 ops 13 mem 7
 op 0 classes 97 257 11 66 combined 33 ab 0 clusters 4 108 108 108 107 lat 6 1 97 4 22 5 257 8 11 10 11 15 33
 op 1 classes 108 323 0 0 combined 0 ab 0 clusters 4 108 108 108 107 lat 3 1 108 5 301 6 22
 op 2 classes 97 259 11 64 combined 32 ab 0 clusters 4 108 108 107 108 lat 6 1 97 4 21 5 259 8 11 10 11 15 32
@@ -284,24 +284,24 @@ op 4 classes 107 324 0 0 combined 0 ab 0 clusters 4 107 108 108 108 lat 3 1 107 
 op 11 classes 94 282 14 41 combined 0 ab 0 clusters 4 108 108 108 107 lat 1 1 431
 op 12 classes 96 287 12 36 combined 0 ab 0 clusters 4 108 108 108 107 lat 1 1 431
 endloop
-loop gsmenc_l0 fp 380af8864ab3d01e ops 9 mem 3
+loop gsmenc_l0 fp aeb8694045b0795e ops 9 mem 3
 op 0 classes 94 285 32 94 combined 205 ab 0 clusters 4 126 126 127 126 lat 7 1 94 2 142 5 143 7 16 10 16 12 47 15 47
 op 1 classes 108 325 18 54 combined 198 ab 0 clusters 4 126 126 127 126 lat 7 1 108 2 162 5 163 7 9 10 9 12 27 15 27
 op 8 classes 117 348 10 30 combined 0 ab 0 clusters 4 127 126 126 126 lat 1 1 505
 endloop
-loop gsmenc_l1 fp 2fff02562c850f09 ops 11 mem 5
+loop gsmenc_l1 fp 7fa716598340404f ops 11 mem 5
 op 0 classes 122 359 6 25 combined 9 ab 0 clusters 4 128 128 128 128 lat 5 1 122 4 9 5 359 10 6 15 16
 op 1 classes 112 336 16 48 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 112 5 336 10 16 15 48
 op 2 classes 80 240 48 144 combined 2 ab 0 clusters 4 128 128 128 128 lat 5 1 80 4 2 5 238 10 48 15 144
 op 3 classes 124 375 4 9 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 124 5 375 10 4 15 9
 op 10 classes 121 363 7 21 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop gsmenc_l2 fp ece3d31391fb2234 ops 6 mem 3
+loop gsmenc_l2 fp 3c8650da0628f349 ops 6 mem 3
 op 0 classes 58 170 0 0 combined 29 ab 0 clusters 4 56 56 58 58 lat 2 1 87 5 141
 op 1 classes 58 170 0 0 combined 0 ab 0 clusters 4 58 56 56 58 lat 2 1 58 5 170
 op 5 classes 57 171 0 0 combined 0 ab 0 clusters 4 57 58 57 56 lat 1 1 228
 endloop
-loop gsmenc_l3 fp 664417a77d1c91e5 ops 17 mem 8
+loop gsmenc_l3 fp 37b0f25d644d5518 ops 17 mem 8
 op 0 classes 66 201 4 9 combined 6 ab 0 clusters 4 70 70 70 70 lat 9 1 66 2 2 5 201 6 1 7 2 8 1 10 2 15 3 17 2
 op 1 classes 70 210 0 0 combined 0 ab 0 clusters 4 70 70 70 70 lat 4 1 70 5 206 6 2 7 2
 op 2 classes 66 198 4 12 combined 8 ab 0 clusters 4 70 70 70 70 lat 8 1 66 2 2 5 198 7 4 8 2 10 2 15 4 16 2
@@ -311,7 +311,7 @@ op 5 classes 70 210 0 0 combined 0 ab 0 clusters 4 70 70 70 70 lat 3 1 70 5 204 
 op 15 classes 70 210 0 0 combined 0 ab 0 clusters 4 70 70 70 70 lat 1 1 280
 op 16 classes 70 210 0 0 combined 0 ab 0 clusters 4 70 70 70 70 lat 1 1 280
 endloop
-loop gsmenc_l4 fp f998d4d69f7e4736 ops 13 mem 6
+loop gsmenc_l4 fp 90d5d9065d34d709 ops 13 mem 6
 op 0 classes 128 384 0 0 combined 22 ab 0 clusters 4 128 128 128 128 lat 8 1 139 2 1 3 10 5 313 6 5 7 33 8 1 9 10
 op 1 classes 128 384 0 0 combined 13 ab 0 clusters 4 128 128 128 128 lat 5 1 141 5 296 6 49 7 16 10 10
 op 2 classes 96 288 32 96 combined 64 ab 0 clusters 4 128 128 128 128 lat 15 1 96 4 16 5 276 6 12 7 11 9 21 10 16 11 5 13 1 14 10 15 27 16 5 17 5 19 1 20 10
@@ -319,7 +319,7 @@ op 3 classes 126 378 2 6 combined 4 ab 0 clusters 4 128 128 128 128 lat 9 1 126 
 op 4 classes 105 317 23 67 combined 6 ab 0 clusters 4 128 128 128 128 lat 9 1 107 3 2 5 292 6 22 10 23 12 1 15 32 16 22 17 11
 op 12 classes 112 336 16 48 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop gsmenc_l5 fp f11513ffadd56a60 ops 13 mem 6
+loop gsmenc_l5 fp d184af549ea2889b ops 13 mem 6
 op 0 classes 102 303 12 37 combined 0 ab 0 clusters 4 114 113 113 114 lat 5 1 102 5 291 7 12 10 12 15 37
 op 1 classes 89 265 25 75 combined 0 ab 0 clusters 4 114 114 113 113 lat 5 1 89 5 253 7 12 10 25 15 75
 op 2 classes 114 340 0 0 combined 0 ab 0 clusters 4 114 113 113 114 lat 2 1 114 5 340
@@ -327,12 +327,12 @@ op 3 classes 114 340 0 0 combined 0 ab 0 clusters 4 114 112 114 114 lat 4 1 114 
 op 4 classes 114 340 0 0 combined 0 ab 0 clusters 4 114 112 114 114 lat 2 1 114 5 340
 op 12 classes 102 304 12 36 combined 0 ab 0 clusters 4 114 114 114 112 lat 1 1 454
 endloop
-loop gsmenc_l6 fp 7d956b18f64e1642 ops 7 mem 3
+loop gsmenc_l6 fp 508ab8e88a6a241a ops 7 mem 3
 op 0 classes 68 192 5 24 combined 12 ab 0 clusters 4 73 72 72 72 lat 5 1 68 3 12 5 192 10 5 15 12
 op 1 classes 68 205 4 12 combined 110 ab 0 clusters 4 72 72 73 72 lat 7 1 68 2 102 5 103 7 2 10 2 12 6 15 6
 op 6 classes 70 211 2 6 combined 0 ab 0 clusters 4 72 72 73 72 lat 1 1 289
 endloop
-loop gsmenc_l7 fp b7cfd93138deee90 ops 16 mem 8
+loop gsmenc_l7 fp f4a6891416ff5f46 ops 16 mem 8
 op 0 classes 89 266 39 118 combined 78 ab 0 clusters 4 128 128 128 128 lat 9 1 91 2 17 5 259 6 7 7 43 8 16 10 20 15 43 16 16
 op 1 classes 120 366 8 18 combined 13 ab 0 clusters 4 128 128 128 128 lat 7 1 120 2 4 5 357 6 7 7 11 10 4 15 9
 op 2 classes 96 288 32 96 combined 64 ab 0 clusters 4 128 128 128 128 lat 9 1 96 2 16 5 247 6 22 7 65 8 2 10 16 15 46 16 2
@@ -342,18 +342,18 @@ op 5 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 5 1 128 
 op 14 classes 90 274 38 110 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 15 classes 108 322 20 62 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop jpegdec_l0 fp 2d309a76134a19f9 ops 11 mem 4
+loop jpegdec_l0 fp 72a31764531876b9 ops 11 mem 4
 op 0 classes 120 376 8 8 combined 2 ab 0 clusters 4 128 128 128 128 lat 8 1 120 3 2 5 368 6 3 7 3 10 8 15 7 16 1
 op 1 classes 104 288 24 96 combined 232 ab 0 clusters 4 128 128 128 128 lat 9 1 248 2 8 3 24 5 144 6 8 7 24 10 8 11 24 15 24
 op 2 classes 115 380 2 15 combined 4 ab 0 clusters 4 117 123 142 130 lat 7 1 116 3 3 5 372 6 4 10 2 15 14 17 1
 op 10 classes 120 360 8 24 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop jpegdec_l1 fp 3b6c322e54659879 ops 9 mem 3
+loop jpegdec_l1 fp 6815582bb72a2c38 ops 9 mem 3
 op 0 classes 64 192 64 192 combined 64 ab 0 clusters 4 128 128 128 128 lat 7 1 64 4 16 5 192 9 48 10 48 15 136 16 8
 op 1 classes 96 289 32 95 combined 207 ab 0 clusters 4 128 128 128 128 lat 7 1 96 2 144 5 145 7 16 10 16 12 47 15 48
 op 8 classes 124 372 4 12 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop jpegdec_l2 fp d29fd097598a29cc ops 15 mem 7
+loop jpegdec_l2 fp 781d6154fde744cf ops 15 mem 7
 op 0 classes 120 333 8 51 combined 87 ab 0 clusters 4 128 128 128 128 lat 20 1 150 2 14 3 11 4 8 5 155 6 59 7 43 8 15 9 16 10 12 11 6 12 1 13 3 14 1 15 4 16 4 17 5 19 2 20 2 22 1
 op 1 classes 105 315 23 69 combined 0 ab 0 clusters 4 128 128 128 128 lat 18 1 105 5 150 6 62 7 43 8 28 9 19 10 31 11 2 12 1 13 1 14 1 15 28 16 18 17 11 18 6 19 2 20 3 22 1
 op 2 classes 91 241 57 123 combined 1 ab 0 clusters 4 148 135 107 122 lat 18 1 92 5 87 6 66 7 30 8 25 9 17 10 64 11 5 12 1 14 2 15 41 16 27 17 25 18 13 19 8 20 5 21 3 22 1
@@ -362,14 +362,14 @@ op 4 classes 124 379 4 5 combined 0 ab 0 clusters 4 128 128 128 128 lat 14 1 124
 op 13 classes 118 350 10 34 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 14 classes 124 370 4 14 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop jpegdec_l3 fp 9634b2d7717e7e2f ops 11 mem 5
+loop jpegdec_l3 fp bf7c895762841453 ops 11 mem 5
 op 0 classes 96 289 32 95 combined 207 ab 0 clusters 4 128 128 128 128 lat 17 1 176 2 60 3 2 4 2 5 81 6 76 7 2 8 2 10 16 11 17 12 22 13 1 14 7 15 17 16 23 17 1 18 7
 op 1 classes 128 384 0 0 combined 191 ab 0 clusters 4 128 128 128 128 lat 4 1 314 2 5 5 188 6 5
 op 2 classes 119 269 29 95 combined 1 ab 0 clusters 4 122 148 135 107 lat 7 1 120 5 260 6 8 10 29 15 87 16 6 17 2
 op 3 classes 128 378 0 6 combined 192 ab 0 clusters 4 128 128 128 128 lat 6 1 299 2 7 3 14 5 171 6 7 7 14
 op 10 classes 123 369 5 15 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop jpegdec_l4 fp 492c12678eabeca7 ops 16 mem 7
+loop jpegdec_l4 fp 160cd3f72205b137 ops 16 mem 7
 op 0 classes 52 150 0 0 combined 23 ab 0 clusters 4 50 52 50 50 lat 7 1 61 2 10 3 4 5 77 6 20 7 25 8 5
 op 1 classes 55 147 0 0 combined 2 ab 0 clusters 4 55 51 39 57 lat 7 1 56 2 1 5 52 6 42 7 22 8 28 9 1
 op 2 classes 59 143 0 0 combined 0 ab 0 clusters 4 59 46 38 59 lat 5 1 59 5 77 6 36 7 21 8 9
@@ -378,14 +378,14 @@ op 4 classes 52 150 0 0 combined 53 ab 0 clusters 4 48 51 52 51 lat 7 1 80 2 15 
 op 14 classes 52 150 0 0 combined 0 ab 0 clusters 4 52 51 48 51 lat 1 1 202
 op 15 classes 51 151 0 0 combined 0 ab 0 clusters 4 51 51 50 50 lat 1 1 202
 endloop
-loop jpegdec_l5 fp 43c4ebc08c052e88 ops 13 mem 5
+loop jpegdec_l5 fp 4a6ff0c3529f2c9a ops 13 mem 5
 op 0 classes 108 316 20 68 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 108 5 316 10 20 15 68
 op 1 classes 117 361 11 23 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 117 5 361 10 11 15 23
 op 2 classes 120 296 23 73 combined 0 ab 0 clusters 4 128 129 112 143 lat 4 1 120 5 296 10 23 15 73
 op 3 classes 99 329 18 66 combined 0 ab 0 clusters 4 133 127 117 135 lat 4 1 99 5 329 10 18 15 66
 op 12 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop jpegdec_l6 fp aba984afdeeb144b ops 17 mem 7
+loop jpegdec_l6 fp 36a7530fa640d7db ops 17 mem 7
 op 0 classes 120 343 8 41 combined 54 ab 0 clusters 4 128 128 128 128 lat 16 1 140 2 8 3 10 4 2 5 192 6 56 7 36 8 26 9 8 10 13 11 5 12 2 15 6 16 4 17 3 18 1
 op 1 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 9 1 128 5 252 6 56 7 39 8 15 9 8 10 7 11 4 12 3
 op 2 classes 0 507 0 5 combined 0 ab 0 clusters 4 0 256 0 256 lat 13 5 296 6 85 7 57 8 37 9 15 10 6 11 7 12 3 13 1 15 2 16 1 18 1 19 1
@@ -394,24 +394,24 @@ op 4 classes 74 253 44 141 combined 0 ab 0 clusters 4 118 125 135 134 lat 17 1 7
 op 5 classes 116 360 12 24 combined 2 ab 0 clusters 4 128 128 128 128 lat 17 1 117 2 1 5 201 6 59 7 53 8 22 9 9 10 19 11 5 12 2 15 12 16 4 17 3 19 1 20 2 21 1 22 1
 op 16 classes 127 383 1 1 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop jpegdec_l7 fp 17bcd7312bd46413 ops 7 mem 4
+loop jpegdec_l7 fp 567c94c0d061303f ops 7 mem 4
 op 0 classes 60 170 0 0 combined 85 ab 0 clusters 4 60 56 56 58 lat 3 1 60 2 85 5 85
 op 1 classes 58 172 0 0 combined 0 ab 0 clusters 4 58 58 57 57 lat 2 1 58 5 172
 op 5 classes 0 230 0 0 combined 0 ab 0 clusters 4 0 115 0 115 lat 1 1 230
 op 6 classes 58 172 0 0 combined 0 ab 0 clusters 4 57 58 58 57 lat 1 1 230
 endloop
-loop jpegenc_l0 fp c135e5bf8cfe1aa1 ops 9 mem 3
+loop jpegenc_l0 fp 563b0a9dc819a49b ops 9 mem 3
 op 0 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 3 1 128 5 289 6 95
 op 1 classes 256 256 0 0 combined 0 ab 0 clusters 4 0 256 0 256 lat 4 1 256 5 34 6 190 7 32
 op 8 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop jpegenc_l1 fp fe244e52ae4525f4 ops 9 mem 4
+loop jpegenc_l1 fp 944dd65b024006ab ops 9 mem 4
 op 0 classes 120 362 0 0 combined 180 ab 0 clusters 4 120 120 121 121 lat 5 1 295 2 1 4 4 5 171 6 11
 op 1 classes 92 278 28 84 combined 184 ab 0 clusters 4 120 121 121 120 lat 6 1 220 5 140 6 24 10 14 11 42 15 42
 op 2 classes 98 296 22 66 combined 0 ab 0 clusters 4 120 120 121 121 lat 7 1 98 5 273 6 22 7 1 10 22 15 56 16 10
 op 8 classes 113 341 7 21 combined 0 ab 0 clusters 4 120 120 120 122 lat 1 1 482
 endloop
-loop jpegenc_l2 fp 298c16ba1ea3e186 ops 17 mem 8
+loop jpegenc_l2 fp 8c1412a9591dc3a3 ops 17 mem 8
 op 0 classes 128 384 0 0 combined 5 ab 0 clusters 4 128 128 128 128 lat 5 1 128 3 5 5 194 6 155 7 30
 op 1 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 3 1 128 5 354 6 30
 op 2 classes 256 256 0 0 combined 5 ab 0 clusters 4 256 0 256 0 lat 4 1 260 2 1 5 221 6 30
@@ -421,14 +421,14 @@ op 5 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 3 1 128 
 op 15 classes 256 256 0 0 combined 0 ab 0 clusters 4 0 256 0 256 lat 1 1 512
 op 16 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop jpegenc_l3 fp 3a17c15cb495fff4 ops 10 mem 5
+loop jpegenc_l3 fp 70e06fa8fa0bbe60 ops 10 mem 5
 op 0 classes 256 255 0 1 combined 0 ab 0 clusters 4 256 0 256 0 lat 3 1 256 5 255 15 1
 op 1 classes 127 380 1 4 combined 1 ab 0 clusters 4 128 128 128 128 lat 5 1 127 3 1 5 379 10 1 15 4
 op 2 classes 94 255 48 115 combined 0 ab 0 clusters 4 117 123 142 130 lat 4 1 94 5 255 10 48 15 115
 op 3 classes 127 380 1 4 combined 385 ab 0 clusters 4 128 128 128 128 lat 5 1 127 2 1 4 379 9 1 14 4
 op 9 classes 124 349 4 35 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop jpegenc_l4 fp 5ddb11a4cb7c48b3 ops 12 mem 6
+loop jpegenc_l4 fp 1d8cb772f08d7506 ops 12 mem 6
 op 0 classes 0 80 0 0 combined 0 ab 0 clusters 4 0 40 0 40 lat 1 5 80
 op 1 classes 20 60 0 0 combined 2 ab 0 clusters 4 20 20 20 20 lat 3 1 20 4 2 5 58
 op 2 classes 20 60 0 0 combined 0 ab 0 clusters 4 20 20 20 20 lat 2 1 20 5 60
@@ -436,14 +436,14 @@ op 3 classes 20 60 0 0 combined 0 ab 0 clusters 4 20 20 20 20 lat 2 1 20 5 60
 op 4 classes 20 60 0 0 combined 0 ab 0 clusters 4 20 20 20 20 lat 2 1 20 5 60
 op 11 classes 20 60 0 0 combined 0 ab 0 clusters 4 20 20 20 20 lat 1 1 80
 endloop
-loop jpegenc_l5 fp e6c228fbe4c1ff38 ops 12 mem 5
+loop jpegenc_l5 fp f765a7ebdfbc3d8e ops 12 mem 5
 op 0 classes 97 288 31 96 combined 35 ab 0 clusters 4 128 128 128 128 lat 5 1 98 4 4 5 291 10 47 15 72
 op 1 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 5 384
 op 2 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 5 384
 op 3 classes 126 378 2 6 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 126 5 378 10 2 15 6
 op 11 classes 112 336 16 48 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop jpegenc_l6 fp 14cb8431560819fe ops 15 mem 7
+loop jpegenc_l6 fp 1524d9c17b0fcff9 ops 15 mem 7
 op 0 classes 35 106 0 0 combined 0 ab 0 clusters 4 35 36 35 35 lat 2 1 35 5 106
 op 1 classes 38 96 1 6 combined 0 ab 0 clusters 4 36 31 35 39 lat 4 1 38 5 96 10 1 15 6
 op 2 classes 36 105 0 0 combined 0 ab 0 clusters 4 35 35 36 35 lat 3 1 36 5 91 6 14
@@ -452,13 +452,13 @@ op 4 classes 40 96 0 5 combined 0 ab 0 clusters 4 42 25 40 34 lat 3 1 40 5 96 15
 op 5 classes 34 101 1 5 combined 0 ab 0 clusters 4 35 35 35 36 lat 4 1 34 5 101 10 1 15 5
 op 14 classes 36 105 0 0 combined 0 ab 0 clusters 4 35 35 36 35 lat 1 1 141
 endloop
-loop jpegenc_l7 fp d4b3d25e8051cb5b ops 8 mem 4
+loop jpegenc_l7 fp f6c3bf8766f2f788 ops 8 mem 4
 op 0 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 5 384
 op 1 classes 96 288 32 96 combined 207 ab 0 clusters 4 128 128 128 128 lat 6 1 239 5 145 6 16 10 16 11 48 15 48
 op 6 classes 120 360 8 24 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 7 classes 96 288 32 96 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop mpeg2dec_l0 fp f41c58eac87f0754 ops 14 mem 7
+loop mpeg2dec_l0 fp fec580790b2eaae1 ops 14 mem 7
 op 0 classes 0 512 0 0 combined 255 ab 0 clusters 4 0 0 512 0 lat 21 5 3 6 3 7 1 8 3 9 30 10 2 12 92 13 33 14 67 15 1 16 27 17 30 18 2 19 29 20 29 21 36 22 31 23 61 24 29 25 1 26 2
 op 1 classes 0 495 0 17 combined 255 ab 0 clusters 4 0 256 0 256 lat 25 1 27 2 33 3 32 4 63 5 3 6 2 8 28 9 2 10 31 11 33 13 2 14 29 15 3 16 3 17 28 18 32 19 31 20 27 22 62 23 2 24 31 25 1 26 4 27 1 30 2
 op 2 classes 103 359 25 25 combined 4 ab 0 clusters 4 128 128 128 128 lat 23 1 103 3 1 7 1 8 1 10 2 11 1 12 5 13 3 14 27 15 32 16 28 17 64 18 93 19 26 20 3 21 2 22 60 23 4 24 29 25 1 26 1 35 24 37 1
@@ -467,26 +467,26 @@ op 4 classes 0 512 0 0 combined 256 ab 0 clusters 4 0 0 512 0 lat 19 3 1 5 1 6 2
 op 5 classes 0 512 0 0 combined 256 ab 0 clusters 4 512 0 0 0 lat 19 4 1 8 1 9 3 10 30 12 3 13 3 14 60 15 5 16 67 17 88 18 31 19 33 20 3 21 67 22 55 23 31 24 3 26 1 27 27
 op 13 classes 0 512 0 0 combined 0 ab 0 clusters 4 0 0 512 0 lat 1 1 512
 endloop
-loop mpeg2dec_l1 fp cab3f0ee2beaccd8 ops 9 mem 4
+loop mpeg2dec_l1 fp c87dd0354e527d11 ops 9 mem 4
 op 0 classes 0 512 0 0 combined 132 ab 0 clusters 4 256 0 256 0 lat 17 2 2 3 17 4 95 5 5 6 8 7 91 8 18 9 47 10 49 11 13 12 109 13 2 14 13 16 22 17 7 18 6 19 8
 op 1 classes 0 386 0 126 combined 157 ab 0 clusters 4 256 0 256 0 lat 24 2 4 3 89 5 4 6 45 7 10 8 46 9 52 10 6 11 140 12 19 13 6 15 17 16 1 17 10 18 3 21 5 22 6 23 4 24 6 25 11 26 9 27 5 28 8 29 6
 op 2 classes 128 384 0 0 combined 190 ab 0 clusters 4 128 128 128 128 lat 17 1 128 2 6 3 88 4 5 5 16 6 51 7 92 8 2 9 21 10 63 11 10 13 5 14 10 15 1 16 6 17 6 18 2
 op 8 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop mpeg2dec_l2 fp e400b013f37ed424 ops 11 mem 5
+loop mpeg2dec_l2 fp 3ea3ad3dcd479d13 ops 11 mem 5
 op 0 classes 128 383 0 1 combined 0 ab 0 clusters 4 128 128 128 128 lat 3 1 128 5 383 15 1
 op 1 classes 0 416 0 96 combined 0 ab 0 clusters 4 0 256 0 256 lat 6 5 98 6 317 8 1 15 33 16 33 18 30
 op 2 classes 0 504 0 8 combined 0 ab 0 clusters 4 256 0 256 0 lat 5 6 414 7 61 9 29 16 5 19 3
 op 9 classes 0 428 0 84 combined 0 ab 0 clusters 4 256 0 256 0 lat 1 1 512
 op 10 classes 0 512 0 0 combined 0 ab 0 clusters 4 256 0 256 0 lat 1 1 512
 endloop
-loop mpeg2dec_l3 fp 365b1f421da674ec ops 9 mem 4
+loop mpeg2dec_l3 fp c036bc5aea62a982 ops 9 mem 4
 op 0 classes 0 512 0 0 combined 126 ab 0 clusters 4 256 0 256 0 lat 9 2 63 3 63 5 6 6 1 7 64 8 63 9 126 10 63 11 63
 op 1 classes 0 512 0 0 combined 512 ab 0 clusters 4 256 0 256 0 lat 9 1 63 2 63 4 6 5 1 6 64 7 63 8 126 9 63 10 63
 op 7 classes 0 512 0 0 combined 0 ab 0 clusters 4 512 0 0 0 lat 1 1 512
 op 8 classes 0 512 0 0 combined 0 ab 0 clusters 4 256 0 256 0 lat 1 1 512
 endloop
-loop mpeg2dec_l4 fp 4b2f942e11679d42 ops 14 mem 6
+loop mpeg2dec_l4 fp 3d3ffd0fa8f42633 ops 14 mem 6
 op 0 classes 0 512 0 0 combined 509 ab 0 clusters 4 256 0 256 0 lat 16 1 2 2 122 3 1 4 6 5 2 6 62 7 1 10 60 12 1 13 2 14 63 15 2 16 124 17 2 18 61 20 1
 op 1 classes 0 512 0 0 combined 189 ab 0 clusters 4 256 0 256 0 lat 15 1 123 3 3 4 2 5 64 6 1 10 61 11 1 12 2 13 63 14 1 15 124 16 2 17 61 18 3 19 1
 op 2 classes 0 512 0 0 combined 257 ab 0 clusters 4 512 0 0 0 lat 18 1 1 3 2 4 1 5 62 6 1 7 2 8 2 9 62 10 63 11 122 12 2 13 1 14 1 15 5 16 61 17 120 18 3 19 1
@@ -494,14 +494,14 @@ op 3 classes 0 512 0 0 combined 195 ab 0 clusters 4 256 0 256 0 lat 17 1 3 2 2 3
 op 12 classes 0 512 0 0 combined 0 ab 0 clusters 4 256 0 256 0 lat 1 1 512
 op 13 classes 0 512 0 0 combined 0 ab 0 clusters 4 256 0 256 0 lat 1 1 512
 endloop
-loop mpeg2dec_l5 fp 6a92633e9838f503 ops 12 mem 5
+loop mpeg2dec_l5 fp 88aef7bc9e9ecf10 ops 12 mem 5
 op 0 classes 0 505 0 7 combined 5 ab 0 clusters 4 256 0 256 0 lat 8 4 5 5 404 6 8 7 2 9 77 12 4 15 5 19 7
 op 1 classes 0 502 0 10 combined 0 ab 0 clusters 4 256 0 256 0 lat 9 5 6 7 8 8 393 9 7 10 79 13 4 18 5 19 5 20 5
 op 2 classes 0 501 0 11 combined 4 ab 0 clusters 4 512 0 0 0 lat 6 5 415 6 2 8 79 10 4 11 5 15 7
 op 3 classes 89 267 39 117 combined 0 ab 0 clusters 4 128 128 128 128 lat 10 1 89 7 3 9 172 10 40 12 72 14 3 15 12 18 1 19 115 21 5
 op 11 classes 0 512 0 0 combined 0 ab 0 clusters 4 256 0 256 0 lat 1 1 512
 endloop
-loop mpeg2dec_l6 fp 1a303b60df63f0ef ops 13 mem 6
+loop mpeg2dec_l6 fp 870f05276bf7467c ops 13 mem 6
 op 0 classes 0 511 0 0 combined 252 ab 0 clusters 4 255 0 256 0 lat 15 5 1 8 59 9 65 10 2 11 126 13 1 15 1 20 1 23 60 24 59 25 2 26 124 27 2 28 2 29 6
 op 1 classes 0 511 0 0 combined 124 ab 0 clusters 4 0 255 0 256 lat 13 7 1 9 123 10 1 12 1 17 1 22 1 23 1 24 241 25 1 26 124 27 6 28 4 29 6
 op 2 classes 0 511 0 0 combined 0 ab 0 clusters 4 256 0 255 0 lat 10 7 1 12 1 17 1 22 1 23 120 25 245 26 122 27 7 28 10 30 3
@@ -509,34 +509,34 @@ op 3 classes 0 511 0 0 combined 252 ab 0 clusters 4 255 0 256 0 lat 13 5 2 6 61 
 op 11 classes 0 511 0 0 combined 0 ab 0 clusters 4 255 0 256 0 lat 1 1 511
 op 12 classes 0 511 0 0 combined 0 ab 0 clusters 4 256 0 255 0 lat 1 1 511
 endloop
-loop mpeg2dec_l7 fp 4fc59fe33f1fd262 ops 9 mem 5
+loop mpeg2dec_l7 fp d8060f98f2b2f15d ops 9 mem 5
 op 0 classes 0 458 0 0 combined 224 ab 0 clusters 4 229 0 229 0 lat 13 4 110 5 4 6 1 8 2 9 111 10 2 12 1 14 111 17 1 19 111 20 2 23 1 25 1
 op 1 classes 0 458 0 0 combined 226 ab 0 clusters 4 229 0 229 0 lat 14 2 111 4 1 6 1 7 112 9 2 11 1 12 1 13 1 15 113 17 111 18 1 20 1 23 1 24 1
 op 2 classes 0 458 0 0 combined 226 ab 0 clusters 4 229 0 229 0 lat 14 1 111 5 1 6 111 7 1 8 2 9 1 10 1 11 1 13 1 14 113 16 111 18 1 19 1 22 2
 op 7 classes 0 458 0 0 combined 0 ab 0 clusters 4 229 0 229 0 lat 1 1 458
 op 8 classes 0 458 0 0 combined 0 ab 0 clusters 4 229 0 229 0 lat 1 1 458
 endloop
-loop pegwitdec_l0 fp e1a0f93c078f0e65 ops 10 mem 4
+loop pegwitdec_l0 fp e477d6bfb2919d52 ops 10 mem 4
 op 0 classes 126 374 2 10 combined 39 ab 0 clusters 4 128 128 128 128 lat 7 1 159 2 2 5 341 7 3 10 1 11 1 15 5
 op 1 classes 98 292 38 84 combined 0 ab 0 clusters 4 136 101 133 142 lat 4 1 98 5 292 10 38 15 84
 op 8 classes 115 356 13 28 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 9 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pegwitdec_l1 fp 8ed4ff595269dd66 ops 11 mem 5
+loop pegwitdec_l1 fp 7ff831aaec0bd9e3 ops 11 mem 5
 op 0 classes 110 328 18 56 combined 19 ab 0 clusters 4 128 128 128 128 lat 28 1 113 2 1 3 3 4 2 5 36 6 20 7 29 8 34 9 34 10 49 11 29 12 32 13 22 14 31 15 17 16 13 17 8 18 11 19 6 20 4 21 4 22 2 23 4 24 4 25 1 27 1 30 1 34 1
 op 1 classes 73 317 28 94 combined 1 ab 0 clusters 4 101 133 142 136 lat 27 1 73 5 37 6 19 7 33 8 30 9 35 10 54 11 32 12 24 13 29 14 24 15 25 16 8 17 13 18 8 19 14 20 10 21 8 22 10 23 8 24 2 25 3 26 4 27 5 28 2 29 1 31 1
 op 2 classes 115 283 28 86 combined 0 ab 0 clusters 4 112 143 128 129 lat 25 1 115 5 35 6 27 7 15 8 31 9 30 10 60 11 30 12 22 13 18 14 20 15 14 16 11 17 12 18 9 19 15 20 11 21 9 22 10 23 5 24 5 25 3 26 1 27 3 30 1
 op 3 classes 117 315 16 64 combined 5 ab 0 clusters 4 133 127 117 135 lat 29 1 118 2 1 3 1 4 1 5 27 6 19 7 27 8 21 9 37 10 41 11 31 12 20 13 34 14 27 15 17 16 12 17 12 18 11 19 8 20 7 21 5 22 6 23 8 24 9 25 3 26 3 27 1 28 3 29 2
 op 10 classes 102 312 26 72 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pegwitdec_l2 fp d9352bf09b3bab9e ops 13 mem 5
+loop pegwitdec_l2 fp 10469daa4d2e653c ops 13 mem 5
 op 0 classes 38 110 0 0 combined 0 ab 0 clusters 4 37 38 37 36 lat 2 1 38 5 110
 op 1 classes 43 105 0 0 combined 0 ab 0 clusters 4 29 43 39 37 lat 2 1 43 5 105
 op 2 classes 46 102 0 0 combined 0 ab 0 clusters 4 22 46 46 34 lat 2 1 46 5 102
 op 3 classes 31 117 0 0 combined 1 ab 0 clusters 4 40 31 43 34 lat 3 1 31 4 1 5 116
 op 12 classes 37 111 0 0 combined 0 ab 0 clusters 4 38 37 36 37 lat 1 1 148
 endloop
-loop pegwitdec_l3 fp b750cf4f0f5db320 ops 14 mem 6
+loop pegwitdec_l3 fp 6e2a417777c962f4 ops 14 mem 6
 op 0 classes 90 270 38 114 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 90 5 270 10 38 15 114
 op 1 classes 124 315 18 55 combined 0 ab 0 clusters 4 142 136 101 133 lat 4 1 124 5 315 10 18 15 55
 op 2 classes 124 313 19 56 combined 0 ab 0 clusters 4 128 129 112 143 lat 6 1 124 5 259 6 54 10 19 15 46 16 10
@@ -544,7 +544,7 @@ op 3 classes 95 331 22 64 combined 0 ab 0 clusters 4 133 127 117 135 lat 8 1 95 
 op 12 classes 117 349 11 35 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 13 classes 121 361 7 23 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pegwitdec_l4 fp 30c13015a61f1f5e ops 11 mem 6
+loop pegwitdec_l4 fp 1d26aee97ce0b0bf ops 11 mem 6
 op 0 classes 118 370 10 14 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 118 5 370 10 10 15 14
 op 1 classes 100 275 42 95 combined 0 ab 0 clusters 4 142 136 101 133 lat 4 1 100 5 275 10 42 15 95
 op 2 classes 115 357 13 27 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 115 5 357 10 13 15 27
@@ -552,7 +552,7 @@ op 3 classes 112 344 13 43 combined 0 ab 0 clusters 4 125 125 124 138 lat 5 1 11
 op 9 classes 127 374 1 10 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 10 classes 122 371 6 13 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pegwitdec_l5 fp 4635a9f1cd7f8a57 ops 16 mem 8
+loop pegwitdec_l5 fp b8bca525cb9476d6 ops 16 mem 8
 op 0 classes 50 172 10 8 combined 20 ab 0 clusters 4 60 60 60 60 lat 12 1 54 2 7 3 5 5 74 6 24 7 28 8 19 9 11 10 13 11 1 15 2 16 2
 op 1 classes 51 132 16 41 combined 0 ab 0 clusters 4 67 61 48 64 lat 14 1 51 5 43 6 32 7 23 8 14 9 13 10 22 11 1 15 13 16 4 17 12 18 8 19 2 20 2
 op 2 classes 57 101 15 67 combined 0 ab 0 clusters 4 67 56 45 72 lat 14 1 57 5 48 6 13 7 12 8 11 9 10 10 20 11 2 15 27 16 12 17 10 18 12 19 3 20 3
@@ -562,7 +562,7 @@ op 5 classes 43 120 22 55 combined 0 ab 0 clusters 4 65 78 51 46 lat 14 1 43 5 5
 op 14 classes 58 172 2 8 combined 0 ab 0 clusters 4 60 60 60 60 lat 1 1 240
 op 15 classes 53 164 7 16 combined 0 ab 0 clusters 4 60 60 60 60 lat 1 1 240
 endloop
-loop pegwitdec_l6 fp 3a70ec763fcc0cd4 ops 13 mem 7
+loop pegwitdec_l6 fp 9fa107ee3609db88 ops 13 mem 7
 op 0 classes 50 153 12 33 combined 48 ab 0 clusters 4 62 62 62 62 lat 16 1 65 2 7 3 2 4 7 5 65 6 29 7 21 8 9 9 9 10 13 11 2 12 2 15 8 16 5 17 2 18 2
 op 1 classes 66 170 2 10 combined 0 ab 0 clusters 4 68 67 63 50 lat 12 1 66 5 73 6 45 7 21 8 19 9 7 10 6 12 1 15 5 16 2 17 1 19 2
 op 2 classes 65 154 10 19 combined 0 ab 0 clusters 4 67 56 50 75 lat 10 1 65 5 97 6 27 7 14 8 11 9 2 10 13 15 17 17 1 18 1
@@ -571,7 +571,7 @@ op 4 classes 54 154 11 29 combined 0 ab 0 clusters 4 65 61 61 61 lat 13 1 54 5 9
 op 11 classes 57 176 5 10 combined 0 ab 0 clusters 4 62 62 62 62 lat 1 1 248
 op 12 classes 59 178 3 8 combined 0 ab 0 clusters 4 62 62 62 62 lat 1 1 248
 endloop
-loop pegwitdec_l7 fp f93336dcda6cc7ec ops 18 mem 8
+loop pegwitdec_l7 fp 853a98c44402575d ops 18 mem 8
 op 0 classes 111 322 1 13 combined 2 ab 0 clusters 4 112 111 112 112 lat 7 1 111 5 311 6 7 7 2 8 4 10 1 15 11
 op 1 classes 83 228 37 99 combined 0 ab 0 clusters 4 120 105 124 98 lat 7 1 83 5 223 6 2 7 3 10 37 15 96 16 3
 op 2 classes 83 206 34 124 combined 1 ab 0 clusters 4 117 97 104 129 lat 12 1 83 2 1 5 184 6 9 7 9 8 1 9 2 10 34 15 109 16 11 17 3 18 1
@@ -581,7 +581,7 @@ op 5 classes 81 209 31 126 combined 0 ab 0 clusters 4 112 140 106 89 lat 11 1 81
 op 16 classes 107 322 4 14 combined 0 ab 0 clusters 4 111 112 112 112 lat 1 1 447
 op 17 classes 106 316 6 19 combined 0 ab 0 clusters 4 112 112 112 111 lat 1 1 447
 endloop
-loop pegwitenc_l0 fp 6c84b5687ca39173 ops 16 mem 7
+loop pegwitenc_l0 fp 3f946e4f2e573b16 ops 16 mem 7
 op 0 classes 59 174 0 0 combined 87 ab 0 clusters 4 58 58 59 58 lat 2 1 146 5 87
 op 1 classes 59 174 0 0 combined 0 ab 0 clusters 4 58 59 58 58 lat 3 1 59 5 145 6 29
 op 2 classes 117 116 0 0 combined 0 ab 0 clusters 4 0 117 0 116 lat 3 1 117 5 59 6 57
@@ -590,14 +590,14 @@ op 4 classes 59 174 0 0 combined 87 ab 0 clusters 4 58 59 58 58 lat 2 1 146 5 87
 op 14 classes 58 175 0 0 combined 0 ab 0 clusters 4 58 58 59 58 lat 1 1 233
 op 15 classes 59 174 0 0 combined 0 ab 0 clusters 4 58 58 59 58 lat 1 1 233
 endloop
-loop pegwitenc_l1 fp 76e5e807aed2624b ops 11 mem 5
+loop pegwitenc_l1 fp deb800056ef7c509 ops 11 mem 5
 op 0 classes 66 199 4 7 combined 5 ab 0 clusters 4 70 69 68 69 lat 6 1 66 5 201 10 4 11 1 15 3 16 1
 op 1 classes 68 200 2 6 combined 4 ab 0 clusters 4 70 70 68 68 lat 5 1 68 5 200 6 1 10 4 15 3
 op 2 classes 68 202 0 6 combined 4 ab 0 clusters 4 68 69 71 68 lat 4 1 68 5 204 10 2 15 2
 op 9 classes 69 205 1 1 combined 0 ab 0 clusters 4 70 70 68 68 lat 1 1 276
 op 10 classes 68 202 2 4 combined 0 ab 0 clusters 4 70 70 68 68 lat 1 1 276
 endloop
-loop pegwitenc_l2 fp 9a08bcacd2b6f370 ops 17 mem 8
+loop pegwitenc_l2 fp 10ef99323ebe488c ops 17 mem 8
 op 0 classes 120 113 8 14 combined 7 ab 0 clusters 4 128 0 127 0 lat 13 1 120 3 4 4 1 5 56 6 25 7 17 8 8 9 6 10 10 12 1 15 4 16 1 18 2
 op 1 classes 57 165 14 19 combined 0 ab 0 clusters 4 71 65 50 69 lat 14 1 57 5 72 6 43 7 20 8 18 9 9 10 16 12 1 15 11 16 3 17 1 18 1 19 2 22 1
 op 2 classes 64 185 0 6 combined 21 ab 0 clusters 4 64 64 64 63 lat 15 1 74 2 3 3 4 4 1 5 54 6 59 7 25 8 20 9 6 10 4 11 1 14 1 16 1 20 1 22 1
@@ -607,7 +607,7 @@ op 5 classes 63 192 0 0 combined 52 ab 0 clusters 4 63 64 64 64 lat 12 1 91 2 15
 op 15 classes 63 188 1 3 combined 0 ab 0 clusters 4 63 64 64 64 lat 1 1 255
 op 16 classes 59 176 5 15 combined 0 ab 0 clusters 4 64 64 64 63 lat 1 1 255
 endloop
-loop pegwitenc_l3 fp 257e11cca8d03930 ops 17 mem 7
+loop pegwitenc_l3 fp 7ab9786113f95446 ops 17 mem 7
 op 0 classes 128 380 0 4 combined 2 ab 0 clusters 4 128 128 128 128 lat 6 1 128 3 1 4 1 5 378 6 2 15 2
 op 1 classes 120 362 8 22 combined 0 ab 0 clusters 4 128 128 128 128 lat 5 1 120 5 361 6 1 10 8 15 22
 op 2 classes 80 295 32 105 combined 0 ab 0 clusters 4 112 143 128 129 lat 6 1 80 5 293 6 2 10 32 15 104 16 1
@@ -616,14 +616,14 @@ op 4 classes 118 347 10 37 combined 11 ab 0 clusters 4 128 128 128 128 lat 8 1 1
 op 5 classes 109 260 19 124 combined 54 ab 0 clusters 4 128 128 128 128 lat 7 1 109 3 12 4 17 5 260 8 25 10 19 15 70
 op 16 classes 118 358 10 26 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pegwitenc_l4 fp 666619a533104950 ops 9 mem 5
+loop pegwitenc_l4 fp 3bc6723f5573870b ops 9 mem 5
 op 0 classes 38 111 0 0 combined 0 ab 0 clusters 4 37 37 38 37 lat 3 1 38 5 94 6 17
 op 1 classes 38 111 0 0 combined 55 ab 0 clusters 4 36 38 38 37 lat 5 1 38 2 21 3 34 5 21 6 35
 op 2 classes 38 111 0 0 combined 55 ab 0 clusters 4 37 38 38 36 lat 5 1 38 2 21 3 34 5 22 6 34
 op 7 classes 38 111 0 0 combined 0 ab 0 clusters 4 36 37 38 38 lat 1 1 149
 op 8 classes 38 111 0 0 combined 0 ab 0 clusters 4 37 38 38 36 lat 1 1 149
 endloop
-loop pegwitenc_l5 fp 523c368c1500d938 ops 16 mem 7
+loop pegwitenc_l5 fp 785b34330a9dad2a ops 16 mem 7
 op 0 classes 68 204 0 0 combined 0 ab 0 clusters 4 68 68 68 68 lat 3 1 68 5 203 6 1
 op 1 classes 67 198 1 6 combined 3 ab 0 clusters 4 68 68 68 68 lat 6 1 67 5 197 6 1 8 3 10 1 15 3
 op 2 classes 66 198 2 6 combined 4 ab 0 clusters 4 68 68 68 68 lat 6 1 66 3 1 5 198 8 3 10 1 15 3
@@ -632,31 +632,31 @@ op 4 classes 68 204 0 0 combined 0 ab 0 clusters 4 68 68 68 68 lat 3 1 68 5 203 
 op 14 classes 67 201 1 3 combined 0 ab 0 clusters 4 68 68 68 68 lat 1 1 272
 op 15 classes 68 204 0 0 combined 0 ab 0 clusters 4 68 68 68 68 lat 1 1 272
 endloop
-loop pegwitenc_l6 fp 219130ffca6af234 ops 9 mem 4
+loop pegwitenc_l6 fp 9aca7f2f06e425ad ops 9 mem 4
 op 0 classes 124 368 4 16 combined 93 ab 0 clusters 4 128 128 128 128 lat 6 1 212 5 280 6 1 10 3 11 4 15 12
 op 1 classes 126 378 2 6 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 126 5 378 10 2 15 6
 op 7 classes 125 368 3 16 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 8 classes 120 358 8 26 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pegwitenc_l7 fp e36d4fda3b6d256a ops 7 mem 4
+loop pegwitenc_l7 fp 042c70f9e912b211 ops 7 mem 4
 op 0 classes 65 192 0 0 combined 0 ab 0 clusters 4 65 64 64 64 lat 2 1 65 5 192
 op 1 classes 64 192 0 1 combined 16 ab 0 clusters 4 64 64 64 65 lat 3 1 80 5 176 15 1
 op 5 classes 64 193 0 0 combined 0 ab 0 clusters 4 64 65 64 64 lat 1 1 257
 op 6 classes 65 192 0 0 combined 0 ab 0 clusters 4 65 64 64 64 lat 1 1 257
 endloop
-loop pgpdec_l0 fp ee2627bec13ad7d8 ops 7 mem 3
+loop pgpdec_l0 fp 92fdf5867dd6d013 ops 7 mem 3
 op 0 classes 128 382 0 2 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 128 5 381 6 1 15 2
 op 1 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 128 5 382 6 1 7 1
 op 6 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pgpdec_l1 fp 7e49e82deb39c15d ops 10 mem 5
+loop pgpdec_l1 fp 7a79b98b0e692ccf ops 10 mem 5
 op 0 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 5 384
 op 1 classes 127 382 1 2 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 127 5 382 10 1 15 2
 op 2 classes 114 342 14 42 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 114 5 342 10 14 15 42
 op 8 classes 116 348 12 36 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 9 classes 122 366 6 18 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pgpdec_l2 fp 88c627e586d761a6 ops 13 mem 6
+loop pgpdec_l2 fp 120646fd49298fae ops 13 mem 6
 op 0 classes 224 193 32 63 combined 31 ab 0 clusters 4 0 256 0 256 lat 7 1 224 5 124 6 99 9 1 10 32 15 16 16 16
 op 1 classes 128 384 0 0 combined 32 ab 0 clusters 4 128 128 128 128 lat 8 1 128 4 12 5 23 6 264 7 19 8 40 9 23 10 3
 op 2 classes 0 512 0 0 combined 0 ab 0 clusters 4 0 256 0 256 lat 6 5 42 6 276 7 136 8 32 9 21 10 5
@@ -664,14 +664,14 @@ op 3 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 6 1 128 
 op 4 classes 128 384 0 0 combined 4 ab 0 clusters 4 128 128 128 128 lat 7 1 131 2 1 5 47 6 259 7 29 8 34 9 11
 op 12 classes 0 512 0 0 combined 0 ab 0 clusters 4 0 256 0 256 lat 1 1 512
 endloop
-loop pgpdec_l3 fp f0e2352be4881cd3 ops 12 mem 5
+loop pgpdec_l3 fp 77b36060dff59137 ops 12 mem 5
 op 0 classes 128 382 0 2 combined 0 ab 0 clusters 4 128 128 128 128 lat 3 1 128 5 382 15 2
 op 1 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 3 1 128 5 383 6 1
 op 2 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 5 384
 op 10 classes 256 256 0 0 combined 0 ab 0 clusters 4 256 0 256 0 lat 1 1 512
 op 11 classes 125 372 3 12 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pgpdec_l4 fp 44559ec3036103be ops 13 mem 7
+loop pgpdec_l4 fp 68df985d911443fb ops 13 mem 7
 op 0 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 128 5 155 6 196 8 33
 op 1 classes 96 288 32 96 combined 0 ab 0 clusters 4 128 128 128 128 lat 5 1 96 5 288 10 32 15 72 16 24
 op 2 classes 102 310 26 74 combined 381 ab 0 clusters 4 128 128 128 128 lat 6 1 375 2 8 5 29 6 26 11 50 12 24
@@ -680,13 +680,13 @@ op 4 classes 102 310 26 74 combined 6 ab 0 clusters 4 128 128 128 128 lat 8 1 10
 op 11 classes 256 256 0 0 combined 0 ab 0 clusters 4 256 0 256 0 lat 1 1 512
 op 12 classes 0 512 0 0 combined 0 ab 0 clusters 4 0 256 0 256 lat 1 1 512
 endloop
-loop pgpdec_l5 fp 35222638912f4758 ops 10 mem 4
+loop pgpdec_l5 fp 4e7d8f27dd250f6f ops 10 mem 4
 op 0 classes 112 317 16 67 combined 125 ab 0 clusters 4 128 128 128 128 lat 7 1 186 2 8 3 21 5 243 7 22 10 8 15 24
 op 1 classes 126 375 2 9 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 126 5 375 10 2 15 9
 op 8 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 9 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pgpdec_l6 fp 39705935edc5bdf4 ops 12 mem 6
+loop pgpdec_l6 fp 1a42e93e920b8151 ops 12 mem 6
 op 0 classes 69 208 3 8 combined 0 ab 0 clusters 4 72 72 72 72 lat 6 1 69 5 207 6 1 10 3 15 7 16 1
 op 1 classes 144 144 0 0 combined 0 ab 0 clusters 4 144 0 144 0 lat 4 1 144 5 140 6 3 7 1
 op 2 classes 140 140 4 4 combined 0 ab 0 clusters 4 144 0 144 0 lat 4 1 140 5 140 10 4 15 4
@@ -694,7 +694,7 @@ op 3 classes 72 216 0 0 combined 1 ab 0 clusters 4 72 72 72 72 lat 2 1 73 5 215
 op 4 classes 72 216 0 0 combined 2 ab 0 clusters 4 72 72 72 72 lat 3 1 72 4 2 5 214
 op 11 classes 72 208 0 8 combined 0 ab 0 clusters 4 72 72 72 72 lat 1 1 288
 endloop
-loop pgpdec_l7 fp 863efc35422394d0 ops 11 mem 6
+loop pgpdec_l7 fp d5aa27d200aa5722 ops 11 mem 6
 op 0 classes 35 104 0 0 combined 0 ab 0 clusters 4 35 35 35 34 lat 3 1 35 5 71 6 33
 op 1 classes 35 104 0 0 combined 0 ab 0 clusters 4 34 35 35 35 lat 2 1 35 5 104
 op 2 classes 70 69 0 0 combined 0 ab 0 clusters 4 70 0 69 0 lat 3 1 70 5 35 6 34
@@ -702,7 +702,7 @@ op 3 classes 35 104 0 0 combined 0 ab 0 clusters 4 35 35 35 34 lat 3 1 35 5 69 6
 op 9 classes 35 104 0 0 combined 0 ab 0 clusters 4 35 35 35 34 lat 1 1 139
 op 10 classes 35 104 0 0 combined 0 ab 0 clusters 4 35 34 35 35 lat 1 1 139
 endloop
-loop pgpenc_l0 fp a93b87d021a0e18b ops 18 mem 8
+loop pgpenc_l0 fp 8bc8af5bbddddcf0 ops 18 mem 8
 op 0 classes 128 384 0 0 combined 9 ab 0 clusters 4 128 128 128 128 lat 6 1 128 2 9 5 320 7 23 8 23 10 9
 op 1 classes 128 384 0 0 combined 9 ab 0 clusters 4 128 128 128 128 lat 7 1 128 3 9 5 311 6 23 8 23 10 9 11 9
 op 2 classes 112 330 16 54 combined 35 ab 0 clusters 4 128 128 128 128 lat 10 1 112 2 8 5 261 7 55 8 32 10 8 14 9 15 9 16 9 22 9
@@ -712,14 +712,14 @@ op 5 classes 96 288 32 96 combined 0 ab 0 clusters 4 128 128 128 128 lat 8 1 96 
 op 16 classes 117 351 11 33 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 17 classes 112 336 16 48 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pgpenc_l1 fp 4fd2474816e8e3b6 ops 10 mem 5
+loop pgpenc_l1 fp 66de92a98fbe0137 ops 10 mem 5
 op 0 classes 62 183 0 0 combined 0 ab 0 clusters 4 61 61 61 62 lat 2 1 62 5 183
 op 1 classes 61 184 0 0 combined 0 ab 0 clusters 4 61 61 61 62 lat 2 1 61 5 184
 op 2 classes 55 190 0 0 combined 0 ab 0 clusters 4 55 60 74 56 lat 2 1 55 5 190
 op 3 classes 62 183 0 0 combined 0 ab 0 clusters 4 62 61 61 61 lat 2 1 62 5 183
 op 9 classes 123 122 0 0 combined 0 ab 0 clusters 4 123 0 122 0 lat 1 1 245
 endloop
-loop pgpenc_l2 fp 66e2e4ff4ba4dd68 ops 17 mem 7
+loop pgpenc_l2 fp d37cba8facdce8d7 ops 17 mem 7
 op 0 classes 104 296 24 88 combined 0 ab 0 clusters 4 128 128 128 128 lat 6 1 104 5 292 6 4 10 24 15 76 16 12
 op 1 classes 256 256 0 0 combined 0 ab 0 clusters 4 256 0 256 0 lat 2 1 256 5 256
 op 2 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 3 1 128 5 352 6 32
@@ -728,7 +728,7 @@ op 4 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 
 op 5 classes 96 288 32 96 combined 64 ab 0 clusters 4 128 128 128 128 lat 6 1 96 2 16 5 288 7 48 10 16 15 48
 op 16 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pgpenc_l3 fp 5f1e98991f735c94 ops 11 mem 6
+loop pgpenc_l3 fp 60f18ea9e0a3800c ops 11 mem 6
 op 0 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 5 384
 op 1 classes 96 289 32 95 combined 63 ab 0 clusters 4 128 128 128 128 lat 7 1 96 4 16 5 281 6 8 9 47 10 16 15 48
 op 2 classes 112 314 16 70 combined 70 ab 0 clusters 4 128 128 128 128 lat 9 1 128 3 23 4 8 5 274 6 8 7 16 9 23 10 8 15 24
@@ -736,7 +736,7 @@ op 3 classes 114 312 14 72 combined 55 ab 0 clusters 4 128 128 128 128 lat 8 1 1
 op 9 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 10 classes 112 336 16 48 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pgpenc_l4 fp 5a2d5cdfc4d7c30e ops 13 mem 6
+loop pgpenc_l4 fp e7e33ce262574c18 ops 13 mem 6
 op 0 classes 256 256 0 0 combined 2 ab 0 clusters 4 256 0 256 0 lat 4 1 256 2 2 5 253 6 1
 op 1 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 5 384
 op 2 classes 119 357 9 27 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 119 5 357 10 9 15 27
@@ -744,31 +744,31 @@ op 3 classes 123 364 2 23 combined 1 ab 0 clusters 4 125 125 124 138 lat 6 1 123
 op 11 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 12 classes 127 381 1 3 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pgpenc_l5 fp d4ed432a18c57cef ops 11 mem 5
+loop pgpenc_l5 fp 6b18dbe8b4f8fe70 ops 11 mem 5
 op 0 classes 94 282 34 102 combined 0 ab 0 clusters 4 128 128 128 128 lat 10 1 94 5 269 6 10 7 3 10 34 15 58 16 20 17 21 18 2 19 1
 op 1 classes 108 322 20 62 combined 55 ab 0 clusters 4 128 128 128 128 lat 17 1 118 2 3 3 5 4 2 5 285 6 23 7 3 8 1 9 1 10 35 11 2 12 2 13 1 15 26 16 2 17 2 18 1
 op 2 classes 103 300 25 84 combined 0 ab 0 clusters 4 128 129 112 143 lat 10 1 103 5 279 6 13 7 7 9 1 10 25 15 69 16 10 17 3 18 2
 op 9 classes 126 383 2 1 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 op 10 classes 91 278 37 106 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pgpenc_l6 fp 38e3362316538835 ops 10 mem 4
+loop pgpenc_l6 fp df1e18f76fc075c2 ops 10 mem 4
 op 0 classes 113 336 15 48 combined 0 ab 0 clusters 4 128 128 128 128 lat 8 1 113 5 279 6 24 7 33 10 15 15 35 16 10 17 3
 op 1 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 128 5 310 6 41 7 33
 op 2 classes 97 294 31 90 combined 0 ab 0 clusters 4 128 128 128 128 lat 8 1 97 5 203 6 49 7 36 8 6 10 31 15 79 16 11
 op 9 classes 86 258 42 126 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop pgpenc_l7 fp 7f115b27993e1173 ops 9 mem 4
+loop pgpenc_l7 fp 0af79e5b86b8f92c ops 9 mem 4
 op 0 classes 59 170 0 0 combined 85 ab 0 clusters 4 58 59 56 56 lat 3 1 59 2 85 5 85
 op 1 classes 57 172 0 0 combined 0 ab 0 clusters 4 57 58 57 57 lat 3 1 57 5 90 6 82
 op 2 classes 58 171 0 0 combined 0 ab 0 clusters 4 58 57 57 57 lat 2 1 58 5 171
 op 8 classes 58 171 0 0 combined 0 ab 0 clusters 4 58 57 57 57 lat 1 1 229
 endloop
-loop rasta_l0 fp 18ba379aae1a7b4d ops 7 mem 3
+loop rasta_l0 fp 4d0b74e898ae553b ops 7 mem 3
 op 0 classes 102 230 26 154 combined 77 ab 0 clusters 4 128 128 128 128 lat 5 1 102 3 77 5 230 10 26 15 77
 op 1 classes 96 195 32 189 combined 93 ab 0 clusters 4 128 128 128 128 lat 5 1 96 3 93 5 195 10 32 15 96
 op 6 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop rasta_l1 fp f1baabbf023c3ecf ops 12 mem 6
+loop rasta_l1 fp a5bf04673fdff56d ops 12 mem 6
 op 0 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 5 384
 op 1 classes 120 360 8 24 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 120 5 360 10 8 15 24
 op 2 classes 112 336 16 48 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 112 5 336 10 16 15 48
@@ -776,20 +776,20 @@ op 3 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 
 op 4 classes 126 378 2 6 combined 0 ab 0 clusters 4 128 128 128 128 lat 4 1 126 5 378 10 2 15 6
 op 11 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop rasta_l2 fp cabaac6dc3acc97d ops 12 mem 5
+loop rasta_l2 fp 3c96b37dab10bdbb ops 12 mem 5
 op 0 classes 0 512 0 0 combined 12 ab 0 clusters 4 0 256 0 256 lat 3 2 6 4 6 5 500
 op 1 classes 128 384 0 0 combined 6 ab 0 clusters 4 128 128 128 128 lat 3 1 128 4 6 5 378
 op 2 classes 128 384 0 0 combined 6 ab 0 clusters 4 128 128 128 128 lat 3 1 128 2 6 5 378
 op 3 classes 256 256 0 0 combined 0 ab 0 clusters 4 0 256 0 256 lat 2 1 256 5 256
 op 11 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop rasta_l3 fp 72814f857b311346 ops 10 mem 4
+loop rasta_l3 fp 285f87f0f9e388c9 ops 10 mem 4
 op 0 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 5 384
 op 1 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 5 384
 op 8 classes 256 256 0 0 combined 0 ab 0 clusters 4 256 0 256 0 lat 1 1 512
 op 9 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop rasta_l4 fp 7d0afbe419c0d6b5 ops 15 mem 7
+loop rasta_l4 fp 0334310ee1c83916 ops 15 mem 7
 op 0 classes 79 227 3 17 combined 0 ab 0 clusters 4 82 82 81 81 lat 9 1 79 5 191 6 25 7 10 8 1 10 3 15 10 16 5 17 2
 op 1 classes 82 244 0 0 combined 0 ab 0 clusters 4 82 82 81 81 lat 5 1 82 5 181 6 32 7 27 8 4
 op 2 classes 80 223 2 21 combined 0 ab 0 clusters 4 82 81 81 82 lat 11 1 80 5 169 6 32 7 18 8 3 9 1 10 2 15 13 16 5 17 2 18 1
@@ -798,7 +798,7 @@ op 4 classes 81 245 0 0 combined 0 ab 0 clusters 4 81 81 82 82 lat 6 1 81 5 200 
 op 5 classes 78 230 4 14 combined 0 ab 0 clusters 4 82 81 81 82 lat 11 1 78 5 181 6 12 7 18 8 15 9 4 10 4 15 6 16 2 17 5 18 1
 op 14 classes 81 245 0 0 combined 0 ab 0 clusters 4 81 82 82 81 lat 1 1 326
 endloop
-loop rasta_l5 fp 213ae26728246e3e ops 14 mem 6
+loop rasta_l5 fp cbe9645fc74a711f ops 14 mem 6
 op 0 classes 96 286 32 98 combined 416 ab 0 clusters 4 128 128 128 128 lat 7 1 96 3 250 4 22 5 14 8 32 13 66 14 32
 op 1 classes 118 353 10 31 combined 0 ab 0 clusters 4 128 128 128 128 lat 6 1 118 5 330 6 23 10 10 15 29 16 2
 op 2 classes 96 286 32 98 combined 0 ab 0 clusters 4 128 128 128 128 lat 7 1 96 5 250 6 22 7 14 10 32 15 66 16 32
@@ -806,14 +806,14 @@ op 3 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 3 1 128 
 op 4 classes 106 318 22 66 combined 0 ab 0 clusters 4 128 128 128 128 lat 5 1 106 5 304 6 14 10 22 15 66
 op 13 classes 119 356 9 28 combined 0 ab 0 clusters 4 128 128 128 128 lat 1 1 512
 endloop
-loop rasta_l6 fp c80de2cd155473c2 ops 13 mem 5
+loop rasta_l6 fp f9075282c34893b2 ops 13 mem 5
 op 0 classes 0 376 0 0 combined 2 ab 0 clusters 4 0 188 0 188 lat 4 3 2 5 295 6 64 7 15
 op 1 classes 77 265 17 17 combined 2 ab 0 clusters 4 94 94 94 94 lat 8 1 77 2 2 5 231 6 1 7 31 10 17 15 3 16 14
 op 2 classes 187 186 1 2 combined 1 ab 0 clusters 4 188 0 188 0 lat 5 1 187 5 159 6 28 10 1 15 1
 op 3 classes 77 235 17 47 combined 0 ab 0 clusters 4 94 94 94 94 lat 6 1 77 5 205 6 30 10 17 15 32 16 15
 op 12 classes 94 282 0 0 combined 0 ab 0 clusters 4 94 94 94 94 lat 1 1 376
 endloop
-loop rasta_l7 fp dd5d0c307fef47e4 ops 11 mem 4
+loop rasta_l7 fp bb8f411692e35776 ops 11 mem 4
 op 0 classes 128 384 0 0 combined 18 ab 0 clusters 4 128 128 128 128 lat 3 1 128 2 18 5 366
 op 1 classes 128 384 0 0 combined 13 ab 0 clusters 4 128 128 128 128 lat 3 1 128 3 13 5 371
 op 2 classes 128 384 0 0 combined 0 ab 0 clusters 4 128 128 128 128 lat 2 1 128 5 384

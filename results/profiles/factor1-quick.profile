@@ -1,6 +1,6 @@
 vliw-profile-store 1
 loops 32
-loop epicdec_l0 fp 323dc45ca4ca6183 ops 14 mem 7
+loop epicdec_l0 fp 6c3058494290d6e9 ops 14 mem 7
 op 0 classes 24 72 0 0 combined 72 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 op 1 classes 24 72 0 0 combined 3 ab 0 clusters 4 24 24 24 24 lat 3 1 24 4 3 5 69
 op 2 classes 48 48 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 2 1 48 5 48
@@ -9,12 +9,12 @@ op 4 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 5 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 13 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop epicdec_l1 fp 85f30653cb9ca89e ops 7 mem 3
+loop epicdec_l1 fp 1e4fdd325954d736 ops 7 mem 3
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 6 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop epicdec_l19 fp c088416761c63993 ops 26 mem 20
+loop epicdec_l19 fp 8306505bb384e182 ops 26 mem 20
 op 0 classes 64 0 32 0 combined 0 ab 0 clusters 4 96 0 0 0 lat 2 1 64 10 32
 op 1 classes 0 96 0 0 combined 0 ab 0 clusters 4 0 96 0 0 lat 1 5 96
 op 2 classes 0 64 0 32 combined 0 ab 0 clusters 4 0 0 96 0 lat 3 5 56 6 8 15 32
@@ -36,31 +36,31 @@ op 17 classes 0 64 0 32 combined 0 ab 0 clusters 4 0 96 0 0 lat 2 5 64 15 32
 op 18 classes 0 96 0 0 combined 0 ab 0 clusters 4 0 0 96 0 lat 1 5 96
 op 25 classes 84 0 12 0 combined 0 ab 0 clusters 4 96 0 0 0 lat 1 1 96
 endloop
-loop epicdec_l2 fp d9ccfecf92364b57 ops 10 mem 5
+loop epicdec_l2 fp 1d2253b73c739a42 ops 10 mem 5
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 2 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 8 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 op 9 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop epicdec_l3 fp 0c57f9413fdeda8d ops 9 mem 4
+loop epicdec_l3 fp ff0b7b8a1814ccd8 ops 9 mem 4
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 2 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 8 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop epicdec_l4 fp ba3d369cd8f65e28 ops 9 mem 4
+loop epicdec_l4 fp 998ef940b7efa27f ops 9 mem 4
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 7 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 op 8 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop epicdec_l5 fp 43c147f255c771dd ops 8 mem 3
+loop epicdec_l5 fp 9f3114344cbf960f ops 8 mem 3
 op 0 classes 48 48 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 2 1 48 5 48
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 7 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop epicdec_l6 fp be47362585319e3d ops 12 mem 6
+loop epicdec_l6 fp 7fe1740c54694bb3 ops 12 mem 6
 op 0 classes 13 49 11 23 combined 0 ab 0 clusters 4 24 24 24 24 lat 4 1 13 5 49 10 11 15 23
 op 1 classes 37 37 11 11 combined 0 ab 0 clusters 4 48 0 48 0 lat 4 1 37 5 37 10 11 15 11
 op 2 classes 13 49 11 23 combined 0 ab 0 clusters 4 24 24 24 24 lat 4 1 13 5 49 10 11 15 23
@@ -68,19 +68,19 @@ op 3 classes 0 96 0 0 combined 0 ab 0 clusters 4 0 48 0 48 lat 1 5 96
 op 10 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 op 11 classes 17 52 7 20 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop gsmdec_l0 fp 57ccd765309b3776 ops 6 mem 3
+loop gsmdec_l0 fp b0e103b1b470e347 ops 6 mem 3
 op 0 classes 24 72 0 0 combined 18 ab 0 clusters 4 24 24 24 24 lat 3 1 24 2 18 5 54
 op 1 classes 24 72 0 0 combined 35 ab 0 clusters 4 24 24 24 24 lat 3 1 25 2 34 5 37
 op 5 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop gsmdec_l1 fp 9e1d880634539166 ops 9 mem 5
+loop gsmdec_l1 fp d1892cbd9908fc81 ops 9 mem 5
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 2 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 7 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 op 8 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop gsmdec_l2 fp a71418ba791b9750 ops 14 mem 7
+loop gsmdec_l2 fp 337bc0ba1bba2cb6 ops 14 mem 7
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 2 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
@@ -89,7 +89,7 @@ op 4 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 12 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 op 13 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop gsmdec_l3 fp 2cc1613b2c439179 ops 13 mem 7
+loop gsmdec_l3 fp 3b28b589c0af1cb5 ops 13 mem 7
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 2 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
@@ -98,27 +98,27 @@ op 4 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 11 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 op 12 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop gsmdec_l4 fp 210e469aa6f07347 ops 8 mem 4
+loop gsmdec_l4 fp 505beeef9766b42e ops 8 mem 4
 op 0 classes 24 72 0 0 combined 35 ab 0 clusters 4 24 24 24 24 lat 2 1 59 5 37
 op 1 classes 24 72 0 0 combined 35 ab 0 clusters 4 24 24 24 24 lat 2 1 59 5 37
 op 2 classes 24 72 0 0 combined 36 ab 0 clusters 4 24 24 24 24 lat 2 1 60 5 36
 op 7 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop gsmdec_l5 fp ab9dee1e024ad6c3 ops 13 mem 5
+loop gsmdec_l5 fp 82bcb33dacd68ea2 ops 13 mem 5
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 2 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 3 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 12 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop gsmdec_l6 fp 7b267e69190c7406 ops 13 mem 5
+loop gsmdec_l6 fp 84411c5adc4e4299 ops 13 mem 5
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 2 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 3 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 12 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop gsmdec_l7 fp 80f28cca6ad09a7c ops 13 mem 7
+loop gsmdec_l7 fp f948e8900e656991 ops 13 mem 7
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 2 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
@@ -127,18 +127,18 @@ op 4 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 11 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 op 12 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop jpegenc_l0 fp c135e5bf8cfe1aa1 ops 9 mem 3
+loop jpegenc_l0 fp 563b0a9dc819a49b ops 9 mem 3
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 3 1 24 5 55 6 17
 op 1 classes 48 48 0 0 combined 0 ab 0 clusters 4 0 48 0 48 lat 4 1 48 5 8 6 34 7 6
 op 8 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop jpegenc_l1 fp fe244e52ae4525f4 ops 9 mem 4
+loop jpegenc_l1 fp 944dd65b024006ab ops 9 mem 4
 op 0 classes 24 72 0 0 combined 35 ab 0 clusters 4 24 24 24 24 lat 2 1 59 5 37
 op 1 classes 24 72 0 0 combined 35 ab 0 clusters 4 24 24 24 24 lat 2 1 59 5 37
 op 2 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 8 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop jpegenc_l2 fp 298c16ba1ea3e186 ops 17 mem 8
+loop jpegenc_l2 fp 8c1412a9591dc3a3 ops 17 mem 8
 op 0 classes 24 72 0 0 combined 1 ab 0 clusters 4 24 24 24 24 lat 4 1 24 3 1 5 49 6 22
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 2 classes 48 48 0 0 combined 1 ab 0 clusters 4 48 0 48 0 lat 2 1 49 5 47
@@ -148,14 +148,14 @@ op 5 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 15 classes 48 48 0 0 combined 0 ab 0 clusters 4 0 48 0 48 lat 1 1 96
 op 16 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop jpegenc_l3 fp 3a17c15cb495fff4 ops 10 mem 5
+loop jpegenc_l3 fp 70e06fa8fa0bbe60 ops 10 mem 5
 op 0 classes 48 47 0 1 combined 0 ab 0 clusters 4 48 0 48 0 lat 3 1 48 5 47 15 1
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 2 classes 34 60 2 0 combined 0 ab 0 clusters 4 23 19 36 18 lat 3 1 34 5 60 10 2
 op 3 classes 24 72 0 0 combined 72 ab 0 clusters 4 24 24 24 24 lat 2 1 24 4 72
 op 9 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop jpegenc_l4 fp 5ddb11a4cb7c48b3 ops 12 mem 6
+loop jpegenc_l4 fp 1d8cb772f08d7506 ops 12 mem 6
 op 0 classes 0 80 0 0 combined 0 ab 0 clusters 4 0 40 0 40 lat 1 5 80
 op 1 classes 20 60 0 0 combined 2 ab 0 clusters 4 20 20 20 20 lat 3 1 20 4 2 5 58
 op 2 classes 20 60 0 0 combined 0 ab 0 clusters 4 20 20 20 20 lat 2 1 20 5 60
@@ -163,14 +163,14 @@ op 3 classes 20 60 0 0 combined 0 ab 0 clusters 4 20 20 20 20 lat 2 1 20 5 60
 op 4 classes 20 60 0 0 combined 0 ab 0 clusters 4 20 20 20 20 lat 2 1 20 5 60
 op 11 classes 20 60 0 0 combined 0 ab 0 clusters 4 20 20 20 20 lat 1 1 80
 endloop
-loop jpegenc_l5 fp e6c228fbe4c1ff38 ops 12 mem 5
+loop jpegenc_l5 fp f765a7ebdfbc3d8e ops 12 mem 5
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 2 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 3 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 11 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop jpegenc_l6 fp 14cb8431560819fe ops 15 mem 7
+loop jpegenc_l6 fp 1524d9c17b0fcff9 ops 15 mem 7
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 26 68 0 2 combined 0 ab 0 clusters 4 25 20 25 26 lat 3 1 26 5 68 15 2
 op 2 classes 24 72 0 0 combined 1 ab 0 clusters 4 24 24 24 24 lat 4 1 24 4 1 5 61 6 10
@@ -179,13 +179,13 @@ op 4 classes 27 69 0 0 combined 0 ab 0 clusters 4 27 18 27 24 lat 2 1 27 5 69
 op 5 classes 24 71 0 1 combined 0 ab 0 clusters 4 24 24 24 24 lat 3 1 24 5 71 15 1
 op 14 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop jpegenc_l7 fp d4b3d25e8051cb5b ops 8 mem 4
+loop jpegenc_l7 fp f6c3bf8766f2f788 ops 8 mem 4
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 24 72 0 0 combined 35 ab 0 clusters 4 24 24 24 24 lat 2 1 59 5 37
 op 6 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 op 7 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop mpeg2dec_l0 fp f41c58eac87f0754 ops 14 mem 7
+loop mpeg2dec_l0 fp fec580790b2eaae1 ops 14 mem 7
 op 0 classes 0 96 0 0 combined 47 ab 0 clusters 4 0 0 96 0 lat 12 5 3 8 1 10 1 12 14 13 12 14 20 17 1 19 1 20 1 21 12 22 10 23 20
 op 1 classes 0 96 0 0 combined 46 ab 0 clusters 4 0 48 0 48 lat 17 2 11 3 1 4 12 5 1 6 1 8 2 9 1 10 9 11 12 14 1 16 1 17 3 18 10 19 9 20 1 22 11 24 10
 op 2 classes 24 72 0 0 combined 4 ab 0 clusters 4 24 24 24 24 lat 14 1 24 3 1 7 1 8 1 11 1 12 2 15 1 16 1 17 13 18 29 20 1 22 11 23 1 24 9
@@ -194,26 +194,26 @@ op 4 classes 0 96 0 0 combined 48 ab 0 clusters 4 0 0 96 0 lat 13 3 1 6 1 7 1 8 
 op 5 classes 0 96 0 0 combined 48 ab 0 clusters 4 96 0 0 0 lat 14 4 1 8 1 9 1 10 1 13 1 14 2 15 2 16 23 17 19 19 2 20 1 21 23 22 10 23 9
 op 13 classes 0 96 0 0 combined 0 ab 0 clusters 4 0 0 96 0 lat 1 1 96
 endloop
-loop mpeg2dec_l1 fp cab3f0ee2beaccd8 ops 9 mem 4
+loop mpeg2dec_l1 fp c87dd0354e527d11 ops 9 mem 4
 op 0 classes 0 96 0 0 combined 22 ab 0 clusters 4 48 0 48 0 lat 11 3 2 4 19 5 1 6 2 7 19 8 6 9 11 10 10 11 5 12 20 13 1
 op 1 classes 0 96 0 0 combined 24 ab 0 clusters 4 48 0 48 0 lat 10 2 3 3 21 5 2 6 10 7 4 8 11 9 10 10 3 11 31 12 1
 op 2 classes 24 72 0 0 combined 35 ab 0 clusters 4 24 24 24 24 lat 10 1 24 2 1 3 20 5 3 6 10 7 23 8 1 9 3 10 9 11 2
 op 8 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 1 1 96
 endloop
-loop mpeg2dec_l2 fp e400b013f37ed424 ops 11 mem 5
+loop mpeg2dec_l2 fp 3ea3ad3dcd479d13 ops 11 mem 5
 op 0 classes 24 72 0 0 combined 0 ab 0 clusters 4 24 24 24 24 lat 2 1 24 5 72
 op 1 classes 0 96 0 0 combined 0 ab 0 clusters 4 0 48 0 48 lat 2 5 26 6 70
 op 2 classes 0 96 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 2 6 95 7 1
 op 9 classes 0 96 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 1 1 96
 op 10 classes 0 96 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 1 1 96
 endloop
-loop mpeg2dec_l3 fp 365b1f421da674ec ops 9 mem 4
+loop mpeg2dec_l3 fp c036bc5aea62a982 ops 9 mem 4
 op 0 classes 0 96 0 0 combined 22 ab 0 clusters 4 48 0 48 0 lat 9 2 11 3 11 5 6 6 1 7 12 8 11 9 22 10 11 11 11
 op 1 classes 0 96 0 0 combined 96 ab 0 clusters 4 48 0 48 0 lat 9 1 11 2 11 4 6 5 1 6 12 7 11 8 22 9 11 10 11
 op 7 classes 0 96 0 0 combined 0 ab 0 clusters 4 96 0 0 0 lat 1 1 96
 op 8 classes 0 96 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 1 1 96
 endloop
-loop mpeg2dec_l4 fp 4b2f942e11679d42 ops 14 mem 6
+loop mpeg2dec_l4 fp 3d3ffd0fa8f42633 ops 14 mem 6
 op 0 classes 0 96 0 0 combined 95 ab 0 clusters 4 48 0 48 0 lat 15 1 1 2 21 3 1 4 3 5 1 6 11 7 1 10 11 13 1 14 11 15 1 16 21 17 1 18 10 20 1
 op 1 classes 0 96 0 0 combined 33 ab 0 clusters 4 48 0 48 0 lat 12 1 21 4 1 5 14 6 1 10 12 12 1 13 11 14 1 15 21 17 11 18 1 19 1
 op 2 classes 0 96 0 0 combined 47 ab 0 clusters 4 96 0 0 0 lat 11 3 1 4 1 5 12 6 1 8 1 9 10 10 13 11 23 16 11 17 21 18 2
@@ -221,14 +221,14 @@ op 3 classes 0 96 0 0 combined 36 ab 0 clusters 4 48 0 48 0 lat 15 1 1 2 1 3 21 
 op 12 classes 0 96 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 1 1 96
 op 13 classes 0 96 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 1 1 96
 endloop
-loop mpeg2dec_l5 fp 6a92633e9838f503 ops 12 mem 5
+loop mpeg2dec_l5 fp 88aef7bc9e9ecf10 ops 12 mem 5
 op 0 classes 0 96 0 0 combined 1 ab 0 clusters 4 48 0 48 0 lat 6 4 1 5 72 6 1 7 1 9 20 12 1
 op 1 classes 0 96 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 6 5 2 7 1 8 70 9 2 10 20 13 1
 op 2 classes 0 93 0 3 combined 1 ab 0 clusters 4 96 0 0 0 lat 5 5 72 6 1 8 20 10 1 15 2
 op 3 classes 22 70 2 2 combined 0 ab 0 clusters 4 24 24 24 24 lat 10 1 22 5 1 7 1 8 1 9 45 10 2 12 20 14 1 15 1 19 2
 op 11 classes 0 96 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 1 1 96
 endloop
-loop mpeg2dec_l6 fp 1a303b60df63f0ef ops 13 mem 6
+loop mpeg2dec_l6 fp 870f05276bf7467c ops 13 mem 6
 op 0 classes 0 96 0 0 combined 46 ab 0 clusters 4 48 0 48 0 lat 12 5 1 8 11 9 11 10 2 11 22 13 1 15 1 20 1 23 11 24 11 25 1 26 23
 op 1 classes 0 96 0 0 combined 23 ab 0 clusters 4 0 48 0 48 lat 10 7 1 9 22 10 1 12 1 17 1 22 1 23 1 24 45 25 1 26 22
 op 2 classes 0 96 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 8 7 1 12 1 17 1 22 1 23 22 25 46 26 22 27 2
@@ -236,7 +236,7 @@ op 3 classes 0 96 0 0 combined 46 ab 0 clusters 4 48 0 48 0 lat 10 5 2 6 11 7 12
 op 11 classes 0 96 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 1 1 96
 op 12 classes 0 96 0 0 combined 0 ab 0 clusters 4 48 0 48 0 lat 1 1 96
 endloop
-loop mpeg2dec_l7 fp 4fc59fe33f1fd262 ops 9 mem 5
+loop mpeg2dec_l7 fp d8060f98f2b2f15d ops 9 mem 5
 op 0 classes 0 96 0 0 combined 44 ab 0 clusters 4 48 0 48 0 lat 13 4 20 5 4 6 1 8 2 9 21 10 2 12 1 14 20 17 1 19 20 20 2 23 1 25 1
 op 1 classes 0 96 0 0 combined 46 ab 0 clusters 4 48 0 48 0 lat 15 2 21 3 1 4 1 6 1 7 21 9 2 11 1 12 1 13 1 15 22 17 20 18 1 20 1 23 1 24 1
 op 2 classes 0 96 0 0 combined 46 ab 0 clusters 4 48 0 48 0 lat 15 1 21 3 1 5 1 6 20 7 1 8 2 9 1 10 1 11 1 13 1 14 22 16 20 18 1 19 1 22 2
