@@ -23,6 +23,16 @@ Also guards the `batch` section (the schedule-cache service):
   against the baseline (wall-clock; same caveat as above);
 * `deterministic` and `warm_hit_rate` must be exactly 1.
 
+And the `optgap` section (the exact-search yardstick):
+
+* hard floors on the proven-optimal fraction of the pinned policies
+  under the swing numerator: IPBC must exceed 0.41 and no-chains must
+  exceed 0.44 at quick scale. These are deterministic search-depth
+  numbers (node budget fixed at 200k), not wall-clock: falling back to
+  the old fractions means the dominance memoization stopped paying;
+* the BASE and IBC proven fractions must not drop below the baseline —
+  the pinned-policy gains must not come out of the free policies.
+
 Usage: check_sched_regression.py BASELINE.json FRESH.json [threshold]
 """
 
@@ -40,6 +50,20 @@ def figure_metrics(path, figure):
 
 
 WARM_OVER_COLD_FLOOR = 5.0
+
+# Deterministic floors on the quick-scale proven-optimal fraction of the
+# pinned policies (swing numerator, 200k-node budget). The pre-bitmask
+# scalar MRT plateaued at 0.40625 / 0.4375; the word-parallel search with
+# dominance memoization must stay strictly above that plateau.
+PROVEN_FRACTION_FLOORS = {
+    "proven_fraction/IPBC/swing": 0.41,
+    "proven_fraction/no-chains/swing": 0.44,
+}
+# The free policies must not pay for the pinned-policy gains.
+PROVEN_FRACTION_NO_REGRESS = (
+    "proven_fraction/BASE/swing",
+    "proven_fraction/IBC/swing",
+)
 
 
 def main():
@@ -85,6 +109,10 @@ def main():
         figure_metrics(sys.argv[2], "batch"),
         threshold,
     )
+    failed |= check_optgap(
+        figure_metrics(sys.argv[1], "optgap"),
+        figure_metrics(sys.argv[2], "optgap"),
+    )
 
     if failed:
         return 1
@@ -128,6 +156,38 @@ def check_batch(baseline, fresh, threshold):
             )
             if r < 1 - threshold:
                 print(f"FAIL: warm cache throughput regressed more than {threshold:.0%}")
+                failed = True
+    return failed
+
+
+def check_optgap(baseline, fresh):
+    if fresh is None:
+        if baseline is not None:
+            print("FAIL: baseline has an optgap section but the fresh record does not")
+            return True
+        print("no optgap section; skipping exact-search guard")
+        return False
+    failed = False
+
+    for key, floor in PROVEN_FRACTION_FLOORS.items():
+        got = fresh.get(key)
+        if got is None:
+            print(f"FAIL: optgap record is missing {key}")
+            failed = True
+            continue
+        print(f"{key}: {got:.4f} (hard floor > {floor})")
+        if got <= floor:
+            print(f"FAIL: {key} fell to the pre-memoization plateau")
+            failed = True
+
+    if baseline is not None:
+        for key in PROVEN_FRACTION_NO_REGRESS:
+            b, f = baseline.get(key), fresh.get(key)
+            if b is None or f is None:
+                continue
+            print(f"{key}: baseline {b:.4f} -> current {f:.4f} (must not drop)")
+            if f < b - 1e-9:
+                print(f"FAIL: {key} regressed below the baseline")
                 failed = True
     return failed
 

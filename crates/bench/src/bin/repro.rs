@@ -1,6 +1,6 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|sched|optgap|profile|batch|all]`
+//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|sched|optgap|smt|profile|batch|all]`
 //!
 //! Results print to stdout and are also written as CSV under `results/`.
 //! Every run additionally emits `BENCH_repro.json` — a machine-readable
@@ -14,8 +14,8 @@ use std::time::Instant;
 
 use vliw_experiments::{
     batch, chains_exp, example433, fig4, fig5, fig6, fig7, fig8, hints_exp, interleave_study,
-    optgap, profile_fidelity, report, tables, ExperimentContext, RunConfig, RunGrid, ScheduleMemo,
-    UnrollMode,
+    optgap, profile_fidelity, report, smt, tables, ExperimentContext, RunConfig, RunGrid,
+    ScheduleMemo, UnrollMode,
 };
 use vliw_sched::{ClusterPolicy, SchedBackend, SchedStats};
 
@@ -189,7 +189,7 @@ fn main() {
     if targets.is_empty() {
         targets.push("all");
     }
-    const KNOWN: [&str; 17] = [
+    const KNOWN: [&str; 18] = [
         "all",
         "batch",
         "table1",
@@ -206,6 +206,7 @@ fn main() {
         "mshr",
         "sched",
         "optgap",
+        "smt",
         "profile",
     ];
     if let Some(bad) = targets.iter().find(|t| !KNOWN.contains(t)) {
@@ -421,6 +422,7 @@ fn main() {
             m.push((format!("better/{key}"), r.better as f64));
             m.push((format!("cutoff/{key}"), r.cutoff as f64));
             m.push((format!("cutoff_iis/{key}"), r.cutoff_iis as f64));
+            m.push((format!("max_live/{key}"), r.mean_max_live));
         }
         // the backend axis end-to-end through the grid: one benchmark,
         // both backends, with the per-config quality summary rendered
@@ -445,6 +447,34 @@ fn main() {
         m.push(("grid_proven/bnb".into(), q[1][1] as f64));
         m.push(("grid_cutoff/bnb".into(), q[1][2] as f64));
         record("optgap", t0, m);
+    }
+    if want("smt") {
+        // SMT-LIB export: the factor-1 scheduling problems restated as
+        // QF_LIA scripts at their MIIs, one file per kernel, for external
+        // solvers to referee independently of the in-tree exact backend
+        let t0 = Instant::now();
+        let dir = Path::new("results").join("smt");
+        match smt::export_suite(&ctx, &dir) {
+            Ok(e) => {
+                println!(
+                    "smt: {} kernels -> {} files ({} bytes) under {}\n",
+                    e.n_kernels,
+                    e.files.len(),
+                    e.bytes,
+                    dir.display()
+                );
+                record(
+                    "smt",
+                    t0,
+                    vec![
+                        ("kernels".into(), e.n_kernels as f64),
+                        ("files".into(), e.files.len() as f64),
+                        ("bytes".into(), e.bytes as f64),
+                    ],
+                );
+            }
+            Err(e) => eprintln!("warning: smt export failed: {e}"),
+        }
     }
     if want("profile") {
         // the measured-profile subsystem end to end: collect profiles

@@ -100,6 +100,14 @@ pub struct ScheduleOutcome {
     pub stats: SchedStats,
     /// What the backend claims about the result.
     pub quality: SchedQuality,
+    /// Rau's MaxLive ([`crate::pressure::max_live`]) of the returned
+    /// schedule, populated by the exact backend — for
+    /// [`SchedQuality::ProvenOptimal`] results it is additionally the
+    /// minimum over a bounded tie-break enumeration at the optimal II, so
+    /// proven-optimal schedules also minimize register lifetimes.
+    /// Heuristic backends report `None` (callers can compute it on
+    /// demand).
+    pub max_live: Option<u32>,
 }
 
 /// The scheduler backends, as a value the experiment grid can sweep.
@@ -174,6 +182,7 @@ impl SchedulerBackend for SwingModulo {
                 schedule,
                 stats,
                 quality: SchedQuality::Heuristic,
+                max_live: None,
             }
         })
     }

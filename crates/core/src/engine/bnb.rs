@@ -27,19 +27,44 @@
 //!   member. "Optimal" therefore means optimal *for the policy's
 //!   problem*; only the heuristic's soft preferences (rankings,
 //!   tie-breaks, greedy first-fit) are relaxed.
-//! * **Dominance pruning.** When no precomputed pin names a specific
-//!   cluster, clusters holding no operation are interchangeable (the
-//!   machine is homogeneous, copies only ever touch occupied clusters,
-//!   and IBC's dynamic constraint references placed clusters only), so
-//!   at each decision level at most one empty cluster is branched into —
-//!   on a 4-cluster machine this cuts the first placement's branching
-//!   factor from 4 to 1.
+//! * **Empty-cluster symmetry.** When no precomputed pin names a
+//!   specific cluster, clusters holding no operation are interchangeable
+//!   (the machine is homogeneous, copies only ever touch occupied
+//!   clusters, and IBC's dynamic constraint references placed clusters
+//!   only), so at each decision level at most one empty cluster is
+//!   branched into — on a 4-cluster machine this cuts the first
+//!   placement's branching factor from 4 to 1. Pins disable this rule
+//!   (a pinned op distinguishes its cluster even while it is empty).
+//! * **Dominance memoization.** Two branches that placed the same op
+//!   prefix differently can still leave *equivalent* residual problems:
+//!   everything the remaining search reads is the packed MRT occupancy,
+//!   the placements of ops with edges to unplaced ops, the routed
+//!   copies, and the dynamic chain pins. States are fingerprinted over
+//!   exactly those feeds (two independent 64-bit hash chains) and
+//!   subtrees refuted without finding any completion are memoized, so
+//!   revisiting an equivalent state prunes instantly. Unlike the
+//!   symmetry rule this works *under pins too* — interchangeable
+//!   same-kind interior ops are the common source of duplicate states —
+//!   which is where the IPBC and no-chain proof rates gain the most.
+//! * **Mask-walk candidate scan.** Candidate cycles come from
+//!   [`Mrt::next_free_fu_cycle`] — a trailing-/leading-zeros walk over
+//!   the row's free-mask — so fully occupied stretches are skipped a
+//!   word at a time and only *free* cells consume node budget. At a
+//!   fixed budget the search therefore reaches strictly deeper than the
+//!   historical scalar probe-every-cell scan.
 //! * **Node-budget cutoff.** The search examines at most
 //!   [`ScheduleOptions::node_budget`](super::ScheduleOptions) candidate
 //!   cells per call. Exhausting the budget is a *counted, surfaced*
 //!   outcome — [`SchedStats::cutoffs`](super::SchedStats) and
 //!   [`SchedQuality::CutoffFeasible`](super::SchedQuality) — never a
 //!   silent fallback to the heuristic result.
+//! * **MaxLive tie-break.** Once the II is proven optimal, a bounded
+//!   re-search at that II ([`TIEBREAK_NODE_BUDGET`]) enumerates further
+//!   completions and keeps the one minimizing Rau's MaxLive
+//!   ([`crate::pressure::max_live`]) — reported in
+//!   [`ScheduleOutcome::max_live`]. The tie-break never perturbs the
+//!   optimality claim or the cutoff counters: running out of its budget
+//!   just keeps the incumbent completion.
 //!
 //! Undo is the [`Mrt`] transaction journal from the zero-clone scheduler
 //! core: one transaction spans the whole search, one
@@ -59,7 +84,7 @@
 //! order and constraints — has a smaller II. An II equal to the MII is
 //! optimal unconditionally.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use vliw_ir::{Ddg, DepKind, LoopKernel, OpId};
 use vliw_machine::MachineConfig;
@@ -85,6 +110,13 @@ pub const ADAPTIVE_REF_CELLS: u64 = 512;
 /// Upper bound on the adaptive scale factor, so pathological unrolled
 /// kernels cut off in bounded time instead of searching for minutes.
 pub const ADAPTIVE_MAX_SCALE: u64 = 16;
+
+/// Node budget of the MaxLive tie-break re-search at the proven-optimal
+/// II (capped further by whatever remains of the call's main budget).
+/// The tie-break is best-effort by construction: exhausting this budget
+/// keeps the incumbent completion and touches neither the quality claim
+/// nor [`SchedStats::cutoffs`](super::SchedStats).
+pub const TIEBREAK_NODE_BUDGET: u64 = 32_000;
 
 /// The exact branch-and-bound pipeliner (see the module docs).
 #[derive(Debug, Clone, Copy, Default)]
@@ -176,11 +208,24 @@ impl SchedulerBackend for ExactBnB {
             SchedQuality::ProvenOptimal
         };
         match found.or(incumbent) {
-            Some(schedule) => Ok(ScheduleOutcome {
-                schedule,
-                stats,
-                quality,
-            }),
+            Some(schedule) => {
+                let live = crate::pressure::max_live(kernel, &schedule) as u32;
+                // with the II proven minimal, spend a bounded slice of the
+                // leftover budget minimizing MaxLive among the optimal-II
+                // completions; a cutoff result skips this (the remaining
+                // budget belongs to nothing — it is already exhausted)
+                let (schedule, live) = if quality == SchedQuality::ProvenOptimal {
+                    search.minimize_live(schedule.ii, (schedule, live), &mut stats)
+                } else {
+                    (schedule, live)
+                };
+                Ok(ScheduleOutcome {
+                    schedule,
+                    stats,
+                    quality,
+                    max_live: Some(live),
+                })
+            }
             None if cutoff => Err(ScheduleError::SearchCutoff {
                 loop_name: kernel.name.clone(),
                 node_budget,
@@ -210,6 +255,39 @@ enum Place {
     Cutoff,
 }
 
+/// What a complete placement means to the search.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Decide the II level: the first completion short-circuits the
+    /// search ([`Place::Found`]).
+    Decide,
+    /// Tie-break at a decided II: every completion is scored by MaxLive,
+    /// the running minimum is kept, and the search continues as if the
+    /// subtree were exhausted.
+    MinimizeLive,
+}
+
+/// First chain of the two-chain state fingerprint (the splitmix64
+/// finalizer).
+fn mix_a(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Second, independent chain (the murmur3 64-bit finalizer) — two chains
+/// push the collision probability of the dominance memo far below any
+/// realistic node count.
+fn mix_b(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51afd7ed558ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ceb9fe1a85ec53);
+    x ^ (x >> 33)
+}
+
 /// An already-placed dependence neighbor, with the fields the window
 /// computation needs (mirror of the engine's `Nbr`).
 struct Nbr {
@@ -237,13 +315,33 @@ struct Search<'a> {
     /// cluster (IBC's dynamic constraint; IPBC and the ablation express
     /// theirs through `prep.pins`).
     colocate_chains: bool,
-    /// Empty-cluster dominance is only sound when no constraint names a
+    /// Empty-cluster symmetry is only sound when no constraint names a
     /// specific cluster — i.e. when there are no precomputed pins.
     symmetry_ok: bool,
+    /// The dominance memo is keyed on packed `fu_full` words, which only
+    /// equal the exact occupancy when every FU capacity is 1 (true of
+    /// every shipped configuration); wider units disable it.
+    memo_ok: bool,
+    /// What a completion means right now (see [`Mode`]).
+    mode: Mode,
+    /// Refuted-without-completion states: `(depth, chain-a, chain-b)`
+    /// fingerprints from [`Search::state_sig`], cleared per II level.
+    memo: HashSet<(u32, u64, u64)>,
+    /// Completions reached so far this II level — the memo-soundness
+    /// gate: a subtree is only memoized as dead when exploring it found
+    /// *no* completion (in [`Mode::MinimizeLive`] completions return
+    /// [`Place::Exhausted`], so the counter is the only witness).
+    found_count: u64,
+    /// Running `(schedule, MaxLive)` minimum of the tie-break re-search.
+    best_live: Option<(Schedule, u32)>,
+    /// Per-op: the largest order-position over its dependence neighbors.
+    /// An op placed at depth `d` is *interior* (invisible to every
+    /// remaining window computation) iff this bound is `< d`.
+    last_nbr_pos: Vec<usize>,
     mrt: Mrt,
     /// Per-op `(cluster, cycle)`, indexed by `OpId`.
     placed: Vec<Option<(usize, i64)>>,
-    /// Ops placed per cluster (the empty-cluster dominance test).
+    /// Ops placed per cluster (the empty-cluster symmetry test).
     placed_count: Vec<usize>,
     copies: Vec<ScheduledCopy>,
     /// Parallel to `copies`: raw (pre-normalization) cycles.
@@ -266,6 +364,24 @@ impl<'a> Search<'a> {
         budget: u64,
         colocate_chains: bool,
     ) -> Self {
+        let mut order_pos = vec![0usize; kernel.ops.len()];
+        for (pos, &op) in prep.order.iter().enumerate() {
+            order_pos[op.index()] = pos;
+        }
+        let mut last_nbr_pos = vec![0usize; kernel.ops.len()];
+        for (i, last_pos) in last_nbr_pos.iter_mut().enumerate() {
+            let op = OpId::new(i);
+            let mut last = 0usize;
+            for e in ddg.incident_edges(op) {
+                if e.from == e.to {
+                    continue;
+                }
+                let other = if e.to == op { e.from } else { e.to };
+                last = last.max(order_pos[other.index()]);
+            }
+            *last_pos = last;
+        }
+        let c = &machine.clusters;
         Search {
             kernel,
             ddg,
@@ -276,6 +392,12 @@ impl<'a> Search<'a> {
             ii: 1,
             colocate_chains,
             symmetry_ok: prep.pins.iter().all(Option::is_none),
+            memo_ok: c.int_units == 1 && c.fp_units == 1 && c.mem_units == 1,
+            mode: Mode::Decide,
+            memo: HashSet::new(),
+            found_count: 0,
+            best_live: None,
+            last_nbr_pos,
             mrt: Mrt::new(1, machine),
             placed: vec![None; kernel.ops.len()],
             placed_count: vec![0; machine.clusters.n_clusters],
@@ -290,6 +412,12 @@ impl<'a> Search<'a> {
 
     /// Decides one II level. The node budget persists across levels.
     fn solve(&mut self, ii: u32, stats: &mut SchedStats) -> Solve {
+        self.mode = Mode::Decide;
+        self.solve_inner(ii, stats)
+    }
+
+    /// One full depth-first pass at `ii` under the current [`Mode`].
+    fn solve_inner(&mut self, ii: u32, stats: &mut SchedStats) -> Solve {
         self.ii = ii as i64;
         self.mrt.reset(ii, self.machine);
         self.placed.iter_mut().for_each(|p| *p = None);
@@ -297,6 +425,8 @@ impl<'a> Search<'a> {
         self.copies.clear();
         self.copy_cycles.clear();
         self.copy_map.clear();
+        self.memo.clear();
+        self.found_count = 0;
         self.mrt.begin();
         let out = self.place(0, stats);
         self.mrt.rollback(); // the schedule, if any, is already extracted
@@ -307,14 +437,127 @@ impl<'a> Search<'a> {
         }
     }
 
+    /// The MaxLive tie-break: re-search the proven-optimal `ii`, keeping
+    /// the completion with the smallest MaxLive, seeded with (and never
+    /// worse than) `incumbent`. Budget: whatever remains of the call's
+    /// main budget, capped at [`TIEBREAK_NODE_BUDGET`]; exhausting it is
+    /// *not* a counted cutoff — the proof already stands, this pass only
+    /// refines which optimal-II schedule is reported.
+    fn minimize_live(
+        &mut self,
+        ii: u32,
+        incumbent: (Schedule, u32),
+        stats: &mut SchedStats,
+    ) -> (Schedule, u32) {
+        let slice = self
+            .budget
+            .saturating_sub(self.nodes)
+            .min(TIEBREAK_NODE_BUDGET);
+        if slice == 0 {
+            return incumbent;
+        }
+        self.budget = self.nodes + slice;
+        self.mode = Mode::MinimizeLive;
+        self.best_live = Some(incumbent);
+        let _ = self.solve_inner(ii, stats); // Cutoff here is benign: keep the best so far
+        self.best_live.take().expect("seeded above")
+    }
+
+    /// Fingerprints the residual problem at `depth` for the dominance
+    /// memo. Feeds — exactly what the remaining search can observe:
+    ///
+    /// * the depth (fixes *which* ops are placed: `order[..depth]`);
+    /// * `(op, cluster, cycle)` of every placed op that still has a
+    ///   dependence neighbor among the unplaced ops (interior ops
+    ///   constrain no remaining window; their resource footprint is
+    ///   covered by the occupancy words);
+    /// * the packed MRT occupancy (`fu_full` + bus words);
+    /// * the routed copies, XOR-combined so the fingerprint is
+    ///   independent of routing order;
+    /// * under IBC, the dynamic cluster pin of every unplaced chain
+    ///   member (an interior placed member still pins its chain).
+    ///
+    /// Static facts (precomputed pins, latencies, the order itself) need
+    /// no hashing — they are equal across all states of one solve.
+    fn state_sig(&self, depth: usize) -> (u32, u64, u64) {
+        let d = depth as u64;
+        let mut h1 = mix_a(d ^ 0x9e37_79b9_7f4a_7c15);
+        let mut h2 = mix_b(d ^ 0x2545_f491_4f6c_dd1d);
+        for &op in &self.prep.order[..depth] {
+            if self.last_nbr_pos[op.index()] < depth {
+                continue; // interior: no unplaced neighbor reads it
+            }
+            let (cl, cy) = self.placed[op.index()].expect("order prefix is placed");
+            let key = (op.index() as u64) << 40 | (cl as u64) << 32 | (cy as u64 & 0xffff_ffff);
+            h1 = mix_a(h1 ^ key);
+            h2 = mix_b(h2 ^ key);
+        }
+        let (fu, bus) = self.mrt.occupancy_words();
+        for &w in fu.iter().chain(bus) {
+            h1 = mix_a(h1 ^ w);
+            h2 = mix_b(h2 ^ w);
+        }
+        let (mut x1, mut x2) = (0u64, 0u64);
+        for (c, &raw) in self.copies.iter().zip(&self.copy_cycles) {
+            let key = (c.producer.index() as u64) << 40
+                | (c.to as u64) << 32
+                | (raw as u64 & 0xffff_ffff);
+            x1 ^= mix_a(key ^ 0xd6e8_feb8_6659_fd93);
+            x2 ^= mix_b(key ^ 0xa076_1d64_78bd_642f);
+        }
+        h1 = mix_a(h1 ^ x1);
+        h2 = mix_b(h2 ^ x2);
+        if self.colocate_chains {
+            for &op in &self.prep.order[depth..] {
+                let Some(cid) = self.prep.chains.chain_id(op) else {
+                    continue;
+                };
+                let pin = self
+                    .prep
+                    .chains
+                    .members(cid)
+                    .iter()
+                    .find(|&&m| m != op && self.placed[m.index()].is_some())
+                    .map(|&m| self.placed[m.index()].expect("just checked").0);
+                if let Some(p) = pin {
+                    let key = (op.index() as u64) << 8 | p as u64;
+                    h1 = mix_a(h1 ^ key);
+                    h2 = mix_b(h2 ^ key);
+                }
+            }
+        }
+        (depth as u32, h1, h2)
+    }
+
     /// Recursively places `order[depth..]`, backtracking through the MRT
     /// journal. Neighbor buffers come from a per-depth pool so the
     /// steady-state search allocates nothing (the engine's `Scratch`
     /// discipline, adapted to recursion).
     fn place(&mut self, depth: usize, stats: &mut SchedStats) -> Place {
         if depth == self.prep.order.len() {
-            return Place::Found(self.build_schedule());
+            self.found_count += 1;
+            match self.mode {
+                Mode::Decide => return Place::Found(self.build_schedule()),
+                Mode::MinimizeLive => {
+                    let s = self.build_schedule();
+                    let live = crate::pressure::max_live(self.kernel, &s) as u32;
+                    if self.best_live.as_ref().is_none_or(|(_, b)| live < *b) {
+                        self.best_live = Some((s, live));
+                    }
+                    return Place::Exhausted; // keep enumerating completions
+                }
+            }
         }
+        let sig = if self.memo_ok {
+            let sig = self.state_sig(depth);
+            if self.memo.contains(&sig) {
+                return Place::Exhausted; // dominated: a refuted twin state
+            }
+            Some(sig)
+        } else {
+            None
+        };
+        let completions_before = self.found_count;
         let op_id = self.prep.order[depth];
 
         // placed neighbors, walked through the incident-edge view
@@ -347,6 +590,14 @@ impl<'a> Search<'a> {
 
         let out = self.try_clusters(depth, op_id, &preds, &succs, stats);
         self.nbr_pool[depth] = (preds, succs);
+        // memoize only subtrees proven dead: fully exhausted (no cutoff
+        // truncation) and — the MinimizeLive soundness gate — containing
+        // no completion at all
+        if let Some(sig) = sig {
+            if matches!(out, Place::Exhausted) && self.found_count == completions_before {
+                self.memo.insert(sig);
+            }
+        }
         out
     }
 
@@ -390,7 +641,7 @@ impl<'a> Search<'a> {
                     continue;
                 }
             } else if self.symmetry_ok && self.placed_count[cluster] == 0 {
-                // dominance: with no cluster named by any constraint,
+                // symmetry: with no cluster named by any constraint,
                 // unoccupied clusters are interchangeable — branch into
                 // at most one of them per level
                 if tried_empty {
@@ -433,16 +684,20 @@ impl<'a> Search<'a> {
                 (None, None) => (0, ii - 1, false),
             };
 
-            for step in 0..=(hi - lo) {
+            // mask walk: only *free* cells surface, so occupied stretches
+            // cost neither time nor node budget
+            let limit = if descending { lo } else { hi };
+            let mut cursor = if descending { hi } else { lo };
+            while let Some(cycle) = self
+                .mrt
+                .next_free_fu_cycle(cluster, kind, cursor, limit, descending)
+            {
+                cursor = if descending { cycle - 1 } else { cycle + 1 };
                 if self.nodes >= self.budget {
                     return Place::Cutoff;
                 }
                 self.nodes += 1;
                 stats.trial_cycles += 1;
-                let cycle = if descending { hi - step } else { lo + step };
-                if !self.mrt.fu_free(cluster, kind, cycle) {
-                    continue;
-                }
                 let sp = self.mrt.savepoint();
                 let copies_mark = self.copies.len();
                 self.mrt.fu_reserve(cluster, kind, cycle);
@@ -769,5 +1024,54 @@ mod tests {
         let m = MachineConfig::word_interleaved_4();
         let err = schedule_outcome(&k, &m, opts(ClusterPolicy::Free)).unwrap_err();
         assert_eq!(err, ScheduleError::EmptyKernel);
+    }
+
+    #[test]
+    fn exact_outcomes_carry_max_live_heuristics_do_not() {
+        let k = saxpy();
+        let m = MachineConfig::word_interleaved_4();
+        for policy in ClusterPolicy::ALL {
+            let o = schedule_outcome(&k, &m, opts(policy)).unwrap();
+            // the reported MaxLive is the *returned* schedule's, whatever
+            // the tie-break selected
+            let live = o.max_live.expect("exact backend reports MaxLive");
+            assert_eq!(
+                live,
+                crate::pressure::max_live(&k, &o.schedule) as u32,
+                "{policy:?}"
+            );
+            let h = schedule_outcome(&k, &m, ScheduleOptions::new(policy)).unwrap();
+            assert_eq!(h.max_live, None, "{policy:?}: heuristics make no claim");
+        }
+    }
+
+    #[test]
+    fn tie_break_never_perturbs_the_proof() {
+        // the dense kernel exercises a real search range; whatever the
+        // tie-break explores, the optimality claim and cutoff counters
+        // must match a run that decided the same problem
+        let k = dense();
+        let m = MachineConfig::word_interleaved_4();
+        let out = schedule_outcome(&k, &m, opts(ClusterPolicy::Free)).unwrap();
+        if out.quality == SchedQuality::ProvenOptimal {
+            assert_eq!(out.stats.cutoffs, 0, "a proof admits no cutoff");
+        }
+        assert!(out.schedule.verify(&k, &m).is_empty());
+        let live = out.max_live.expect("exact backend reports MaxLive");
+        assert_eq!(live, crate::pressure::max_live(&k, &out.schedule) as u32);
+    }
+
+    #[test]
+    fn zero_budget_skips_the_tie_break_but_still_reports_max_live() {
+        let k = dense();
+        let m = MachineConfig::word_interleaved_4();
+        let mut o = opts(ClusterPolicy::Free);
+        o.node_budget = 0;
+        let out = schedule_outcome(&k, &m, o).unwrap();
+        assert_eq!(out.quality, SchedQuality::CutoffFeasible);
+        assert_eq!(
+            out.max_live,
+            Some(crate::pressure::max_live(&k, &out.schedule) as u32)
+        );
     }
 }

@@ -66,6 +66,7 @@ impl SchedulerBackend for DelayTracking {
                 schedule,
                 stats,
                 quality: SchedQuality::Heuristic,
+                max_live: None,
             }
         })
     }

@@ -13,12 +13,16 @@
 //! The II loop restarts the whole placement pipeline on every bump, so the
 //! engine is built for zero steady-state allocation: every trial
 //! reservation goes through the [`Mrt`] transaction journal (no table
-//! clones), candidate cycles are iterated lazily (no materialized range),
-//! and all per-attempt / per-op vectors live in one private `Scratch`
+//! clones), candidate cycles come from the table's word-parallel free-mask
+//! walk ([`ReservationTable::next_free_fu_cycle`] — occupied stretches are
+//! skipped a `u64` word at a time and never counted as trial work), and
+//! all per-attempt / per-op vectors live in one private `Scratch`
 //! workspace that is cleared — never reallocated — across attempts. A
 //! clone-based reference trial path is retained behind
-//! [`TrialMode::CloneBased`] so equivalence tests can prove the journaled
-//! path produces bit-identical schedules.
+//! [`TrialMode::CloneBased`], and the whole placement loop is generic over
+//! [`ReservationTable`] so the legacy scalar-probe table
+//! ([`crate::mrt::ScalarMrt`], selected by [`MrtImpl::ScalarReference`])
+//! can drive the identical code path in equivalence tests.
 
 pub mod backend;
 pub mod base;
@@ -38,7 +42,7 @@ use crate::chains::MemChains;
 use crate::circuits::{elementary_circuits, EnumLimits};
 use crate::latency::LatencyAssignment;
 use crate::mii;
-use crate::mrt::Mrt;
+use crate::mrt::{Mrt, MrtImpl, ReservationTable, ScalarMrt};
 use crate::order::sms_order;
 use crate::schedule::{Schedule, ScheduleError, ScheduledCopy, ScheduledOp};
 
@@ -172,6 +176,10 @@ pub struct ScheduleOptions {
     /// higher = more conservative, fewer broken promises, larger II).
     /// Ignored by the other backends.
     pub delay_percentile: Option<f64>,
+    /// Which reservation-table implementation backs the placement loop
+    /// (default [`MrtImpl::Masked`]; [`MrtImpl::ScalarReference`] is the
+    /// legacy scalar-probe table retained for equivalence testing).
+    pub mrt_impl: MrtImpl,
 }
 
 impl ScheduleOptions {
@@ -186,6 +194,7 @@ impl ScheduleOptions {
             node_budget: DEFAULT_NODE_BUDGET,
             adaptive_budget: true,
             delay_percentile: None,
+            mrt_impl: MrtImpl::default(),
         }
     }
 
@@ -261,6 +270,51 @@ pub fn schedule_outcome(
         .backend
         .backend()
         .schedule_with_stats(kernel, machine, &options)
+}
+
+/// The front-end's output as a self-contained public snapshot: what an
+/// *external* solver needs to restate the placement problem — MII
+/// bounds, the policy's cluster pins, and the latency assignment (whose
+/// [`LatencyAssignment::edge_latency`](crate::latency::LatencyAssignment)
+/// prices every dependence edge). Consumed by the experiments crate's
+/// SMT-LIB exporter, which serializes the problem for off-the-shelf
+/// SMT solvers as an independent yardstick beside [`ExactBnB`].
+#[derive(Debug, Clone)]
+pub struct ScheduleProblem {
+    /// Resource-constrained MII component.
+    pub res_mii: u32,
+    /// Recurrence-constrained MII component.
+    pub rec_mii: u32,
+    /// `max(res, rec, 1)` — the II search floor.
+    pub mii: u32,
+    /// The II search ceiling (`options.max_ii` or `2 × MII + 96`).
+    pub max_ii: u32,
+    /// Per-op cluster pins known before scheduling (IPBC / NoChains).
+    pub pins: Vec<Option<usize>>,
+    /// The §4.3.3 latency assignment the backends schedule against.
+    pub latencies: LatencyAssignment,
+    /// SMS placement order (documentation of the heuristic's search
+    /// order; an external solver is free to ignore it).
+    pub order: Vec<OpId>,
+}
+
+/// Runs the shared front-end and returns its output as a public
+/// [`ScheduleProblem`] snapshot (see there).
+pub fn schedule_problem(
+    kernel: &LoopKernel,
+    machine: &MachineConfig,
+    options: &ScheduleOptions,
+) -> ScheduleProblem {
+    let (_, prep) = prepare(kernel, machine, options);
+    ScheduleProblem {
+        res_mii: prep.res,
+        rec_mii: prep.rec,
+        mii: prep.mii0,
+        max_ii: prep.max_ii,
+        pins: prep.pins,
+        latencies: prep.latencies,
+        order: prep.order,
+    }
 }
 
 /// The shared §4.3.1 front-end every backend runs before placement:
@@ -371,6 +425,24 @@ pub(crate) fn swing_with_prep(
     ddg: &Ddg<'_>,
     prep: Prep,
 ) -> Result<(Schedule, SchedStats), ScheduleError> {
+    // one placement loop, two occupancy representations: the table type is
+    // the only thing the dispatch changes, so the scalar reference drives
+    // byte-for-byte the same decision code as the masked production table
+    match options.mrt_impl {
+        MrtImpl::Masked => swing_with_prep_impl::<Mrt>(kernel, machine, options, ddg, prep),
+        MrtImpl::ScalarReference => {
+            swing_with_prep_impl::<ScalarMrt>(kernel, machine, options, ddg, prep)
+        }
+    }
+}
+
+fn swing_with_prep_impl<T: ReservationTable>(
+    kernel: &LoopKernel,
+    machine: &MachineConfig,
+    options: &ScheduleOptions,
+    ddg: &Ddg<'_>,
+    prep: Prep,
+) -> Result<(Schedule, SchedStats), ScheduleError> {
     let mut stats = SchedStats::default();
     let Prep {
         chains,
@@ -384,7 +456,7 @@ pub(crate) fn swing_with_prep(
     } = prep;
     let assigner = options.policy.assigner();
 
-    let mut scratch = Scratch::new(kernel.ops.len(), machine);
+    let mut scratch = Scratch::<T>::new(kernel.ops.len(), machine);
     let mut attempt_order: Vec<OpId> = Vec::with_capacity(order.len());
     for ii in mii0..=max_ii {
         // Up to six placement attempts per II: when an op cannot be
@@ -475,11 +547,11 @@ struct Nbr {
 /// owned across attempts and II bumps. Buffers are cleared (`clear`) but
 /// never shrunk, so after the first attempt the steady state allocates
 /// nothing.
-struct Scratch {
+struct Scratch<T: ReservationTable> {
     /// The live reservation table, reset per attempt.
-    mrt: Mrt,
+    mrt: T,
     /// Whole-table snapshot used by [`TrialMode::CloneBased`] only.
-    mrt_backup: Option<Mrt>,
+    mrt_backup: Option<T>,
     placed: Vec<Option<Placement>>,
     copies: Vec<ScheduledCopy>,
     /// Parallel to `copies`: raw (pre-normalization) cycles.
@@ -499,10 +571,10 @@ struct Scratch {
     dest_bounds: Vec<(usize, i64)>,
 }
 
-impl Scratch {
+impl<T: ReservationTable> Scratch<T> {
     fn new(n_ops: usize, machine: &MachineConfig) -> Self {
         Scratch {
-            mrt: Mrt::new(1, machine),
+            mrt: T::new(1, machine),
             mrt_backup: None,
             placed: Vec::with_capacity(n_ops),
             copies: Vec::new(),
@@ -538,11 +610,11 @@ impl Scratch {
 impl TryState<'_> {
     /// One no-backtracking placement attempt; `Err` carries the op that
     /// could not be placed.
-    fn run(
+    fn run<T: ReservationTable>(
         &self,
         ii: u32,
         trial_mode: TrialMode,
-        scratch: &mut Scratch,
+        scratch: &mut Scratch<T>,
         stats: &mut SchedStats,
     ) -> Result<(Vec<ScheduledOp>, Vec<ScheduledCopy>), OpId> {
         let n_ops = self.kernel.ops.len();
@@ -686,12 +758,17 @@ impl TryState<'_> {
                     (None, None) => (0, iii - 1, false),
                 };
 
-                'cycle: for step in 0..=(hi - lo) {
-                    let cycle = if descending { hi - step } else { lo + step };
+                // walk the window over the row's free-mask: occupied
+                // stretches are skipped a word at a time and cost no trial
+                // work — `trial_cycles` counts free cells actually probed
+                let limit = if descending { lo } else { hi };
+                let mut cursor = if descending { hi } else { lo };
+                'cycle: while let Some(cycle) = scratch
+                    .mrt
+                    .next_free_fu_cycle(cluster, kind, cursor, limit, descending)
+                {
+                    cursor = if descending { cycle - 1 } else { cycle + 1 };
                     stats.trial_cycles += 1;
-                    if !scratch.mrt.fu_free(cluster, kind, cycle) {
-                        continue;
-                    }
                     // open a trial: reservations are provisional until the
                     // whole op (slot + every needed copy) fits
                     match trial_mode {

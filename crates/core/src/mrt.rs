@@ -1,12 +1,97 @@
 //! Modulo reservation table: functional-unit slots and register-bus slots.
+//!
+//! Occupancy is stored **word-parallel**: each (cluster, FU-kind) row and
+//! each bus row is a run of `u64` words over the II's modulo slots
+//! (`ceil(II / 64)` words per row), with a set bit meaning "slot at
+//! capacity". A feasibility probe is one AND; a candidate-cycle scan is a
+//! trailing-zeros (or leading-zeros, for descending windows) walk over the
+//! row's free-mask, so fully-occupied stretches cost one word inspection
+//! instead of one probe per slot. Functional units additionally keep a
+//! `u16` counter per slot so capacities above one stay supported — the
+//! counters feed the masks (`bit set ⇔ count == capacity`) and the hot
+//! probes read only the masks.
+//!
+//! The legacy one-scalar-per-probe table is retained as [`ScalarMrt`], a
+//! test-only reference implementation behind the shared
+//! [`ReservationTable`] trait; the engine is generic over that trait so
+//! equivalence tests can drive the exact same placement code over both
+//! representations and assert bit-identical schedules.
 
 use vliw_ir::FuKind;
 use vliw_machine::MachineConfig;
 
+/// Which reservation-table implementation the engine drives.
+///
+/// [`MrtImpl::Masked`] is the production word-parallel table;
+/// [`MrtImpl::ScalarReference`] is the legacy scalar-probe table retained
+/// so the equivalence suite can prove the masked table produces
+/// bit-identical schedules and equal work counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MrtImpl {
+    /// Word-parallel `u64` occupancy rows (the default).
+    #[default]
+    Masked,
+    /// The pre-refactor scalar-probe table ([`ScalarMrt`]), kept as the
+    /// reference implementation for equivalence testing.
+    ScalarReference,
+}
+
+/// The reservation-table contract the scheduling engine is generic over.
+///
+/// Both implementations ([`Mrt`], [`ScalarMrt`]) expose identical
+/// transaction, savepoint, reservation and candidate-walk semantics; the
+/// engine's placement loop never branches on the implementation, which is
+/// what makes the scalar table a meaningful equivalence reference.
+pub trait ReservationTable: Clone {
+    /// An empty table for the given II and machine.
+    fn new(ii: u32, machine: &MachineConfig) -> Self;
+    /// Re-initializes for a (possibly different) II, reusing allocations.
+    fn reset(&mut self, ii: u32, machine: &MachineConfig);
+    /// The II this table was built for.
+    fn ii(&self) -> u32;
+    /// Opens a transaction (see [`Mrt::begin`]).
+    fn begin(&mut self);
+    /// Commits the open transaction (see [`Mrt::commit`]).
+    fn commit(&mut self);
+    /// Rolls back the open transaction (see [`Mrt::rollback`]).
+    fn rollback(&mut self);
+    /// Whether a transaction is open.
+    fn in_transaction(&self) -> bool;
+    /// Marks the current journal position (see [`Mrt::savepoint`]).
+    fn savepoint(&self) -> MrtSavepoint;
+    /// Unwinds to a savepoint (see [`Mrt::rollback_to`]).
+    fn rollback_to(&mut self, sp: MrtSavepoint);
+    /// Whether a `kind` unit is free in `cluster` at `cycle`.
+    fn fu_free(&self, cluster: usize, kind: FuKind, cycle: i64) -> bool;
+    /// Reserves a `kind` unit in `cluster` at `cycle`.
+    fn fu_reserve(&mut self, cluster: usize, kind: FuKind, cycle: i64);
+    /// The first cycle with a free `kind` unit, walking from `from`
+    /// towards `limit` inclusive (downwards when `descending`). The
+    /// caller's window never exceeds one II, so each modulo slot is
+    /// inspected at most once.
+    fn next_free_fu_cycle(
+        &self,
+        cluster: usize,
+        kind: FuKind,
+        from: i64,
+        limit: i64,
+        descending: bool,
+    ) -> Option<i64>;
+    /// Finds a register bus free for a whole transfer starting at `cycle`.
+    fn bus_find(&self, cycle: i64) -> Option<usize>;
+    /// Whether bus `bus` is free for a transfer starting at `cycle`.
+    fn bus_free(&self, bus: usize, cycle: i64) -> bool;
+    /// Reserves bus `bus` for a transfer starting at `cycle`.
+    fn bus_reserve(&mut self, bus: usize, cycle: i64);
+    /// Number of clusters this table covers.
+    fn n_clusters(&self) -> usize;
+}
+
 /// Tracks resource usage of a partial modulo schedule at one II.
 ///
-/// Functional units are per-(cluster, kind, modulo-slot) counters; register
-/// buses are per-(bus, modulo-slot) flags, and a transfer occupies
+/// Functional units are per-(cluster, kind, modulo-slot) counters shadowed
+/// by per-(cluster, kind) `u64` full-masks; register buses are per-bus
+/// `u64` occupancy masks, and a transfer occupies
 /// [`transfer_cycles`](vliw_machine::BusConfig::transfer_cycles) consecutive
 /// slots on the same bus (the buses run at half the core frequency).
 ///
@@ -22,6 +107,10 @@ use vliw_machine::MachineConfig;
 /// and `commit`/`rollback` outside a transaction are no-ops, so a commit is
 /// idempotent.
 ///
+/// Bus reservations journal **word-level deltas**: one entry per `u64` word
+/// a transfer touched, carrying the exact bits it set, so a wrapped
+/// multi-slot transfer unwinds in at most two mask operations.
+///
 /// Backtracking searchers (the exact branch-and-bound backend) need more
 /// than one probe of undo depth: [`Mrt::savepoint`] marks a position in
 /// the open transaction's journal and [`Mrt::rollback_to`] unwinds back to
@@ -30,12 +119,18 @@ use vliw_machine::MachineConfig;
 #[derive(Debug, Clone)]
 pub struct Mrt {
     ii: u32,
+    /// Words per occupancy row: `ceil(ii / 64)`.
+    words: usize,
     n_clusters: usize,
     fu_cap: [usize; 3],
-    // [cluster][kind][slot]
-    fu: Vec<u16>,
-    // [bus][slot]
-    bus: Vec<bool>,
+    /// Per-slot reservation counts, `[cluster][kind][slot]` — the source
+    /// of truth for capacities above one. Probes never read this.
+    fu_cnt: Vec<u16>,
+    /// Per-(cluster, kind) full-masks, `[cluster][kind][word]`: bit set ⇔
+    /// the slot is at capacity.
+    fu_full: Vec<u64>,
+    /// Per-bus occupancy masks, `[bus][word]`: bit set ⇔ slot occupied.
+    bus: Vec<u64>,
     n_buses: usize,
     transfer: u32,
     // undo log of the open transaction (empty when none is open)
@@ -48,13 +143,24 @@ pub struct Mrt {
 #[derive(Debug, Clone, Copy)]
 pub struct MrtSavepoint(usize);
 
-/// One journal entry: the flat index a reservation touched.
+/// One journal entry: the word-level delta a reservation applied.
 #[derive(Debug, Clone, Copy)]
 enum Undo {
-    /// `fu[idx] += 1` happened; undo decrements.
+    /// `fu_cnt[idx] += 1` happened (flat `[cluster][kind][slot]` index);
+    /// undo decrements and clears the slot's full bit — after the
+    /// decrement the count is strictly below capacity, so the clear is
+    /// unconditional.
     Fu(u32),
-    /// `bus[idx] = true` happened (one entry per occupied slot); undo
-    /// clears.
+    /// `bus[widx] |= bits` happened with every bit in `bits` previously
+    /// clear; undo is `bus[widx] &= !bits`.
+    BusWord {
+        /// Flat word index into the bus mask array.
+        widx: u32,
+        /// The exact bits the reservation set in that word.
+        bits: u64,
+    },
+    /// Scalar-table bus entry: `bus[idx] = true` happened (one entry per
+    /// occupied slot); undo clears. Only [`ScalarMrt`] emits these.
     BusSlot(u32),
 }
 
@@ -66,6 +172,10 @@ fn kind_index(kind: FuKind) -> usize {
     }
 }
 
+fn words_for(ii: u32) -> usize {
+    (ii as usize).div_ceil(64)
+}
+
 impl Mrt {
     /// An empty table for the given II and machine.
     ///
@@ -75,16 +185,19 @@ impl Mrt {
     pub fn new(ii: u32, machine: &MachineConfig) -> Self {
         assert!(ii > 0, "II must be positive");
         let n = machine.clusters.n_clusters;
+        let words = words_for(ii);
         Mrt {
             ii,
+            words,
             n_clusters: n,
             fu_cap: [
                 machine.clusters.int_units,
                 machine.clusters.fp_units,
                 machine.clusters.mem_units,
             ],
-            fu: vec![0; n * 3 * ii as usize],
-            bus: vec![false; machine.buses.reg_buses * ii as usize],
+            fu_cnt: vec![0; n * 3 * ii as usize],
+            fu_full: vec![0; n * 3 * words],
+            bus: vec![0; machine.buses.reg_buses * words],
             n_buses: machine.buses.reg_buses,
             transfer: machine.buses.transfer_cycles,
             journal: Vec::new(),
@@ -102,18 +215,21 @@ impl Mrt {
     pub fn reset(&mut self, ii: u32, machine: &MachineConfig) {
         assert!(ii > 0, "II must be positive");
         let n = machine.clusters.n_clusters;
+        let words = words_for(ii);
         self.ii = ii;
+        self.words = words;
         self.n_clusters = n;
         self.fu_cap = [
             machine.clusters.int_units,
             machine.clusters.fp_units,
             machine.clusters.mem_units,
         ];
-        self.fu.clear();
-        self.fu.resize(n * 3 * ii as usize, 0);
+        self.fu_cnt.clear();
+        self.fu_cnt.resize(n * 3 * ii as usize, 0);
+        self.fu_full.clear();
+        self.fu_full.resize(n * 3 * words, 0);
         self.bus.clear();
-        self.bus
-            .resize(machine.buses.reg_buses * ii as usize, false);
+        self.bus.resize(machine.buses.reg_buses * words, 0);
         self.n_buses = machine.buses.reg_buses;
         self.transfer = machine.buses.transfer_cycles;
         self.journal.clear();
@@ -140,16 +256,27 @@ impl Mrt {
     }
 
     /// Unwinds every reservation made since [`Mrt::begin`], restoring the
-    /// exact functional-unit counters and bus flags. A no-op when no
+    /// exact functional-unit counters and bus masks. A no-op when no
     /// transaction is open.
     pub fn rollback(&mut self) {
         while let Some(entry) = self.journal.pop() {
-            match entry {
-                Undo::Fu(idx) => self.fu[idx as usize] -= 1,
-                Undo::BusSlot(idx) => self.bus[idx as usize] = false,
-            }
+            self.undo(entry);
         }
         self.in_txn = false;
+    }
+
+    fn undo(&mut self, entry: Undo) {
+        match entry {
+            Undo::Fu(idx) => {
+                let idx = idx as usize;
+                self.fu_cnt[idx] -= 1;
+                // count just dropped below capacity: the slot is free again
+                let (row, slot) = (idx / self.ii as usize, idx % self.ii as usize);
+                self.fu_full[row * self.words + slot / 64] &= !(1u64 << (slot % 64));
+            }
+            Undo::BusWord { widx, bits } => self.bus[widx as usize] &= !bits,
+            Undo::BusSlot(_) => unreachable!("scalar journal entry in masked table"),
+        }
     }
 
     /// Whether a transaction is currently open.
@@ -172,7 +299,7 @@ impl Mrt {
     }
 
     /// Unwinds every reservation made since `sp`, restoring the exact
-    /// functional-unit counters and bus flags at the mark. The transaction
+    /// functional-unit counters and bus masks at the mark. The transaction
     /// stays open; earlier savepoints of the same transaction remain
     /// valid.
     ///
@@ -188,10 +315,8 @@ impl Mrt {
             "savepoint already unwound (LIFO order violated)"
         );
         while self.journal.len() > sp.0 {
-            match self.journal.pop().expect("journal entry") {
-                Undo::Fu(idx) => self.fu[idx as usize] -= 1,
-                Undo::BusSlot(idx) => self.bus[idx as usize] = false,
-            }
+            let entry = self.journal.pop().expect("journal entry");
+            self.undo(entry);
         }
     }
 
@@ -204,13 +329,26 @@ impl Mrt {
         cycle.rem_euclid(self.ii as i64) as usize
     }
 
-    fn fu_idx(&self, cluster: usize, kind: FuKind, cycle: i64) -> usize {
-        (cluster * 3 + kind_index(kind)) * self.ii as usize + self.slot(cycle)
+    fn fu_row(&self, cluster: usize, kind: FuKind) -> usize {
+        cluster * 3 + kind_index(kind)
+    }
+
+    /// Bits of word `w` that correspond to real slots (`< ii`); only the
+    /// last word of a row can have a partial mask.
+    fn valid_mask(&self, w: usize) -> u64 {
+        let rem = self.ii as usize % 64;
+        if w + 1 == self.words && rem != 0 {
+            (1u64 << rem) - 1
+        } else {
+            !0
+        }
     }
 
     /// Whether a `kind` unit is free in `cluster` at `cycle`.
     pub fn fu_free(&self, cluster: usize, kind: FuKind, cycle: i64) -> bool {
-        (self.fu[self.fu_idx(cluster, kind, cycle)] as usize) < self.fu_cap[kind_index(kind)]
+        let slot = self.slot(cycle);
+        let word = self.fu_full[self.fu_row(cluster, kind) * self.words + slot / 64];
+        word & (1u64 << (slot % 64)) == 0
     }
 
     /// Reserves a `kind` unit in `cluster` at `cycle`.
@@ -223,11 +361,68 @@ impl Mrt {
             self.fu_free(cluster, kind, cycle),
             "functional unit oversubscribed"
         );
-        let idx = self.fu_idx(cluster, kind, cycle);
-        self.fu[idx] += 1;
+        let slot = self.slot(cycle);
+        let row = self.fu_row(cluster, kind);
+        let idx = row * self.ii as usize + slot;
+        self.fu_cnt[idx] += 1;
+        if self.fu_cnt[idx] as usize == self.fu_cap[kind_index(kind)] {
+            self.fu_full[row * self.words + slot / 64] |= 1u64 << (slot % 64);
+        }
         if self.in_txn {
             self.journal.push(Undo::Fu(idx as u32));
         }
+    }
+
+    /// The first cycle with a free `kind` unit, walking from `from`
+    /// towards `limit` inclusive (downwards when `descending`): a
+    /// trailing-zeros (ascending) or leading-zeros (descending) walk over
+    /// the row's free-mask, so occupied stretches are skipped a word at a
+    /// time.
+    pub fn next_free_fu_cycle(
+        &self,
+        cluster: usize,
+        kind: FuKind,
+        from: i64,
+        limit: i64,
+        descending: bool,
+    ) -> Option<i64> {
+        let row = self.fu_row(cluster, kind) * self.words;
+        if descending {
+            let mut cur = from;
+            while cur >= limit {
+                let slot = self.slot(cur);
+                let (w, b) = (slot / 64, slot % 64);
+                let free = !self.fu_full[row + w] & self.valid_mask(w);
+                // bits at or below b — candidates within this word
+                let masked = free & (!0u64 >> (63 - b));
+                if masked != 0 {
+                    let nb = 63 - masked.leading_zeros() as usize;
+                    let cand = cur - (b - nb) as i64;
+                    return (cand >= limit).then_some(cand);
+                }
+                // whole word occupied at/below b: jump below it (wrapping
+                // from slot 0 to slot ii-1)
+                cur -= b as i64 + 1;
+            }
+        } else {
+            let mut cur = from;
+            while cur <= limit {
+                let slot = self.slot(cur);
+                let (w, b) = (slot / 64, slot % 64);
+                let free = !self.fu_full[row + w] & self.valid_mask(w);
+                // bits at or above b — candidates within this word
+                let masked = free & (!0u64 << b);
+                if masked != 0 {
+                    let nb = masked.trailing_zeros() as usize;
+                    let cand = cur + (nb - b) as i64;
+                    return (cand <= limit).then_some(cand);
+                }
+                // jump to the next word boundary (or wrap to slot 0)
+                let boundary = ((w + 1) * 64).min(self.ii as usize);
+                cur += (boundary - slot) as i64;
+            }
+        }
+        None
     }
 
     /// Finds a register bus free for a whole transfer starting at `cycle`.
@@ -244,10 +439,357 @@ impl Mrt {
         if self.transfer > self.ii {
             return false;
         }
+        let row = bus * self.words;
+        (0..self.transfer as i64).all(|k| {
+            let slot = self.slot(cycle + k);
+            self.bus[row + slot / 64] & (1u64 << (slot % 64)) == 0
+        })
+    }
+
+    /// Reserves bus `bus` for a transfer starting at `cycle`, journaling
+    /// one word-level delta per `u64` word the transfer touches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any needed slot is taken.
+    pub fn bus_reserve(&mut self, bus: usize, cycle: i64) {
+        assert!(self.bus_free(bus, cycle), "register bus oversubscribed");
+        let start = self.slot(cycle) as u32;
+        let t = self.transfer;
+        // consecutive modulo slots split into at most two contiguous runs
+        // (the wrap at the II boundary starts the second)
+        let first = t.min(self.ii - start);
+        self.bus_set_run(bus, start, first);
+        if first < t {
+            self.bus_set_run(bus, 0, t - first);
+        }
+    }
+
+    /// Sets `len` consecutive slot bits of `bus` starting at `start`
+    /// (no wrap within a run), one `|=` and journal entry per word.
+    fn bus_set_run(&mut self, bus: usize, start: u32, len: u32) {
+        let row = bus * self.words;
+        let mut slot = start as usize;
+        let end = (start + len) as usize;
+        while slot < end {
+            let w = slot / 64;
+            let word_end = ((w + 1) * 64).min(end);
+            let lo = slot % 64;
+            let n = word_end - slot;
+            let bits = if n == 64 {
+                !0u64
+            } else {
+                ((1u64 << n) - 1) << lo
+            };
+            let widx = row + w;
+            debug_assert_eq!(self.bus[widx] & bits, 0, "bus_free checked above");
+            self.bus[widx] |= bits;
+            if self.in_txn {
+                self.journal.push(Undo::BusWord {
+                    widx: widx as u32,
+                    bits,
+                });
+            }
+            slot = word_end;
+        }
+    }
+
+    /// Number of clusters this table covers.
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Compares occupancy state (counters and packed words) against
+    /// `other` without allocating — the equivalence checks' hot path.
+    pub fn state_eq(&self, other: &Mrt) -> bool {
+        self.fu_cnt == other.fu_cnt && self.fu_full == other.fu_full && self.bus == other.bus
+    }
+
+    /// The packed occupancy words (FU full-masks, then bus masks), for
+    /// hashing a partial schedule's resource signature without rebuilding
+    /// any per-slot representation.
+    pub fn occupancy_words(&self) -> (&[u64], &[u64]) {
+        (&self.fu_full, &self.bus)
+    }
+}
+
+impl ReservationTable for Mrt {
+    fn new(ii: u32, machine: &MachineConfig) -> Self {
+        Mrt::new(ii, machine)
+    }
+    fn reset(&mut self, ii: u32, machine: &MachineConfig) {
+        Mrt::reset(self, ii, machine);
+    }
+    fn ii(&self) -> u32 {
+        Mrt::ii(self)
+    }
+    fn begin(&mut self) {
+        Mrt::begin(self);
+    }
+    fn commit(&mut self) {
+        Mrt::commit(self);
+    }
+    fn rollback(&mut self) {
+        Mrt::rollback(self);
+    }
+    fn in_transaction(&self) -> bool {
+        Mrt::in_transaction(self)
+    }
+    fn savepoint(&self) -> MrtSavepoint {
+        Mrt::savepoint(self)
+    }
+    fn rollback_to(&mut self, sp: MrtSavepoint) {
+        Mrt::rollback_to(self, sp);
+    }
+    fn fu_free(&self, cluster: usize, kind: FuKind, cycle: i64) -> bool {
+        Mrt::fu_free(self, cluster, kind, cycle)
+    }
+    fn fu_reserve(&mut self, cluster: usize, kind: FuKind, cycle: i64) {
+        Mrt::fu_reserve(self, cluster, kind, cycle);
+    }
+    fn next_free_fu_cycle(
+        &self,
+        cluster: usize,
+        kind: FuKind,
+        from: i64,
+        limit: i64,
+        descending: bool,
+    ) -> Option<i64> {
+        Mrt::next_free_fu_cycle(self, cluster, kind, from, limit, descending)
+    }
+    fn bus_find(&self, cycle: i64) -> Option<usize> {
+        Mrt::bus_find(self, cycle)
+    }
+    fn bus_free(&self, bus: usize, cycle: i64) -> bool {
+        Mrt::bus_free(self, bus, cycle)
+    }
+    fn bus_reserve(&mut self, bus: usize, cycle: i64) {
+        Mrt::bus_reserve(self, bus, cycle);
+    }
+    fn n_clusters(&self) -> usize {
+        Mrt::n_clusters(self)
+    }
+}
+
+/// The pre-refactor scalar-probe reservation table: per-slot `u16`
+/// counters and per-slot `bool` bus flags, probed one scalar at a time.
+///
+/// Retained purely as the **reference implementation** for the
+/// masked-vs-scalar equivalence suite (`tests/mrt_impl_equivalence.rs`)
+/// and the shared unit tests below; production scheduling always uses
+/// [`Mrt`]. Semantics — including transaction, savepoint and panic
+/// behavior — match [`Mrt`] exactly.
+#[derive(Debug, Clone)]
+pub struct ScalarMrt {
+    ii: u32,
+    n_clusters: usize,
+    fu_cap: [usize; 3],
+    // [cluster][kind][slot]
+    fu: Vec<u16>,
+    // [bus][slot]
+    bus: Vec<bool>,
+    n_buses: usize,
+    transfer: u32,
+    journal: Vec<Undo>,
+    in_txn: bool,
+}
+
+impl ScalarMrt {
+    /// An empty table for the given II and machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(ii: u32, machine: &MachineConfig) -> Self {
+        assert!(ii > 0, "II must be positive");
+        let n = machine.clusters.n_clusters;
+        ScalarMrt {
+            ii,
+            n_clusters: n,
+            fu_cap: [
+                machine.clusters.int_units,
+                machine.clusters.fp_units,
+                machine.clusters.mem_units,
+            ],
+            fu: vec![0; n * 3 * ii as usize],
+            bus: vec![false; machine.buses.reg_buses * ii as usize],
+            n_buses: machine.buses.reg_buses,
+            transfer: machine.buses.transfer_cycles,
+            journal: Vec::new(),
+            in_txn: false,
+        }
+    }
+
+    /// See [`Mrt::reset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn reset(&mut self, ii: u32, machine: &MachineConfig) {
+        assert!(ii > 0, "II must be positive");
+        let n = machine.clusters.n_clusters;
+        self.ii = ii;
+        self.n_clusters = n;
+        self.fu_cap = [
+            machine.clusters.int_units,
+            machine.clusters.fp_units,
+            machine.clusters.mem_units,
+        ];
+        self.fu.clear();
+        self.fu.resize(n * 3 * ii as usize, 0);
+        self.bus.clear();
+        self.bus
+            .resize(machine.buses.reg_buses * ii as usize, false);
+        self.n_buses = machine.buses.reg_buses;
+        self.transfer = machine.buses.transfer_cycles;
+        self.journal.clear();
+        self.in_txn = false;
+    }
+
+    /// See [`Mrt::begin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already open.
+    pub fn begin(&mut self) {
+        assert!(!self.in_txn, "MRT transactions do not nest");
+        debug_assert!(self.journal.is_empty());
+        self.in_txn = true;
+    }
+
+    /// See [`Mrt::commit`].
+    pub fn commit(&mut self) {
+        self.journal.clear();
+        self.in_txn = false;
+    }
+
+    /// See [`Mrt::rollback`].
+    pub fn rollback(&mut self) {
+        while let Some(entry) = self.journal.pop() {
+            self.undo(entry);
+        }
+        self.in_txn = false;
+    }
+
+    fn undo(&mut self, entry: Undo) {
+        match entry {
+            Undo::Fu(idx) => self.fu[idx as usize] -= 1,
+            Undo::BusSlot(idx) => self.bus[idx as usize] = false,
+            Undo::BusWord { .. } => unreachable!("masked journal entry in scalar table"),
+        }
+    }
+
+    /// See [`Mrt::in_transaction`].
+    pub fn in_transaction(&self) -> bool {
+        self.in_txn
+    }
+
+    /// See [`Mrt::savepoint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn savepoint(&self) -> MrtSavepoint {
+        assert!(self.in_txn, "savepoint requires an open transaction");
+        MrtSavepoint(self.journal.len())
+    }
+
+    /// See [`Mrt::rollback_to`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open or the savepoint was already
+    /// unwound.
+    pub fn rollback_to(&mut self, sp: MrtSavepoint) {
+        assert!(self.in_txn, "rollback_to requires an open transaction");
+        assert!(
+            sp.0 <= self.journal.len(),
+            "savepoint already unwound (LIFO order violated)"
+        );
+        while self.journal.len() > sp.0 {
+            let entry = self.journal.pop().expect("journal entry");
+            self.undo(entry);
+        }
+    }
+
+    /// See [`Mrt::ii`].
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    fn slot(&self, cycle: i64) -> usize {
+        cycle.rem_euclid(self.ii as i64) as usize
+    }
+
+    fn fu_idx(&self, cluster: usize, kind: FuKind, cycle: i64) -> usize {
+        (cluster * 3 + kind_index(kind)) * self.ii as usize + self.slot(cycle)
+    }
+
+    /// See [`Mrt::fu_free`].
+    pub fn fu_free(&self, cluster: usize, kind: FuKind, cycle: i64) -> bool {
+        (self.fu[self.fu_idx(cluster, kind, cycle)] as usize) < self.fu_cap[kind_index(kind)]
+    }
+
+    /// See [`Mrt::fu_reserve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no unit is free.
+    pub fn fu_reserve(&mut self, cluster: usize, kind: FuKind, cycle: i64) {
+        assert!(
+            self.fu_free(cluster, kind, cycle),
+            "functional unit oversubscribed"
+        );
+        let idx = self.fu_idx(cluster, kind, cycle);
+        self.fu[idx] += 1;
+        if self.in_txn {
+            self.journal.push(Undo::Fu(idx as u32));
+        }
+    }
+
+    /// See [`Mrt::next_free_fu_cycle`] — the scalar walk probes one cycle
+    /// at a time, visiting exactly the cycles the masked walk yields.
+    pub fn next_free_fu_cycle(
+        &self,
+        cluster: usize,
+        kind: FuKind,
+        from: i64,
+        limit: i64,
+        descending: bool,
+    ) -> Option<i64> {
+        let mut c = from;
+        if descending {
+            while c >= limit {
+                if self.fu_free(cluster, kind, c) {
+                    return Some(c);
+                }
+                c -= 1;
+            }
+        } else {
+            while c <= limit {
+                if self.fu_free(cluster, kind, c) {
+                    return Some(c);
+                }
+                c += 1;
+            }
+        }
+        None
+    }
+
+    /// See [`Mrt::bus_find`].
+    pub fn bus_find(&self, cycle: i64) -> Option<usize> {
+        (0..self.n_buses).find(|&b| self.bus_free(b, cycle))
+    }
+
+    /// See [`Mrt::bus_free`].
+    pub fn bus_free(&self, bus: usize, cycle: i64) -> bool {
+        if self.transfer > self.ii {
+            return false;
+        }
         (0..self.transfer as i64).all(|k| !self.bus[bus * self.ii as usize + self.slot(cycle + k)])
     }
 
-    /// Reserves bus `bus` for a transfer starting at `cycle`.
+    /// See [`Mrt::bus_reserve`].
     ///
     /// # Panics
     ///
@@ -264,14 +806,72 @@ impl Mrt {
         }
     }
 
-    /// Number of clusters this table covers.
+    /// See [`Mrt::n_clusters`].
     pub fn n_clusters(&self) -> usize {
         self.n_clusters
     }
 
-    #[cfg(test)]
-    fn raw_state(&self) -> (Vec<u16>, Vec<bool>) {
-        (self.fu.clone(), self.bus.clone())
+    /// Compares occupancy state against `other` without allocating.
+    pub fn state_eq(&self, other: &ScalarMrt) -> bool {
+        self.fu == other.fu && self.bus == other.bus
+    }
+}
+
+impl ReservationTable for ScalarMrt {
+    fn new(ii: u32, machine: &MachineConfig) -> Self {
+        ScalarMrt::new(ii, machine)
+    }
+    fn reset(&mut self, ii: u32, machine: &MachineConfig) {
+        ScalarMrt::reset(self, ii, machine);
+    }
+    fn ii(&self) -> u32 {
+        ScalarMrt::ii(self)
+    }
+    fn begin(&mut self) {
+        ScalarMrt::begin(self);
+    }
+    fn commit(&mut self) {
+        ScalarMrt::commit(self);
+    }
+    fn rollback(&mut self) {
+        ScalarMrt::rollback(self);
+    }
+    fn in_transaction(&self) -> bool {
+        ScalarMrt::in_transaction(self)
+    }
+    fn savepoint(&self) -> MrtSavepoint {
+        ScalarMrt::savepoint(self)
+    }
+    fn rollback_to(&mut self, sp: MrtSavepoint) {
+        ScalarMrt::rollback_to(self, sp);
+    }
+    fn fu_free(&self, cluster: usize, kind: FuKind, cycle: i64) -> bool {
+        ScalarMrt::fu_free(self, cluster, kind, cycle)
+    }
+    fn fu_reserve(&mut self, cluster: usize, kind: FuKind, cycle: i64) {
+        ScalarMrt::fu_reserve(self, cluster, kind, cycle);
+    }
+    fn next_free_fu_cycle(
+        &self,
+        cluster: usize,
+        kind: FuKind,
+        from: i64,
+        limit: i64,
+        descending: bool,
+    ) -> Option<i64> {
+        ScalarMrt::next_free_fu_cycle(self, cluster, kind, from, limit, descending)
+    }
+    fn bus_find(&self, cycle: i64) -> Option<usize> {
+        ScalarMrt::bus_find(self, cycle)
+    }
+    fn bus_free(&self, bus: usize, cycle: i64) -> bool {
+        ScalarMrt::bus_free(self, bus, cycle)
+    }
+    fn bus_reserve(&mut self, bus: usize, cycle: i64) {
+        ScalarMrt::bus_reserve(self, bus, cycle);
+    }
+    fn n_clusters(&self) -> usize {
+        ScalarMrt::n_clusters(self)
     }
 }
 
@@ -279,206 +879,386 @@ impl Mrt {
 mod tests {
     use super::*;
 
-    fn mrt(ii: u32) -> Mrt {
-        Mrt::new(ii, &MachineConfig::word_interleaved_4())
-    }
+    /// The shared behavioral suite, instantiated for both implementations:
+    /// every contract the scheduler relies on — capacity, wrap, panic
+    /// messages, transactions, savepoints, reset — must hold identically
+    /// for the masked and the scalar table.
+    macro_rules! mrt_contract_tests {
+        ($modname:ident, $table:ty) => {
+            mod $modname {
+                use super::*;
 
-    #[test]
-    fn fu_capacity_is_one_per_kind() {
-        let mut t = mrt(4);
-        assert!(t.fu_free(0, FuKind::Mem, 2));
-        t.fu_reserve(0, FuKind::Mem, 2);
-        assert!(!t.fu_free(0, FuKind::Mem, 2));
-        // same slot, different cluster or kind is fine
-        assert!(t.fu_free(1, FuKind::Mem, 2));
-        assert!(t.fu_free(0, FuKind::Int, 2));
-        // modulo wrap: cycle 6 shares slot 2 at II 4
-        assert!(!t.fu_free(0, FuKind::Mem, 6));
-        // negative cycles wrap correctly: -2 ≡ 2 (mod 4)
-        assert!(!t.fu_free(0, FuKind::Mem, -2));
-    }
+                fn mrt(ii: u32) -> $table {
+                    <$table>::new(ii, &MachineConfig::word_interleaved_4())
+                }
 
-    #[test]
-    #[should_panic(expected = "oversubscribed")]
-    fn fu_over_reservation_panics() {
-        let mut t = mrt(4);
-        t.fu_reserve(0, FuKind::Int, 1);
-        t.fu_reserve(0, FuKind::Int, 5); // same modulo slot
-    }
+                #[test]
+                fn fu_capacity_is_one_per_kind() {
+                    let mut t = mrt(4);
+                    assert!(t.fu_free(0, FuKind::Mem, 2));
+                    t.fu_reserve(0, FuKind::Mem, 2);
+                    assert!(!t.fu_free(0, FuKind::Mem, 2));
+                    // same slot, different cluster or kind is fine
+                    assert!(t.fu_free(1, FuKind::Mem, 2));
+                    assert!(t.fu_free(0, FuKind::Int, 2));
+                    // modulo wrap: cycle 6 shares slot 2 at II 4
+                    assert!(!t.fu_free(0, FuKind::Mem, 6));
+                    // negative cycles wrap correctly: -2 ≡ 2 (mod 4)
+                    assert!(!t.fu_free(0, FuKind::Mem, -2));
+                }
 
-    #[test]
-    fn bus_transfer_occupies_two_slots() {
-        let mut t = mrt(4);
-        let b = t.bus_find(1).unwrap();
-        t.bus_reserve(b, 1);
-        // bus b busy at slots 1 and 2
-        assert!(!t.bus_free(b, 1));
-        assert!(!t.bus_free(b, 2)); // starting at 2 needs slots 2,3; 2 busy
-        assert!(t.bus_free(b, 3)); // slots 3,0 free
-                                   // other buses unaffected
-        assert!(t.bus_find(1).is_some());
-    }
+                #[test]
+                #[should_panic(expected = "oversubscribed")]
+                fn fu_over_reservation_panics() {
+                    let mut t = mrt(4);
+                    t.fu_reserve(0, FuKind::Int, 1);
+                    t.fu_reserve(0, FuKind::Int, 5); // same modulo slot
+                }
 
-    #[test]
-    fn bus_exhaustion() {
-        let mut t = mrt(2);
-        // II=2: each transfer occupies both slots of a bus -> 4 transfers max
-        for _ in 0..4 {
-            let b = t.bus_find(0).expect("bus available");
-            t.bus_reserve(b, 0);
-        }
-        assert_eq!(t.bus_find(0), None);
-        assert_eq!(t.bus_find(1), None);
-    }
+                #[test]
+                fn bus_transfer_occupies_two_slots() {
+                    let mut t = mrt(4);
+                    let b = t.bus_find(1).unwrap();
+                    t.bus_reserve(b, 1);
+                    // bus b busy at slots 1 and 2
+                    assert!(!t.bus_free(b, 1));
+                    assert!(!t.bus_free(b, 2)); // starting at 2 needs slots 2,3; 2 busy
+                    assert!(t.bus_free(b, 3)); // slots 3,0 free
+                                               // other buses unaffected
+                    assert!(t.bus_find(1).is_some());
+                }
 
-    #[test]
-    fn bus_wraps_around_ii() {
-        let mut t = mrt(3);
-        t.bus_reserve(0, 2); // occupies slots 2 and 0
-        assert!(!t.bus_free(0, 0));
-        assert!(!t.bus_free(0, 1)); // starting at 1 needs slots 1,2; 2 busy
-    }
+                #[test]
+                fn bus_exhaustion() {
+                    let mut t = mrt(2);
+                    // II=2: each transfer occupies both slots of a bus -> 4 transfers max
+                    for _ in 0..4 {
+                        let b = t.bus_find(0).expect("bus available");
+                        t.bus_reserve(b, 0);
+                    }
+                    assert_eq!(t.bus_find(0), None);
+                    assert_eq!(t.bus_find(1), None);
+                }
 
-    #[test]
-    #[should_panic(expected = "II must be positive")]
-    fn zero_ii_rejected() {
-        let _ = mrt(0);
-    }
+                #[test]
+                fn bus_wraps_around_ii() {
+                    let mut t = mrt(3);
+                    t.bus_reserve(0, 2); // occupies slots 2 and 0
+                    assert!(!t.bus_free(0, 0));
+                    assert!(!t.bus_free(0, 1)); // starting at 1 needs slots 1,2; 2 busy
+                }
 
-    #[test]
-    fn rollback_restores_exact_fu_and_bus_state() {
-        let mut t = mrt(4);
-        // committed baseline: one FU, one transfer
-        t.fu_reserve(0, FuKind::Int, 1);
-        t.bus_reserve(0, 3); // slots 3 and 0
-        let before = t.raw_state();
-        t.begin();
-        t.fu_reserve(1, FuKind::Mem, 2);
-        t.fu_reserve(1, FuKind::Int, 2);
-        let b = t.bus_find(1).expect("bus free");
-        t.bus_reserve(b, 1);
-        assert_ne!(t.raw_state(), before, "reservations visible in-flight");
-        t.rollback();
-        assert_eq!(t.raw_state(), before, "rollback restores exact counters");
-        assert!(!t.in_transaction());
-        // the unwound resources are reservable again
-        assert!(t.fu_free(1, FuKind::Mem, 2));
-        assert!(t.bus_free(b, 1));
-    }
+                #[test]
+                #[should_panic(expected = "II must be positive")]
+                fn zero_ii_rejected() {
+                    let _ = mrt(0);
+                }
 
-    #[test]
-    fn rollback_after_partial_multi_slot_bus_reservation() {
-        // II 3, transfer 2: a transfer starting at slot 2 wraps to slot 0.
-        // Roll back a transaction whose bus reservation spans the wrap plus
-        // an earlier whole transfer: every individual slot flag must clear.
-        let mut t = mrt(3);
-        t.begin();
-        t.bus_reserve(0, 2); // slots 2 and (wrapping) 0 of bus 0
-        t.bus_reserve(1, 1); // slots 1 and 2 of bus 1
-        t.rollback();
-        let (_, bus) = t.raw_state();
-        assert!(bus.iter().all(|&b| !b), "all bus slots cleared");
-        assert!(t.bus_free(0, 0) && t.bus_free(0, 1) && t.bus_free(0, 2));
-    }
+                #[test]
+                fn rollback_restores_exact_fu_and_bus_state() {
+                    let mut t = mrt(4);
+                    // committed baseline: one FU, one transfer
+                    t.fu_reserve(0, FuKind::Int, 1);
+                    t.bus_reserve(0, 3); // slots 3 and 0
+                    let before = t.clone();
+                    t.begin();
+                    t.fu_reserve(1, FuKind::Mem, 2);
+                    t.fu_reserve(1, FuKind::Int, 2);
+                    let b = t.bus_find(1).expect("bus free");
+                    t.bus_reserve(b, 1);
+                    assert!(!t.state_eq(&before), "reservations visible in-flight");
+                    t.rollback();
+                    assert!(t.state_eq(&before), "rollback restores exact counters");
+                    assert!(!t.in_transaction());
+                    // the unwound resources are reservable again
+                    assert!(t.fu_free(1, FuKind::Mem, 2));
+                    assert!(t.bus_free(b, 1));
+                }
 
-    #[test]
-    fn commit_is_idempotent_and_keeps_reservations() {
-        let mut t = mrt(4);
-        t.begin();
-        t.fu_reserve(0, FuKind::Int, 0);
-        t.bus_reserve(0, 0);
-        t.commit();
-        let committed = t.raw_state();
-        t.commit(); // no open transaction: harmless
-        assert_eq!(t.raw_state(), committed);
-        // a later rollback must not unwind committed reservations
-        t.rollback();
-        assert_eq!(t.raw_state(), committed);
-        assert!(!t.fu_free(0, FuKind::Int, 0));
-    }
+                #[test]
+                fn rollback_after_partial_multi_slot_bus_reservation() {
+                    // II 3, transfer 2: a transfer starting at slot 2 wraps to slot 0.
+                    // Roll back a transaction whose bus reservation spans the wrap plus
+                    // an earlier whole transfer: every individual slot flag must clear.
+                    let mut t = mrt(3);
+                    let fresh = t.clone();
+                    t.begin();
+                    t.bus_reserve(0, 2); // slots 2 and (wrapping) 0 of bus 0
+                    t.bus_reserve(1, 1); // slots 1 and 2 of bus 1
+                    t.rollback();
+                    assert!(t.state_eq(&fresh), "all bus slots cleared");
+                    assert!(t.bus_free(0, 0) && t.bus_free(0, 1) && t.bus_free(0, 2));
+                }
 
-    #[test]
-    #[should_panic(expected = "do not nest")]
-    fn nested_begin_panics() {
-        let mut t = mrt(4);
-        t.begin();
-        t.begin();
-    }
+                #[test]
+                fn commit_is_idempotent_and_keeps_reservations() {
+                    let mut t = mrt(4);
+                    t.begin();
+                    t.fu_reserve(0, FuKind::Int, 0);
+                    t.bus_reserve(0, 0);
+                    t.commit();
+                    let committed = t.clone();
+                    t.commit(); // no open transaction: harmless
+                    assert!(t.state_eq(&committed));
+                    // a later rollback must not unwind committed reservations
+                    t.rollback();
+                    assert!(t.state_eq(&committed));
+                    assert!(!t.fu_free(0, FuKind::Int, 0));
+                }
 
-    #[test]
-    fn savepoints_unwind_in_lifo_order() {
-        let mut t = mrt(4);
-        t.begin();
-        t.fu_reserve(0, FuKind::Int, 0);
-        let after_first = t.raw_state();
-        let sp1 = t.savepoint();
-        t.fu_reserve(0, FuKind::Mem, 1);
-        t.bus_reserve(0, 2);
-        let sp2 = t.savepoint();
-        t.fu_reserve(1, FuKind::Fp, 3);
-        // inner level unwinds only its own reservations
-        t.rollback_to(sp2);
-        assert!(t.fu_free(1, FuKind::Fp, 3));
-        assert!(!t.fu_free(0, FuKind::Mem, 1), "outer level intact");
-        assert!(t.in_transaction(), "transaction stays open");
-        // outer level unwinds back to the first reservation
-        t.rollback_to(sp1);
-        assert_eq!(t.raw_state(), after_first);
-        // a full rollback still unwinds everything before the savepoints
-        t.rollback();
-        assert!(t.fu_free(0, FuKind::Int, 0));
-    }
+                #[test]
+                #[should_panic(expected = "do not nest")]
+                fn nested_begin_panics() {
+                    let mut t = mrt(4);
+                    t.begin();
+                    t.begin();
+                }
 
-    #[test]
-    fn savepoint_rollback_restores_wrapped_bus_slots() {
-        // II 3, transfer 2: reservation at slot 2 wraps to slot 0
-        let mut t = mrt(3);
-        t.begin();
-        t.bus_reserve(1, 1);
-        let sp = t.savepoint();
-        t.bus_reserve(0, 2);
-        t.rollback_to(sp);
-        assert!(
-            t.bus_free(0, 0) && t.bus_free(0, 2),
-            "wrapped slots cleared"
-        );
-        assert!(!t.bus_free(1, 1), "pre-savepoint transfer intact");
-    }
+                #[test]
+                fn savepoints_unwind_in_lifo_order() {
+                    let mut t = mrt(4);
+                    t.begin();
+                    t.fu_reserve(0, FuKind::Int, 0);
+                    let after_first = t.clone();
+                    let sp1 = t.savepoint();
+                    t.fu_reserve(0, FuKind::Mem, 1);
+                    t.bus_reserve(0, 2);
+                    let sp2 = t.savepoint();
+                    t.fu_reserve(1, FuKind::Fp, 3);
+                    // inner level unwinds only its own reservations
+                    t.rollback_to(sp2);
+                    assert!(t.fu_free(1, FuKind::Fp, 3));
+                    assert!(!t.fu_free(0, FuKind::Mem, 1), "outer level intact");
+                    assert!(t.in_transaction(), "transaction stays open");
+                    // outer level unwinds back to the first reservation
+                    t.rollback_to(sp1);
+                    assert!(t.state_eq(&after_first));
+                    // a full rollback still unwinds everything before the savepoints
+                    t.rollback();
+                    assert!(t.fu_free(0, FuKind::Int, 0));
+                }
 
-    #[test]
-    #[should_panic(expected = "open transaction")]
-    fn savepoint_outside_transaction_panics() {
-        let t = mrt(4);
-        let _ = t.savepoint();
-    }
+                #[test]
+                fn savepoint_rollback_restores_wrapped_bus_slots() {
+                    // II 3, transfer 2: reservation at slot 2 wraps to slot 0
+                    let mut t = mrt(3);
+                    t.begin();
+                    t.bus_reserve(1, 1);
+                    let sp = t.savepoint();
+                    t.bus_reserve(0, 2);
+                    t.rollback_to(sp);
+                    assert!(
+                        t.bus_free(0, 0) && t.bus_free(0, 2),
+                        "wrapped slots cleared"
+                    );
+                    assert!(!t.bus_free(1, 1), "pre-savepoint transfer intact");
+                }
 
-    #[test]
-    #[should_panic(expected = "LIFO")]
-    fn stale_savepoint_panics() {
-        let mut t = mrt(4);
-        t.begin();
-        t.fu_reserve(0, FuKind::Int, 0);
-        let sp_inner = {
-            let sp_outer = t.savepoint();
-            t.fu_reserve(0, FuKind::Int, 1);
-            let inner = t.savepoint();
-            t.rollback_to(sp_outer);
-            inner
+                #[test]
+                #[should_panic(expected = "open transaction")]
+                fn savepoint_outside_transaction_panics() {
+                    let t = mrt(4);
+                    let _ = t.savepoint();
+                }
+
+                #[test]
+                #[should_panic(expected = "LIFO")]
+                fn stale_savepoint_panics() {
+                    let mut t = mrt(4);
+                    t.begin();
+                    t.fu_reserve(0, FuKind::Int, 0);
+                    let sp_inner = {
+                        let sp_outer = t.savepoint();
+                        t.fu_reserve(0, FuKind::Int, 1);
+                        let inner = t.savepoint();
+                        t.rollback_to(sp_outer);
+                        inner
+                    };
+                    t.rollback_to(sp_inner); // journal is shorter than the mark now
+                }
+
+                #[test]
+                fn reset_reuses_table_for_new_ii() {
+                    let mut t = mrt(3);
+                    t.fu_reserve(0, FuKind::Int, 1);
+                    t.begin();
+                    t.fu_reserve(0, FuKind::Int, 2);
+                    let m = MachineConfig::word_interleaved_4();
+                    t.reset(5, &m);
+                    assert_eq!(t.ii(), 5);
+                    assert!(!t.in_transaction());
+                    let fresh = <$table>::new(5, &m);
+                    assert!(t.state_eq(&fresh), "reset == fresh table");
+                }
+
+                #[test]
+                fn free_cycle_walk_skips_occupied_slots() {
+                    let mut t = mrt(6);
+                    t.fu_reserve(0, FuKind::Int, 0);
+                    t.fu_reserve(0, FuKind::Int, 1);
+                    t.fu_reserve(0, FuKind::Int, 3);
+                    // ascending from 0: first free is 2, then 4
+                    assert_eq!(t.next_free_fu_cycle(0, FuKind::Int, 0, 5, false), Some(2));
+                    assert_eq!(t.next_free_fu_cycle(0, FuKind::Int, 3, 5, false), Some(4));
+                    // descending from 3: first free at or below is 2
+                    assert_eq!(t.next_free_fu_cycle(0, FuKind::Int, 3, 0, true), Some(2));
+                    // limits are inclusive and respected
+                    assert_eq!(t.next_free_fu_cycle(0, FuKind::Int, 0, 1, false), None);
+                    assert_eq!(t.next_free_fu_cycle(0, FuKind::Int, 3, 3, true), None);
+                    // other kinds unaffected
+                    assert_eq!(t.next_free_fu_cycle(0, FuKind::Mem, 0, 5, false), Some(0));
+                }
+
+                #[test]
+                fn free_cycle_walk_wraps_modulo_slots() {
+                    let mut t = mrt(4);
+                    t.fu_reserve(0, FuKind::Int, 0); // slot 0
+                    t.fu_reserve(0, FuKind::Int, 3); // slot 3
+                                                     // window [3, 6]: slots 3,0,1,2 — first free cycle is 5 (slot 1)
+                    assert_eq!(t.next_free_fu_cycle(0, FuKind::Int, 3, 6, false), Some(5));
+                    // descending window [−2, 1] from 1: slot 1 free
+                    assert_eq!(t.next_free_fu_cycle(0, FuKind::Int, 1, -2, true), Some(1));
+                    // descending from 0 (slot 0 busy): wraps back to cycle −1 = slot 3
+                    // (busy) then −2 = slot 2 (free)
+                    assert_eq!(t.next_free_fu_cycle(0, FuKind::Int, 0, -3, true), Some(-2));
+                    // a fully-occupied row yields nothing over any window
+                    t.fu_reserve(0, FuKind::Int, 1);
+                    t.fu_reserve(0, FuKind::Int, 2);
+                    assert_eq!(t.next_free_fu_cycle(0, FuKind::Int, 0, 3, false), None);
+                    assert_eq!(t.next_free_fu_cycle(0, FuKind::Int, 7, 4, true), None);
+                }
+
+                #[test]
+                fn multi_word_rows_cover_large_iis() {
+                    // II 130 spans three 64-bit words; exercise probes,
+                    // walks and wrap behavior across word boundaries
+                    let mut t = mrt(130);
+                    for c in 0..64 {
+                        t.fu_reserve(1, FuKind::Mem, c);
+                    }
+                    assert!(!t.fu_free(1, FuKind::Mem, 63));
+                    assert!(t.fu_free(1, FuKind::Mem, 64));
+                    assert_eq!(
+                        t.next_free_fu_cycle(1, FuKind::Mem, 0, 129, false),
+                        Some(64)
+                    );
+                    assert_eq!(t.next_free_fu_cycle(1, FuKind::Mem, 63, 0, true), None);
+                    t.fu_reserve(1, FuKind::Mem, 129); // last slot (word 3, bit 1)
+                    assert_eq!(
+                        t.next_free_fu_cycle(1, FuKind::Mem, 129, 64, true),
+                        Some(128)
+                    );
+                    // a bus transfer crossing the 64-bit word boundary
+                    t.begin();
+                    t.bus_reserve(2, 63); // slots 63 (word 0) and 64 (word 1)
+                    assert!(!t.bus_free(2, 63));
+                    assert!(!t.bus_free(2, 64));
+                    t.rollback();
+                    assert!(t.bus_free(2, 63) && t.bus_free(2, 64));
+                }
+            }
         };
-        t.rollback_to(sp_inner); // journal is shorter than the mark now
+    }
+
+    mrt_contract_tests!(masked, Mrt);
+    mrt_contract_tests!(scalar, ScalarMrt);
+
+    /// Beyond the shared contract: the two implementations must agree
+    /// probe-for-probe on a randomized reservation trace, including the
+    /// exact cycles their candidate walks yield.
+    #[test]
+    fn masked_and_scalar_tables_agree_on_random_traces() {
+        let machine = MachineConfig::word_interleaved_4();
+        // deliberately includes IIs near and across the word boundary
+        for ii in [1u32, 2, 3, 7, 31, 63, 64, 65, 97, 130] {
+            let mut a = Mrt::new(ii, &machine);
+            let mut b = ScalarMrt::new(ii, &machine);
+            // a simple deterministic LCG so the trace is reproducible
+            let mut state = 0x2545_f491_4f6c_dd1du64 ^ u64::from(ii);
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            a.begin();
+            b.begin();
+            let mut sps: Vec<(MrtSavepoint, MrtSavepoint)> = Vec::new();
+            for _ in 0..400 {
+                let cycle = next() as i64 % (2 * ii as i64 + 3) - ii as i64;
+                match next() % 6 {
+                    0 => {
+                        let cluster = (next() % 4) as usize;
+                        let kind = [FuKind::Int, FuKind::Fp, FuKind::Mem][(next() % 3) as usize];
+                        assert_eq!(
+                            a.fu_free(cluster, kind, cycle),
+                            b.fu_free(cluster, kind, cycle)
+                        );
+                        if a.fu_free(cluster, kind, cycle) {
+                            a.fu_reserve(cluster, kind, cycle);
+                            b.fu_reserve(cluster, kind, cycle);
+                        }
+                    }
+                    1 => {
+                        assert_eq!(a.bus_find(cycle), b.bus_find(cycle));
+                        if let Some(bus) = a.bus_find(cycle) {
+                            a.bus_reserve(bus, cycle);
+                            b.bus_reserve(bus, cycle);
+                        }
+                    }
+                    2 => {
+                        let cluster = (next() % 4) as usize;
+                        let kind = [FuKind::Int, FuKind::Fp, FuKind::Mem][(next() % 3) as usize];
+                        let span = (next() % (ii as u64 + 1)) as i64;
+                        let descending = next() % 2 == 0;
+                        let limit = if descending {
+                            cycle - span
+                        } else {
+                            cycle + span
+                        };
+                        assert_eq!(
+                            a.next_free_fu_cycle(cluster, kind, cycle, limit, descending),
+                            b.next_free_fu_cycle(cluster, kind, cycle, limit, descending),
+                            "walk diverged at ii={ii}"
+                        );
+                    }
+                    3 => {
+                        sps.push((a.savepoint(), b.savepoint()));
+                    }
+                    4 => {
+                        if let Some((sa, sb)) = sps.pop() {
+                            a.rollback_to(sa);
+                            b.rollback_to(sb);
+                        }
+                    }
+                    _ => {
+                        let bus = (next() % 4) as usize;
+                        assert_eq!(a.bus_free(bus, cycle), b.bus_free(bus, cycle));
+                    }
+                }
+            }
+            a.rollback();
+            b.rollback();
+            let fresh_a = Mrt::new(ii, &machine);
+            let fresh_b = ScalarMrt::new(ii, &machine);
+            assert!(a.state_eq(&fresh_a), "masked rollback left residue");
+            assert!(b.state_eq(&fresh_b), "scalar rollback left residue");
+        }
     }
 
     #[test]
-    fn reset_reuses_table_for_new_ii() {
-        let mut t = mrt(3);
-        t.fu_reserve(0, FuKind::Int, 1);
-        t.begin();
+    fn occupancy_words_expose_packed_state() {
+        let machine = MachineConfig::word_interleaved_4();
+        let mut t = Mrt::new(4, &machine);
+        let (fu0, bus0) = {
+            let (f, b) = t.occupancy_words();
+            (f.to_vec(), b.to_vec())
+        };
+        assert!(fu0.iter().all(|&w| w == 0) && bus0.iter().all(|&w| w == 0));
         t.fu_reserve(0, FuKind::Int, 2);
-        let m = MachineConfig::word_interleaved_4();
-        t.reset(5, &m);
-        assert_eq!(t.ii(), 5);
-        assert!(!t.in_transaction());
-        let fresh = Mrt::new(5, &m);
-        assert_eq!(t.raw_state(), fresh.raw_state(), "reset == fresh table");
+        t.bus_reserve(1, 3); // slots 3 and 0
+        let (fu, bus) = t.occupancy_words();
+        assert_eq!(fu[0], 1 << 2); // row (cluster 0, Int) is row 0
+        assert_eq!(bus[1], (1 << 3) | 1);
     }
 }

@@ -62,6 +62,10 @@ pub struct BatchOptions {
     pub workers: usize,
     /// Shard count of the caches.
     pub shards: usize,
+    /// Completed-entry cap per cache shard
+    /// ([`SchedCache::into_capped`]); `None` (both presets) keeps every
+    /// cache unbounded.
+    pub per_shard_cap: Option<usize>,
 }
 
 impl BatchOptions {
@@ -71,6 +75,7 @@ impl BatchOptions {
             target_requests: 10_000,
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             shards: 16,
+            per_shard_cap: None,
         }
     }
 
@@ -82,6 +87,7 @@ impl BatchOptions {
                 .map_or(4, |n| n.get())
                 .min(8),
             shards: 16,
+            per_shard_cap: None,
         }
     }
 }
@@ -104,7 +110,8 @@ pub struct PassReport {
 pub struct BatchReport {
     /// Requests drained per pass.
     pub requests: usize,
-    /// Distinct cache keys the queue resolves to.
+    /// Distinct cache keys the queue resolves to (under a capacity cap:
+    /// the keys still resident after the cold parallel pass).
     pub unique_keys: usize,
     /// Perturbed variants per suite loop.
     pub variants: usize,
@@ -135,6 +142,11 @@ pub struct BatchReport {
     /// Requests whose preparation failed (hashed into the fingerprint;
     /// 0 on the shipped suite).
     pub failures: u64,
+    /// Completed-entry cap per shard the caches ran under (`None` =
+    /// unbounded).
+    pub per_shard_cap: Option<usize>,
+    /// LRU evictions in the cold parallel pass (always 0 unbounded).
+    pub evictions: u64,
     /// Per-shard counters captured after the cold parallel pass.
     pub cold_shards: Vec<ShardCounters>,
 }
@@ -149,18 +161,19 @@ impl BatchReport {
     /// The per-shard counter CSV (`results/batch_shards.csv`).
     pub fn shard_csv(&self) -> String {
         let mut out = String::from(
-            "shard,entries,hits,store_hits,prepares,stale,inflight_waits,map_contended\n",
+            "shard,entries,hits,store_hits,prepares,stale,inflight_waits,map_contended,evictions\n",
         );
         for (i, s) in self.cold_shards.iter().enumerate() {
             out.push_str(&format!(
-                "{i},{},{},{},{},{},{},{}\n",
+                "{i},{},{},{},{},{},{},{},{}\n",
                 s.entries,
                 s.hits,
                 s.store_hits,
                 s.prepares,
                 s.stale,
                 s.inflight_waits,
-                s.map_contended
+                s.map_contended,
+                s.evictions
             ));
         }
         out
@@ -206,6 +219,7 @@ impl BatchReport {
                     .map(|s| s.map_contended)
                     .sum::<u64>() as f64,
             ),
+            ("evictions".into(), self.evictions as f64),
         ]
     }
 }
@@ -243,7 +257,7 @@ impl std::fmt::Display for BatchReport {
         )?;
         writeln!(
             f,
-            "  store: {} entries, round-trip {}; determinism {}; {} failures",
+            "  store: {} entries, round-trip {}; determinism {}; {} failures; {} evictions{}",
             self.store_entries,
             if self.store_roundtrip_ok {
                 "exact"
@@ -251,7 +265,12 @@ impl std::fmt::Display for BatchReport {
                 "BROKEN"
             },
             if self.deterministic { "ok" } else { "BROKEN" },
-            self.failures
+            self.failures,
+            self.evictions,
+            match self.per_shard_cap {
+                Some(cap) => format!(" (cap {cap}/shard)"),
+                None => String::new(),
+            }
         )
     }
 }
@@ -467,15 +486,23 @@ fn pass(d: &Drain, n: usize) -> PassReport {
 pub fn run_batch(ctx: &ExperimentContext, opts: &BatchOptions) -> BatchReport {
     let (requests, variants) = build_requests(ctx, opts.target_requests);
     let n = requests.len();
+    let new_cache = || {
+        let c = SchedCache::with_shards(opts.shards);
+        match opts.per_shard_cap {
+            Some(cap) => c.into_capped(cap),
+            None => c,
+        }
+    };
 
     // pass 1: cold serial (the reference answers)
-    let serial_cache = SchedCache::with_shards(opts.shards);
+    let serial_cache = new_cache();
     let serial = drain_serial(&serial_cache, &requests, ctx);
 
     // pass 2: cold parallel (work-stealing)
-    let cache = SchedCache::with_shards(opts.shards);
+    let cache = new_cache();
     let cold = drain(&cache, &requests, ctx, opts.workers);
     let cold_shards = cache.shard_counters();
+    let evictions = cache.evictions();
     let unique_keys = cache.len();
 
     // pass 3: warm memory (same cache; every request hits)
@@ -490,8 +517,7 @@ pub fn run_batch(ctx: &ExperimentContext, opts: &BatchOptions) -> BatchReport {
         .as_ref()
         .map(|r| r.to_text() == store.to_text())
         .unwrap_or(false);
-    let disk_cache = SchedCache::with_shards(opts.shards)
-        .into_stored(reloaded.unwrap_or_else(|_| store.clone()));
+    let disk_cache = new_cache().into_stored(reloaded.unwrap_or_else(|_| store.clone()));
     let disk = drain(&disk_cache, &requests, ctx, opts.workers);
     let store_hit_rate = disk_cache.store_hits() as f64 / n as f64;
     let store_stale = disk_cache.stale();
@@ -519,6 +545,8 @@ pub fn run_batch(ctx: &ExperimentContext, opts: &BatchOptions) -> BatchReport {
         store_roundtrip_ok,
         deterministic: fps.iter().all(|&f| f == fps[0]),
         failures: serial.failures.max(cold.failures),
+        per_shard_cap: opts.per_shard_cap,
+        evictions,
         cold_shards,
     }
 }
@@ -542,9 +570,12 @@ mod tests {
             target_requests: 64,
             workers: 4,
             shards: 8,
+            per_shard_cap: None,
         };
         let r = run_batch(&ctx, &opts);
         assert!(r.requests >= 64);
+        assert_eq!(r.evictions, 0, "unbounded caches never evict");
+        assert!(r.cold_shards.iter().all(|s| s.evictions == 0));
         assert!(r.deterministic, "pass fingerprints diverged");
         assert_eq!(r.failures, 0);
         assert!(
@@ -562,6 +593,45 @@ mod tests {
         // every request answered exactly once across shards
         let total: u64 = r.cold_shards.iter().map(|s| s.hits + s.prepares).sum();
         assert_eq!(total, r.requests as u64);
+    }
+
+    /// A far-too-small capacity cap forces evictions through the whole
+    /// run yet never changes any answer: the four pass fingerprints
+    /// still agree, the evictions show up in the per-shard counters, and
+    /// residency respects the cap (modulo slots a concurrent reader held
+    /// during an eviction scan — bounded by the worker count).
+    #[test]
+    fn capped_batch_evicts_but_stays_deterministic() {
+        let ctx = tiny_ctx();
+        let cap = 4;
+        let opts = BatchOptions {
+            target_requests: 64,
+            workers: 4,
+            shards: 2,
+            per_shard_cap: Some(cap),
+        };
+        let r = run_batch(&ctx, &opts);
+        assert_eq!(r.per_shard_cap, Some(cap));
+        assert!(r.deterministic, "eviction must never change an answer");
+        assert_eq!(r.failures, 0);
+        assert!(
+            r.evictions > 0,
+            "a {}-entry cache under {} requests must evict",
+            cap * opts.shards,
+            r.requests
+        );
+        let per_shard: u64 = r.cold_shards.iter().map(|s| s.evictions).sum();
+        assert_eq!(per_shard, r.evictions, "counters surface the evictions");
+        for s in &r.cold_shards {
+            assert!(
+                s.entries <= (cap + opts.workers) as u64,
+                "shard residency {} far above cap {cap}",
+                s.entries
+            );
+        }
+        // evicted keys re-prepare: strictly more prepares than resident keys
+        let prepares: u64 = r.cold_shards.iter().map(|s| s.prepares).sum();
+        assert!(prepares > r.unique_keys as u64);
     }
 
     #[test]

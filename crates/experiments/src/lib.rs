@@ -52,6 +52,7 @@ pub mod optgap;
 pub mod profile_fidelity;
 pub mod report;
 pub mod schedcache;
+pub mod smt;
 pub mod tables;
 
 pub use batch::{run_batch, BatchOptions, BatchReport, BatchRequest};
@@ -64,3 +65,4 @@ pub use optgap::{OptGapResult, OptGapRow};
 pub use profile_fidelity::{CollectedSuite, ProfileFidelityResult};
 pub use report::{backend_quality_table, mshr_table, Table};
 pub use schedcache::{CacheKey, SchedCache, ScheduleStore, ShardCounters, StoreEntry};
+pub use smt::{export_suite, SmtExport};

@@ -69,6 +69,12 @@ pub struct OptGapRow {
     pub mean_ratio: f64,
     /// Total II levels at which the exact search hit its budget.
     pub cutoff_iis: u64,
+    /// Arithmetic mean of the exact backend's reported MaxLive
+    /// ([`ScheduleOutcome::max_live`](vliw_sched::ScheduleOutcome)) over
+    /// every cell with an exact schedule — for proven cells this is the
+    /// tie-break minimum at the optimal II (`NaN` when no cell produced
+    /// an exact schedule).
+    pub mean_max_live: f64,
 }
 
 impl OptGapRow {
@@ -115,7 +121,7 @@ impl OptGapResult {
             ),
             &[
                 "policy", "backend", "kernels", "proven", "proven%", "matched", "better", "cutoff",
-                "II ratio",
+                "II ratio", "max_live",
             ],
         );
         for r in &self.rows {
@@ -129,6 +135,7 @@ impl OptGapResult {
                 r.better.to_string(),
                 r.cutoff.to_string(),
                 f3(r.mean_ratio),
+                f3(r.mean_max_live),
             ]);
         }
         t
@@ -181,8 +188,11 @@ fn policy_row(
         matched: 0,
         mean_ratio: f64::NAN,
         cutoff_iis: 0,
+        mean_max_live: f64::NAN,
     };
     let mut ratio_sum = 0.0;
+    let mut live_sum = 0.0;
+    let mut live_cells = 0usize;
     for kernel in kernels {
         // the heuristic II is the numerator; a (pathological) heuristic
         // failure leaves no cell to compare
@@ -193,6 +203,10 @@ fn policy_row(
         match schedule_outcome(kernel, machine, exact_opts) {
             Ok(o) => {
                 row.cutoff_iis += o.stats.cutoffs;
+                if let Some(live) = o.max_live {
+                    live_sum += live as f64;
+                    live_cells += 1;
+                }
                 if o.schedule.ii < heuristic.ii {
                     row.better += 1;
                 }
@@ -217,6 +231,9 @@ fn policy_row(
     }
     if row.proven > 0 {
         row.mean_ratio = ratio_sum / row.proven as f64;
+    }
+    if live_cells > 0 {
+        row.mean_max_live = live_sum / live_cells as f64;
     }
     row
 }
@@ -271,6 +288,14 @@ mod tests {
                 // latency model can beat the class-latency optimum)
                 assert!(r.mean_ratio >= 1.0, "{}: {}", r.policy, r.mean_ratio);
             }
+            // every decided cell carries the exact backend's MaxLive, so
+            // the column is populated (at least one value alive per row)
+            assert!(
+                r.mean_max_live >= 1.0,
+                "{}/{}: max_live column empty",
+                r.policy,
+                r.backend
+            );
         }
         assert!(g.rows[..4].iter().all(|r| r.backend == "swing"));
         assert!(g.rows[4..].iter().all(|r| r.backend == "delay"));

@@ -22,6 +22,13 @@
 //!   for other cells — even in the same shard — proceed as soon as the
 //!   map lock is released. `try_lock` front-ends count real contention
 //!   per shard.
+//! * **Capacity** ([`SchedCache::into_capped`]): optionally each shard
+//!   keeps at most N *completed* entries, evicting the least recently
+//!   used (per-shard logical clock; hits count as use) after every
+//!   insertion. The default is unbounded — exactly the historical
+//!   behavior — and eviction never touches an in-flight preparation, so
+//!   the one-preparation-per-key-at-a-time guarantee is unaffected;
+//!   an evicted key simply prepares again on its next request.
 //! * **Store** ([`ScheduleStore`]): completed cells can be exported to a
 //!   versioned text form and fed back into a fresh cache. A warm hit
 //!   rebuilds the prepared kernel (unroll + profile — no candidate
@@ -269,7 +276,13 @@ use std::hash::Hasher as _;
 
 /// One key's entry: empty while the first preparation is in flight. The
 /// slot's own mutex is the in-flight guard.
-type Slot = Mutex<Option<Arc<PreparedLoop>>>;
+#[derive(Debug, Default)]
+struct Slot {
+    data: Mutex<Option<Arc<PreparedLoop>>>,
+    /// Logical timestamp of the last touch (hit or insert), drawn from
+    /// the owning shard's clock — the LRU rank under a capacity cap.
+    last_used: AtomicU64,
+}
 
 #[derive(Debug, Default)]
 struct ShardStats {
@@ -279,12 +292,16 @@ struct ShardStats {
     stale: AtomicU64,
     inflight_waits: AtomicU64,
     map_contended: AtomicU64,
+    evictions: AtomicU64,
 }
 
 #[derive(Debug, Default)]
 struct Shard {
     map: Mutex<HashMap<CacheKey, Arc<Slot>>>,
     stats: ShardStats,
+    /// Monotonic logical clock stamping [`Slot::last_used`] on every
+    /// touch; per shard, so stamping never crosses shard cache lines.
+    clock: AtomicU64,
 }
 
 /// A per-shard counter snapshot (see [`SchedCache::shard_counters`]).
@@ -306,6 +323,9 @@ pub struct ShardCounters {
     /// Times the shard's map lock was busy on arrival (real lock-striping
     /// contention; the map lock is only held to resolve key → slot).
     pub map_contended: u64,
+    /// Completed cells evicted to honor the shard's capacity cap (always
+    /// 0 for an unbounded cache).
+    pub evictions: u64,
 }
 
 /// The sharded, persistable schedule cache. See the module docs.
@@ -313,6 +333,8 @@ pub struct ShardCounters {
 pub struct SchedCache {
     shards: Vec<Shard>,
     store: Option<ScheduleStore>,
+    /// Completed-entry cap per shard; `None` (the default) never evicts.
+    per_shard_cap: Option<usize>,
 }
 
 impl Default for SchedCache {
@@ -333,7 +355,15 @@ impl SchedCache {
         SchedCache {
             shards: (0..n.max(1)).map(|_| Shard::default()).collect(),
             store: None,
+            per_shard_cap: None,
         }
+    }
+
+    /// An empty cache ([`DEFAULT_SHARDS`] shards) that keeps at most
+    /// `per_shard_cap` completed entries per shard, evicting the least
+    /// recently used beyond that. See [`SchedCache::into_capped`].
+    pub fn with_capacity(per_shard_cap: usize) -> Self {
+        Self::new().into_capped(per_shard_cap)
     }
 
     /// A cache warmed by `store`: lookups that miss in memory consult the
@@ -348,9 +378,24 @@ impl SchedCache {
         self
     }
 
+    /// This cache, capped at `per_shard_cap` *completed* entries per
+    /// shard. After each insertion the shard evicts least-recently-used
+    /// completed cells (a hit counts as use) until it is back at the cap;
+    /// in-flight preparations are never evicted. A cap of 0 caches
+    /// nothing while still deduplicating concurrent same-key work.
+    pub fn into_capped(mut self, per_shard_cap: usize) -> Self {
+        self.per_shard_cap = Some(per_shard_cap);
+        self
+    }
+
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The completed-entry cap per shard (`None` = unbounded).
+    pub fn per_shard_capacity(&self) -> Option<usize> {
+        self.per_shard_cap
     }
 
     fn shard_of(&self, key: &CacheKey) -> &Shard {
@@ -365,7 +410,7 @@ impl SchedCache {
             .map(|s| {
                 let map = s.map.lock().expect("shard map lock");
                 map.values()
-                    .filter(|slot| slot.lock().expect("cache slot").is_some())
+                    .filter(|slot| slot.data.lock().expect("cache slot").is_some())
                     .count()
             })
             .sum()
@@ -405,6 +450,11 @@ impl SchedCache {
         self.sum(|s| &s.stale)
     }
 
+    /// Completed cells evicted under the capacity cap.
+    pub fn evictions(&self) -> u64 {
+        self.sum(|s| &s.evictions)
+    }
+
     /// Per-shard counter snapshots, in shard order.
     pub fn shard_counters(&self) -> Vec<ShardCounters> {
         self.shards
@@ -413,7 +463,7 @@ impl SchedCache {
                 let entries = {
                     let map = s.map.lock().expect("shard map lock");
                     map.values()
-                        .filter(|slot| slot.lock().expect("cache slot").is_some())
+                        .filter(|slot| slot.data.lock().expect("cache slot").is_some())
                         .count() as u64
                 };
                 ShardCounters {
@@ -424,6 +474,7 @@ impl SchedCache {
                     stale: s.stats.stale.load(Ordering::Relaxed),
                     inflight_waits: s.stats.inflight_waits.load(Ordering::Relaxed),
                     map_contended: s.stats.map_contended.load(Ordering::Relaxed),
+                    evictions: s.stats.evictions.load(Ordering::Relaxed),
                 }
             })
             .collect()
@@ -462,16 +513,21 @@ impl SchedCache {
         // the slot lock is held across the computation: waiters for the
         // same key block here (instead of duplicating the dominant cost),
         // while cells with other keys proceed untouched
-        let mut guard = match slot.try_lock() {
+        let mut guard = match slot.data.try_lock() {
             Ok(g) => g,
             Err(TryLockError::WouldBlock) => {
                 shard.stats.inflight_waits.fetch_add(1, Ordering::Relaxed);
-                slot.lock().expect("cache slot lock")
+                slot.data.lock().expect("cache slot lock")
             }
             Err(TryLockError::Poisoned(e)) => panic!("cache slot poisoned: {e}"),
         };
+        let touch = || {
+            let stamp = shard.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            slot.last_used.store(stamp, Ordering::Relaxed);
+        };
         if let Some(hit) = guard.as_ref() {
             shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+            touch();
             return Ok(Arc::clone(hit));
         }
         if let Some(entry) = self.store.as_ref().and_then(|s| s.get(&key)) {
@@ -480,6 +536,9 @@ impl SchedCache {
                     shard.stats.store_hits.fetch_add(1, Ordering::Relaxed);
                     let p = Arc::new(p);
                     *guard = Some(Arc::clone(&p));
+                    touch();
+                    drop(guard);
+                    self.enforce_capacity(shard);
                     return Ok(p);
                 }
                 Err(_) => {
@@ -490,7 +549,47 @@ impl SchedCache {
         shard.stats.prepares.fetch_add(1, Ordering::Relaxed);
         let prepared = Arc::new(prepare_loop(original, machine, cfg, ctx)?);
         *guard = Some(Arc::clone(&prepared));
+        touch();
+        // the slot guard must be released before the map lock is taken:
+        // every other path orders map → slot, and eviction keeps that
+        // order by only ever try-locking slot data under the map lock
+        drop(guard);
+        self.enforce_capacity(shard);
         Ok(prepared)
+    }
+
+    /// Evicts least-recently-used completed cells until `shard` is back
+    /// at the capacity cap. In-flight slots (data lock held elsewhere)
+    /// are skipped — they are about to become the most recent anyway.
+    /// Outstanding `Arc`s keep an evicted preparation alive for holders;
+    /// eviction only drops the cache's reference.
+    fn enforce_capacity(&self, shard: &Shard) {
+        let Some(cap) = self.per_shard_cap else {
+            return;
+        };
+        let mut map = shard.map.lock().expect("shard map lock");
+        loop {
+            let mut completed = 0usize;
+            let mut victim: Option<(CacheKey, u64)> = None;
+            for (k, slot) in map.iter() {
+                let Ok(g) = slot.data.try_lock() else {
+                    continue;
+                };
+                if g.is_some() {
+                    completed += 1;
+                    let used = slot.last_used.load(Ordering::Relaxed);
+                    if victim.is_none_or(|(_, u)| used < u) {
+                        victim = Some((*k, used));
+                    }
+                }
+            }
+            if completed <= cap {
+                break;
+            }
+            let (k, _) = victim.expect("completed > cap implies a victim");
+            map.remove(&k);
+            shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Exports every completed cell into a [`ScheduleStore`].
@@ -499,7 +598,7 @@ impl SchedCache {
         for shard in &self.shards {
             let map = shard.map.lock().expect("shard map lock");
             for (key, slot) in map.iter() {
-                if let Some(p) = slot.lock().expect("cache slot").as_ref() {
+                if let Some(p) = slot.data.lock().expect("cache slot").as_ref() {
                     store.insert(StoreEntry {
                         name: p.kernel.name.clone(),
                         key: *key,
