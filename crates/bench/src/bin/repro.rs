@@ -13,9 +13,9 @@ use std::path::Path;
 use std::time::Instant;
 
 use vliw_experiments::{
-    batch, chains_exp, example433, fig4, fig5, fig6, fig7, fig8, hints_exp, interleave_study,
-    optgap, profile_fidelity, report, smt, tables, ExperimentContext, RunConfig, RunGrid,
-    ScheduleMemo, UnrollMode,
+    batch, chains_exp, example433, faults, fig4, fig5, fig6, fig7, fig8, hints_exp,
+    interleave_study, optgap, profile_fidelity, report, smt, tables, ExperimentContext, RunConfig,
+    RunGrid, ScheduleMemo, UnrollMode,
 };
 use vliw_sched::{ClusterPolicy, SchedBackend, SchedStats};
 
@@ -189,9 +189,10 @@ fn main() {
     if targets.is_empty() {
         targets.push("all");
     }
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 19] = [
         "all",
         "batch",
+        "faults",
         "table1",
         "table2",
         "example433",
@@ -557,6 +558,38 @@ fn main() {
         print!("{b}");
         save("batch_shards", b.shard_csv());
         record("batch", t0, b.metrics());
+    }
+    if want("faults") {
+        // the fault-injection audit: seeded panics, store corruption, an
+        // interrupted export and budget starvation against the batch
+        // workload; every fault must land in exactly one recovery counter
+        // and the drain digests must stay bit-identical
+        let t0 = Instant::now();
+        let mut fopts = if scale == "quick" {
+            faults::FaultOptions::quick()
+        } else {
+            faults::FaultOptions::full()
+        };
+        if serial {
+            fopts.workers = 1;
+        }
+        // keep the planned panic spew out of the run log; anything
+        // unplanned still prints
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let planned = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with("fault plan:"));
+            if !planned {
+                default_hook(info);
+            }
+        }));
+        let fr = faults::run_faults(&ctx, &fopts);
+        let _ = std::panic::take_hook();
+        print!("{fr}");
+        save("faults", fr.table().to_csv());
+        record("faults", t0, fr.metrics());
     }
     if want("chains") {
         let t0 = Instant::now();

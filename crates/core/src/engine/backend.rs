@@ -80,6 +80,15 @@ pub enum SchedQuality {
     /// some smaller II, so optimality is unproven. The cutoff count is in
     /// [`SchedStats::cutoffs`](super::SchedStats).
     CutoffFeasible,
+    /// The exact search exhausted its budget ladder
+    /// ([`FallbackPolicy::RetryReducedBudget`]) and the service degraded
+    /// to the heuristic incumbent — the [`SwingModulo`] schedule computed
+    /// as the search's warm start. A *counted* degradation, never a
+    /// silent one: the retry rungs are in
+    /// [`SchedStats::fallback_retries`](super::SchedStats) and the
+    /// cutoffs that forced them in
+    /// [`SchedStats::cutoffs`](super::SchedStats).
+    DegradedFallback,
 }
 
 impl SchedQuality {
@@ -87,6 +96,45 @@ impl SchedQuality {
     pub fn is_proven(self) -> bool {
         matches!(self, SchedQuality::ProvenOptimal)
     }
+}
+
+/// What an exact backend does when its deterministic deadline — the node
+/// budget composed with [`ScheduleOptions::cost_ceiling`] — runs out
+/// before the II question is decided.
+///
+/// The ladder is entirely wall-clock-free: every rung is measured in
+/// candidate cells examined, so the same inputs exhaust the same rungs in
+/// the same order on any machine, and a degraded answer is bit-identical
+/// across runs (the determinism contract the fault-injection harness
+/// asserts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum FallbackPolicy {
+    /// Exhaustion is an error: return
+    /// [`ScheduleError::SearchCutoff`](crate::schedule::ScheduleError)
+    /// even when a feasible incumbent exists. For callers that would
+    /// rather fail a request than serve an unproven answer.
+    Fail,
+    /// Exhaustion serves the heuristic incumbent as
+    /// [`SchedQuality::CutoffFeasible`] (the historical behavior, and the
+    /// default); with no incumbent the cutoff is an error.
+    #[default]
+    Heuristic,
+    /// Exhaustion walks a counted retry ladder before degrading: the
+    /// search is re-run up to `max_retries` times, the budget divided by
+    /// `factor` at each rung (a deterministic search re-explores a prefix
+    /// of the same tree, so each rung is a cheap, bounded confirmation of
+    /// the cutoff — the service analogue of retrying at cheaper tiers).
+    /// When every rung confirms exhaustion the heuristic incumbent is
+    /// served as [`SchedQuality::DegradedFallback`]; with no incumbent
+    /// the cutoff is an error. Rungs are counted in
+    /// [`SchedStats::fallback_retries`](super::SchedStats).
+    RetryReducedBudget {
+        /// Budget divisor per rung (clamped to ≥ 2 so the ladder always
+        /// descends).
+        factor: u32,
+        /// Maximum rungs before degrading to the incumbent.
+        max_retries: u32,
+    },
 }
 
 /// A backend's full result: the schedule, the work counters, and the

@@ -173,12 +173,18 @@ impl SchedulerBackend for ExactBnB {
         let upper = incumbent.as_ref().map_or(prep.max_ii + 1, |s| s.ii);
 
         // the budget policy resolves here, where the real problem size
-        // (ops × II levels left to decide) is known
-        let node_budget = ExactBnB::resolved_node_budget(
+        // (ops × II levels left to decide) is known; a caller-supplied
+        // cost ceiling composes by `min` — a deadline can only tighten
+        // the search, never extend it
+        let resolved = ExactBnB::resolved_node_budget(
             options,
             kernel.ops.len(),
             upper.saturating_sub(prep.mii0),
         );
+        let node_budget = match options.cost_ceiling {
+            Some(ceiling) => resolved.min(ceiling),
+            None => resolved,
+        };
 
         let colocate_chains = options.policy.assigner().constrains_chains_dynamically();
         let mut search = Search::new(kernel, &ddg, machine, &prep, node_budget, colocate_chains);
@@ -202,7 +208,66 @@ impl SchedulerBackend for ExactBnB {
             }
         }
 
-        let quality = if cutoff {
+        // the degradation ladder: a cutoff under `RetryReducedBudget`
+        // re-runs the search with the budget divided per rung. The search
+        // is deterministic, so each rung re-explores a prefix of the same
+        // tree — a cheap, bounded confirmation of the exhaustion (the
+        // service analogue of retrying at cheaper tiers) — and every rung
+        // is counted before the result degrades to the incumbent.
+        let mut degraded = false;
+        if cutoff {
+            if let super::FallbackPolicy::RetryReducedBudget {
+                factor,
+                max_retries,
+            } = options.fallback
+            {
+                let factor = u64::from(factor.max(2));
+                let mut rung_budget = node_budget;
+                for _ in 0..max_retries {
+                    rung_budget /= factor;
+                    stats.fallback_retries += 1;
+                    let mut retry =
+                        Search::new(kernel, &ddg, machine, &prep, rung_budget, colocate_chains);
+                    let mut undecided = false;
+                    for ii in prep.mii0..upper {
+                        stats.attempts += 1;
+                        match retry.solve(ii, &mut stats) {
+                            Solve::Feasible(s) => {
+                                found = Some(s);
+                                break;
+                            }
+                            Solve::Infeasible => {}
+                            Solve::Cutoff => {
+                                stats.cutoffs += 1;
+                                undecided = true;
+                                break;
+                            }
+                        }
+                    }
+                    if found.is_some() || !undecided {
+                        cutoff = false;
+                        break;
+                    }
+                    if rung_budget == 0 {
+                        break; // the ladder has bottomed out
+                    }
+                }
+                degraded = cutoff;
+            }
+        }
+
+        // under `Fail`, an undecided search is an error even when a
+        // feasible incumbent exists
+        if cutoff && options.fallback == super::FallbackPolicy::Fail {
+            return Err(ScheduleError::SearchCutoff {
+                loop_name: kernel.name.clone(),
+                node_budget,
+            });
+        }
+
+        let quality = if degraded {
+            SchedQuality::DegradedFallback
+        } else if cutoff {
             SchedQuality::CutoffFeasible
         } else {
             SchedQuality::ProvenOptimal
@@ -1015,7 +1080,72 @@ mod tests {
             SchedQuality::ProvenOptimal => assert!(out.schedule.ii <= 4),
             SchedQuality::CutoffFeasible => assert_eq!(out.stats.cutoffs, 1),
             SchedQuality::Heuristic => panic!("exact backend cannot claim Heuristic"),
+            SchedQuality::DegradedFallback => {
+                panic!("default policy never degrades")
+            }
         }
+    }
+
+    #[test]
+    fn cost_ceiling_composes_by_min() {
+        let k = dense();
+        let m = MachineConfig::word_interleaved_4();
+        // a zero ceiling is a zero budget: the cutoff path, counted
+        let mut o = opts(ClusterPolicy::Free);
+        o.cost_ceiling = Some(0);
+        let out = schedule_outcome(&k, &m, o).unwrap();
+        assert_eq!(out.quality, SchedQuality::CutoffFeasible);
+        assert_eq!(out.stats.cutoffs, 1);
+        // a huge ceiling changes nothing: min picks the resolved budget
+        let base = schedule_outcome(&k, &m, opts(ClusterPolicy::Free)).unwrap();
+        let mut o2 = opts(ClusterPolicy::Free);
+        o2.cost_ceiling = Some(u64::MAX);
+        let out2 = schedule_outcome(&k, &m, o2).unwrap();
+        assert_eq!(out2.schedule, base.schedule);
+        assert_eq!(out2.quality, base.quality);
+        assert_eq!(out2.stats, base.stats);
+    }
+
+    #[test]
+    fn fail_policy_turns_cutoff_into_error() {
+        let k = dense();
+        let m = MachineConfig::word_interleaved_4();
+        let mut o = opts(ClusterPolicy::Free);
+        o.node_budget = 0;
+        o.fallback = crate::engine::FallbackPolicy::Fail;
+        // the incumbent exists, but `Fail` refuses to serve it
+        let err = schedule_outcome(&k, &m, o).unwrap_err();
+        assert!(
+            matches!(err, ScheduleError::SearchCutoff { .. }),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn retry_ladder_degrades_to_counted_fallback() {
+        let k = dense();
+        let m = MachineConfig::word_interleaved_4();
+        let heuristic =
+            crate::engine::schedule_kernel(&k, &m, ScheduleOptions::new(ClusterPolicy::Free))
+                .unwrap();
+        let mut o = opts(ClusterPolicy::Free);
+        o.cost_ceiling = Some(4);
+        o.fallback = crate::engine::FallbackPolicy::RetryReducedBudget {
+            factor: 2,
+            max_retries: 3,
+        };
+        let out = schedule_outcome(&k, &m, o).unwrap();
+        // rungs 2, 1, 0 all confirm the exhaustion, then the heuristic
+        // incumbent is served — visibly degraded, every rung counted
+        assert_eq!(out.quality, SchedQuality::DegradedFallback);
+        assert_eq!(out.stats.fallback_retries, 3);
+        assert_eq!(out.stats.cutoffs, 4, "the initial cutoff plus one per rung");
+        assert_eq!(out.schedule, heuristic, "degrades to the swing schedule");
+        assert!(!out.quality.is_proven());
+        // determinism: the same starved request degrades identically
+        let rerun = schedule_outcome(&k, &m, o).unwrap();
+        assert_eq!(rerun.schedule, out.schedule);
+        assert_eq!(rerun.stats, out.stats);
     }
 
     #[test]

@@ -46,7 +46,9 @@ use crate::mrt::{Mrt, MrtImpl, ReservationTable, ScalarMrt};
 use crate::order::sms_order;
 use crate::schedule::{Schedule, ScheduleError, ScheduledCopy, ScheduledOp};
 
-pub use backend::{SchedBackend, SchedQuality, ScheduleOutcome, SchedulerBackend, SwingModulo};
+pub use backend::{
+    FallbackPolicy, SchedBackend, SchedQuality, ScheduleOutcome, SchedulerBackend, SwingModulo,
+};
 pub use bnb::{ExactBnB, DEFAULT_NODE_BUDGET};
 pub use delay::DelayTracking;
 pub use policy::{AssignContext, AssignState, ClusterAssign, Neighbor};
@@ -128,6 +130,10 @@ pub struct SchedStats {
     /// optimality. Surfaced (never silently absorbed) by the `optgap`
     /// report.
     pub cutoffs: u64,
+    /// Retry rungs walked by [`FallbackPolicy::RetryReducedBudget`] after
+    /// a budget cutoff, before the result degraded to the heuristic
+    /// incumbent. Always 0 under the other policies.
+    pub fallback_retries: u64,
 }
 
 impl SchedStats {
@@ -138,6 +144,7 @@ impl SchedStats {
         self.rollbacks += other.rollbacks;
         self.placements += other.placements;
         self.cutoffs += other.cutoffs;
+        self.fallback_retries += other.fallback_retries;
     }
 }
 
@@ -170,6 +177,19 @@ pub struct ScheduleOptions {
     /// flat default. Kernels at or below the reference size keep the base
     /// budget exactly, so small-suite results are unchanged.
     pub adaptive_budget: bool,
+    /// Deterministic per-call deadline for the exact backend: a hard
+    /// ceiling on candidate cells examined, composed by `min` with the
+    /// resolved node budget (so a caller-supplied deadline can only
+    /// tighten the search, never extend it). Node counts, not wall-clock:
+    /// the same request hits the same deadline on any machine. `None`
+    /// (the default) leaves the node budget alone. Ignored by heuristic
+    /// backends.
+    pub cost_ceiling: Option<u64>,
+    /// What the exact backend does when the deadline runs out before the
+    /// II question is decided (default [`FallbackPolicy::Heuristic`], the
+    /// historical serve-the-incumbent behavior). Ignored by heuristic
+    /// backends.
+    pub fallback: FallbackPolicy,
     /// The [`DelayTracking`] backend's latency knob: `None` schedules
     /// each load at the *expectation* of its measured latency
     /// distribution, `Some(p)` at the p-th percentile (`p ∈ [0, 1]`;
@@ -193,6 +213,8 @@ impl ScheduleOptions {
             backend: SchedBackend::SwingModulo,
             node_budget: DEFAULT_NODE_BUDGET,
             adaptive_budget: true,
+            cost_ceiling: None,
+            fallback: FallbackPolicy::Heuristic,
             delay_percentile: None,
             mrt_impl: MrtImpl::default(),
         }

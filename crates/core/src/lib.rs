@@ -77,9 +77,9 @@ pub use chains::MemChains;
 pub use circuits::{elementary_circuits, Circuit, EnumLimits};
 pub use engine::{
     schedule_kernel, schedule_kernel_with_stats, schedule_outcome, schedule_problem, AssignContext,
-    AssignState, ClusterAssign, ClusterPolicy, DelayTracking, ExactBnB, Neighbor, SchedBackend,
-    SchedQuality, SchedStats, ScheduleOptions, ScheduleOutcome, ScheduleProblem, SchedulerBackend,
-    SwingModulo, TrialMode, DEFAULT_NODE_BUDGET,
+    AssignState, ClusterAssign, ClusterPolicy, DelayTracking, ExactBnB, FallbackPolicy, Neighbor,
+    SchedBackend, SchedQuality, SchedStats, ScheduleOptions, ScheduleOutcome, ScheduleProblem,
+    SchedulerBackend, SwingModulo, TrialMode, DEFAULT_NODE_BUDGET,
 };
 pub use hints::{attraction_hints, AttractionHints};
 pub use latency::{

@@ -412,6 +412,16 @@ pub enum ScheduleError {
         /// The node budget that ran out.
         node_budget: u64,
     },
+    /// Preparation panicked and the panic was contained at the service
+    /// boundary (`catch_unwind` in the schedule cache / batch driver):
+    /// the request fails with this error instead of unwinding through —
+    /// and poisoning — shared state. Counted, recoverable, retryable.
+    PreparationPanicked {
+        /// The loop whose preparation panicked.
+        loop_name: String,
+        /// The panic payload, downcast to text where possible.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -432,6 +442,12 @@ impl fmt::Display for ScheduleError {
                     f,
                     "exact search for loop `{loop_name}` cut off after {node_budget} nodes \
                      with no schedule found"
+                )
+            }
+            ScheduleError::PreparationPanicked { loop_name, reason } => {
+                write!(
+                    f,
+                    "preparation of loop `{loop_name}` panicked (contained): {reason}"
                 )
             }
         }

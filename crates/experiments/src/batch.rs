@@ -38,10 +38,18 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use vliw_ir::{kernel_fingerprint, LoopKernel, StableHasher};
-use vliw_sched::ClusterPolicy;
+use vliw_sched::{ClusterPolicy, ScheduleError};
 
 use crate::context::{ExperimentContext, RunConfig, UnrollMode};
 use crate::schedcache::{SchedCache, ScheduleStore, ShardCounters};
+
+/// How many times one request re-attempts a preparation whose previous
+/// attempt panicked (the cache contains the panic and marks the slot
+/// failed; the retry adopts and refills it). Transient faults — the
+/// fault harness's once-per-generation panic shims, or a real bug tied
+/// to lost in-memory state — heal within one retry; a deterministic
+/// panic exhausts the retries and fails the request, never the worker.
+pub const PANIC_RETRIES: u32 = 3;
 
 /// One job: schedule `kernel` under `cfg`.
 #[derive(Debug, Clone)]
@@ -147,6 +155,25 @@ pub struct BatchReport {
     pub per_shard_cap: Option<usize>,
     /// LRU evictions in the cold parallel pass (always 0 unbounded).
     pub evictions: u64,
+    /// Preparation panics contained at the cache's slot boundary, summed
+    /// over every pass's cache (0 without injected faults).
+    pub panics_contained: u64,
+    /// Failed slots recovered (reset + re-attempted) by later requests,
+    /// summed over every pass's cache.
+    pub slots_recovered: u64,
+    /// Re-attempts the drivers made after a
+    /// [`ScheduleError::PreparationPanicked`] answer (bounded by
+    /// [`PANIC_RETRIES`] per request).
+    pub panic_retries: u64,
+    /// Panics that escaped the cache's containment and were caught at
+    /// the worker-loop boundary instead (the belt-and-braces layer; 0 in
+    /// every shipped configuration). Whatever this counts, no worker
+    /// thread dies.
+    pub worker_panics: u64,
+    /// Slots still marked failed after all passes drained — the "zero
+    /// unrecovered slots" acceptance gate (retries re-adopt every failed
+    /// slot, so this must be 0).
+    pub unrecovered_slots: u64,
     /// Per-shard counters captured after the cold parallel pass.
     pub cold_shards: Vec<ShardCounters>,
 }
@@ -161,11 +188,12 @@ impl BatchReport {
     /// The per-shard counter CSV (`results/batch_shards.csv`).
     pub fn shard_csv(&self) -> String {
         let mut out = String::from(
-            "shard,entries,hits,store_hits,prepares,stale,inflight_waits,map_contended,evictions\n",
+            "shard,entries,hits,store_hits,prepares,stale,inflight_waits,map_contended,evictions,\
+             panics_contained,slots_recovered\n",
         );
         for (i, s) in self.cold_shards.iter().enumerate() {
             out.push_str(&format!(
-                "{i},{},{},{},{},{},{},{},{}\n",
+                "{i},{},{},{},{},{},{},{},{},{},{}\n",
                 s.entries,
                 s.hits,
                 s.store_hits,
@@ -173,7 +201,9 @@ impl BatchReport {
                 s.stale,
                 s.inflight_waits,
                 s.map_contended,
-                s.evictions
+                s.evictions,
+                s.panics_contained,
+                s.slots_recovered
             ));
         }
         out
@@ -205,6 +235,11 @@ impl BatchReport {
             ("store_roundtrip_ok".into(), b(self.store_roundtrip_ok)),
             ("deterministic".into(), b(self.deterministic)),
             ("failures".into(), self.failures as f64),
+            ("panics_contained".into(), self.panics_contained as f64),
+            ("slots_recovered".into(), self.slots_recovered as f64),
+            ("panic_retries".into(), self.panic_retries as f64),
+            ("worker_panics".into(), self.worker_panics as f64),
+            ("unrecovered_slots".into(), self.unrecovered_slots as f64),
             (
                 "inflight_waits".into(),
                 self.cold_shards
@@ -271,7 +306,20 @@ impl std::fmt::Display for BatchReport {
                 Some(cap) => format!(" (cap {cap}/shard)"),
                 None => String::new(),
             }
-        )
+        )?;
+        if self.panics_contained + self.slots_recovered + self.worker_panics > 0 {
+            writeln!(
+                f,
+                "  faults: {} panics contained, {} slots recovered, {} retries, \
+                 {} worker-level catches, {} unrecovered",
+                self.panics_contained,
+                self.slots_recovered,
+                self.panic_retries,
+                self.worker_panics,
+                self.unrecovered_slots
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -355,15 +403,51 @@ fn cost_order(requests: &[BatchRequest]) -> Vec<usize> {
     order
 }
 
-struct Drain {
-    digests: Vec<u64>,
-    seconds: f64,
-    steals: u64,
-    failures: u64,
+pub(crate) struct Drain {
+    pub(crate) digests: Vec<u64>,
+    pub(crate) seconds: f64,
+    pub(crate) steals: u64,
+    pub(crate) failures: u64,
+    pub(crate) panic_retries: u64,
+    pub(crate) worker_panics: u64,
+}
+
+/// Answers one request: prepare through the cache, re-attempting after a
+/// contained panic (bounded by [`PANIC_RETRIES`]), the whole body under
+/// its own `catch_unwind` so even a panic escaping the cache's
+/// containment fails this request rather than the worker thread.
+/// Returns `(digest, failed, panic_retries, worker_panic)`.
+fn answer(
+    cache: &SchedCache,
+    req: &BatchRequest,
+    ctx: &ExperimentContext,
+) -> (u64, bool, u64, bool) {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let machine = ctx.machine_for(&req.cfg);
+        let mut retries = 0u64;
+        let mut result = cache.prepare(&req.kernel, &machine, &req.cfg, ctx);
+        while matches!(&result, Err(ScheduleError::PreparationPanicked { .. }))
+            && retries < u64::from(PANIC_RETRIES)
+        {
+            retries += 1;
+            result = cache.prepare(&req.kernel, &machine, &req.cfg, ctx);
+        }
+        (digest(&result), result.is_err(), retries)
+    }));
+    match attempt {
+        Ok((d, failed, retries)) => (d, failed, retries, false),
+        Err(_) => {
+            // the belt-and-braces layer: whatever unwound to here, the
+            // worker survives and the request is the only casualty
+            let mut h = StableHasher::new();
+            h.write_str("err worker-level panic");
+            (h.finish(), true, 0, true)
+        }
+    }
 }
 
 /// One work-stealing drain of the whole queue through `cache`.
-fn drain(
+pub(crate) fn drain(
     cache: &SchedCache,
     requests: &[BatchRequest],
     ctx: &ExperimentContext,
@@ -381,6 +465,8 @@ fn drain(
     let slots: Vec<OnceLock<u64>> = (0..requests.len()).map(|_| OnceLock::new()).collect();
     let steals = AtomicU64::new(0);
     let failures = AtomicU64::new(0);
+    let panic_retries = AtomicU64::new(0);
+    let worker_panics = AtomicU64::new(0);
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for w in 0..workers {
@@ -388,6 +474,8 @@ fn drain(
             let slots = &slots;
             let steals = &steals;
             let failures = &failures;
+            let panic_retries = &panic_retries;
+            let worker_panics = &worker_panics;
             s.spawn(move || loop {
                 let job = deques[w].lock().expect("deque lock").pop_front();
                 let job = match job {
@@ -418,15 +506,17 @@ fn drain(
                     }
                 };
                 let Some(i) = job else { break };
-                let req = &requests[i];
-                let machine = ctx.machine_for(&req.cfg);
-                let result = cache.prepare(&req.kernel, &machine, &req.cfg, ctx);
-                if result.is_err() {
+                let (d, failed, retries, panicked) = answer(cache, &requests[i], ctx);
+                if failed {
                     failures.fetch_add(1, Ordering::Relaxed);
                 }
-                slots[i]
-                    .set(digest(&result))
-                    .expect("each request answered once");
+                if retries > 0 {
+                    panic_retries.fetch_add(retries, Ordering::Relaxed);
+                }
+                if panicked {
+                    worker_panics.fetch_add(1, Ordering::Relaxed);
+                }
+                slots[i].set(d).expect("each request answered once");
             });
         }
     });
@@ -439,22 +529,33 @@ fn drain(
         seconds,
         steals: steals.load(Ordering::Relaxed),
         failures: failures.load(Ordering::Relaxed),
+        panic_retries: panic_retries.load(Ordering::Relaxed),
+        worker_panics: worker_panics.load(Ordering::Relaxed),
     }
 }
 
 /// The strictly serial reference drain, in request order.
-fn drain_serial(cache: &SchedCache, requests: &[BatchRequest], ctx: &ExperimentContext) -> Drain {
+pub(crate) fn drain_serial(
+    cache: &SchedCache,
+    requests: &[BatchRequest],
+    ctx: &ExperimentContext,
+) -> Drain {
     let t0 = Instant::now();
     let mut failures = 0;
+    let mut panic_retries = 0;
+    let mut worker_panics = 0;
     let digests = requests
         .iter()
         .map(|req| {
-            let machine = ctx.machine_for(&req.cfg);
-            let result = cache.prepare(&req.kernel, &machine, &req.cfg, ctx);
-            if result.is_err() {
+            let (d, failed, retries, panicked) = answer(cache, req, ctx);
+            if failed {
                 failures += 1;
             }
-            digest(&result)
+            panic_retries += retries;
+            if panicked {
+                worker_panics += 1;
+            }
+            d
         })
         .collect();
     Drain {
@@ -462,10 +563,12 @@ fn drain_serial(cache: &SchedCache, requests: &[BatchRequest], ctx: &ExperimentC
         seconds: t0.elapsed().as_secs_f64(),
         steals: 0,
         failures,
+        panic_retries,
+        worker_panics,
     }
 }
 
-fn fold(digests: &[u64]) -> u64 {
+pub(crate) fn fold(digests: &[u64]) -> u64 {
     let mut h = StableHasher::new();
     for &d in digests {
         h.write_u64(d);
@@ -473,7 +576,7 @@ fn fold(digests: &[u64]) -> u64 {
     h.finish()
 }
 
-fn pass(d: &Drain, n: usize) -> PassReport {
+pub(crate) fn pass(d: &Drain, n: usize) -> PassReport {
     PassReport {
         seconds: d.seconds,
         per_sec: n as f64 / d.seconds.max(1e-9),
@@ -544,9 +647,30 @@ pub fn run_batch(ctx: &ExperimentContext, opts: &BatchOptions) -> BatchReport {
         store_entries: store.len(),
         store_roundtrip_ok,
         deterministic: fps.iter().all(|&f| f == fps[0]),
-        failures: serial.failures.max(cold.failures),
+        failures: serial
+            .failures
+            .max(cold.failures)
+            .max(warm.failures)
+            .max(disk.failures),
         per_shard_cap: opts.per_shard_cap,
         evictions,
+        panics_contained: serial_cache.panics_contained()
+            + cache.panics_contained()
+            + disk_cache.panics_contained(),
+        slots_recovered: serial_cache.slots_recovered()
+            + cache.slots_recovered()
+            + disk_cache.slots_recovered(),
+        panic_retries: serial.panic_retries
+            + cold.panic_retries
+            + warm.panic_retries
+            + disk.panic_retries,
+        worker_panics: serial.worker_panics
+            + cold.worker_panics
+            + warm.worker_panics
+            + disk.worker_panics,
+        unrecovered_slots: (serial_cache.failed_slots()
+            + cache.failed_slots()
+            + disk_cache.failed_slots()) as u64,
         cold_shards,
     }
 }
@@ -578,6 +702,11 @@ mod tests {
         assert!(r.cold_shards.iter().all(|s| s.evictions == 0));
         assert!(r.deterministic, "pass fingerprints diverged");
         assert_eq!(r.failures, 0);
+        // clean runs never trip the containment machinery
+        assert_eq!(r.panics_contained, 0);
+        assert_eq!(r.slots_recovered, 0);
+        assert_eq!(r.worker_panics, 0);
+        assert_eq!(r.unrecovered_slots, 0);
         assert!(
             (r.warm_hit_rate - 1.0).abs() < 1e-12,
             "warm pass must hit every request"

@@ -7,7 +7,8 @@ use vliw_machine::MachineConfig;
 use vliw_mem::build_cache;
 use vliw_sched::{
     attraction_hints, schedule_outcome, unroll_candidates, AttractionHints, ClusterPolicy,
-    EnumLimits, SchedBackend, SchedQuality, Schedule, ScheduleError, ScheduleOptions, UnrollChoice,
+    EnumLimits, FallbackPolicy, SchedBackend, SchedQuality, Schedule, ScheduleError,
+    ScheduleOptions, UnrollChoice,
 };
 use vliw_sim::{simulate_loop, LoopSimResult, SimOptions};
 use vliw_workloads::{
@@ -162,6 +163,14 @@ pub struct ExperimentContext {
     /// expectation of each measured latency distribution, `Some(p)` at
     /// the p-th percentile. Part of the schedule-cache key.
     pub delay_percentile: Option<f64>,
+    /// Deterministic deadline for the exact backend (see
+    /// [`ScheduleOptions::cost_ceiling`]): a hard node-count ceiling
+    /// composed by `min` with the resolved budget. Part of the
+    /// schedule-cache key.
+    pub cost_ceiling: Option<u64>,
+    /// What the exact backend does when its deadline runs out (see
+    /// [`vliw_sched::FallbackPolicy`]). Part of the schedule-cache key.
+    pub fallback: FallbackPolicy,
 }
 
 impl ExperimentContext {
@@ -181,6 +190,8 @@ impl ExperimentContext {
                 max_len: 64,
             },
             delay_percentile: None,
+            cost_ceiling: None,
+            fallback: FallbackPolicy::Heuristic,
         }
     }
 
@@ -392,6 +403,8 @@ pub(crate) fn schedule_options(cfg: &RunConfig, ctx: &ExperimentContext) -> Sche
         enum_limits: ctx.enum_limits,
         backend: cfg.backend,
         delay_percentile: ctx.delay_percentile,
+        cost_ceiling: ctx.cost_ceiling,
+        fallback: ctx.fallback,
         ..ScheduleOptions::new(cfg.policy)
     }
 }
@@ -571,17 +584,19 @@ impl BenchRun {
         out
     }
 
-    /// Per-quality loop counts `[heuristic, proven optimal, cutoff]` —
-    /// how many of this run's schedules carry which backend claim. The
-    /// cutoff column is how exact-backend budget exhaustion surfaces in
-    /// aggregated reports (never a silent fallback).
-    pub fn quality_counts(&self) -> [usize; 3] {
-        let mut out = [0usize; 3];
+    /// Per-quality loop counts `[heuristic, proven optimal, cutoff,
+    /// degraded]` — how many of this run's schedules carry which backend
+    /// claim. The cutoff and degraded columns are how exact-backend
+    /// budget exhaustion surfaces in aggregated reports (never a silent
+    /// fallback).
+    pub fn quality_counts(&self) -> [usize; 4] {
+        let mut out = [0usize; 4];
         for l in &self.loops {
             match l.prepared.quality {
                 SchedQuality::Heuristic => out[0] += 1,
                 SchedQuality::ProvenOptimal => out[1] += 1,
                 SchedQuality::CutoffFeasible => out[2] += 1,
+                SchedQuality::DegradedFallback => out[3] += 1,
             }
         }
         out
@@ -667,6 +682,7 @@ pub fn run_benchmark_memo(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test assertions may unwrap
 mod tests {
     use super::*;
 

@@ -114,6 +114,7 @@ pub fn example433() -> Example433 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test assertions may unwrap
 mod tests {
     use super::*;
 

@@ -35,11 +35,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod batch;
 pub mod chains_exp;
 pub mod context;
 pub mod example433;
+pub mod faults;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
@@ -60,9 +62,12 @@ pub use context::{
     prepare_loop, run_benchmark, run_benchmark_memo, ArchVariant, BenchRun, ExperimentContext,
     LoopRun, PreparedLoop, ProfileSource, RunConfig, ScheduleMemo, UnrollMode,
 };
+pub use faults::{run_faults, FaultOptions, FaultPlan, FaultReport};
 pub use grid::{GridAxes, GridResult, Parallelism, RunGrid};
 pub use optgap::{OptGapResult, OptGapRow};
 pub use profile_fidelity::{CollectedSuite, ProfileFidelityResult};
 pub use report::{backend_quality_table, mshr_table, Table};
-pub use schedcache::{CacheKey, SchedCache, ScheduleStore, ShardCounters, StoreEntry};
+pub use schedcache::{
+    CacheKey, PrepareFn, SalvageReport, SchedCache, ScheduleStore, ShardCounters, StoreEntry,
+};
 pub use smt::{export_suite, SmtExport};

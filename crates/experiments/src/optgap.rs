@@ -218,7 +218,14 @@ fn policy_row(
                         }
                         ratio_sum += heuristic.ii as f64 / o.schedule.ii as f64;
                     }
-                    SchedQuality::CutoffFeasible => row.cutoff += 1,
+                    // the optgap study runs the default (Heuristic)
+                    // fallback policy, under which exhaustion surfaces
+                    // as a cutoff; a degraded result is the same
+                    // exhaustion seen through `RetryReducedBudget`, so
+                    // it lands in the same column
+                    SchedQuality::CutoffFeasible | SchedQuality::DegradedFallback => {
+                        row.cutoff += 1
+                    }
                     SchedQuality::Heuristic => {
                         unreachable!("exact backend cannot claim Heuristic")
                     }

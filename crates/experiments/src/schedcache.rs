@@ -37,12 +37,22 @@
 //!   verifies against it; anything else counts as stale and falls
 //!   through to a cold preparation. Schedules therefore survive across
 //!   runs, and a stale store can only cost time, never correctness.
+//! * **Failure containment**: a slot fill runs under `catch_unwind`, so
+//!   a panicking preparation fails its own request
+//!   ([`ScheduleError::PreparationPanicked`]), marks the slot `Failed`
+//!   (counted in [`ShardCounters::panics_contained`]) and leaves the
+//!   mutex clean; the next request for the key recovers the slot
+//!   ([`ShardCounters::slots_recovered`]) and re-attempts. Store records
+//!   carry per-record checksums (format v2) and exports are atomic
+//!   (temp file + rename), so a torn file is salvageable record by
+//!   record — see [`ScheduleStore::from_text_salvage`]. DESIGN.md
+//!   ("Failure model & degradation ladder") walks the full lifecycle.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, TryLockError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
 
 use vliw_ir::{kernel_fingerprint, LoopKernel, StableHasher};
 use vliw_machine::MachineConfig;
@@ -55,8 +65,15 @@ use crate::context::{
     UnrollMode, VariantBuilder,
 };
 
-/// On-disk format version of [`ScheduleStore`].
-pub const SCHED_STORE_VERSION: u32 = 1;
+/// On-disk format version of [`ScheduleStore`]. Version 2 adds one
+/// `check <u64>` line per record (a [`StableHasher`] digest of the header
+/// and schedule lines) so the salvage loader can tell a torn or
+/// bit-flipped record from a good one. Version-1 stores (no check lines)
+/// are still read by both loaders.
+pub const SCHED_STORE_VERSION: u32 = 2;
+
+/// Oldest store version [`ScheduleStore::from_text`] still reads.
+pub const SCHED_STORE_MIN_VERSION: u32 = 1;
 
 /// Default shard count of a [`SchedCache`].
 pub const DEFAULT_SHARDS: usize = 16;
@@ -108,6 +125,8 @@ fn env_fingerprint(machine: &MachineConfig, ctx: &ExperimentContext) -> u64 {
     ctx.sim.hash(&mut h);
     ctx.enum_limits.hash(&mut h);
     h.write_opt_u64(ctx.delay_percentile.map(f64::to_bits));
+    h.write_opt_u64(ctx.cost_ceiling);
+    ctx.fallback.hash(&mut h);
     h.finish()
 }
 
@@ -223,6 +242,7 @@ fn quality_token(quality: SchedQuality) -> &'static str {
         SchedQuality::Heuristic => "heur",
         SchedQuality::ProvenOptimal => "opt",
         SchedQuality::CutoffFeasible => "cutoff",
+        SchedQuality::DegradedFallback => "degraded",
     }
 }
 
@@ -231,6 +251,7 @@ fn parse_quality(tok: &str) -> Result<SchedQuality, String> {
         "heur" => Ok(SchedQuality::Heuristic),
         "opt" => Ok(SchedQuality::ProvenOptimal),
         "cutoff" => Ok(SchedQuality::CutoffFeasible),
+        "degraded" => Ok(SchedQuality::DegradedFallback),
         _ => Err(format!("unknown quality token `{tok}`")),
     }
 }
@@ -274,11 +295,36 @@ impl CacheKey {
 
 use std::hash::Hasher as _;
 
-/// One key's entry: empty while the first preparation is in flight. The
-/// slot's own mutex is the in-flight guard.
+/// Locks `m`, recovering from poison: a mutex poisoned by some panic
+/// elsewhere still holds coherent data here, because every fill path
+/// contains its panics *inside* the guard scope (`catch_unwind` around
+/// the computation, never around the lock) and writes a whole
+/// [`SlotState`] or nothing. Recovery is therefore always safe, and no
+/// waiter ever sees `PoisonError`.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The lifecycle of one cache cell.
+#[derive(Debug, Default)]
+enum SlotState {
+    /// No completed preparation; the slot mutex being held is what marks
+    /// a fill in flight.
+    #[default]
+    Empty,
+    /// A completed preparation, served to every later request.
+    Ready(Arc<PreparedLoop>),
+    /// The last filler panicked (contained at the slot boundary). The
+    /// next thread to take the slot observes this, counts the recovery,
+    /// resets the slot to [`SlotState::Empty`] and re-attempts — a panic
+    /// can fail its own request but never wedges the cell.
+    Failed(String),
+}
+
+/// One key's entry. The slot's own mutex is the in-flight guard.
 #[derive(Debug, Default)]
 struct Slot {
-    data: Mutex<Option<Arc<PreparedLoop>>>,
+    data: Mutex<SlotState>,
     /// Logical timestamp of the last touch (hit or insert), drawn from
     /// the owning shard's clock — the LRU rank under a capacity cap.
     last_used: AtomicU64,
@@ -293,6 +339,8 @@ struct ShardStats {
     inflight_waits: AtomicU64,
     map_contended: AtomicU64,
     evictions: AtomicU64,
+    panics_contained: AtomicU64,
+    slots_recovered: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -326,15 +374,49 @@ pub struct ShardCounters {
     /// Completed cells evicted to honor the shard's capacity cap (always
     /// 0 for an unbounded cache).
     pub evictions: u64,
+    /// Preparation panics contained at the slot boundary (`catch_unwind`):
+    /// each one failed its own request with
+    /// [`ScheduleError::PreparationPanicked`] and marked the slot
+    /// `Failed` instead of poisoning it.
+    pub panics_contained: u64,
+    /// Times a thread found a slot a previous filler had marked failed,
+    /// reset it, and re-attempted the preparation.
+    pub slots_recovered: u64,
 }
 
+/// Signature of the function a cache invokes to fill a cold slot —
+/// the preparation seam. The default is [`prepare_loop`]; the
+/// fault-injection harness (and the panic-storm test) swap in shims that
+/// panic or starve on selected keys, exercising exactly the containment
+/// paths production code runs.
+pub type PrepareFn = dyn Fn(
+        &LoopKernel,
+        &MachineConfig,
+        &RunConfig,
+        &ExperimentContext,
+    ) -> Result<PreparedLoop, ScheduleError>
+    + Send
+    + Sync;
+
 /// The sharded, persistable schedule cache. See the module docs.
-#[derive(Debug)]
 pub struct SchedCache {
     shards: Vec<Shard>,
     store: Option<ScheduleStore>,
     /// Completed-entry cap per shard; `None` (the default) never evicts.
     per_shard_cap: Option<usize>,
+    /// Slot-fill override (`None` = [`prepare_loop`]).
+    preparer: Option<Arc<PrepareFn>>,
+}
+
+impl std::fmt::Debug for SchedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedCache")
+            .field("shards", &self.shards.len())
+            .field("store", &self.store.as_ref().map(ScheduleStore::len))
+            .field("per_shard_cap", &self.per_shard_cap)
+            .field("custom_preparer", &self.preparer.is_some())
+            .finish()
+    }
 }
 
 impl Default for SchedCache {
@@ -356,6 +438,7 @@ impl SchedCache {
             shards: (0..n.max(1)).map(|_| Shard::default()).collect(),
             store: None,
             per_shard_cap: None,
+            preparer: None,
         }
     }
 
@@ -388,6 +471,14 @@ impl SchedCache {
         self
     }
 
+    /// This cache, filling cold slots through `preparer` instead of
+    /// [`prepare_loop`] — the fault-injection seam. Panics thrown by the
+    /// preparer are contained exactly like panics from the real pipeline.
+    pub fn into_preparer(mut self, preparer: Arc<PrepareFn>) -> Self {
+        self.preparer = Some(preparer);
+        self
+    }
+
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
@@ -408,9 +499,9 @@ impl SchedCache {
         self.shards
             .iter()
             .map(|s| {
-                let map = s.map.lock().expect("shard map lock");
+                let map = lock_recover(&s.map);
                 map.values()
-                    .filter(|slot| slot.data.lock().expect("cache slot").is_some())
+                    .filter(|slot| matches!(*lock_recover(&slot.data), SlotState::Ready(_)))
                     .count()
             })
             .sum()
@@ -455,15 +546,53 @@ impl SchedCache {
         self.sum(|s| &s.evictions)
     }
 
+    /// Preparation panics contained at the slot boundary.
+    pub fn panics_contained(&self) -> u64 {
+        self.sum(|s| &s.panics_contained)
+    }
+
+    /// Failed slots observed, reset and re-attempted by a later request.
+    pub fn slots_recovered(&self) -> u64 {
+        self.sum(|s| &s.slots_recovered)
+    }
+
+    /// Slots still marked failed (no request has come back to recover
+    /// them). The batch driver drains every request to completion, so
+    /// after a batch this must be 0 — the "zero unrecovered slots"
+    /// acceptance gate.
+    pub fn failed_slots(&self) -> usize {
+        self.failed_slot_reasons().len()
+    }
+
+    /// The panic reasons of every slot still marked failed — the
+    /// diagnostic surface for post-mortems ([`failed_slots`] is its
+    /// length).
+    ///
+    /// [`failed_slots`]: SchedCache::failed_slots
+    pub fn failed_slot_reasons(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                let map = lock_recover(&s.map);
+                map.values()
+                    .filter_map(|slot| match &*lock_recover(&slot.data) {
+                        SlotState::Failed(reason) => Some(reason.clone()),
+                        _ => None,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
     /// Per-shard counter snapshots, in shard order.
     pub fn shard_counters(&self) -> Vec<ShardCounters> {
         self.shards
             .iter()
             .map(|s| {
                 let entries = {
-                    let map = s.map.lock().expect("shard map lock");
+                    let map = lock_recover(&s.map);
                     map.values()
-                        .filter(|slot| slot.data.lock().expect("cache slot").is_some())
+                        .filter(|slot| matches!(*lock_recover(&slot.data), SlotState::Ready(_)))
                         .count() as u64
                 };
                 ShardCounters {
@@ -475,6 +604,8 @@ impl SchedCache {
                     inflight_waits: s.stats.inflight_waits.load(Ordering::Relaxed),
                     map_contended: s.stats.map_contended.load(Ordering::Relaxed),
                     evictions: s.stats.evictions.load(Ordering::Relaxed),
+                    panics_contained: s.stats.panics_contained.load(Ordering::Relaxed),
+                    slots_recovered: s.stats.slots_recovered.load(Ordering::Relaxed),
                 }
             })
             .collect()
@@ -487,9 +618,12 @@ impl SchedCache {
     ///
     /// # Errors
     ///
-    /// Propagates scheduling failures (pathological kernels only).
-    /// Failures are not cached: they are deterministic and rare, so a
-    /// retry by a later waiter is harmless.
+    /// Propagates scheduling failures (pathological kernels only), and
+    /// reports a contained preparation panic as
+    /// [`ScheduleError::PreparationPanicked`]. Failures are not cached:
+    /// they are deterministic and rare, so a retry by a later waiter is
+    /// harmless. A panic marks the slot `Failed` — the next request for
+    /// the key observes that, counts the recovery and re-attempts.
     pub fn prepare(
         &self,
         original: &LoopKernel,
@@ -504,9 +638,9 @@ impl SchedCache {
                 Ok(g) => g,
                 Err(TryLockError::WouldBlock) => {
                     shard.stats.map_contended.fetch_add(1, Ordering::Relaxed);
-                    shard.map.lock().expect("shard map lock")
+                    lock_recover(&shard.map)
                 }
-                Err(TryLockError::Poisoned(e)) => panic!("shard map lock poisoned: {e}"),
+                Err(TryLockError::Poisoned(e)) => e.into_inner(),
             };
             Arc::clone(map.entry(key).or_default())
         };
@@ -517,25 +651,35 @@ impl SchedCache {
             Ok(g) => g,
             Err(TryLockError::WouldBlock) => {
                 shard.stats.inflight_waits.fetch_add(1, Ordering::Relaxed);
-                slot.data.lock().expect("cache slot lock")
+                lock_recover(&slot.data)
             }
-            Err(TryLockError::Poisoned(e)) => panic!("cache slot poisoned: {e}"),
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
         };
         let touch = || {
             let stamp = shard.clock.fetch_add(1, Ordering::Relaxed) + 1;
             slot.last_used.store(stamp, Ordering::Relaxed);
         };
-        if let Some(hit) = guard.as_ref() {
-            shard.stats.hits.fetch_add(1, Ordering::Relaxed);
-            touch();
-            return Ok(Arc::clone(hit));
+        match &*guard {
+            SlotState::Ready(hit) => {
+                shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+                let hit = Arc::clone(hit);
+                touch();
+                return Ok(hit);
+            }
+            SlotState::Failed(_) => {
+                // a previous filler panicked; this request adopts the
+                // cell and re-attempts from scratch
+                shard.stats.slots_recovered.fetch_add(1, Ordering::Relaxed);
+                *guard = SlotState::Empty;
+            }
+            SlotState::Empty => {}
         }
         if let Some(entry) = self.store.as_ref().and_then(|s| s.get(&key)) {
             match rebuild(entry, original, machine, cfg, ctx) {
                 Ok(p) => {
                     shard.stats.store_hits.fetch_add(1, Ordering::Relaxed);
                     let p = Arc::new(p);
-                    *guard = Some(Arc::clone(&p));
+                    *guard = SlotState::Ready(Arc::clone(&p));
                     touch();
                     drop(guard);
                     self.enforce_capacity(shard);
@@ -547,8 +691,31 @@ impl SchedCache {
             }
         }
         shard.stats.prepares.fetch_add(1, Ordering::Relaxed);
-        let prepared = Arc::new(prepare_loop(original, machine, cfg, ctx)?);
-        *guard = Some(Arc::clone(&prepared));
+        // the panic boundary: the computation — and only the computation —
+        // runs under `catch_unwind`, inside the guard scope, so a panic
+        // can neither unwind through (poisoning the mutex and wedging
+        // every waiter) nor kill the calling worker thread. The shared
+        // state a panic could have left half-written is the closure's
+        // own; the slot is updated only from a completed result.
+        let computed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &self.preparer {
+                Some(f) => f(original, machine, cfg, ctx),
+                None => prepare_loop(original, machine, cfg, ctx),
+            }));
+        let prepared = match computed {
+            Ok(Ok(p)) => Arc::new(p),
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                let reason = panic_reason(payload.as_ref());
+                shard.stats.panics_contained.fetch_add(1, Ordering::Relaxed);
+                *guard = SlotState::Failed(reason.clone());
+                return Err(ScheduleError::PreparationPanicked {
+                    loop_name: original.name.clone(),
+                    reason,
+                });
+            }
+        };
+        *guard = SlotState::Ready(Arc::clone(&prepared));
         touch();
         // the slot guard must be released before the map lock is taken:
         // every other path orders map → slot, and eviction keeps that
@@ -567,15 +734,17 @@ impl SchedCache {
         let Some(cap) = self.per_shard_cap else {
             return;
         };
-        let mut map = shard.map.lock().expect("shard map lock");
+        let mut map = lock_recover(&shard.map);
         loop {
             let mut completed = 0usize;
             let mut victim: Option<(CacheKey, u64)> = None;
             for (k, slot) in map.iter() {
-                let Ok(g) = slot.data.try_lock() else {
-                    continue;
+                let g = match slot.data.try_lock() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(e)) => e.into_inner(),
+                    Err(TryLockError::WouldBlock) => continue,
                 };
-                if g.is_some() {
+                if matches!(*g, SlotState::Ready(_)) {
                     completed += 1;
                     let used = slot.last_used.load(Ordering::Relaxed);
                     if victim.is_none_or(|(_, u)| used < u) {
@@ -596,9 +765,9 @@ impl SchedCache {
     pub fn export_store(&self) -> ScheduleStore {
         let mut store = ScheduleStore::new();
         for shard in &self.shards {
-            let map = shard.map.lock().expect("shard map lock");
+            let map = lock_recover(&shard.map);
             for (key, slot) in map.iter() {
-                if let Some(p) = slot.data.lock().expect("cache slot").as_ref() {
+                if let SlotState::Ready(p) = &*lock_recover(&slot.data) {
                     store.insert(StoreEntry {
                         name: p.kernel.name.clone(),
                         key: *key,
@@ -645,6 +814,18 @@ fn rebuild(
         choice: entry.choice,
         factor: entry.factor,
     })
+}
+
+/// Renders a caught panic payload as text (the common `&str` / `String`
+/// payloads; anything else gets a placeholder).
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// One persisted cell: its key, the unrolling decision, the fingerprint
@@ -740,21 +921,65 @@ impl StoreEntry {
 /// the measured-profile store: plain text, integers only, deterministic
 /// (entries sorted), byte-exact round-trips, committed-file diffable.
 ///
-/// Format:
+/// Format (version 2; version-1 stores lack the `check` line and are
+/// still read):
 ///
 /// ```text
-/// vliw-sched-store 1
+/// vliw-sched-store 2
 /// entries <N>
 /// entry <name> kfp <u64> efp <u64> arch <tok> policy <tok> backend <tok>
 ///       source <tok> unroll <tok> pad <0|1> choice <tok> factor <k>
 ///       pfp <u64> quality <tok>          (one line)
 /// sched ii … (4 lines, `Schedule::to_compact_text`)
+/// check <u64>                            (digest of the 5 lines above)
 /// endentry
 /// ```
+///
+/// Two loaders share the format: [`ScheduleStore::from_text`] is strict
+/// (any framing, token or checksum error rejects the file — the loader
+/// for stores this build wrote), while [`ScheduleStore::from_text_salvage`]
+/// never errors — it skips records that fail their checksum or parse,
+/// stops at broken framing, counts everything it dropped in a
+/// [`SalvageReport`], and serves the surviving records. A torn or
+/// bit-flipped store therefore degrades hit rate, never correctness or
+/// availability.
 #[derive(Debug, Clone, Default)]
 pub struct ScheduleStore {
     entries: Vec<StoreEntry>,
     index: HashMap<CacheKey, usize>,
+}
+
+/// What [`ScheduleStore::from_text_salvage`] recovered and dropped.
+/// Every record of the damaged file lands in exactly one bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Records recovered intact (checksum and parse both good).
+    pub recovered: usize,
+    /// Records skipped because their checksum or parse failed while the
+    /// record framing was still intact (bit flips, tampered fields).
+    pub dropped_corrupt: usize,
+    /// Records lost to truncation or broken framing: the partial record
+    /// at the damage point plus every declared record after it.
+    pub dropped_truncated: usize,
+    /// The store prelude named a version this build does not read (or
+    /// was itself damaged); nothing was salvaged.
+    pub version_rejected: bool,
+}
+
+impl SalvageReport {
+    /// Total records dropped (everything except `recovered`).
+    pub fn dropped(&self) -> usize {
+        self.dropped_corrupt + self.dropped_truncated
+    }
+}
+
+/// The per-record integrity digest: a [`StableHasher`] pass over the
+/// header line and the schedule block exactly as serialized.
+fn record_checksum(header: &str, sched_text: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(header);
+    h.write_str(sched_text);
+    h.finish()
 }
 
 impl ScheduleStore {
@@ -776,6 +1001,11 @@ impl ScheduleStore {
     /// The entry under `key`, if present.
     pub fn get(&self, key: &CacheKey) -> Option<&StoreEntry> {
         self.index.get(key).map(|&i| &self.entries[i])
+    }
+
+    /// All entries, in insertion order.
+    pub fn entries(&self) -> impl Iterator<Item = &StoreEntry> {
+        self.entries.iter()
     }
 
     /// Inserts (or replaces) an entry.
@@ -803,9 +1033,13 @@ impl ScheduleStore {
                 !e.name.chars().any(char::is_whitespace),
                 "kernel names must not contain whitespace"
             );
-            out.push_str(&e.header_line());
+            let header = e.header_line();
+            let sched = e.schedule.to_compact_text();
+            let check = record_checksum(&header, &sched);
+            out.push_str(&header);
             out.push('\n');
-            out.push_str(&e.schedule.to_compact_text());
+            out.push_str(&sched);
+            let _ = writeln!(out, "check {check}");
             out.push_str("endentry\n");
         }
         out
@@ -830,9 +1064,10 @@ impl ScheduleStore {
             .ok_or("missing version")?
             .parse()
             .map_err(|e| format!("bad version: {e}"))?;
-        if version != SCHED_STORE_VERSION {
+        if !(SCHED_STORE_MIN_VERSION..=SCHED_STORE_VERSION).contains(&version) {
             return Err(format!(
-                "store version {version}, this build reads {SCHED_STORE_VERSION}"
+                "store version {version}, this build reads versions \
+                 {SCHED_STORE_MIN_VERSION}..={SCHED_STORE_VERSION}"
             ));
         }
         let counts = lines.next().ok_or("missing entry count")?;
@@ -848,8 +1083,24 @@ impl ScheduleStore {
             let sched_lines: Vec<&str> = (0..4)
                 .map(|_| lines.next().ok_or("truncated schedule block"))
                 .collect::<Result<_, _>>()?;
-            entry.schedule = Schedule::from_compact_text(&sched_lines.join("\n"))
+            let sched_text = sched_lines.join("\n") + "\n";
+            entry.schedule = Schedule::from_compact_text(&sched_text)
                 .map_err(|e| format!("entry `{}`: {e}", entry.name))?;
+            if version >= 2 {
+                let check_line = lines.next().ok_or("missing check line")?;
+                let stored: u64 = check_line
+                    .strip_prefix("check ")
+                    .ok_or_else(|| format!("entry `{}`: bad check line", entry.name))?
+                    .parse()
+                    .map_err(|e| format!("entry `{}`: bad checksum: {e}", entry.name))?;
+                let computed = record_checksum(head, &sched_text);
+                if stored != computed {
+                    return Err(format!(
+                        "entry `{}`: checksum mismatch (stored {stored}, computed {computed})",
+                        entry.name
+                    ));
+                }
+            }
             if lines.next() != Some("endentry") {
                 return Err(format!("entry `{}`: missing endentry", entry.name));
             }
@@ -864,19 +1115,144 @@ impl ScheduleStore {
         Ok(store)
     }
 
-    /// Writes the store to `path`, creating parent directories.
+    /// Parses a (possibly damaged) store, recovering every record whose
+    /// framing, checksum and tokens are intact. Never errors: damage is
+    /// counted, not propagated.
+    ///
+    /// Rules:
+    ///
+    /// * A prelude naming an unreadable version — or too damaged to parse
+    ///   — salvages nothing (`version_rejected`; a reinterpreted framing
+    ///   would be worse than an empty cache).
+    /// * A record whose framing is intact but whose checksum or tokens
+    ///   fail is skipped (`dropped_corrupt`) and the scan continues —
+    ///   later records survive.
+    /// * Broken framing (a line where `entry`/`endentry` should be, or
+    ///   end-of-file mid-record) ends the scan: alignment downstream of
+    ///   the break cannot be trusted. The partial record and every
+    ///   declared record after it count as `dropped_truncated`.
+    ///
+    /// Version-1 records carry no checksum, so for them only parse
+    /// failures count as corrupt; the serving path still verifies every
+    /// schedule against the rebuilt kernel before trusting it
+    /// (`rebuild`), for either version.
+    pub fn from_text_salvage(text: &str) -> (Self, SalvageReport) {
+        let mut rep = SalvageReport::default();
+        let mut store = ScheduleStore::new();
+        let lines: Vec<&str> = text.lines().collect();
+        let version: Option<u32> = lines
+            .first()
+            .and_then(|l| l.strip_prefix("vliw-sched-store "))
+            .and_then(|v| v.parse().ok())
+            .filter(|v| (SCHED_STORE_MIN_VERSION..=SCHED_STORE_VERSION).contains(v));
+        let Some(version) = version else {
+            rep.version_rejected = true;
+            return (store, rep);
+        };
+        let declared: Option<usize> = lines
+            .get(1)
+            .and_then(|l| l.strip_prefix("entries "))
+            .and_then(|n| n.parse().ok());
+        // entry + 4 sched lines + (v2: check) + endentry
+        let rec_lines = if version >= 2 { 7 } else { 6 };
+        let mut i = 2;
+        while i < lines.len() {
+            if i + rec_lines > lines.len() {
+                rep.dropped_truncated += 1; // partial record at the tail
+                break;
+            }
+            let header = lines[i];
+            if !header.starts_with("entry ") || lines[i + rec_lines - 1] != "endentry" {
+                rep.dropped_truncated += 1; // framing broken: stop here
+                break;
+            }
+            let sched_text = lines[i + 1..i + 5].join("\n") + "\n";
+            let checksum_ok = if version >= 2 {
+                lines[i + 5]
+                    .strip_prefix("check ")
+                    .and_then(|c| c.parse::<u64>().ok())
+                    .is_some_and(|stored| stored == record_checksum(header, &sched_text))
+            } else {
+                true
+            };
+            let entry = checksum_ok
+                .then(|| {
+                    let mut e = StoreEntry::parse_header(header).ok()?;
+                    e.schedule = Schedule::from_compact_text(&sched_text).ok()?;
+                    Some(e)
+                })
+                .flatten();
+            match entry {
+                Some(e) => {
+                    store.insert(e);
+                    rep.recovered += 1;
+                }
+                None => rep.dropped_corrupt += 1,
+            }
+            i += rec_lines;
+        }
+        // records the damage swallowed wholesale (truncation past whole
+        // records): the declared count still names them
+        if let Some(n) = declared {
+            let seen = rep.recovered + rep.dropped_corrupt + rep.dropped_truncated;
+            if seen < n {
+                rep.dropped_truncated += n - seen;
+            }
+        }
+        (store, rep)
+    }
+
+    /// Writes the store to `path`, creating parent directories. The
+    /// write is crash-safe: the text goes to a temporary file in the
+    /// same directory which is then atomically renamed over `path`, so a
+    /// crash mid-export leaves either the old store or the new one —
+    /// never a torn hybrid.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
+    /// Propagates I/O failures (the temporary file is cleaned up).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(path, self.to_text())
+        let tmp = Self::temp_sibling(path);
+        let result =
+            std::fs::write(&tmp, self.to_text()).and_then(|()| std::fs::rename(&tmp, path));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
-    /// Reads a store from `path`.
+    /// Fault-injection seam for the crash-mid-export regression test:
+    /// performs [`ScheduleStore::save`]'s first phase but dies before the
+    /// rename, leaving only `truncate_at` bytes of the temporary file
+    /// behind (the debris a real crash would leave). The destination is
+    /// never touched. Always returns the interruption as an error.
+    ///
+    /// # Errors
+    ///
+    /// Always — the simulated crash.
+    pub fn save_interrupted(&self, path: &Path, truncate_at: usize) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let text = self.to_text();
+        let cut = truncate_at.min(text.len());
+        std::fs::write(Self::temp_sibling(path), &text.as_bytes()[..cut])?;
+        Err(std::io::Error::other("export interrupted by fault plan"))
+    }
+
+    /// The temporary-file path [`ScheduleStore::save`] writes before the
+    /// rename: a sibling of `path` (same filesystem, so the rename is
+    /// atomic), suffixed with the process id.
+    fn temp_sibling(path: &Path) -> std::path::PathBuf {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(format!(".tmp.{}", std::process::id()));
+        path.with_file_name(name)
+    }
+
+    /// Reads a store from `path` with the strict parser.
     ///
     /// # Errors
     ///
@@ -884,5 +1260,16 @@ impl ScheduleStore {
     pub fn load(path: &Path) -> Result<Self, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         Self::from_text(&text)
+    }
+
+    /// Reads a store from `path` with the salvage parser: parse damage
+    /// is absorbed into the [`SalvageReport`], only I/O failure errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures as strings.
+    pub fn load_salvage(path: &Path) -> Result<(Self, SalvageReport), String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(Self::from_text_salvage(&text))
     }
 }

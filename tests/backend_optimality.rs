@@ -102,6 +102,9 @@ fn exact_backend_dominates_every_heuristic_on_the_suite() {
                     );
                 }
                 SchedQuality::Heuristic => panic!("exact backend cannot claim Heuristic"),
+                SchedQuality::DegradedFallback => {
+                    panic!("{}: default fallback policy never degrades", kernel.name)
+                }
             }
         }
     }
