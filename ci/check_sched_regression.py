@@ -33,6 +33,16 @@ And the `optgap` section (the exact-search yardstick):
 * the BASE and IBC proven fractions must not drop below the baseline —
   the pinned-policy gains must not come out of the free policies.
 
+And the `trace` section (the vliw-trace observability subsystem): the
+fresh record must carry it, with a nonzero event count and nonzero span
+counts for the scheduler and simulator stages. Its presence is what
+makes the schedules_per_sec guard meaningful under the
+zero-overhead-when-off contract: the `sched` figure is produced by the
+same binary that records the trace — tracing compiled in throughout,
+enabled only for the trace pass, disabled (`Trace::off()`) for every
+timed pass. A missing trace section means the guard measured a binary
+without the probes, which is not the configuration that ships.
+
 Usage: check_sched_regression.py BASELINE.json FRESH.json [threshold]
 """
 
@@ -113,6 +123,7 @@ def main():
         figure_metrics(sys.argv[1], "optgap"),
         figure_metrics(sys.argv[2], "optgap"),
     )
+    failed |= check_trace(figure_metrics(sys.argv[2], "trace"))
 
     if failed:
         return 1
@@ -189,6 +200,38 @@ def check_optgap(baseline, fresh):
             if f < b - 1e-9:
                 print(f"FAIL: {key} regressed below the baseline")
                 failed = True
+    return failed
+
+
+def check_trace(fresh):
+    """The throughput guard must measure the shipping configuration:
+    tracing compiled in, disabled on every timed path. The trace section
+    of the same record proves the probes are present in the binary."""
+    if fresh is None:
+        print(
+            "FAIL: fresh record has no trace section — the schedules_per_sec "
+            "guard must run against the tracing-compiled binary "
+            "(regenerate with `repro quick all`)"
+        )
+        return True
+    failed = False
+
+    events = fresh.get("events_total", 0)
+    print(f"trace events recorded by the instrumented pass: {events:.0f}")
+    if events <= 0:
+        print("FAIL: the trace pass recorded no events")
+        failed = True
+
+    for key in ("span_count/backend.swing", "span_count/sim.loop"):
+        if fresh.get(key, 0) <= 0:
+            print(f"FAIL: trace section has no {key} spans")
+            failed = True
+
+    if not failed:
+        print(
+            "sched guard measured with tracing compiled in and disabled "
+            "(zero-overhead-when-off configuration)"
+        )
     return failed
 
 

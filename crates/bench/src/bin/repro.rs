@@ -1,6 +1,6 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|sched|optgap|smt|profile|batch|all]`
+//! Usage: `repro [quick|full] [--serial] [table1|table2|example433|fig4|fig5|fig6|fig7|fig8|hints|chains|interleave|mshr|sched|optgap|smt|profile|batch|trace|all]`
 //!
 //! Results print to stdout and are also written as CSV under `results/`.
 //! Every run additionally emits `BENCH_repro.json` — a machine-readable
@@ -14,8 +14,8 @@ use std::time::Instant;
 
 use vliw_experiments::{
     batch, chains_exp, example433, faults, fig4, fig5, fig6, fig7, fig8, hints_exp,
-    interleave_study, optgap, profile_fidelity, report, smt, tables, ExperimentContext, RunConfig,
-    RunGrid, ScheduleMemo, UnrollMode,
+    interleave_study, optgap, profile_fidelity, report, smt, tables, trace_exp, ExperimentContext,
+    RunConfig, RunGrid, ScheduleMemo, UnrollMode,
 };
 use vliw_sched::{ClusterPolicy, SchedBackend, SchedStats};
 
@@ -62,8 +62,11 @@ fn sched_record(ctx: &ExperimentContext) -> (Vec<(String, f64)>, String) {
         "trial_cycles_per_sec".into(),
         total.trial_cycles as f64 / total_secs,
     ));
+    metrics.push(("attempts".into(), total.attempts as f64));
     metrics.push(("rollbacks".into(), total.rollbacks as f64));
     metrics.push(("placements".into(), total.placements as f64));
+    metrics.push(("cutoffs".into(), total.cutoffs as f64));
+    metrics.push(("fallback_retries".into(), total.fallback_retries as f64));
 
     // memo probe: two configs differing only in a non-preparation axis
     // share every preparation, so the second sweep is all memo hits
@@ -189,10 +192,11 @@ fn main() {
     if targets.is_empty() {
         targets.push("all");
     }
-    const KNOWN: [&str; 19] = [
+    const KNOWN: [&str; 20] = [
         "all",
         "batch",
         "faults",
+        "trace",
         "table1",
         "table2",
         "example433",
@@ -556,8 +560,28 @@ fn main() {
         }
         let b = batch::run_batch(&ctx, &opts);
         print!("{b}");
+        let ht = report::shard_health_table(&b);
+        print!("{}", ht.render());
         save("batch_shards", b.shard_csv());
+        save("batch_health", ht.to_csv());
         record("batch", t0, b.metrics());
+    }
+    if want("trace") {
+        // the instrumented pass: a deterministic logical-clock recording
+        // of the whole service (cache lifecycle, prepare stages, backends,
+        // batch worker, simulation windows), exported as Chrome trace JSON
+        // plus a flat metrics snapshot
+        let t0 = Instant::now();
+        let tr = trace_exp::run_trace(&ctx, 1);
+        print!("{tr}");
+        let dir = Path::new("results").join("trace");
+        let path = dir.join(format!("trace-{scale}.json"));
+        if let Err(e) = fs::create_dir_all(&dir).and_then(|()| fs::write(&path, &tr.chrome_json)) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[saved {}]", path.display());
+        }
+        record("trace", t0, tr.metrics);
     }
     if want("faults") {
         // the fault-injection audit: seeded panics, store corruption, an

@@ -22,6 +22,7 @@
 
 use vliw_ir::LoopKernel;
 use vliw_machine::MachineConfig;
+use vliw_trace::Trace;
 
 use super::{ExactBnB, SchedStats, ScheduleOptions};
 use crate::schedule::{Schedule, ScheduleError};
@@ -66,6 +67,28 @@ pub trait SchedulerBackend: std::fmt::Debug + Sync {
         machine: &MachineConfig,
         options: &ScheduleOptions,
     ) -> Result<ScheduleOutcome, ScheduleError>;
+
+    /// [`SchedulerBackend::schedule_with_stats`] with a [`Trace`] handle:
+    /// backends that support per-stage attribution (both pipeliners do)
+    /// emit their spans and telemetry to it. The default implementation
+    /// ignores the handle and delegates, so third-party backends stay
+    /// source-compatible; with [`Trace::off`] overriding backends must be
+    /// behaviorally identical to `schedule_with_stats` (the
+    /// `tests/trace_overhead.rs` digest test pins this).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SchedulerBackend::schedule_with_stats`].
+    fn schedule_traced(
+        &self,
+        kernel: &LoopKernel,
+        machine: &MachineConfig,
+        options: &ScheduleOptions,
+        trace: Trace<'_>,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        let _ = trace;
+        self.schedule_with_stats(kernel, machine, options)
+    }
 }
 
 /// What a backend's result claims about schedule quality.
@@ -225,7 +248,17 @@ impl SchedulerBackend for SwingModulo {
         machine: &MachineConfig,
         options: &ScheduleOptions,
     ) -> Result<ScheduleOutcome, ScheduleError> {
-        super::swing_schedule_with_stats(kernel, machine, options).map(|(schedule, stats)| {
+        self.schedule_traced(kernel, machine, options, Trace::off())
+    }
+
+    fn schedule_traced(
+        &self,
+        kernel: &LoopKernel,
+        machine: &MachineConfig,
+        options: &ScheduleOptions,
+        trace: Trace<'_>,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        super::swing_schedule_traced(kernel, machine, options, trace).map(|(schedule, stats)| {
             ScheduleOutcome {
                 schedule,
                 stats,

@@ -88,9 +88,10 @@ use std::collections::{HashMap, HashSet};
 
 use vliw_ir::{Ddg, DepKind, LoopKernel, OpId};
 use vliw_machine::MachineConfig;
+use vliw_trace::Trace;
 
 use super::backend::{SchedQuality, ScheduleOutcome, SchedulerBackend};
-use super::{prepare, swing_with_prep, Prep, SchedStats, ScheduleOptions};
+use super::{prepare_traced, swing_with_prep, Prep, SchedStats, ScheduleOptions};
 use crate::mrt::Mrt;
 use crate::schedule::{Schedule, ScheduleError, ScheduledCopy, ScheduledOp};
 
@@ -117,6 +118,12 @@ pub const ADAPTIVE_MAX_SCALE: u64 = 16;
 /// keeps the incumbent completion and touches neither the quality claim
 /// nor [`SchedStats::cutoffs`](super::SchedStats).
 pub const TIEBREAK_NODE_BUDGET: u64 = 32_000;
+
+/// Sampling stride of the budget-consumption curve: with a sink attached
+/// the search emits a `bnb.nodes` counter sample every this many expanded
+/// nodes. With tracing off the sample threshold is parked at `u64::MAX`,
+/// so the per-node cost is one always-false compare.
+pub const NODE_SAMPLE_EVERY: u64 = 1_024;
 
 /// The exact branch-and-bound pipeliner (see the module docs).
 #[derive(Debug, Clone, Copy, Default)]
@@ -153,17 +160,32 @@ impl SchedulerBackend for ExactBnB {
         machine: &MachineConfig,
         options: &ScheduleOptions,
     ) -> Result<ScheduleOutcome, ScheduleError> {
+        self.schedule_traced(kernel, machine, options, Trace::off())
+    }
+
+    fn schedule_traced(
+        &self,
+        kernel: &LoopKernel,
+        machine: &MachineConfig,
+        options: &ScheduleOptions,
+        trace: Trace<'_>,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
         if kernel.ops.is_empty() {
             return Err(ScheduleError::EmptyKernel);
         }
+        let _backend_span = if trace.on() {
+            Some(trace.span("backend.bnb"))
+        } else {
+            None
+        };
         let mut stats = SchedStats::default();
-        let (ddg, prep) = prepare(kernel, machine, options);
+        let (ddg, prep) = prepare_traced(kernel, machine, options, trace);
 
         // Incumbent: the heuristic result bounds the II search from above
         // (standard warm-started B&B), run off the same preparation so
         // the front-end executes once per call. Its work counters fold
         // into ours.
-        let incumbent = match swing_with_prep(kernel, machine, options, &ddg, prep.clone()) {
+        let incumbent = match swing_with_prep(kernel, machine, options, &ddg, prep.clone(), trace) {
             Ok((s, st)) => {
                 stats.merge(&st);
                 Some(s)
@@ -171,6 +193,11 @@ impl SchedulerBackend for ExactBnB {
             Err(_) => None,
         };
         let upper = incumbent.as_ref().map_or(prep.max_ii + 1, |s| s.ii);
+        if trace.on() {
+            if let Some(s) = &incumbent {
+                trace.instant("bnb.incumbent", &[("ii", s.ii as f64)]);
+            }
+        }
 
         // the budget policy resolves here, where the real problem size
         // (ops × II levels left to decide) is known; a caller-supplied
@@ -187,12 +214,36 @@ impl SchedulerBackend for ExactBnB {
         };
 
         let colocate_chains = options.policy.assigner().constrains_chains_dynamically();
-        let mut search = Search::new(kernel, &ddg, machine, &prep, node_budget, colocate_chains);
+        let mut search = Search::new(
+            kernel,
+            &ddg,
+            machine,
+            &prep,
+            node_budget,
+            colocate_chains,
+            trace,
+        );
         let mut cutoff = false;
         let mut found: Option<Schedule> = None;
         for ii in prep.mii0..upper {
             stats.attempts += 1;
-            match search.solve(ii, &mut stats) {
+            let out = search.solve(ii, &mut stats);
+            if trace.on() {
+                let verdict = match &out {
+                    Solve::Feasible(_) => 1.0,
+                    Solve::Infeasible => 0.0,
+                    Solve::Cutoff => -1.0,
+                };
+                trace.instant(
+                    "bnb.solve",
+                    &[
+                        ("ii", ii as f64),
+                        ("nodes", search.nodes as f64),
+                        ("feasible", verdict),
+                    ],
+                );
+            }
+            match out {
                 Solve::Feasible(s) => {
                     found = Some(s);
                     break;
@@ -223,11 +274,24 @@ impl SchedulerBackend for ExactBnB {
             {
                 let factor = u64::from(factor.max(2));
                 let mut rung_budget = node_budget;
-                for _ in 0..max_retries {
+                for rung in 0..max_retries {
                     rung_budget /= factor;
                     stats.fallback_retries += 1;
-                    let mut retry =
-                        Search::new(kernel, &ddg, machine, &prep, rung_budget, colocate_chains);
+                    if trace.on() {
+                        trace.instant(
+                            "bnb.retry",
+                            &[("rung", rung as f64), ("budget", rung_budget as f64)],
+                        );
+                    }
+                    let mut retry = Search::new(
+                        kernel,
+                        &ddg,
+                        machine,
+                        &prep,
+                        rung_budget,
+                        colocate_chains,
+                        trace,
+                    );
                     let mut undecided = false;
                     for ii in prep.mii0..upper {
                         stats.attempts += 1;
@@ -418,6 +482,17 @@ struct Search<'a> {
     /// Per-probe scratch for [`Search::reserve_copies`].
     seen_pred: Vec<OpId>,
     dest_bounds: Vec<(usize, i64)>,
+    /// Telemetry handle. With no sink attached every probe below is a
+    /// skipped branch and `next_sample` is parked at `u64::MAX`.
+    trace: Trace<'a>,
+    /// Node count at which the next `bnb.nodes` budget-curve sample fires.
+    next_sample: u64,
+    /// Dominance-memo hits per decision depth (allocated only under
+    /// tracing; drained into `bnb.memo_depth` instants per II level).
+    memo_hits: Vec<u64>,
+    /// Dominance-memo misses (fingerprints looked up and not found) per
+    /// decision depth.
+    memo_misses: Vec<u64>,
 }
 
 impl<'a> Search<'a> {
@@ -428,6 +503,7 @@ impl<'a> Search<'a> {
         prep: &'a Prep,
         budget: u64,
         colocate_chains: bool,
+        trace: Trace<'a>,
     ) -> Self {
         let mut order_pos = vec![0usize; kernel.ops.len()];
         for (pos, &op) in prep.order.iter().enumerate() {
@@ -472,13 +548,57 @@ impl<'a> Search<'a> {
             nbr_pool: (0..kernel.ops.len()).map(|_| Default::default()).collect(),
             seen_pred: Vec::new(),
             dest_bounds: Vec::new(),
+            trace,
+            next_sample: if trace.on() {
+                NODE_SAMPLE_EVERY
+            } else {
+                u64::MAX
+            },
+            memo_hits: if trace.on() {
+                vec![0; kernel.ops.len() + 1]
+            } else {
+                Vec::new()
+            },
+            memo_misses: if trace.on() {
+                vec![0; kernel.ops.len() + 1]
+            } else {
+                Vec::new()
+            },
         }
     }
 
     /// Decides one II level. The node budget persists across levels.
     fn solve(&mut self, ii: u32, stats: &mut SchedStats) -> Solve {
         self.mode = Mode::Decide;
-        self.solve_inner(ii, stats)
+        let out = self.solve_inner(ii, stats);
+        self.emit_memo_profile(ii);
+        out
+    }
+
+    /// Drains the per-depth dominance-memo counters into one
+    /// `bnb.memo_depth` instant per touched depth (then resets them, since
+    /// the memo itself is cleared per II level). No-op without a sink.
+    fn emit_memo_profile(&mut self, ii: u32) {
+        if !self.trace.on() {
+            return;
+        }
+        for depth in 0..self.memo_hits.len() {
+            let (h, m) = (self.memo_hits[depth], self.memo_misses[depth]);
+            if h == 0 && m == 0 {
+                continue;
+            }
+            self.trace.instant(
+                "bnb.memo_depth",
+                &[
+                    ("ii", ii as f64),
+                    ("depth", depth as f64),
+                    ("hits", h as f64),
+                    ("misses", m as f64),
+                ],
+            );
+        }
+        self.memo_hits.iter_mut().for_each(|h| *h = 0);
+        self.memo_misses.iter_mut().for_each(|m| *m = 0);
     }
 
     /// One full depth-first pass at `ii` under the current [`Mode`].
@@ -616,7 +736,13 @@ impl<'a> Search<'a> {
         let sig = if self.memo_ok {
             let sig = self.state_sig(depth);
             if self.memo.contains(&sig) {
+                if self.trace.on() {
+                    self.memo_hits[depth] += 1;
+                }
                 return Place::Exhausted; // dominated: a refuted twin state
+            }
+            if self.trace.on() {
+                self.memo_misses[depth] += 1;
             }
             Some(sig)
         } else {
@@ -763,6 +889,12 @@ impl<'a> Search<'a> {
                 }
                 self.nodes += 1;
                 stats.trial_cycles += 1;
+                // budget-consumption curve: with tracing off `next_sample`
+                // is u64::MAX, so this is one always-false compare
+                if self.nodes >= self.next_sample {
+                    self.trace.counter("bnb.nodes", self.nodes as f64);
+                    self.next_sample = self.nodes + NODE_SAMPLE_EVERY;
+                }
                 let sp = self.mrt.savepoint();
                 let copies_mark = self.copies.len();
                 self.mrt.fu_reserve(cluster, kind, cycle);

@@ -30,9 +30,10 @@
 
 use vliw_ir::LoopKernel;
 use vliw_machine::MachineConfig;
+use vliw_trace::Trace;
 
 use super::backend::{SchedQuality, ScheduleOutcome, SchedulerBackend};
-use super::{prepare, swing_with_prep, ScheduleOptions};
+use super::{prepare_traced, swing_with_prep, ScheduleOptions};
 use crate::schedule::ScheduleError;
 
 /// The delay-tracking pipeliner (see the module docs).
@@ -50,6 +51,16 @@ impl SchedulerBackend for DelayTracking {
         machine: &MachineConfig,
         options: &ScheduleOptions,
     ) -> Result<ScheduleOutcome, ScheduleError> {
+        self.schedule_traced(kernel, machine, options, Trace::off())
+    }
+
+    fn schedule_traced(
+        &self,
+        kernel: &LoopKernel,
+        machine: &MachineConfig,
+        options: &ScheduleOptions,
+        trace: Trace<'_>,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
         if kernel.ops.is_empty() {
             return Err(ScheduleError::EmptyKernel);
         }
@@ -60,8 +71,8 @@ impl SchedulerBackend for DelayTracking {
             backend: super::SchedBackend::DelayTracking,
             ..*options
         };
-        let (ddg, prep) = prepare(kernel, machine, &opts);
-        swing_with_prep(kernel, machine, &opts, &ddg, prep).map(|(schedule, stats)| {
+        let (ddg, prep) = prepare_traced(kernel, machine, &opts, trace);
+        swing_with_prep(kernel, machine, &opts, &ddg, prep, trace).map(|(schedule, stats)| {
             ScheduleOutcome {
                 schedule,
                 stats,

@@ -37,6 +37,7 @@ use std::collections::HashMap;
 
 use vliw_ir::{Ddg, DepKind, LoopKernel, OpId};
 use vliw_machine::MachineConfig;
+use vliw_trace::Trace;
 
 use crate::chains::MemChains;
 use crate::circuits::{elementary_circuits, EnumLimits};
@@ -283,6 +284,23 @@ pub fn schedule_outcome(
     machine: &MachineConfig,
     options: ScheduleOptions,
 ) -> Result<ScheduleOutcome, ScheduleError> {
+    schedule_outcome_traced(kernel, machine, options, Trace::off())
+}
+
+/// [`schedule_outcome`] with a [`Trace`] handle attached: the backend's
+/// per-stage spans and telemetry go to the handle's sink. With
+/// [`Trace::off`] (what [`schedule_outcome`] passes) every probe reduces
+/// to a skipped branch and the call is behaviorally identical.
+///
+/// # Errors
+///
+/// Same as [`schedule_kernel`].
+pub fn schedule_outcome_traced(
+    kernel: &LoopKernel,
+    machine: &MachineConfig,
+    options: ScheduleOptions,
+    trace: Trace<'_>,
+) -> Result<ScheduleOutcome, ScheduleError> {
     // checked at the dispatch point so every backend — current and
     // future — honors the EmptyKernel contract structurally
     if kernel.ops.is_empty() {
@@ -291,7 +309,7 @@ pub fn schedule_outcome(
     options
         .backend
         .backend()
-        .schedule_with_stats(kernel, machine, &options)
+        .schedule_traced(kernel, machine, &options, trace)
 }
 
 /// The front-end's output as a self-contained public snapshot: what an
@@ -373,36 +391,82 @@ pub(crate) fn prepare<'k>(
     machine: &MachineConfig,
     options: &ScheduleOptions,
 ) -> (Ddg<'k>, Prep) {
-    let ddg = Ddg::build(kernel);
-    let circuits = elementary_circuits(&ddg, options.enum_limits);
-    let chains = MemChains::build(kernel);
+    prepare_traced(kernel, machine, options, Trace::off())
+}
+
+/// [`prepare`] with per-stage spans: `prepare.ddg`, `prepare.circuits`,
+/// `prepare.chains`, `prepare.pins`, `prepare.latency`, `prepare.mii`
+/// (whose close carries the resolved bounds) and `prepare.order`. With
+/// [`Trace::off`] each span is two skipped branches.
+pub(crate) fn prepare_traced<'k>(
+    kernel: &'k LoopKernel,
+    machine: &MachineConfig,
+    options: &ScheduleOptions,
+    trace: Trace<'_>,
+) -> (Ddg<'k>, Prep) {
+    let ddg = {
+        let _s = trace.span("prepare.ddg");
+        Ddg::build(kernel)
+    };
+    let circuits = {
+        let _s = trace.span("prepare.circuits");
+        elementary_circuits(&ddg, options.enum_limits)
+    };
+    let chains = {
+        let _s = trace.span("prepare.chains");
+        MemChains::build(kernel)
+    };
     let assigner = options.policy.assigner();
 
     // pre-computed pins (IPBC / NoChains) — known before scheduling, so
     // the latency assignment can estimate stall against the real cluster
     let n = machine.clusters.n_clusters;
-    let pins = assigner.precompute_pins(kernel, &chains, n);
+    let pins = {
+        let _s = trace.span("prepare.pins");
+        assigner.precompute_pins(kernel, &chains, n)
+    };
 
     // the latency model is the one front-end stage backends may replace:
     // the delay-tracking backend schedules loads at measured expected /
     // percentile latencies instead of running the §4.3.3 class reduction
-    let latencies = match options.backend {
-        SchedBackend::DelayTracking => crate::latency::assign_profiled_latencies(
-            kernel,
-            &ddg,
-            machine,
-            &pins,
-            options.delay_percentile,
-        ),
-        _ => crate::latency::assign_latencies_with_pins(kernel, &ddg, machine, &circuits, &pins),
+    let latencies = {
+        let _s = trace.span("prepare.latency");
+        match options.backend {
+            SchedBackend::DelayTracking => crate::latency::assign_profiled_latencies(
+                kernel,
+                &ddg,
+                machine,
+                &pins,
+                options.delay_percentile,
+            ),
+            _ => {
+                crate::latency::assign_latencies_with_pins(kernel, &ddg, machine, &circuits, &pins)
+            }
+        }
     };
 
+    let _mii_span = trace.span("prepare.mii");
     let res = mii::res_mii(kernel, machine);
     let rec = mii::rec_mii(&ddg, |op| latencies.latency_of(op));
     let mii0 = res.max(rec).max(1);
     let max_ii = options.max_ii.unwrap_or(2 * mii0 + 96);
+    if trace.on() {
+        trace.instant(
+            "prepare.mii.bounds",
+            &[
+                ("res", res as f64),
+                ("rec", rec as f64),
+                ("mii", mii0 as f64),
+                ("max_ii", max_ii as f64),
+            ],
+        );
+    }
+    drop(_mii_span);
 
-    let order = sms_order(&ddg, &circuits, |op| latencies.latency_of(op));
+    let order = {
+        let _s = trace.span("prepare.order");
+        sms_order(&ddg, &circuits, |op| latencies.latency_of(op))
+    };
     (
         ddg,
         Prep {
@@ -425,16 +489,17 @@ pub(crate) fn prepare<'k>(
 /// # Errors
 ///
 /// Same as [`schedule_kernel`].
-pub(crate) fn swing_schedule_with_stats(
+pub(crate) fn swing_schedule_traced(
     kernel: &LoopKernel,
     machine: &MachineConfig,
     options: &ScheduleOptions,
+    trace: Trace<'_>,
 ) -> Result<(Schedule, SchedStats), ScheduleError> {
     if kernel.ops.is_empty() {
         return Err(ScheduleError::EmptyKernel);
     }
-    let (ddg, prep) = prepare(kernel, machine, options);
-    swing_with_prep(kernel, machine, options, &ddg, prep)
+    let (ddg, prep) = prepare_traced(kernel, machine, options, trace);
+    swing_with_prep(kernel, machine, options, &ddg, prep, trace)
 }
 
 /// [`swing_schedule_with_stats`] over an already-computed front-end —
@@ -446,14 +511,15 @@ pub(crate) fn swing_with_prep(
     options: &ScheduleOptions,
     ddg: &Ddg<'_>,
     prep: Prep,
+    trace: Trace<'_>,
 ) -> Result<(Schedule, SchedStats), ScheduleError> {
     // one placement loop, two occupancy representations: the table type is
     // the only thing the dispatch changes, so the scalar reference drives
     // byte-for-byte the same decision code as the masked production table
     match options.mrt_impl {
-        MrtImpl::Masked => swing_with_prep_impl::<Mrt>(kernel, machine, options, ddg, prep),
+        MrtImpl::Masked => swing_with_prep_impl::<Mrt>(kernel, machine, options, ddg, prep, trace),
         MrtImpl::ScalarReference => {
-            swing_with_prep_impl::<ScalarMrt>(kernel, machine, options, ddg, prep)
+            swing_with_prep_impl::<ScalarMrt>(kernel, machine, options, ddg, prep, trace)
         }
     }
 }
@@ -464,6 +530,7 @@ fn swing_with_prep_impl<T: ReservationTable>(
     options: &ScheduleOptions,
     ddg: &Ddg<'_>,
     prep: Prep,
+    trace: Trace<'_>,
 ) -> Result<(Schedule, SchedStats), ScheduleError> {
     let mut stats = SchedStats::default();
     let Prep {
@@ -477,6 +544,18 @@ fn swing_with_prep_impl<T: ReservationTable>(
         order,
     } = prep;
     let assigner = options.policy.assigner();
+
+    // Span granularity stops here: probes wrap whole placement attempts,
+    // never the inside of `TryState::run`, so the zero-allocation hot loop
+    // is byte-identical with or without a sink attached.
+    let _backend_span = if trace.on() {
+        Some(trace.span_with(
+            "backend.swing",
+            &[("mii", mii0 as f64), ("max_ii", max_ii as f64)],
+        ))
+    } else {
+        None
+    };
 
     let mut scratch = Scratch::<T>::new(kernel.ops.len(), machine);
     let mut attempt_order: Vec<OpId> = Vec::with_capacity(order.len());
@@ -492,6 +571,12 @@ fn swing_with_prep_impl<T: ReservationTable>(
         attempt_order.extend_from_slice(&order);
         for _retry in 0..6 {
             stats.attempts += 1;
+            if trace.on() {
+                trace.instant(
+                    "swing.attempt",
+                    &[("ii", ii as f64), ("retry", _retry as f64)],
+                );
+            }
             let attempt = TryState {
                 kernel,
                 ddg,
@@ -504,6 +589,16 @@ fn swing_with_prep_impl<T: ReservationTable>(
             };
             match attempt.run(ii, options.trial, &mut scratch, &mut stats) {
                 Ok((ops, copies)) => {
+                    if trace.on() {
+                        trace.instant(
+                            "swing.found",
+                            &[
+                                ("ii", ii as f64),
+                                ("placements", stats.placements as f64),
+                                ("trial_cycles", stats.trial_cycles as f64),
+                            ],
+                        );
+                    }
                     return Ok((
                         Schedule {
                             ii,

@@ -76,10 +76,11 @@ pub use balance::weighted_workload_balance;
 pub use chains::MemChains;
 pub use circuits::{elementary_circuits, Circuit, EnumLimits};
 pub use engine::{
-    schedule_kernel, schedule_kernel_with_stats, schedule_outcome, schedule_problem, AssignContext,
-    AssignState, ClusterAssign, ClusterPolicy, DelayTracking, ExactBnB, FallbackPolicy, Neighbor,
-    SchedBackend, SchedQuality, SchedStats, ScheduleOptions, ScheduleOutcome, ScheduleProblem,
-    SchedulerBackend, SwingModulo, TrialMode, DEFAULT_NODE_BUDGET,
+    schedule_kernel, schedule_kernel_with_stats, schedule_outcome, schedule_outcome_traced,
+    schedule_problem, AssignContext, AssignState, ClusterAssign, ClusterPolicy, DelayTracking,
+    ExactBnB, FallbackPolicy, Neighbor, SchedBackend, SchedQuality, SchedStats, ScheduleOptions,
+    ScheduleOutcome, ScheduleProblem, SchedulerBackend, SwingModulo, TrialMode,
+    DEFAULT_NODE_BUDGET,
 };
 pub use hints::{attraction_hints, AttractionHints};
 pub use latency::{

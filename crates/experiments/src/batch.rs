@@ -39,6 +39,7 @@ use std::time::Instant;
 
 use vliw_ir::{kernel_fingerprint, LoopKernel, StableHasher};
 use vliw_sched::{ClusterPolicy, ScheduleError};
+use vliw_trace::Trace;
 
 use crate::context::{ExperimentContext, RunConfig, UnrollMode};
 use crate::schedcache::{SchedCache, ScheduleStore, ShardCounters};
@@ -176,6 +177,14 @@ pub struct BatchReport {
     pub unrecovered_slots: u64,
     /// Per-shard counters captured after the cold parallel pass.
     pub cold_shards: Vec<ShardCounters>,
+    /// Steals performed by each worker in the cold parallel pass.
+    pub worker_steals: Vec<u64>,
+    /// Peak own-deque depth each worker saw in the cold parallel pass.
+    pub worker_peak_depth: Vec<u64>,
+    /// Panic reasons of slots still marked failed after all passes
+    /// (the diagnostic payload behind `unrecovered_slots`; empty on
+    /// clean runs).
+    pub failed_slot_reasons: Vec<String>,
 }
 
 impl BatchReport {
@@ -186,14 +195,19 @@ impl BatchReport {
     }
 
     /// The per-shard counter CSV (`results/batch_shards.csv`).
+    ///
+    /// The trailing `worker_steals`/`worker_peak_depth` columns are a
+    /// parallel table: row `i` carries worker `i`'s cold-parallel-pass
+    /// stats (shards and workers are independent dimensions; rows past
+    /// the worker count read 0).
     pub fn shard_csv(&self) -> String {
         let mut out = String::from(
             "shard,entries,hits,store_hits,prepares,stale,inflight_waits,map_contended,evictions,\
-             panics_contained,slots_recovered\n",
+             panics_contained,slots_recovered,worker_steals,worker_peak_depth\n",
         );
         for (i, s) in self.cold_shards.iter().enumerate() {
             out.push_str(&format!(
-                "{i},{},{},{},{},{},{},{},{},{},{}\n",
+                "{i},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.entries,
                 s.hits,
                 s.store_hits,
@@ -203,7 +217,9 @@ impl BatchReport {
                 s.map_contended,
                 s.evictions,
                 s.panics_contained,
-                s.slots_recovered
+                s.slots_recovered,
+                self.worker_steals.get(i).copied().unwrap_or(0),
+                self.worker_peak_depth.get(i).copied().unwrap_or(0),
             ));
         }
         out
@@ -410,6 +426,11 @@ pub(crate) struct Drain {
     pub(crate) failures: u64,
     pub(crate) panic_retries: u64,
     pub(crate) worker_panics: u64,
+    /// Steals performed by each worker (empty for the serial drain).
+    pub(crate) worker_steals: Vec<u64>,
+    /// Peak depth each worker's own deque reached during the drain
+    /// (empty for the serial drain).
+    pub(crate) worker_peak_depth: Vec<u64>,
 }
 
 /// Answers one request: prepare through the cache, re-attempting after a
@@ -421,16 +442,17 @@ fn answer(
     cache: &SchedCache,
     req: &BatchRequest,
     ctx: &ExperimentContext,
+    trace: Trace<'_>,
 ) -> (u64, bool, u64, bool) {
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let machine = ctx.machine_for(&req.cfg);
         let mut retries = 0u64;
-        let mut result = cache.prepare(&req.kernel, &machine, &req.cfg, ctx);
+        let mut result = cache.prepare_traced(&req.kernel, &machine, &req.cfg, ctx, trace);
         while matches!(&result, Err(ScheduleError::PreparationPanicked { .. }))
             && retries < u64::from(PANIC_RETRIES)
         {
             retries += 1;
-            result = cache.prepare(&req.kernel, &machine, &req.cfg, ctx);
+            result = cache.prepare_traced(&req.kernel, &machine, &req.cfg, ctx, trace);
         }
         (digest(&result), result.is_err(), retries)
     }));
@@ -447,11 +469,17 @@ fn answer(
 }
 
 /// One work-stealing drain of the whole queue through `cache`.
+///
+/// With an attached trace, worker `w` records on track `w + 1` (track 0
+/// stays the main pipeline): each pop samples the worker's own deque
+/// depth as a `batch.queue_depth` counter, and each steal emits a
+/// `batch.steal` instant naming the victim and the number of jobs moved.
 pub(crate) fn drain(
     cache: &SchedCache,
     requests: &[BatchRequest],
     ctx: &ExperimentContext,
     workers: usize,
+    trace: Trace<'_>,
 ) -> Drain {
     let workers = workers.max(1).min(requests.len().max(1));
     let deques: Vec<Mutex<VecDeque<usize>>> =
@@ -467,6 +495,8 @@ pub(crate) fn drain(
     let failures = AtomicU64::new(0);
     let panic_retries = AtomicU64::new(0);
     let worker_panics = AtomicU64::new(0);
+    let per_worker_steals: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let per_worker_peak: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for w in 0..workers {
@@ -476,8 +506,19 @@ pub(crate) fn drain(
             let failures = &failures;
             let panic_retries = &panic_retries;
             let worker_panics = &worker_panics;
+            let per_worker_steals = &per_worker_steals;
+            let per_worker_peak = &per_worker_peak;
+            let wtrace = trace.with_track(w as u32 + 1);
             s.spawn(move || loop {
-                let job = deques[w].lock().expect("deque lock").pop_front();
+                let (job, depth) = {
+                    let mut own = deques[w].lock().expect("deque lock");
+                    let depth = own.len() as u64;
+                    (own.pop_front(), depth)
+                };
+                per_worker_peak[w].fetch_max(depth, Ordering::Relaxed);
+                if wtrace.on() {
+                    wtrace.counter("batch.queue_depth", depth as f64);
+                }
                 let job = match job {
                     Some(j) => Some(j),
                     None => {
@@ -495,6 +536,13 @@ pub(crate) fn drain(
                             let mut stolen = victim.split_off(len - len.div_ceil(2));
                             drop(victim);
                             steals.fetch_add(1, Ordering::Relaxed);
+                            per_worker_steals[w].fetch_add(1, Ordering::Relaxed);
+                            if wtrace.on() {
+                                wtrace.instant(
+                                    "batch.steal",
+                                    &[("victim", v as f64), ("grabbed", stolen.len() as f64)],
+                                );
+                            }
                             let first = stolen.pop_front();
                             if !stolen.is_empty() {
                                 deques[w].lock().expect("deque lock").append(&mut stolen);
@@ -506,7 +554,7 @@ pub(crate) fn drain(
                     }
                 };
                 let Some(i) = job else { break };
-                let (d, failed, retries, panicked) = answer(cache, &requests[i], ctx);
+                let (d, failed, retries, panicked) = answer(cache, &requests[i], ctx, wtrace);
                 if failed {
                     failures.fetch_add(1, Ordering::Relaxed);
                 }
@@ -531,6 +579,14 @@ pub(crate) fn drain(
         failures: failures.load(Ordering::Relaxed),
         panic_retries: panic_retries.load(Ordering::Relaxed),
         worker_panics: worker_panics.load(Ordering::Relaxed),
+        worker_steals: per_worker_steals
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect(),
+        worker_peak_depth: per_worker_peak
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect(),
     }
 }
 
@@ -539,6 +595,7 @@ pub(crate) fn drain_serial(
     cache: &SchedCache,
     requests: &[BatchRequest],
     ctx: &ExperimentContext,
+    trace: Trace<'_>,
 ) -> Drain {
     let t0 = Instant::now();
     let mut failures = 0;
@@ -547,7 +604,7 @@ pub(crate) fn drain_serial(
     let digests = requests
         .iter()
         .map(|req| {
-            let (d, failed, retries, panicked) = answer(cache, req, ctx);
+            let (d, failed, retries, panicked) = answer(cache, req, ctx, trace);
             if failed {
                 failures += 1;
             }
@@ -565,6 +622,8 @@ pub(crate) fn drain_serial(
         failures,
         panic_retries,
         worker_panics,
+        worker_steals: Vec::new(),
+        worker_peak_depth: Vec::new(),
     }
 }
 
@@ -599,18 +658,18 @@ pub fn run_batch(ctx: &ExperimentContext, opts: &BatchOptions) -> BatchReport {
 
     // pass 1: cold serial (the reference answers)
     let serial_cache = new_cache();
-    let serial = drain_serial(&serial_cache, &requests, ctx);
+    let serial = drain_serial(&serial_cache, &requests, ctx, Trace::off());
 
     // pass 2: cold parallel (work-stealing)
     let cache = new_cache();
-    let cold = drain(&cache, &requests, ctx, opts.workers);
+    let cold = drain(&cache, &requests, ctx, opts.workers, Trace::off());
     let cold_shards = cache.shard_counters();
     let evictions = cache.evictions();
     let unique_keys = cache.len();
 
     // pass 3: warm memory (same cache; every request hits)
     let hits_before = cache.hits();
-    let warm = drain(&cache, &requests, ctx, opts.workers);
+    let warm = drain(&cache, &requests, ctx, opts.workers, Trace::off());
     let warm_hit_rate = (cache.hits() - hits_before) as f64 / n as f64;
 
     // pass 4: warm disk (export -> text round-trip -> fresh cache)
@@ -621,7 +680,7 @@ pub fn run_batch(ctx: &ExperimentContext, opts: &BatchOptions) -> BatchReport {
         .map(|r| r.to_text() == store.to_text())
         .unwrap_or(false);
     let disk_cache = new_cache().into_stored(reloaded.unwrap_or_else(|_| store.clone()));
-    let disk = drain(&disk_cache, &requests, ctx, opts.workers);
+    let disk = drain(&disk_cache, &requests, ctx, opts.workers, Trace::off());
     let store_hit_rate = disk_cache.store_hits() as f64 / n as f64;
     let store_stale = disk_cache.stale();
 
@@ -672,6 +731,12 @@ pub fn run_batch(ctx: &ExperimentContext, opts: &BatchOptions) -> BatchReport {
             + cache.failed_slots()
             + disk_cache.failed_slots()) as u64,
         cold_shards,
+        worker_steals: cold.worker_steals,
+        worker_peak_depth: cold.worker_peak_depth,
+        failed_slot_reasons: [&serial_cache, &cache, &disk_cache]
+            .iter()
+            .flat_map(|c| c.failed_slot_reasons())
+            .collect(),
     }
 }
 

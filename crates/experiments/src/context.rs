@@ -6,11 +6,12 @@ use vliw_ir::{unroll, LoopKernel, OpId};
 use vliw_machine::MachineConfig;
 use vliw_mem::build_cache;
 use vliw_sched::{
-    attraction_hints, schedule_outcome, unroll_candidates, AttractionHints, ClusterPolicy,
+    attraction_hints, schedule_outcome_traced, unroll_candidates, AttractionHints, ClusterPolicy,
     EnumLimits, FallbackPolicy, SchedBackend, SchedQuality, Schedule, ScheduleError,
     ScheduleOptions, UnrollChoice,
 };
 use vliw_sim::{simulate_loop, LoopSimResult, SimOptions};
+use vliw_trace::Trace;
 use vliw_workloads::{
     profile_kernel, suite, synthesize, ArrayLayout, BenchmarkModel, ProfileOptions, WorkloadConfig,
 };
@@ -421,6 +422,29 @@ pub fn prepare_loop(
     cfg: &RunConfig,
     ctx: &ExperimentContext,
 ) -> Result<PreparedLoop, ScheduleError> {
+    prepare_loop_traced(original, machine, cfg, ctx, Trace::off())
+}
+
+/// [`prepare_loop`] with an attached [`Trace`] handle: every candidate
+/// unroll variant is scheduled under a `prepare_loop` span, with one
+/// `unroll.variant` instant per candidate recording the factor, Texec
+/// and whether it became the incumbent.
+///
+/// # Errors
+///
+/// Propagates scheduling failures (pathological kernels only).
+pub fn prepare_loop_traced(
+    original: &LoopKernel,
+    machine: &MachineConfig,
+    cfg: &RunConfig,
+    ctx: &ExperimentContext,
+    trace: Trace<'_>,
+) -> Result<PreparedLoop, ScheduleError> {
+    let _loop_span = if trace.on() {
+        Some(trace.span("prepare_loop"))
+    } else {
+        None
+    };
     let opts = schedule_options(cfg, ctx);
     let mut builder = VariantBuilder::new(original, machine, cfg, ctx);
     let ouf = vliw_sched::optimal_unroll_factor(builder.original(), machine);
@@ -442,7 +466,7 @@ pub fn prepare_loop(
         // an unschedulable variant is simply not a candidate (giant pinned
         // chains after deep unrolling can defeat the no-backtracking
         // scheduler); factor 1 virtually always schedules
-        let (schedule, quality) = match schedule_outcome(&kernel, machine, opts) {
+        let (schedule, quality) = match schedule_outcome_traced(&kernel, machine, opts, trace) {
             Ok(o) => (o.schedule, o.quality),
             Err(e) => {
                 last_err = Some(e);
@@ -462,6 +486,17 @@ pub fn prepare_loop(
                 texec < bt * 0.99 || (texec <= bt * 1.01 && rank(factor) > rank(b.factor))
             }
         };
+        if trace.on() {
+            trace.instant(
+                "unroll.variant",
+                &[
+                    ("factor", f64::from(factor)),
+                    ("ii", f64::from(schedule.ii)),
+                    ("texec", texec),
+                    ("best", if better { 1.0 } else { 0.0 }),
+                ],
+            );
+        }
         if better {
             best = Some(PreparedLoop {
                 kernel,
@@ -478,7 +513,7 @@ pub fn prepare_loop(
             // no variant scheduled: retry factor 1 explicitly (covers the
             // Ouf-only mode whose single candidate failed)
             let kernel = builder.build(1).map_err(|e| last_err.take().unwrap_or(e))?;
-            let outcome = schedule_outcome(&kernel, machine, opts)
+            let outcome = schedule_outcome_traced(&kernel, machine, opts, trace)
                 .map_err(|_| last_err.expect("at least one failure recorded"))?;
             Ok(PreparedLoop {
                 kernel,

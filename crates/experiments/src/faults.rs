@@ -42,6 +42,7 @@ use std::time::Instant;
 
 use vliw_ir::LoopKernel;
 use vliw_sched::{FallbackPolicy, SchedBackend, SchedQuality};
+use vliw_trace::Trace;
 use vliw_workloads::rng::StdRng;
 
 use crate::batch::{build_requests, drain, drain_serial, fold, BatchRequest, Drain};
@@ -420,7 +421,7 @@ pub fn run_faults(ctx: &ExperimentContext, opts: &FaultOptions) -> FaultReport {
     // a probe generation with no faults yields the healthy store the
     // corruption lanes need, and the record count the plan draws from
     let probe = SchedCache::with_shards(opts.shards);
-    let probe_drain = drain(&probe, &requests, ctx, opts.workers);
+    let probe_drain = drain(&probe, &requests, ctx, opts.workers, Trace::off());
     let healthy_store = probe.export_store();
     let healthy = healthy_store.to_text();
 
@@ -431,11 +432,11 @@ pub fn run_faults(ctx: &ExperimentContext, opts: &FaultOptions) -> FaultReport {
     // cache is one shim generation (each victim panics once per cache)
     let serial_cache =
         SchedCache::with_shards(opts.shards).into_preparer(panic_shim(Arc::clone(&victims)));
-    let serial = drain_serial(&serial_cache, &requests, ctx);
+    let serial = drain_serial(&serial_cache, &requests, ctx, Trace::off());
     let cache =
         SchedCache::with_shards(opts.shards).into_preparer(panic_shim(Arc::clone(&victims)));
-    let cold = drain(&cache, &requests, ctx, opts.workers);
-    let warm = drain(&cache, &requests, ctx, opts.workers);
+    let cold = drain(&cache, &requests, ctx, opts.workers, Trace::off());
+    let warm = drain(&cache, &requests, ctx, opts.workers, Trace::off());
 
     // interrupted-export lane: commit the healthy store, kill a rewrite
     // before the rename, verify the committed bytes survived
@@ -480,7 +481,7 @@ pub fn run_faults(ctx: &ExperimentContext, opts: &FaultOptions) -> FaultReport {
     let disk_cache = SchedCache::with_shards(opts.shards)
         .into_preparer(panic_shim(Arc::clone(&victims)))
         .into_stored(salvaged);
-    let disk = drain(&disk_cache, &requests, ctx, opts.workers);
+    let disk = drain(&disk_cache, &requests, ctx, opts.workers, Trace::off());
 
     // starvation lane: exact search under a zero cost ceiling and a
     // retry ladder — every request must degrade, visibly

@@ -56,18 +56,20 @@ pub mod report;
 pub mod schedcache;
 pub mod smt;
 pub mod tables;
+pub mod trace_exp;
 
 pub use batch::{run_batch, BatchOptions, BatchReport, BatchRequest};
 pub use context::{
-    prepare_loop, run_benchmark, run_benchmark_memo, ArchVariant, BenchRun, ExperimentContext,
-    LoopRun, PreparedLoop, ProfileSource, RunConfig, ScheduleMemo, UnrollMode,
+    prepare_loop, prepare_loop_traced, run_benchmark, run_benchmark_memo, ArchVariant, BenchRun,
+    ExperimentContext, LoopRun, PreparedLoop, ProfileSource, RunConfig, ScheduleMemo, UnrollMode,
 };
 pub use faults::{run_faults, FaultOptions, FaultPlan, FaultReport};
 pub use grid::{GridAxes, GridResult, Parallelism, RunGrid};
 pub use optgap::{OptGapResult, OptGapRow};
 pub use profile_fidelity::{CollectedSuite, ProfileFidelityResult};
-pub use report::{backend_quality_table, mshr_table, Table};
+pub use report::{backend_quality_table, mshr_table, shard_health_table, Table};
 pub use schedcache::{
     CacheKey, PrepareFn, SalvageReport, SchedCache, ScheduleStore, ShardCounters, StoreEntry,
 };
 pub use smt::{export_suite, SmtExport};
+pub use trace_exp::{run_trace, TraceRun};

@@ -60,8 +60,10 @@ use vliw_sched::{
     ClusterPolicy, SchedBackend, SchedQuality, Schedule, ScheduleError, UnrollChoice,
 };
 
+use vliw_trace::Trace;
+
 use crate::context::{
-    prepare_loop, ArchVariant, ExperimentContext, PreparedLoop, ProfileSource, RunConfig,
+    prepare_loop_traced, ArchVariant, ExperimentContext, PreparedLoop, ProfileSource, RunConfig,
     UnrollMode, VariantBuilder,
 };
 
@@ -385,7 +387,8 @@ pub struct ShardCounters {
 }
 
 /// Signature of the function a cache invokes to fill a cold slot —
-/// the preparation seam. The default is [`prepare_loop`]; the
+/// the preparation seam. The default is
+/// [`prepare_loop`](crate::context::prepare_loop); the
 /// fault-injection harness (and the panic-storm test) swap in shims that
 /// panic or starve on selected keys, exercising exactly the containment
 /// paths production code runs.
@@ -404,7 +407,8 @@ pub struct SchedCache {
     store: Option<ScheduleStore>,
     /// Completed-entry cap per shard; `None` (the default) never evicts.
     per_shard_cap: Option<usize>,
-    /// Slot-fill override (`None` = [`prepare_loop`]).
+    /// Slot-fill override (`None` =
+    /// [`prepare_loop`](crate::context::prepare_loop)).
     preparer: Option<Arc<PrepareFn>>,
 }
 
@@ -472,7 +476,8 @@ impl SchedCache {
     }
 
     /// This cache, filling cold slots through `preparer` instead of
-    /// [`prepare_loop`] — the fault-injection seam. Panics thrown by the
+    /// [`prepare_loop`](crate::context::prepare_loop) — the
+    /// fault-injection seam. Panics thrown by the
     /// preparer are contained exactly like panics from the real pipeline.
     pub fn into_preparer(mut self, preparer: Arc<PrepareFn>) -> Self {
         self.preparer = Some(preparer);
@@ -487,11 +492,6 @@ impl SchedCache {
     /// The completed-entry cap per shard (`None` = unbounded).
     pub fn per_shard_capacity(&self) -> Option<usize> {
         self.per_shard_cap
-    }
-
-    fn shard_of(&self, key: &CacheKey) -> &Shard {
-        let idx = (key.stable_hash() % self.shards.len() as u64) as usize;
-        &self.shards[idx]
     }
 
     /// Number of cached schedules (completed preparations).
@@ -631,8 +631,33 @@ impl SchedCache {
         cfg: &RunConfig,
         ctx: &ExperimentContext,
     ) -> Result<Arc<PreparedLoop>, ScheduleError> {
+        self.prepare_traced(original, machine, cfg, ctx, Trace::off())
+    }
+
+    /// [`prepare`](SchedCache::prepare) with an attached [`Trace`] handle:
+    /// the slot lifecycle becomes visible as events. A served request emits
+    /// exactly one of `cache.hit`, `cache.store_hit` or a `cache.miss`
+    /// followed by a `cache.fill` span around the cold preparation; waiting
+    /// on another thread's in-flight fill is a `cache.wait` span; observing
+    /// and resetting a failed slot is `cache.recovered`; a contained panic
+    /// is `cache.failed`; a rejected store entry is `cache.stale`. Every
+    /// instant carries the shard index.
+    ///
+    /// # Errors
+    ///
+    /// As [`prepare`](SchedCache::prepare).
+    pub fn prepare_traced(
+        &self,
+        original: &LoopKernel,
+        machine: &MachineConfig,
+        cfg: &RunConfig,
+        ctx: &ExperimentContext,
+        trace: Trace<'_>,
+    ) -> Result<Arc<PreparedLoop>, ScheduleError> {
         let key = CacheKey::of(original, machine, cfg, ctx);
-        let shard = self.shard_of(&key);
+        let shard_idx = (key.stable_hash() % self.shards.len() as u64) as usize;
+        let shard = &self.shards[shard_idx];
+        let sh = shard_idx as f64;
         let slot = {
             let mut map = match shard.map.try_lock() {
                 Ok(g) => g,
@@ -651,6 +676,13 @@ impl SchedCache {
             Ok(g) => g,
             Err(TryLockError::WouldBlock) => {
                 shard.stats.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                // the wait span brackets blocking on another thread's fill
+                // of the same cell — waiter wake latency in trace time
+                let _wait = if trace.on() {
+                    Some(trace.span("cache.wait"))
+                } else {
+                    None
+                };
                 lock_recover(&slot.data)
             }
             Err(TryLockError::Poisoned(e)) => e.into_inner(),
@@ -662,6 +694,7 @@ impl SchedCache {
         match &*guard {
             SlotState::Ready(hit) => {
                 shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+                trace.instant("cache.hit", &[("shard", sh)]);
                 let hit = Arc::clone(hit);
                 touch();
                 return Ok(hit);
@@ -670,6 +703,7 @@ impl SchedCache {
                 // a previous filler panicked; this request adopts the
                 // cell and re-attempts from scratch
                 shard.stats.slots_recovered.fetch_add(1, Ordering::Relaxed);
+                trace.instant("cache.recovered", &[("shard", sh)]);
                 *guard = SlotState::Empty;
             }
             SlotState::Empty => {}
@@ -678,6 +712,7 @@ impl SchedCache {
             match rebuild(entry, original, machine, cfg, ctx) {
                 Ok(p) => {
                     shard.stats.store_hits.fetch_add(1, Ordering::Relaxed);
+                    trace.instant("cache.store_hit", &[("shard", sh)]);
                     let p = Arc::new(p);
                     *guard = SlotState::Ready(Arc::clone(&p));
                     touch();
@@ -687,10 +722,17 @@ impl SchedCache {
                 }
                 Err(_) => {
                     shard.stats.stale.fetch_add(1, Ordering::Relaxed);
+                    trace.instant("cache.stale", &[("shard", sh)]);
                 }
             }
         }
         shard.stats.prepares.fetch_add(1, Ordering::Relaxed);
+        trace.instant("cache.miss", &[("shard", sh)]);
+        let fill_span = if trace.on() {
+            Some(trace.span("cache.fill"))
+        } else {
+            None
+        };
         // the panic boundary: the computation — and only the computation —
         // runs under `catch_unwind`, inside the guard scope, so a panic
         // can neither unwind through (poisoning the mutex and wedging
@@ -699,15 +741,18 @@ impl SchedCache {
         // own; the slot is updated only from a completed result.
         let computed =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &self.preparer {
+                // custom preparers (fault-injection shims) take no trace
                 Some(f) => f(original, machine, cfg, ctx),
-                None => prepare_loop(original, machine, cfg, ctx),
+                None => prepare_loop_traced(original, machine, cfg, ctx, trace),
             }));
+        drop(fill_span);
         let prepared = match computed {
             Ok(Ok(p)) => Arc::new(p),
             Ok(Err(e)) => return Err(e),
             Err(payload) => {
                 let reason = panic_reason(payload.as_ref());
                 shard.stats.panics_contained.fetch_add(1, Ordering::Relaxed);
+                trace.instant("cache.failed", &[("shard", sh)]);
                 *guard = SlotState::Failed(reason.clone());
                 return Err(ScheduleError::PreparationPanicked {
                     loop_name: original.name.clone(),

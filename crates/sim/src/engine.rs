@@ -7,6 +7,13 @@ use vliw_ir::{DepKind, LoopKernel, OpId};
 use vliw_machine::{AccessClass, MachineConfig};
 use vliw_mem::{AccessRequest, DataCache};
 use vliw_sched::{AttractionHints, Schedule};
+use vliw_trace::Trace;
+
+/// Accounting-window length of the traced simulator's stall attribution,
+/// in multiples of the schedule's II: every `II × this` cycles of
+/// measured simulated time, one `sim.window` instant reports the window's
+/// stall deltas by cause.
+pub const TRACE_WINDOW_IIS: u64 = 16;
 
 /// Simulation options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,6 +173,36 @@ pub fn simulate_loop(
     hints: &AttractionHints,
     options: &SimOptions,
 ) -> LoopSimResult {
+    simulate_loop_traced(
+        kernel,
+        schedule,
+        machine,
+        cache,
+        addresses,
+        hints,
+        options,
+        Trace::off(),
+    )
+}
+
+/// [`simulate_loop`] with per-accounting-window stall attribution wired
+/// to `trace`: during the measured pass, every [`TRACE_WINDOW_IIS`] × II
+/// cycles of simulated time one `sim.window` instant carries that
+/// window's stall deltas split by cause (the four access classes,
+/// combined accesses, and MSHR back-pressure). Timing and results are
+/// identical to [`simulate_loop`] — the probes only read the
+/// accumulators it maintains anyway.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_loop_traced(
+    kernel: &LoopKernel,
+    schedule: &Schedule,
+    machine: &MachineConfig,
+    cache: &mut dyn DataCache,
+    addresses: &mut dyn FnMut(OpId, u64) -> u64,
+    hints: &AttractionHints,
+    options: &SimOptions,
+    trace: Trace<'_>,
+) -> LoopSimResult {
     let n_ops = kernel.ops.len();
     assert_eq!(schedule.ops.len(), n_ops, "schedule must match kernel");
     let ii = schedule.ii as u64;
@@ -224,11 +261,32 @@ pub fn simulate_loop(
     let mut group: Vec<(usize, u64)> = Vec::new();
     let mut time_base: u64 = 0;
 
+    let _sim_span = if trace.on() {
+        Some(trace.span_with(
+            "sim.loop",
+            &[("ii", ii as f64), ("iters", sim_iters as f64)],
+        ))
+    } else {
+        None
+    };
+    // stall-attribution accounting windows (traced measured pass only);
+    // with tracing off the threshold parks at u64::MAX and the per-group
+    // cost is one always-false compare
+    let win_len = (ii * TRACE_WINDOW_IIS).max(1);
+    let mut next_window = u64::MAX;
+    let mut win_mark = StallBreakdown::default();
+    let mut win_delay_mark: u64 = 0;
+
     let warmup = options.warmup_iterations.min(sim_iters);
     for measured in [false, true] {
         let iters = if measured { sim_iters } else { warmup };
         if iters == 0 {
             continue;
+        }
+        if measured && trace.on() {
+            next_window = time_base + win_len;
+            win_mark = stall_by.clone();
+            win_delay_mark = 0;
         }
 
         // issue events in nominal order via a k-way merge over ops
@@ -305,6 +363,17 @@ pub fn simulate_loop(
                 }
             }
             let issue_abs = nominal + delay;
+            if issue_abs >= next_window {
+                emit_sim_window(
+                    trace,
+                    issue_abs,
+                    &stall_by,
+                    &mut win_mark,
+                    delay,
+                    &mut win_delay_mark,
+                );
+                next_window = issue_abs + win_len;
+            }
 
             // phase 2: issue every member (clusters issue in index order)
             for &(op, iter) in &group {
@@ -334,6 +403,20 @@ pub fn simulate_loop(
             }
         }
 
+        if measured && trace.on() {
+            // flush the final partial window
+            let end = time_base + (iters + sc) * ii + delay;
+            emit_sim_window(
+                trace,
+                end,
+                &stall_by,
+                &mut win_mark,
+                delay,
+                &mut win_delay_mark,
+            );
+            next_window = u64::MAX;
+        }
+
         // advance time past this pass and flush the Attraction Buffers
         // (the paper flushes them whenever a loop finishes)
         time_base += (iters + sc) * ii + delay + 1;
@@ -357,6 +440,33 @@ pub fn simulate_loop(
         stall_by_op: stall_by_op.iter().map(|&x| x * scale).collect(),
         mem,
     }
+}
+
+/// Emits one `sim.window` instant carrying the stall deltas accumulated
+/// since the previous window mark, then advances the marks.
+fn emit_sim_window(
+    trace: Trace<'_>,
+    t: u64,
+    total: &StallBreakdown,
+    mark: &mut StallBreakdown,
+    delay: u64,
+    delay_mark: &mut u64,
+) {
+    trace.instant(
+        "sim.window",
+        &[
+            ("t", t as f64),
+            ("stall", (delay - *delay_mark) as f64),
+            ("local_hit", total.by_class[0] - mark.by_class[0]),
+            ("remote_hit", total.by_class[1] - mark.by_class[1]),
+            ("local_miss", total.by_class[2] - mark.by_class[2]),
+            ("remote_miss", total.by_class[3] - mark.by_class[3]),
+            ("combined", total.combined - mark.combined),
+            ("mshr_full", total.mshr_full - mark.mshr_full),
+        ],
+    );
+    *mark = total.clone();
+    *delay_mark = delay;
 }
 
 #[cfg(test)]

@@ -24,4 +24,7 @@
 
 mod engine;
 
-pub use engine::{simulate_loop, LoopSimResult, SimOptions, StallBreakdown};
+pub use engine::{
+    simulate_loop, simulate_loop_traced, LoopSimResult, SimOptions, StallBreakdown,
+    TRACE_WINDOW_IIS,
+};

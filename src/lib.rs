@@ -13,6 +13,8 @@
 //!   class mixes collected from the timing simulator, persisted in a
 //!   deterministic store, feeding the feedback-directed scheduler.
 //! * [`experiments`] — drivers regenerating every table and figure.
+//! * [`trace`] — zero-overhead-when-off tracing & metrics (spans, dual
+//!   logical/wall clocks, Chrome-trace export).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -25,4 +27,5 @@ pub use vliw_mem as mem;
 pub use vliw_profile as profile;
 pub use vliw_sched as sched;
 pub use vliw_sim as sim;
+pub use vliw_trace as trace;
 pub use vliw_workloads as workloads;
